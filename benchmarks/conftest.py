@@ -1,0 +1,43 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The heavy
+artefacts (the case-study network and the optimized identifier assignment)
+are computed once per session and shared, so the full benchmark run stays in
+the "minutes, not hours" envelope the paper emphasises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimize import GeneticOptimizerConfig, optimize_priorities, paper_scenarios
+from repro.workloads.powertrain import (
+    PowertrainConfig,
+    powertrain_bus,
+    powertrain_controllers,
+    powertrain_kmatrix,
+)
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The canonical case-study network: (kmatrix, bus, controllers)."""
+    config = PowertrainConfig()
+    return (
+        powertrain_kmatrix(config),
+        powertrain_bus(config),
+        powertrain_controllers(config),
+    )
+
+
+@pytest.fixture(scope="session")
+def optimized_case_study(case_study):
+    """The GA-optimized identifier assignment used by Figure 5."""
+    kmatrix, bus, controllers = case_study
+    result = optimize_priorities(
+        kmatrix,
+        paper_scenarios(bus, controllers),
+        GeneticOptimizerConfig(population_size=12, archive_size=6,
+                               generations=4, seed=7),
+    )
+    return result

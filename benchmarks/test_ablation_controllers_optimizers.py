@@ -1,0 +1,93 @@
+"""Ablations: CAN controller types and optimizer baselines.
+
+* Section 3.2 names the controller type (basicCAN / fullCAN) as one of the
+  dynamic influences on message order: the first benchmark quantifies the
+  extra blocking of basicCAN and FIFO-queued controllers.
+* Section 4.3 uses a genetic optimizer: the second benchmark compares it with
+  the deterministic baselines (original, rate-monotonic, deadline-monotonic,
+  Audsley) on the paper's objective (loss across the what-if scenarios).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.schedulability import analyze_schedulability
+from repro.can.controller import CanControllerType, default_controllers
+from repro.experiments import WORST_CASE
+from repro.optimize.assignment import (
+    audsley_assignment,
+    deadline_monotonic_assignment,
+    rate_monotonic_assignment,
+)
+from repro.optimize.objectives import AnalysisScenario, evaluate_configuration, paper_scenarios
+from repro.reporting.tables import format_table
+
+
+def test_ablation_controller_types(benchmark, case_study, capsys):
+    kmatrix, bus, _controllers = case_study
+    ecus = kmatrix.senders()
+
+    def sweep():
+        rows = []
+        for controller_type in (CanControllerType.FULL, CanControllerType.BASIC,
+                                CanControllerType.QUEUED_FIFO):
+            controllers = default_controllers(ecus, controller_type)
+            report = analyze_schedulability(
+                kmatrix, bus, assumed_jitter_fraction=0.25,
+                deadline_policy="min-rearrival",
+                error_model=WORST_CASE.error_model, controllers=controllers)
+            worst = max(v.worst_case_response for v in report.verdicts)
+            rows.append([controller_type.value, worst, report.loss_fraction])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["controller type (all ECUs)", "max response [ms]",
+             "message loss %"],
+            rows, title="Ablation -- CAN controller type"))
+
+    by_type = {row[0]: (row[1], row[2]) for row in rows}
+    assert by_type["basicCAN"][0] >= by_type["fullCAN"][0]
+    assert by_type["queuedFIFO"][1] >= by_type["fullCAN"][1]
+
+
+def test_ablation_optimizer_baselines(benchmark, case_study,
+                                      optimized_case_study, capsys):
+    kmatrix, bus, controllers = case_study
+    scenarios = paper_scenarios(bus, controllers)
+    worst_scenario = AnalysisScenario(
+        name="wc25", bus=bus, error_model=WORST_CASE.error_model,
+        assumed_jitter_fraction=0.25, deadline_policy="min-rearrival",
+        controllers=controllers)
+
+    def evaluate_baselines():
+        audsley_matrix, _ = audsley_assignment(kmatrix, worst_scenario)
+        candidates = {
+            "original (legacy-grown)": kmatrix,
+            "rate-monotonic": rate_monotonic_assignment(kmatrix),
+            "deadline-monotonic": deadline_monotonic_assignment(kmatrix),
+            "Audsley OPA": audsley_matrix,
+            "SPEA2 genetic optimizer": optimized_case_study.best_kmatrix,
+        }
+        rows = []
+        for label, candidate in candidates.items():
+            evaluation = evaluate_configuration(candidate, scenarios)
+            rows.append([label, evaluation.lost_messages,
+                         evaluation.sensitivity_penalty,
+                         -evaluation.negative_robustness])
+        return rows
+
+    rows = benchmark.pedantic(evaluate_baselines, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["priority assignment", "lost msgs (all scenarios)",
+             "tight msgs", "robustness score"],
+            rows, title="Ablation -- optimizer vs. deterministic baselines"))
+
+    by_label = {row[0]: row[1] for row in rows}
+    assert by_label["SPEA2 genetic optimizer"] == 0
+    assert by_label["SPEA2 genetic optimizer"] <= \
+        by_label["original (legacy-grown)"]
+    assert by_label["SPEA2 genetic optimizer"] <= by_label["rate-monotonic"]

@@ -1,0 +1,49 @@
+"""Figure 1: simple load-analysis example.
+
+Paper: four ECUs inject 20/50/100/10 kbit/s, accumulating 180 kbit/s on a
+500 kbit/s CAN bus -- a 36 % load.  The benchmark reproduces the arithmetic
+from raw rates and from a concrete K-Matrix realisation, and times the load
+analysis on the full case-study matrix.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.load import abstract_load_from_rates, bus_load
+from repro.reporting.tables import format_table
+from repro.workloads.figure1 import (
+    FIGURE1_BANDWIDTH_BPS,
+    figure1_network,
+    figure1_traffic_rates,
+)
+
+
+def test_fig1_load_analysis(benchmark, case_study, capsys):
+    kmatrix, bus, _controllers = case_study
+
+    report = benchmark(bus_load, kmatrix, bus, include_stuffing=False)
+
+    abstract = abstract_load_from_rates(figure1_traffic_rates(),
+                                        FIGURE1_BANDWIDTH_BPS)
+    concrete_kmatrix, concrete_bus = figure1_network()
+    concrete = bus_load(concrete_kmatrix, concrete_bus)
+
+    rows = [
+        ["Figure-1 rates (paper)", 180.0, 36.0],
+        ["Figure-1 rates (reproduced)",
+         abstract.total_bits_per_second / 1000.0,
+         abstract.utilization_percent],
+        ["Figure-1 K-Matrix realisation",
+         concrete.total_bits_per_second / 1000.0,
+         concrete.utilization_percent],
+        ["Case-study power-train matrix",
+         report.total_bits_per_second / 1000.0,
+         report.utilization_percent],
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["configuration", "traffic [kbit/s]", "load [% bandwidth]"],
+            rows, title="Figure 1 -- simple load analysis"))
+
+    assert abstract.utilization_percent == 36.0
+    assert abs(concrete.utilization_percent - 36.0) < 1.5

@@ -1,0 +1,55 @@
+"""Figure 3: information required for reliable schedulability analysis.
+
+Paper: the analysis needs the K-Matrix (periods, lengths, IDs), the dynamic
+send behaviour (jitters), the controller types, an error model and the
+flashing/diagnosis traffic -- with only the K-Matrix reliably available to
+the OEM.  The benchmark assembles exactly that information model, validates
+it, and reports which share of the dynamic data would have to be assumed.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import BusSegment, SystemModel
+from repro.diagnostics.traffic import DiagnosticSession, FlashingSession, kmatrix_with_diagnostics
+from repro.experiments import WORST_CASE_ERRORS
+
+
+def test_fig3_information_model(benchmark, case_study, capsys):
+    kmatrix, bus, controllers = case_study
+
+    def assemble() -> SystemModel:
+        extended = kmatrix_with_diagnostics(
+            kmatrix,
+            diagnostic_sessions=[DiagnosticSession(
+                ecu="ECU1", request_id=0x7D0, response_id=0x7D8)],
+            flashing_sessions=[FlashingSession(
+                ecu="ECU2", data_id=0x7E0, ack_id=0x7E8)])
+        system = SystemModel(name="power-train integration model",
+                             controllers=dict(controllers))
+        system.add_bus(BusSegment(bus=bus, kmatrix=extended,
+                                  error_model=WORST_CASE_ERRORS,
+                                  assumed_jitter_fraction=0.15))
+        return system
+
+    system = benchmark(assemble)
+    problems = system.validate()
+    segment = system.buses[bus.name]
+    known_jitter = [m for m in segment.kmatrix if m.jitter is not None]
+    unknown_jitter = segment.kmatrix.messages_with_unknown_jitter()
+
+    with capsys.disabled():
+        print()
+        print("Figure 3 -- information required for schedulability analysis")
+        print(system.describe())
+        print(f"  K-Matrix rows (static OEM data) : {len(segment.kmatrix)}")
+        print(f"  known send jitters (from ECUs)  : {len(known_jitter)}")
+        print(f"  assumed send jitters            : {len(unknown_jitter)}")
+        print(f"  controller types known          : {len(system.controllers)}")
+        print(f"  error model                     : "
+              f"{segment.error_model.describe()}")
+        print(f"  diagnosis / flashing messages   : 4")
+        print(f"  consistency problems            : {len(problems)}")
+
+    assert problems == []
+    # The paper's point: most dynamic data is not available and must be assumed.
+    assert len(unknown_jitter) > len(known_jitter)

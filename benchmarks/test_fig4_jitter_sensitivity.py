@@ -1,0 +1,58 @@
+"""Figure 4: jitter-sensitive and robust messages.
+
+Paper: response time as a function of the assumed jitter (0..60 % of the
+message period) for selected messages; some are robust (flat curves around a
+few ms), others sensitive or very sensitive (curves climbing towards ~20 ms).
+The benchmark sweeps the full matrix, classifies every message, and prints
+one representative curve per class.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import JITTER_SWEEP_FRACTIONS, SPORADIC_ERRORS
+from repro.reporting.tables import format_sensitivity_table
+from repro.sensitivity.jitter import classify_all, jitter_sensitivity_all
+
+
+def test_fig4_jitter_sensitivity(benchmark, case_study, capsys):
+    kmatrix, bus, controllers = case_study
+
+    def sweep():
+        return jitter_sensitivity_all(
+            kmatrix, bus, jitter_fractions=JITTER_SWEEP_FRACTIONS,
+            error_model=SPORADIC_ERRORS, controllers=controllers)
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    groups = classify_all(curves)
+
+    representatives = {}
+    for sensitivity_class, names in groups.items():
+        if names:
+            # Pick the member with the largest response-time increase so the
+            # table shows the spread of the class.
+            name = max(names, key=lambda n: curves[n].absolute_increase)
+            representatives[f"{name} ({sensitivity_class.value})"] = \
+                curves[name].as_rows()
+
+    with capsys.disabled():
+        print()
+        print("Figure 4 -- jitter-sensitive and robust messages")
+        for sensitivity_class, names in groups.items():
+            print(f"  {sensitivity_class.value:<18}: {len(names)} messages")
+        print()
+        print(format_sensitivity_table(
+            representatives,
+            title="Response time vs. jitter (one representative per class)"))
+
+    # Paper shape: both robust and sensitive messages exist, every curve is
+    # bounded, and sensitive curves grow substantially while robust ones stay
+    # flat (the paper's selected messages span roughly 1..25 ms).
+    import math
+    flat = [c for c in curves.values() if c.absolute_increase < 0.5]
+    steep = [c for c in curves.values() if c.absolute_increase > 2.0]
+    assert flat, "expected robust (flat) messages"
+    assert steep, "expected sensitive (steep) messages"
+    assert all(math.isfinite(c.final) for c in curves.values())
+    # Queuing delays (response minus the message's own injected jitter) stay
+    # in the same order of magnitude as the figure.
+    assert max(c.final - 0.6 * c.period for c in curves.values()) < 50.0

@@ -1,0 +1,85 @@
+"""Figure 6 / Section 5: duality of requirements and guarantees.
+
+Paper: the OEM requires send jitters from the supplier and guarantees arrival
+timing in return; the supplier does the opposite.  What is initially assumed
+and required must later be guaranteed.  The benchmark derives both directions
+on the case-study bus and checks the contracts.
+"""
+
+from __future__ import annotations
+
+from repro.ecu.task import EcuModel, OsekOverheads, Task, TaskKind
+from repro.events.model import PeriodicEventModel
+from repro.reporting.tables import format_table
+from repro.supplychain.contracts import check_contract
+from repro.supplychain.workflow import (
+    derive_oem_arrival_datasheet,
+    derive_oem_requirements,
+    derive_supplier_datasheet,
+)
+
+
+def _supplier_ecu(name: str, kmatrix) -> EcuModel:
+    """A plausible supplier implementation of one case-study ECU."""
+    tasks = [Task(name="ControlISR", priority=1, wcet=0.1, bcet=0.05,
+                  kind=TaskKind.INTERRUPT,
+                  activation=PeriodicEventModel(period=5.0))]
+    for index, message in enumerate(kmatrix.sent_by(name)):
+        tasks.append(Task(
+            name=f"Tx_{message.name}", priority=5 + index, wcet=0.2, bcet=0.05,
+            activation=PeriodicEventModel(period=message.period),
+            sends_messages=(message.name,)))
+    return EcuModel(name=name, overheads=OsekOverheads(), tasks=tasks)
+
+
+def test_fig6_requirements_and_guarantees(benchmark, case_study, capsys):
+    kmatrix, bus, controllers = case_study
+    supplier = "ECU2"
+
+    def derive_all():
+        oem_requirements = derive_oem_requirements(
+            kmatrix, bus, supplier_ecus=[supplier], controllers=controllers,
+            background_jitter_fraction=0.15)[supplier]
+        supplier_guarantees = derive_supplier_datasheet(
+            _supplier_ecu(supplier, kmatrix), kmatrix, bus)
+        oem_guarantees = derive_oem_arrival_datasheet(
+            kmatrix, bus, receiver_ecu=supplier, controllers=controllers,
+            assumed_jitter_fraction=0.15)
+        return oem_requirements, supplier_guarantees, oem_guarantees
+
+    oem_requirements, supplier_guarantees, oem_guarantees = benchmark.pedantic(
+        derive_all, rounds=1, iterations=1)
+
+    send_check = check_contract(oem_requirements, supplier_guarantees)
+
+    rows = []
+    for clause in oem_requirements.clauses:
+        guaranteed = supplier_guarantees.clause_for(clause.message)
+        rows.append([clause.message, clause.period, clause.max_jitter,
+                     guaranteed.max_jitter,
+                     "ok" if guaranteed.max_jitter <= clause.max_jitter
+                     else "VIOLATED"])
+
+    with capsys.disabled():
+        print()
+        print("Figure 6 -- duality of requirements and guarantees")
+        print(format_table(
+            ["message (sent by supplier)", "period [ms]",
+             "required J [ms]", "guaranteed J [ms]", "verdict"],
+            rows, title=f"OEM requirements vs. {supplier} guarantees "
+                        "(send jitter)"))
+        print()
+        print(f"OEM arrival guarantees towards {supplier}: "
+              f"{len(oem_guarantees.clauses)} messages, e.g.")
+        for clause in oem_guarantees.clauses[:3]:
+            print(f"  {clause.message:<30} latency <= "
+                  f"{clause.max_latency:.2f} ms, jitter <= "
+                  f"{clause.max_jitter:.2f} ms")
+        print()
+        print(send_check.describe())
+
+    # The derived requirements are satisfiable by a reasonable implementation
+    # and every received message gets an arrival guarantee.
+    assert send_check.satisfied
+    assert {c.message for c in oem_guarantees.clauses} == \
+        {m.name for m in kmatrix.received_by(supplier)}

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Network dimensioning and priority optimization (Sections 4.1-4.3).
+
+The OEM's workflow on the power-train bus:
+
+1. sweep the assumed send jitter and watch the response times (Figure 4) --
+   classify messages as robust or sensitive;
+2. compute the message-loss curves of the best- and worst-case
+   interpretations (Figure 5, dotted lines);
+3. run the SPEA2-style priority optimizer and show that the optimized CAN-ID
+   assignment no longer loses messages at 25 % jitter, even with burst errors
+   and bit stuffing (Figure 5, solid lines);
+4. cross-check one operating point against the discrete-event simulator.
+
+Run with:  python examples/network_dimensioning.py
+"""
+
+from __future__ import annotations
+
+from repro import powertrain_system
+from repro.analysis.response_time import CanBusAnalysis
+from repro.experiments import BEST_CASE, WORST_CASE
+from repro.optimize import GeneticOptimizerConfig, optimize_priorities, paper_scenarios
+from repro.reporting.tables import format_loss_curves, format_sensitivity_table
+from repro.sensitivity.jitter import classify_all, jitter_sensitivity_all
+from repro.sim.simulator import CanBusSimulator, SimulationConfig
+
+SWEEP = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+def main() -> None:
+    kmatrix, bus, controllers = powertrain_system()
+
+    # ---------------------------------------------------------------- #
+    # Figure 4: jitter sensitivity of selected messages.
+    # ---------------------------------------------------------------- #
+    curves = jitter_sensitivity_all(kmatrix, bus, jitter_fractions=SWEEP,
+                                    controllers=controllers)
+    groups = classify_all(curves)
+    print("Sensitivity classes (Figure 4):")
+    for sensitivity_class, names in groups.items():
+        print(f"  {sensitivity_class.value:<18}: {len(names)} messages")
+    selected = {}
+    for sensitivity_class, names in groups.items():
+        if names:
+            name = names[0]
+            selected[name] = curves[name].as_rows()
+    print()
+    print(format_sensitivity_table(
+        selected, title="Response time vs. jitter for selected messages"))
+
+    # ---------------------------------------------------------------- #
+    # Figure 5: message loss before optimization.
+    # ---------------------------------------------------------------- #
+    original_best = BEST_CASE.loss_curve(kmatrix, bus, SWEEP, controllers)
+    original_worst = WORST_CASE.loss_curve(kmatrix, bus, SWEEP, controllers)
+
+    # ---------------------------------------------------------------- #
+    # Section 4.3: optimize the CAN identifiers.
+    # ---------------------------------------------------------------- #
+    print()
+    print("Optimizing CAN identifiers (SPEA2-style GA seeded with Audsley)...")
+    result = optimize_priorities(
+        kmatrix, paper_scenarios(bus, controllers),
+        GeneticOptimizerConfig(population_size=12, archive_size=6,
+                               generations=4, seed=7))
+    print("  " + result.describe())
+    optimized = result.best_kmatrix
+    optimized_best = BEST_CASE.loss_curve(optimized, bus, SWEEP, controllers)
+    optimized_worst = WORST_CASE.loss_curve(optimized, bus, SWEEP, controllers)
+
+    print()
+    print(format_loss_curves({
+        "non-opt. best case": original_best,
+        "non-opt. worst case": original_worst,
+        "optimized best case": optimized_best,
+        "optimized worst case": optimized_worst,
+    }, title="Figure 5: message loss due to jitter, before/after optimization"))
+
+    # ---------------------------------------------------------------- #
+    # Cross-validation: simulate the optimized bus at 25 % jitter.
+    # ---------------------------------------------------------------- #
+    analysis = CanBusAnalysis(optimized, bus, controllers=controllers,
+                              assumed_jitter_fraction=0.25,
+                              error_model=WORST_CASE.error_model).analyze_all()
+    trace = CanBusSimulator(
+        optimized, bus, controllers=controllers,
+        error_model=WORST_CASE.error_model,
+        config=SimulationConfig(duration=5000.0, seed=2,
+                                jitter_fraction=0.25)).run()
+    worst_gap = min(
+        analysis[m.name].worst_case - trace.max_observed_response(m.name)
+        for m in optimized)
+    print()
+    print(f"Simulation cross-check over {trace.duration:.0f} ms: "
+          f"{len(trace.transmissions)} transmissions, "
+          f"{len(trace.errors)} injected errors, "
+          f"{len(trace.losses)} buffer overwrites.")
+    print(f"Smallest analysis-minus-observation margin: {worst_gap:.3f} ms "
+          f"(must be >= 0: the bound is never violated).")
+
+
+if __name__ == "__main__":
+    main()

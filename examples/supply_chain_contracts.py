@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Supply-chain duality: requirements vs. guarantees (Figure 6, Section 5).
+
+Plays both roles of the paper's methodology:
+
+* as the **OEM**: derive per-supplier send-jitter requirements from the bus
+  analysis, and an arrival-timing data sheet for the supplier's control
+  algorithms;
+* as the **supplier**: analyse an (undisclosed) ECU task model, publish only
+  the resulting send-jitter data sheet;
+* then run the contract check in both directions and iterate once (the
+  Section-5.2 refinement loop) after the supplier improves its
+  implementation.
+
+Run with:  python examples/supply_chain_contracts.py
+"""
+
+from __future__ import annotations
+
+from repro.ecu.task import EcuModel, OsekOverheads, Task, TaskKind
+from repro.events.model import PeriodicEventModel
+from repro.supplychain.contracts import check_contract
+from repro.supplychain.workflow import (
+    derive_oem_arrival_datasheet,
+    derive_oem_requirements,
+    derive_supplier_datasheet,
+    iterative_refinement,
+)
+from repro.workloads.powertrain import PowertrainConfig, powertrain_bus, powertrain_kmatrix
+
+
+def build_supplier_ecu(name: str, kmatrix, slow: bool) -> EcuModel:
+    """The supplier's internal task model -- never shown to the OEM."""
+    sent = [message.name for message in kmatrix.sent_by(name)]
+    tasks = []
+    for index, message_name in enumerate(sent):
+        message = kmatrix.get(message_name)
+        wcet = 0.8 if slow else 0.25
+        tasks.append(Task(
+            name=f"Tx_{message_name}",
+            priority=10 + index,
+            wcet=wcet,
+            bcet=0.1,
+            kind=TaskKind.COOPERATIVE if slow else TaskKind.PREEMPTIVE,
+            activation=PeriodicEventModel(period=message.period),
+            sends_messages=(message_name,),
+        ))
+    tasks.append(Task(name="ControlISR", priority=1, wcet=0.15, bcet=0.05,
+                      kind=TaskKind.INTERRUPT,
+                      activation=PeriodicEventModel(period=5.0)))
+    return EcuModel(name=name, overheads=OsekOverheads(), tasks=tasks)
+
+
+def main() -> None:
+    config = PowertrainConfig(n_messages=30, n_ecus=5, n_gateways=1, seed=12)
+    kmatrix = powertrain_kmatrix(config)
+    bus = powertrain_bus(config)
+    supplier = "ECU2"
+
+    # ---------------------------------------------------------------- #
+    # OEM side: requirements for the supplier, guarantees for its inputs.
+    # ---------------------------------------------------------------- #
+    requirements = derive_oem_requirements(
+        kmatrix, bus, supplier_ecus=[supplier],
+        background_jitter_fraction=0.15)[supplier]
+    print(f"OEM send-jitter requirements for {supplier}:")
+    for clause in requirements.clauses:
+        print(f"  {clause.message:<28} T={clause.period:>6.1f} ms   "
+              f"J <= {clause.max_jitter:.2f} ms")
+
+    arrival_guarantees = derive_oem_arrival_datasheet(
+        kmatrix, bus, receiver_ecu=supplier, assumed_jitter_fraction=0.15)
+    print(f"\nOEM arrival-timing guarantees towards {supplier} "
+          f"({len(arrival_guarantees.clauses)} received messages), e.g.:")
+    for clause in arrival_guarantees.clauses[:3]:
+        print(f"  {clause.message:<28} latency <= {clause.max_latency:.2f} ms, "
+              f"arrival jitter <= {clause.max_jitter:.2f} ms")
+
+    # ---------------------------------------------------------------- #
+    # Supplier side: first (slow) implementation, then an improved one.
+    # ---------------------------------------------------------------- #
+    slow_ecu = build_supplier_ecu(supplier, kmatrix, slow=True)
+    fast_ecu = build_supplier_ecu(supplier, kmatrix, slow=False)
+    slow_sheet = derive_supplier_datasheet(slow_ecu, kmatrix, bus)
+    fast_sheet = derive_supplier_datasheet(fast_ecu, kmatrix, bus)
+
+    print(f"\nSupplier data sheet (initial implementation):")
+    for clause in slow_sheet.clauses:
+        print(f"  {clause.message:<28} guaranteed J <= {clause.max_jitter:.2f} ms")
+
+    first_check = check_contract(requirements, slow_sheet)
+    print("\nContract check, round 1:")
+    print("  " + first_check.describe().replace("\n", "\n  "))
+
+    # ---------------------------------------------------------------- #
+    # Section 5.2: iterate after the supplier reworks the critical tasks.
+    # ---------------------------------------------------------------- #
+    rounds = iterative_refinement(
+        kmatrix, bus,
+        requirement_rounds=[
+            ("initial requirement set", {supplier: requirements}),
+            ("after supplier rework", {supplier: requirements}),
+        ],
+        datasheet_rounds=[
+            {supplier: slow_sheet},
+            {supplier: fast_sheet},
+        ])
+    print("\nIterative refinement:")
+    for integration_round in rounds:
+        print("  " + integration_round.describe())
+    final = rounds[-1]
+    if final.all_satisfied:
+        print("\nIntegration is safe: every guarantee refines its requirement, "
+              "without either party disclosing internal design details.")
+    else:
+        print("\nStill violating -- a further refinement round is needed.")
+
+
+if __name__ == "__main__":
+    main()

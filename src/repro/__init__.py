@@ -1,0 +1,83 @@
+"""repro: SymTA/S-style automotive network timing analysis.
+
+A from-scratch reproduction of the analysis technology described in
+Richter, Jersak, Ernst, "How OEMs and Suppliers can face the Network
+Integration Challenges" (ERTS 2006): CAN schedulability analysis with jitter
+and bus-error models, sensitivity/robustness analysis, genetic priority
+optimization, compositional system-level analysis over ECUs and gateways, and
+the OEM/supplier requirement-vs-guarantee methodology.
+
+Quickstart
+----------
+>>> from repro import powertrain_system, analyze_schedulability
+>>> kmatrix, bus, controllers = powertrain_system()
+>>> report = analyze_schedulability(kmatrix, bus, controllers=controllers)
+>>> report.all_deadlines_met
+True
+
+The subpackages group the functionality:
+
+* :mod:`repro.events` -- standard event models (periodic, jitter, burst);
+* :mod:`repro.can` -- CAN frames, K-Matrix, buses, controllers;
+* :mod:`repro.errors` -- sporadic and burst bus-error models;
+* :mod:`repro.analysis` -- load analysis and response-time analysis;
+* :mod:`repro.sensitivity` -- jitter/error sensitivity and robustness;
+* :mod:`repro.optimize` -- priority assignment baselines and the GA;
+* :mod:`repro.ecu` -- OSEK-style task scheduling inside ECUs;
+* :mod:`repro.gateway` -- store-and-forward gateways between buses;
+* :mod:`repro.core` -- the compositional system-level analysis engine;
+* :mod:`repro.sim` -- a discrete-event CAN simulator for cross-validation;
+* :mod:`repro.supplychain` -- data sheets, requirements and contracts;
+* :mod:`repro.diagnostics` -- flashing and diagnostics traffic models;
+* :mod:`repro.flexray` -- static-segment FlexRay/TimeTable analysis;
+* :mod:`repro.workloads` -- the case-study network and synthetic workloads;
+* :mod:`repro.reporting` -- helpers that print paper-shaped tables.
+"""
+
+from repro.analysis import (
+    CanBusAnalysis,
+    SchedulabilityReport,
+    analyze_schedulability,
+    bus_load,
+    message_loss_fraction,
+    worst_case_response_time,
+)
+from repro.can import CanBus, CanMessage, KMatrix
+from repro.errors import BurstErrorModel, NoErrors, SporadicErrorModel
+from repro.events import (
+    EventModel,
+    PeriodicEventModel,
+    PeriodicWithBurst,
+    PeriodicWithJitter,
+)
+from repro.optimize import optimize_priorities, paper_scenarios
+from repro.sensitivity import jitter_sensitivity_all, max_tolerable_jitter_fraction
+from repro.workloads import powertrain_kmatrix, powertrain_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CanBus",
+    "CanMessage",
+    "KMatrix",
+    "EventModel",
+    "PeriodicEventModel",
+    "PeriodicWithJitter",
+    "PeriodicWithBurst",
+    "NoErrors",
+    "SporadicErrorModel",
+    "BurstErrorModel",
+    "CanBusAnalysis",
+    "SchedulabilityReport",
+    "analyze_schedulability",
+    "bus_load",
+    "message_loss_fraction",
+    "worst_case_response_time",
+    "jitter_sensitivity_all",
+    "max_tolerable_jitter_fraction",
+    "optimize_priorities",
+    "paper_scenarios",
+    "powertrain_kmatrix",
+    "powertrain_system",
+]

@@ -1,0 +1,41 @@
+"""Bus-level timing analysis.
+
+This package contains the analyses the paper contrasts:
+
+* :mod:`repro.analysis.load` -- the "popular but not sufficient" average bus
+  load / utilization model (Section 3.1, Figure 1);
+* :mod:`repro.analysis.response_time` -- worst-case response-time analysis of
+  CAN messages with queuing jitter, blocking, bit stuffing and bus errors
+  (Section 3.2), following Tindell/Burns and the Davis et al. revision;
+* :mod:`repro.analysis.schedulability` -- system-level verdicts: which
+  messages meet their deadlines, which can be lost, and by how much
+  (Sections 4 and 4.2).
+"""
+
+from repro.analysis.load import BusLoadReport, MessageLoadShare, bus_load
+from repro.analysis.response_time import (
+    CanBusAnalysis,
+    MessageResponseTime,
+    best_case_response_time,
+    worst_case_response_time,
+)
+from repro.analysis.schedulability import (
+    MessageVerdict,
+    SchedulabilityReport,
+    analyze_schedulability,
+    message_loss_fraction,
+)
+
+__all__ = [
+    "bus_load",
+    "BusLoadReport",
+    "MessageLoadShare",
+    "CanBusAnalysis",
+    "MessageResponseTime",
+    "worst_case_response_time",
+    "best_case_response_time",
+    "analyze_schedulability",
+    "SchedulabilityReport",
+    "MessageVerdict",
+    "message_loss_fraction",
+]

@@ -1,0 +1,306 @@
+"""Worst-case response-time analysis for CAN messages.
+
+The analysis follows the classical fixed-priority non-preemptive busy-period
+formulation introduced by Tindell & Burns for CAN and corrected by Davis,
+Burns, Bril & Lukkien (2007):
+
+* a message can be blocked by at most one lower-priority frame that already
+  won arbitration (plus controller-internal blocking, Section 3.2 of the
+  paper);
+* all higher-priority frames queued before the message starts transmission
+  delay it; their arrivals are bounded by their standard event models
+  (periodic with jitter / burst), which generalises the classical
+  ``ceil((w + J_k + tau_bit) / T_k)`` term;
+* bus errors add recovery and retransmission overhead according to the
+  configured :class:`~repro.errors.ErrorModel`;
+* when the busy period extends beyond the message's period, all instances
+  inside the busy period must be analysed (the Davis et al. revision).
+
+All times are in milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.can.bus import CanBus
+from repro.can.controller import ControllerModel
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.errors.models import ErrorModel, NoErrors
+from repro.events.model import EventModel
+
+
+#: Safety valve for the fixed-point iterations: if a busy period grows beyond
+#: this many times the largest period involved, the configuration is treated
+#: as unschedulable (response time unbounded for practical purposes).
+_MAX_BUSY_PERIOD_FACTOR = 1000.0
+_MAX_ITERATIONS = 100_000
+_CONVERGENCE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class MessageResponseTime:
+    """Analysis result for one message."""
+
+    name: str
+    can_id: int
+    transmission_time: float
+    blocking: float
+    jitter: float
+    worst_case: float
+    best_case: float
+    busy_period: float
+    instances_analyzed: int
+    bounded: bool = True
+
+    @property
+    def response_interval(self) -> float:
+        """Width of the response-time interval (drives output jitter)."""
+        if not self.bounded:
+            return math.inf
+        return self.worst_case - self.best_case
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        wc = f"{self.worst_case:.3f}" if self.bounded else "unbounded"
+        return (f"{self.name}: R=[{self.best_case:.3f}, {wc}] ms "
+                f"(C={self.transmission_time:.3f}, B={self.blocking:.3f}, "
+                f"J={self.jitter:.3f})")
+
+
+def best_case_response_time(message: CanMessage, bus: CanBus) -> float:
+    """Best-case response time: the frame wins arbitration immediately.
+
+    No interference, no blocking, no stuff bits beyond the fixed format.
+    """
+    return bus.best_case_transmission_time(message)
+
+
+class CanBusAnalysis:
+    """Response-time analysis of all messages sharing one CAN bus.
+
+    Parameters
+    ----------
+    kmatrix:
+        Communication matrix of the bus.
+    bus:
+        Bus configuration (bit rate, stuffing assumption).
+    error_model:
+        Bus-error model adding recovery/retransmission overhead; defaults to
+        an error-free bus.
+    assumed_jitter_fraction:
+        Jitter assumed for messages whose jitter the K-Matrix does not
+        specify, expressed as a fraction of the message period (the knob the
+        paper sweeps from 0 % to 60 %).
+    controllers:
+        Optional per-ECU controller models adding internal blocking.
+    event_models:
+        Optional externally supplied activation models (used by the
+        compositional engine to inject gateway output models); by default
+        each message's own K-Matrix event model is used.
+    """
+
+    def __init__(
+        self,
+        kmatrix: KMatrix,
+        bus: CanBus,
+        error_model: ErrorModel | None = None,
+        assumed_jitter_fraction: float = 0.0,
+        controllers: Mapping[str, ControllerModel] | None = None,
+        event_models: Mapping[str, EventModel] | None = None,
+    ) -> None:
+        self.kmatrix = kmatrix
+        self.bus = bus
+        self.error_model = error_model if error_model is not None else NoErrors()
+        self.assumed_jitter_fraction = assumed_jitter_fraction
+        self.controllers = dict(controllers or {})
+        self._external_event_models = dict(event_models or {})
+        self._transmission_times = {
+            m.name: bus.transmission_time(m) for m in kmatrix
+        }
+        self._best_case_times = {
+            m.name: bus.best_case_transmission_time(m) for m in kmatrix
+        }
+        self._bit_time = bus.bit_time_ms
+        self._recovery = bus.error_recovery_time()
+
+    # ------------------------------------------------------------------ #
+    # Model accessors
+    # ------------------------------------------------------------------ #
+    def transmission_time(self, message: CanMessage) -> float:
+        """Worst-case transmission time of ``message`` on the analysed bus."""
+        return self._transmission_times[message.name]
+
+    def event_model(self, message: CanMessage) -> EventModel:
+        """Activation model of ``message`` (external override or K-Matrix)."""
+        if message.name in self._external_event_models:
+            return self._external_event_models[message.name]
+        return message.event_model(self.assumed_jitter_fraction)
+
+    def jitter(self, message: CanMessage) -> float:
+        """Queuing jitter of ``message`` used by the analysis."""
+        return self.event_model(message).jitter
+
+    def blocking(self, message: CanMessage) -> float:
+        """Worst-case blocking: one lower-priority frame plus controller term."""
+        lower = self.kmatrix.lower_priority_than(message)
+        bus_blocking = max(
+            (self._transmission_times[m.name] for m in lower), default=0.0)
+        controller = self.controllers.get(message.sender)
+        internal = 0.0
+        if controller is not None:
+            same_ecu_lower = {
+                m.name: self._transmission_times[m.name]
+                for m in self.kmatrix.sent_by(message.sender)
+                if m.can_id > message.can_id
+            }
+            internal = controller.internal_blocking(message.name, same_ecu_lower)
+        return bus_blocking + internal
+
+    def _error_overhead(self, window: float, message: CanMessage) -> float:
+        """Error recovery + retransmission overhead in a window."""
+        if isinstance(self.error_model, NoErrors):
+            return 0.0
+        # The corrupted frame that must be retransmitted can be any frame that
+        # delays the message under analysis: itself or a higher-priority one.
+        candidates = [self._transmission_times[message.name]]
+        candidates.extend(
+            self._transmission_times[m.name]
+            for m in self.kmatrix.higher_priority_than(message)
+        )
+        retransmit = max(candidates)
+        return self.error_model.overhead(window, self._recovery, retransmit)
+
+    def _interference(self, window: float, message: CanMessage) -> float:
+        """Higher-priority interference in a queuing window of length ``window``."""
+        total = 0.0
+        for other in self.kmatrix.higher_priority_than(message):
+            model = self.event_model(other)
+            activations = model.eta_plus(window + self._bit_time)
+            total += activations * self._transmission_times[other.name]
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Busy-period machinery
+    # ------------------------------------------------------------------ #
+    def _busy_period(self, message: CanMessage) -> tuple[float, bool]:
+        """Length of the priority-level busy period (includes own instances)."""
+        own_c = self._transmission_times[message.name]
+        own_model = self.event_model(message)
+        blocking = self.blocking(message)
+        horizon = _MAX_BUSY_PERIOD_FACTOR * max(
+            [message.period] + [m.period for m in self.kmatrix])
+        t = own_c + blocking
+        for _ in range(_MAX_ITERATIONS):
+            own_instances = max(own_model.eta_plus(t), 1)
+            new_t = (blocking
+                     + own_instances * own_c
+                     + self._interference(t, message)
+                     + self._error_overhead(t, message))
+            if new_t > horizon:
+                return new_t, False
+            if abs(new_t - t) < _CONVERGENCE_EPS:
+                return new_t, True
+            t = new_t
+        return t, False
+
+    def _queuing_delay(self, message: CanMessage, instance: int,
+                       horizon: float) -> tuple[float, bool]:
+        """Fixed point for the queuing delay of the given instance (0-based)."""
+        own_c = self._transmission_times[message.name]
+        blocking = self.blocking(message)
+        w = blocking + instance * own_c
+        for _ in range(_MAX_ITERATIONS):
+            new_w = (blocking
+                     + instance * own_c
+                     + self._interference(w, message)
+                     + self._error_overhead(w + own_c, message))
+            if new_w > horizon:
+                return new_w, False
+            if abs(new_w - w) < _CONVERGENCE_EPS:
+                return new_w, True
+            w = new_w
+        return w, False
+
+    # ------------------------------------------------------------------ #
+    # Public analysis entry points
+    # ------------------------------------------------------------------ #
+    def response_time(self, message: CanMessage) -> MessageResponseTime:
+        """Worst-case (and best-case) response time of one message."""
+        own_c = self._transmission_times[message.name]
+        own_model = self.event_model(message)
+        jitter = own_model.jitter
+        blocking = self.blocking(message)
+        horizon = _MAX_BUSY_PERIOD_FACTOR * max(
+            [message.period] + [m.period for m in self.kmatrix])
+
+        busy, busy_bounded = self._busy_period(message)
+        if not busy_bounded:
+            return MessageResponseTime(
+                name=message.name, can_id=message.can_id,
+                transmission_time=own_c, blocking=blocking, jitter=jitter,
+                worst_case=math.inf,
+                best_case=self._best_case_times[message.name],
+                busy_period=busy, instances_analyzed=0, bounded=False)
+
+        instances = max(own_model.eta_plus(busy), 1)
+        worst = 0.0
+        bounded = True
+        for q in range(instances):
+            w, ok = self._queuing_delay(message, q, horizon)
+            if not ok:
+                bounded = False
+                worst = math.inf
+                break
+            # The (q+1)-th instance arrives no earlier than delta_minus(q+1)
+            # after the critical-instant arrival, which itself was delayed by
+            # the full jitter.
+            arrival_offset = own_model.delta_minus(q + 1)
+            response = jitter + w + own_c - arrival_offset
+            worst = max(worst, response)
+
+        return MessageResponseTime(
+            name=message.name,
+            can_id=message.can_id,
+            transmission_time=own_c,
+            blocking=blocking,
+            jitter=jitter,
+            worst_case=worst,
+            best_case=self._best_case_times[message.name],
+            busy_period=busy,
+            instances_analyzed=instances,
+            bounded=bounded,
+        )
+
+    def analyze_all(self) -> dict[str, MessageResponseTime]:
+        """Response times of every message in the K-Matrix, keyed by name."""
+        return {m.name: self.response_time(m) for m in self.kmatrix}
+
+    def utilization(self) -> float:
+        """Worst-case bus utilization implied by the analysed message set."""
+        return sum(
+            self._transmission_times[m.name] / m.period for m in self.kmatrix)
+
+
+def worst_case_response_time(
+    message: CanMessage,
+    kmatrix: KMatrix,
+    bus: CanBus,
+    error_model: ErrorModel | None = None,
+    assumed_jitter_fraction: float = 0.0,
+    controllers: Mapping[str, ControllerModel] | None = None,
+) -> MessageResponseTime:
+    """Convenience wrapper analysing a single message.
+
+    Builds a :class:`CanBusAnalysis` for the full K-Matrix (interference
+    needs all higher-priority messages) and returns the result for
+    ``message`` only.
+    """
+    analysis = CanBusAnalysis(
+        kmatrix=kmatrix, bus=bus, error_model=error_model,
+        assumed_jitter_fraction=assumed_jitter_fraction,
+        controllers=controllers)
+    return analysis.response_time(message)

@@ -1,0 +1,46 @@
+"""CAN protocol substrate.
+
+Everything the timing analysis needs to know about Controller Area Network
+hardware lives here:
+
+* :mod:`repro.can.frame` -- frame formats, worst-/best-case transmission
+  times including bit stuffing, protocol overheads;
+* :mod:`repro.can.message` -- the K-Matrix message abstraction (CAN id,
+  length, period, jitter, deadline, sender/receivers);
+* :mod:`repro.can.kmatrix` -- the communication matrix container with
+  consistency checks, CSV import/export and convenience queries;
+* :mod:`repro.can.bus` -- bus configuration (bit rate, protocol variant) and
+  derived per-message transmission times;
+* :mod:`repro.can.controller` -- controller models (basicCAN / fullCAN /
+  queued) and the internal blocking they add.
+"""
+
+from repro.can.frame import (
+    CanFrameFormat,
+    best_case_transmission_time,
+    frame_bits_without_stuffing,
+    max_stuff_bits,
+    worst_case_frame_bits,
+    worst_case_transmission_time,
+)
+from repro.can.message import CanMessage, MessageDirection, SignalSpec
+from repro.can.controller import CanControllerType, ControllerModel
+from repro.can.bus import CanBus
+from repro.can.kmatrix import KMatrix, KMatrixValidationError
+
+__all__ = [
+    "CanFrameFormat",
+    "frame_bits_without_stuffing",
+    "max_stuff_bits",
+    "worst_case_frame_bits",
+    "worst_case_transmission_time",
+    "best_case_transmission_time",
+    "CanMessage",
+    "MessageDirection",
+    "SignalSpec",
+    "CanControllerType",
+    "ControllerModel",
+    "CanBus",
+    "KMatrix",
+    "KMatrixValidationError",
+]

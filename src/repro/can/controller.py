@@ -1,0 +1,133 @@
+"""CAN controller models.
+
+The paper (Section 3.2) points out that the controller type -- basicCAN,
+fullCAN, or a queued controller -- influences the order in which messages
+leave an ECU and therefore the timing on the bus.  The analysis captures the
+controller through two effects:
+
+* an *internal blocking* term: with a single transmit buffer (basicCAN) a
+  lower-priority frame of the *same ECU* that is already in the buffer delays
+  a higher-priority one in addition to the bus-level blocking;
+* a *priority-inversion* flag used by the simulator: a FIFO-queued controller
+  sends frames in software queuing order rather than identifier order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+
+class CanControllerType(str, Enum):
+    """Transmit-side behaviour of the CAN controller hardware."""
+
+    #: One (or very few) transmit buffer; the driver copies the next frame in
+    #: when the buffer frees up.  A lower-priority frame already in the buffer
+    #: cannot be aborted, which adds same-ECU blocking.
+    BASIC = "basicCAN"
+
+    #: One transmit buffer per message object; the hardware always arbitrates
+    #: with the highest-priority pending frame, so no same-ECU blocking beyond
+    #: the frame already on the wire.
+    FULL = "fullCAN"
+
+    #: Software FIFO in front of a single buffer; frames leave the ECU in
+    #: queuing order regardless of identifier -- the worst case for
+    #: priority-based analysis and modelled conservatively.
+    QUEUED_FIFO = "queuedFIFO"
+
+
+@dataclass(frozen=True)
+class ControllerModel:
+    """Controller configuration of one ECU.
+
+    Attributes
+    ----------
+    controller_type:
+        Hardware/driver behaviour, see :class:`CanControllerType`.
+    tx_buffers:
+        Number of hardware transmit buffers (only used for reporting and by
+        the simulator's buffer-occupancy model).
+    abort_on_higher_priority:
+        Whether the driver aborts a pending lower-priority transmission when
+        a higher-priority frame is queued (some basicCAN drivers do).
+    """
+
+    controller_type: CanControllerType = CanControllerType.FULL
+    tx_buffers: int = 3
+    abort_on_higher_priority: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tx_buffers < 1:
+            raise ValueError("tx_buffers must be at least 1")
+
+    @property
+    def preserves_priority_order(self) -> bool:
+        """True when frames leave the ECU strictly in identifier order."""
+        if self.controller_type == CanControllerType.FULL:
+            return True
+        if self.controller_type == CanControllerType.BASIC:
+            return self.abort_on_higher_priority
+        return False
+
+    def internal_blocking(
+        self,
+        message_name: str,
+        same_ecu_transmission_times: dict[str, float],
+    ) -> float:
+        """Additional blocking caused by the ECU's own lower-priority frames.
+
+        Parameters
+        ----------
+        message_name:
+            The message under analysis.
+        same_ecu_transmission_times:
+            Worst-case transmission times (ms) of all messages sent by the
+            same ECU, keyed by message name, **ordered by priority is not
+            required** -- the caller passes only the messages with lower
+            priority than the one under analysis.
+
+        Returns
+        -------
+        float
+            Extra blocking in milliseconds.  FullCAN controllers (and
+            basicCAN drivers that abort) add nothing; plain basicCAN adds one
+            worst-case lower-priority frame of the same ECU; FIFO-queued
+            controllers conservatively add the sum of all same-ECU frames that
+            could be queued ahead.
+        """
+        others = {
+            name: c for name, c in same_ecu_transmission_times.items()
+            if name != message_name
+        }
+        if not others:
+            return 0.0
+        if self.preserves_priority_order:
+            return 0.0
+        if self.controller_type == CanControllerType.BASIC:
+            return max(others.values())
+        # QUEUED_FIFO: everything already queued may go first; bound by the
+        # number of buffers that can hold frames ahead of ours.
+        ahead = sorted(others.values(), reverse=True)
+        slots = max(self.tx_buffers - 1, 1)
+        return float(sum(ahead[:slots]))
+
+
+def default_controllers(ecu_names: Iterable[str],
+                        controller_type: CanControllerType = CanControllerType.FULL,
+                        ) -> dict[str, ControllerModel]:
+    """Build a uniform controller assignment for a set of ECUs."""
+    model = ControllerModel(controller_type=controller_type)
+    return {name: model for name in ecu_names}
+
+
+def mixed_controllers(assignments: dict[str, CanControllerType],
+                      default: CanControllerType = CanControllerType.FULL,
+                      ecu_names: Sequence[str] = (),
+                      ) -> dict[str, ControllerModel]:
+    """Build a per-ECU controller map from explicit assignments plus default."""
+    result = {name: ControllerModel(controller_type=default) for name in ecu_names}
+    for name, ctype in assignments.items():
+        result[name] = ControllerModel(controller_type=ctype)
+    return result

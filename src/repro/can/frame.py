@@ -1,0 +1,159 @@
+"""CAN frame timing: lengths, overheads and bit stuffing.
+
+The worst-case transmission time of a CAN frame is a key input to the
+response-time analysis.  It depends on the frame format (11-bit standard or
+29-bit extended identifier), the payload length (0..8 data bytes for
+classical CAN) and on *bit stuffing*: the protocol inserts a stuff bit after
+every five consecutive equal bits in the stuffed region of the frame, so a
+pathological payload inflates the frame.
+
+The formulas follow Davis, Burns, Bril, Lukkien, "Controller Area Network
+(CAN) schedulability analysis: Refuted, revisited and revised" (2007), which
+is the corrected version of the original Tindell analysis cited by the paper.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class CanFrameFormat(str, Enum):
+    """CAN frame identifier format."""
+
+    STANDARD = "standard"   # 11-bit identifier (CAN 2.0A)
+    EXTENDED = "extended"   # 29-bit identifier (CAN 2.0B)
+
+
+# Number of bits in the frame outside the data field that are subject to bit
+# stuffing (SOF, identifier, control field, CRC) -- the canonical "g" value.
+_STUFFED_OVERHEAD_BITS = {
+    CanFrameFormat.STANDARD: 34,
+    CanFrameFormat.EXTENDED: 54,
+}
+
+# Bits not subject to stuffing: CRC delimiter, ACK slot + delimiter, EOF (7)
+# plus the 3-bit interframe space that separates consecutive frames.
+_UNSTUFFED_TRAILER_BITS = 13
+
+MAX_PAYLOAD_BYTES = 8
+
+
+def _validate_payload(payload_bytes: int) -> None:
+    if not 0 <= payload_bytes <= MAX_PAYLOAD_BYTES:
+        raise ValueError(
+            f"classical CAN payload must be 0..{MAX_PAYLOAD_BYTES} bytes, "
+            f"got {payload_bytes}")
+
+
+def frame_bits_without_stuffing(
+    payload_bytes: int,
+    frame_format: CanFrameFormat = CanFrameFormat.STANDARD,
+) -> int:
+    """Number of bits of a frame before any stuff bits are inserted.
+
+    Includes the 3-bit interframe space so that consecutive frames can be
+    summed directly.
+    """
+    _validate_payload(payload_bytes)
+    overhead = _STUFFED_OVERHEAD_BITS[CanFrameFormat(frame_format)]
+    return overhead + 8 * payload_bytes + _UNSTUFFED_TRAILER_BITS
+
+
+def max_stuff_bits(
+    payload_bytes: int,
+    frame_format: CanFrameFormat = CanFrameFormat.STANDARD,
+) -> int:
+    """Worst-case number of stuff bits for a frame.
+
+    Only the ``g + 8 * s`` bits of SOF/ID/control/data/CRC are subject to
+    stuffing; in the worst case one stuff bit is added per four original bits
+    after the first (the stuffed bits themselves can participate in new
+    stuff sequences), giving ``floor((g + 8 s - 1) / 4)``.
+    """
+    _validate_payload(payload_bytes)
+    overhead = _STUFFED_OVERHEAD_BITS[CanFrameFormat(frame_format)]
+    stuffable = overhead + 8 * payload_bytes
+    return (stuffable - 1) // 4
+
+
+def worst_case_frame_bits(
+    payload_bytes: int,
+    frame_format: CanFrameFormat = CanFrameFormat.STANDARD,
+    bit_stuffing: bool = True,
+) -> int:
+    """Worst-case length of a frame in bits (including interframe space)."""
+    bits = frame_bits_without_stuffing(payload_bytes, frame_format)
+    if bit_stuffing:
+        bits += max_stuff_bits(payload_bytes, frame_format)
+    return bits
+
+
+def best_case_frame_bits(
+    payload_bytes: int,
+    frame_format: CanFrameFormat = CanFrameFormat.STANDARD,
+) -> int:
+    """Best-case length of a frame in bits (no stuff bits at all)."""
+    return frame_bits_without_stuffing(payload_bytes, frame_format)
+
+
+def worst_case_transmission_time(
+    payload_bytes: int,
+    bit_rate_bps: float,
+    frame_format: CanFrameFormat = CanFrameFormat.STANDARD,
+    bit_stuffing: bool = True,
+) -> float:
+    """Worst-case transmission time of a frame in milliseconds.
+
+    Parameters
+    ----------
+    payload_bytes:
+        Number of data bytes (0..8).
+    bit_rate_bps:
+        Bus bit rate in bits per second (e.g. ``500_000`` for the power-train
+        bus of the case study).
+    frame_format:
+        Standard (11-bit) or extended (29-bit) identifier format.
+    bit_stuffing:
+        Whether to account for worst-case bit stuffing.  The paper's "worst
+        case" experiments include it; the "best case" ones do not.
+    """
+    if bit_rate_bps <= 0:
+        raise ValueError("bit_rate_bps must be positive")
+    bits = worst_case_frame_bits(payload_bytes, frame_format, bit_stuffing)
+    return bits / bit_rate_bps * 1000.0
+
+
+def best_case_transmission_time(
+    payload_bytes: int,
+    bit_rate_bps: float,
+    frame_format: CanFrameFormat = CanFrameFormat.STANDARD,
+) -> float:
+    """Best-case transmission time of a frame in milliseconds."""
+    if bit_rate_bps <= 0:
+        raise ValueError("bit_rate_bps must be positive")
+    return best_case_frame_bits(payload_bytes, frame_format) / bit_rate_bps * 1000.0
+
+
+def error_frame_bits(frame_format: CanFrameFormat = CanFrameFormat.STANDARD) -> int:
+    """Worst-case length of an error frame plus recovery, in bits.
+
+    An error flag (6..12 bits) plus the error delimiter (8 bits) plus the
+    intermission (3 bits) and the superposition of error flags from other
+    nodes: the standard bound used in CAN error analysis is 31 bits.
+    """
+    del frame_format  # identical for both formats
+    return 31
+
+
+def error_recovery_overhead(
+    bit_rate_bps: float,
+    frame_format: CanFrameFormat = CanFrameFormat.STANDARD,
+) -> float:
+    """Worst-case time consumed by one error signalling sequence (ms).
+
+    The retransmission of the corrupted frame itself is accounted for
+    separately by the error models (it depends on which frame was hit).
+    """
+    if bit_rate_bps <= 0:
+        raise ValueError("bit_rate_bps must be positive")
+    return error_frame_bits(frame_format) / bit_rate_bps * 1000.0

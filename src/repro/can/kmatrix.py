@@ -1,0 +1,264 @@
+"""The K-Matrix: the OEM's communication matrix.
+
+The K-Matrix (Kommunikationsmatrix) is the central design artefact the OEM
+owns: it lists every message on every bus together with its identifier,
+length, period and the sending / receiving ECUs.  The paper's case study
+imports length, CAN id and period from a real K-Matrix; this module provides
+the equivalent container with validation, queries, CSV round-tripping and the
+re-prioritisation hooks used by the optimizer.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.can.frame import CanFrameFormat
+from repro.can.message import CanMessage
+
+
+class KMatrixValidationError(ValueError):
+    """Raised when a K-Matrix violates CAN or consistency constraints."""
+
+
+@dataclass
+class KMatrix:
+    """A validated collection of :class:`CanMessage` rows.
+
+    The container enforces the invariants that CAN itself enforces (unique
+    identifiers on one bus, identifier ranges) plus the consistency rules an
+    OEM toolchain would check (unique names, known senders).
+    """
+
+    messages: list[CanMessage] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check uniqueness constraints; raise :class:`KMatrixValidationError`."""
+        names: set[str] = set()
+        ids: set[int] = set()
+        for message in self.messages:
+            if message.name in names:
+                raise KMatrixValidationError(
+                    f"duplicate message name {message.name!r}")
+            if message.can_id in ids:
+                raise KMatrixValidationError(
+                    f"duplicate CAN identifier 0x{message.can_id:X} "
+                    f"(message {message.name!r})")
+            names.add(message.name)
+            ids.add(message.can_id)
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self) -> Iterator[CanMessage]:
+        return iter(self.messages)
+
+    def __contains__(self, name: str) -> bool:
+        return any(message.name == name for message in self.messages)
+
+    def add(self, message: CanMessage) -> None:
+        """Add a message, re-validating the matrix."""
+        self.messages.append(message)
+        try:
+            self.validate()
+        except KMatrixValidationError:
+            self.messages.pop()
+            raise
+
+    def remove(self, name: str) -> CanMessage:
+        """Remove and return the message with the given name."""
+        for index, message in enumerate(self.messages):
+            if message.name == name:
+                return self.messages.pop(index)
+        raise KeyError(name)
+
+    def get(self, name: str) -> CanMessage:
+        """Return the message with the given name."""
+        for message in self.messages:
+            if message.name == name:
+                return message
+        raise KeyError(name)
+
+    def by_id(self, can_id: int) -> CanMessage:
+        """Return the message with the given CAN identifier."""
+        for message in self.messages:
+            if message.can_id == can_id:
+                return message
+        raise KeyError(f"0x{can_id:X}")
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def sorted_by_priority(self) -> list[CanMessage]:
+        """Messages ordered from highest priority (lowest id) to lowest."""
+        return sorted(self.messages, key=lambda m: m.can_id)
+
+    def sent_by(self, ecu_name: str) -> list[CanMessage]:
+        """Messages sent by the given ECU."""
+        return [m for m in self.messages if m.sender == ecu_name]
+
+    def received_by(self, ecu_name: str) -> list[CanMessage]:
+        """Messages received by the given ECU."""
+        return [m for m in self.messages if ecu_name in m.receivers]
+
+    def ecu_names(self) -> list[str]:
+        """All ECU names appearing as senders or receivers, sorted."""
+        names: set[str] = set()
+        for message in self.messages:
+            names.add(message.sender)
+            names.update(message.receivers)
+        return sorted(names)
+
+    def senders(self) -> list[str]:
+        """All ECU names appearing as senders, sorted."""
+        return sorted({m.sender for m in self.messages})
+
+    def messages_with_unknown_jitter(self) -> list[CanMessage]:
+        """Messages for which the K-Matrix specifies no send jitter."""
+        return [m for m in self.messages if m.jitter is None]
+
+    def higher_priority_than(self, message: CanMessage) -> list[CanMessage]:
+        """Messages that win arbitration against ``message``."""
+        return [m for m in self.messages if m.can_id < message.can_id]
+
+    def lower_priority_than(self, message: CanMessage) -> list[CanMessage]:
+        """Messages that lose arbitration against ``message``."""
+        return [m for m in self.messages if m.can_id > message.can_id]
+
+    def total_payload_bits_per_ms(self) -> float:
+        """Average payload bits per millisecond (without protocol overhead)."""
+        return sum(m.payload_bits() / m.period for m in self.messages)
+
+    # ------------------------------------------------------------------ #
+    # Derived matrices
+    # ------------------------------------------------------------------ #
+    def with_priorities(self, id_by_name: Mapping[str, int]) -> "KMatrix":
+        """New matrix with re-assigned CAN identifiers (the optimizer hook).
+
+        Messages not present in ``id_by_name`` keep their identifier; the
+        result is re-validated so conflicting assignments fail loudly.
+        """
+        replaced = [
+            m.with_can_id(id_by_name.get(m.name, m.can_id)) for m in self.messages
+        ]
+        return KMatrix(messages=replaced)
+
+    def with_assumed_jitters(self, jitter_fraction: float) -> "KMatrix":
+        """New matrix with unknown jitters replaced by a fraction of the period.
+
+        This implements the paper's experiment knob: "we assumed realistic
+        jitters for the unknown messages", swept as a percentage of each
+        message's period.  Known jitters are preserved.
+        """
+        if jitter_fraction < 0:
+            raise ValueError("jitter_fraction must be non-negative")
+        replaced = []
+        for message in self.messages:
+            if message.jitter is None:
+                replaced.append(message.with_jitter(jitter_fraction * message.period))
+            else:
+                replaced.append(message)
+        return KMatrix(messages=replaced)
+
+    def with_all_jitters(self, jitter_fraction: float) -> "KMatrix":
+        """New matrix where *every* jitter is ``jitter_fraction * period``."""
+        if jitter_fraction < 0:
+            raise ValueError("jitter_fraction must be non-negative")
+        replaced = [m.with_jitter(jitter_fraction * m.period) for m in self.messages]
+        return KMatrix(messages=replaced)
+
+    def map_messages(self, transform: Callable[[CanMessage], CanMessage]) -> "KMatrix":
+        """New matrix with ``transform`` applied to every message."""
+        return KMatrix(messages=[transform(m) for m in self.messages])
+
+    def subset(self, names: Iterable[str]) -> "KMatrix":
+        """New matrix containing only the named messages."""
+        wanted = set(names)
+        return KMatrix(messages=[m for m in self.messages if m.name in wanted])
+
+    # ------------------------------------------------------------------ #
+    # CSV import / export (the de-facto exchange format for K-Matrices)
+    # ------------------------------------------------------------------ #
+    _CSV_FIELDS = (
+        "name", "can_id", "dlc", "period_ms", "jitter_ms", "deadline_ms",
+        "sender", "receivers", "frame_format", "min_distance_ms",
+    )
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Serialise the matrix to CSV; write to ``path`` when given."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self._CSV_FIELDS)
+        writer.writeheader()
+        for message in self.sorted_by_priority():
+            writer.writerow({
+                "name": message.name,
+                "can_id": f"0x{message.can_id:X}",
+                "dlc": message.dlc,
+                "period_ms": f"{message.period:g}",
+                "jitter_ms": "" if message.jitter is None else f"{message.jitter:g}",
+                "deadline_ms": (
+                    "" if message.deadline is None else f"{message.deadline:g}"),
+                "sender": message.sender,
+                "receivers": ";".join(message.receivers),
+                "frame_format": message.frame_format.value,
+                "min_distance_ms": f"{message.min_distance:g}",
+            })
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_csv(cls, source: str | Path) -> "KMatrix":
+        """Parse a K-Matrix from CSV text or a CSV file path."""
+        if isinstance(source, Path) or (
+                isinstance(source, str) and "\n" not in source
+                and Path(source).exists()):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = str(source)
+        reader = csv.DictReader(io.StringIO(text))
+        messages = []
+        for row in reader:
+            can_id_text = row["can_id"].strip()
+            can_id = int(can_id_text, 16) if can_id_text.lower().startswith("0x") \
+                else int(can_id_text)
+            jitter_text = (row.get("jitter_ms") or "").strip()
+            deadline_text = (row.get("deadline_ms") or "").strip()
+            receivers_text = (row.get("receivers") or "").strip()
+            messages.append(CanMessage(
+                name=row["name"].strip(),
+                can_id=can_id,
+                dlc=int(row["dlc"]),
+                period=float(row["period_ms"]),
+                jitter=float(jitter_text) if jitter_text else None,
+                deadline=float(deadline_text) if deadline_text else None,
+                sender=row["sender"].strip(),
+                receivers=tuple(
+                    r for r in receivers_text.split(";") if r) if receivers_text
+                else (),
+                frame_format=CanFrameFormat(
+                    (row.get("frame_format") or "standard").strip()),
+                min_distance=float(row.get("min_distance_ms") or 0.0),
+            ))
+        return cls(messages=messages)
+
+    def describe(self) -> str:
+        """Multi-line summary used by examples and reports."""
+        lines = [f"K-Matrix with {len(self)} messages, "
+                 f"{len(self.ecu_names())} ECUs"]
+        for message in self.sorted_by_priority():
+            lines.append("  " + message.describe())
+        return "\n".join(lines)

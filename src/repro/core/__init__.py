@@ -1,0 +1,34 @@
+"""Compositional system-level analysis engine (the SymTA/S core).
+
+The paper's central technical idea -- inherited from the SymTA/S project and
+refs [11,12,13] -- is *compositional* performance analysis: every component
+(ECU, bus, gateway) is analysed with a local scheduling analysis, the
+resulting response-time intervals are turned into output event models, and
+those become the input event models of the connected components.  Iterating
+this propagation around the system graph until the event models stop
+changing yields a global fixed point: system-level worst-case timing without
+a global model.
+
+* :mod:`repro.core.system` -- the system model (buses, ECUs, gateways,
+  controllers and their connections);
+* :mod:`repro.core.engine` -- the fixed-point iteration with convergence and
+  divergence detection;
+* :mod:`repro.core.paths` -- end-to-end latency along cause-effect chains
+  (task -> message -> gateway -> message -> task);
+* :mod:`repro.core.results` -- result containers.
+"""
+
+from repro.core.system import BusSegment, SystemModel
+from repro.core.engine import CompositionalAnalysis
+from repro.core.results import SystemAnalysisResult
+from repro.core.paths import EndToEndPath, PathLatency, path_latency
+
+__all__ = [
+    "SystemModel",
+    "BusSegment",
+    "CompositionalAnalysis",
+    "SystemAnalysisResult",
+    "EndToEndPath",
+    "PathLatency",
+    "path_latency",
+]

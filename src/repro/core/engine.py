@@ -1,0 +1,215 @@
+"""The compositional fixed-point iteration.
+
+One global iteration performs three local analysis sweeps and one
+propagation step:
+
+1. **ECUs**: every detailed ECU model is analysed with
+   :class:`~repro.ecu.analysis.EcuAnalysis`; the response-time intervals of
+   its sender tasks yield *send* event models for the messages they queue.
+2. **Buses**: every bus is analysed with
+   :class:`~repro.analysis.response_time.CanBusAnalysis`, using the
+   propagated send models where available and the K-Matrix assumptions
+   everywhere else; the message response-time intervals yield *arrival*
+   event models at the receivers.
+3. **Gateways**: every gateway turns the arrival models of its source
+   messages into send models of its destination messages (adding forwarding
+   latency and jitter), which feed the next iteration's bus analyses.
+
+The iteration stops when no event model changed (fixed point) or when the
+iteration limit is reached (reported as non-convergence -- the system is
+overloaded or has a cyclic dependency that keeps amplifying jitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.response_time import CanBusAnalysis, MessageResponseTime
+from repro.analysis.schedulability import analyze_schedulability
+from repro.core.results import SystemAnalysisResult
+from repro.core.system import SystemModel
+from repro.ecu.analysis import EcuAnalysis, message_output_models
+from repro.events.model import EventModel
+from repro.events.operations import output_event_model
+from repro.gateway.model import GatewayAnalysis
+
+
+_MODEL_EPS = 1e-6
+
+
+def _models_equal(first: Mapping[str, EventModel],
+                  second: Mapping[str, EventModel]) -> bool:
+    """Whether two event-model maps are (numerically) identical."""
+    if first.keys() != second.keys():
+        return False
+    for name, model in first.items():
+        other = second[name]
+        if abs(model.period - other.period) > _MODEL_EPS:
+            return False
+        if abs(model.jitter - other.jitter) > _MODEL_EPS:
+            return False
+        if abs(model.min_distance - other.min_distance) > _MODEL_EPS:
+            return False
+    return True
+
+
+class CompositionalAnalysis:
+    """Global analysis of a :class:`~repro.core.system.SystemModel`."""
+
+    def __init__(self, system: SystemModel, max_iterations: int = 50) -> None:
+        problems = system.validate()
+        if problems:
+            raise ValueError(
+                "inconsistent system model:\n  " + "\n  ".join(problems))
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        self.system = system
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------ #
+    # Local sweeps
+    # ------------------------------------------------------------------ #
+    def _ecu_sweep(self) -> tuple[dict[str, EventModel], dict[str, object]]:
+        """Analyse all detailed ECUs; return send models and task results."""
+        send_models: dict[str, EventModel] = {}
+        task_results: dict[str, object] = {}
+        for ecu_name, ecu in self.system.ecus.items():
+            analysis = EcuAnalysis(ecu)
+            results = analysis.analyze_all()
+            for task_name, result in results.items():
+                task_results[f"{ecu_name}.{task_name}"] = result
+            # Minimum output distance: the transmission time of the shortest
+            # frame the ECU sends on its bus keeps burst models physical.
+            min_distance = 0.0
+            for message_name in {
+                    m for task in ecu.tasks for m in task.sends_messages}:
+                try:
+                    segment = self.system.bus_of_message(message_name)
+                except KeyError:
+                    continue
+                message = segment.kmatrix.get(message_name)
+                tx = segment.bus.best_case_transmission_time(message)
+                min_distance = min(min_distance, tx) if min_distance else tx
+            send_models.update(message_output_models(
+                ecu, min_output_distance=min_distance))
+        return send_models, task_results
+
+    def _bus_sweep(
+        self,
+        send_models: Mapping[str, EventModel],
+    ) -> tuple[dict[str, MessageResponseTime], dict[str, EventModel], dict]:
+        """Analyse all buses with the given send models."""
+        message_results: dict[str, MessageResponseTime] = {}
+        arrival_models: dict[str, EventModel] = {}
+        bus_reports = {}
+        for segment in self.system.buses.values():
+            overrides = {
+                name: model for name, model in send_models.items()
+                if name in segment.kmatrix}
+            analysis = CanBusAnalysis(
+                kmatrix=segment.kmatrix,
+                bus=segment.bus,
+                error_model=segment.error_model,
+                assumed_jitter_fraction=segment.assumed_jitter_fraction,
+                controllers=self.system.controllers,
+                event_models=overrides,
+            )
+            results = analysis.analyze_all()
+            message_results.update(results)
+            for message in segment.kmatrix:
+                result = results[message.name]
+                input_model = analysis.event_model(message)
+                if not result.bounded:
+                    # Represent divergence as a very large jitter so that the
+                    # fixed point reports non-convergence instead of hiding it.
+                    arrival_models[message.name] = input_model.with_jitter(
+                        input_model.jitter + 100.0 * message.period)
+                    continue
+                arrival_models[message.name] = output_event_model(
+                    input_model=input_model,
+                    best_case_response=result.best_case,
+                    worst_case_response=result.worst_case,
+                    min_output_distance=result.transmission_time,
+                )
+            bus_reports[segment.name] = analyze_schedulability(
+                kmatrix=segment.kmatrix,
+                bus=segment.bus,
+                error_model=segment.error_model,
+                assumed_jitter_fraction=segment.assumed_jitter_fraction,
+                deadline_policy=segment.deadline_policy,
+                controllers=self.system.controllers,
+                event_models=overrides,
+            )
+        return message_results, arrival_models, bus_reports
+
+    def _gateway_sweep(
+        self,
+        arrival_models: Mapping[str, EventModel],
+    ) -> dict[str, EventModel]:
+        """Propagate arrival models through all gateways."""
+        forwarded: dict[str, EventModel] = {}
+        for gateway in self.system.gateways.values():
+            analysis = GatewayAnalysis(gateway)
+            min_distance = 0.0
+            for route in gateway.routes:
+                try:
+                    segment = self.system.bus_of_message(route.destination_message)
+                except KeyError:
+                    continue
+                message = segment.kmatrix.get(route.destination_message)
+                tx = segment.bus.best_case_transmission_time(message)
+                min_distance = min(min_distance, tx) if min_distance else tx
+            forwarded.update(analysis.output_event_models(
+                arrival_models, min_output_distance=min_distance))
+        return forwarded
+
+    # ------------------------------------------------------------------ #
+    # Fixed point
+    # ------------------------------------------------------------------ #
+    def run(self) -> SystemAnalysisResult:
+        """Iterate local analyses and propagation until a global fixed point."""
+        ecu_send_models, task_results = self._ecu_sweep()
+        send_models: dict[str, EventModel] = dict(ecu_send_models)
+
+        previous_send: dict[str, EventModel] = {}
+        message_results: dict[str, MessageResponseTime] = {}
+        arrival_models: dict[str, EventModel] = {}
+        bus_reports: dict = {}
+        converged = False
+        iterations = 0
+
+        for iteration in range(1, self.max_iterations + 1):
+            iterations = iteration
+            message_results, arrival_models, bus_reports = self._bus_sweep(
+                send_models)
+            forwarded = self._gateway_sweep(arrival_models)
+            new_send = dict(ecu_send_models)
+            new_send.update(forwarded)
+            if _models_equal(new_send, send_models) and iteration > 1:
+                converged = True
+                break
+            if _models_equal(new_send, previous_send):
+                # Oscillation between two states: treat the larger-jitter one
+                # as the conservative fixed point.
+                converged = True
+                send_models = new_send
+                break
+            previous_send = send_models
+            send_models = new_send
+        else:
+            converged = False
+
+        if not self.system.gateways and not self.system.ecus:
+            # A single-bus system without propagation converges trivially.
+            converged = True
+
+        return SystemAnalysisResult(
+            converged=converged,
+            iterations=iterations,
+            message_results=message_results,
+            task_results=task_results,
+            bus_reports=bus_reports,
+            send_models=send_models,
+            arrival_models=arrival_models,
+        )

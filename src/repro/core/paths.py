@@ -1,0 +1,114 @@
+"""End-to-end latency along cause-effect chains.
+
+A typical automotive timing requirement spans several components: a sensor
+task on one ECU queues a message, a gateway forwards it onto another bus, and
+an actuator task on a third ECU consumes it.  With compositional analysis the
+worst-case end-to-end latency of such a chain is bounded by the sum of the
+worst-case response times of its segments (the classic, safe "first-through"
+bound); the best case is the sum of best cases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.results import SystemAnalysisResult
+from repro.core.system import SystemModel
+from repro.gateway.model import GatewayAnalysis
+
+
+@dataclass(frozen=True)
+class EndToEndPath:
+    """A cause-effect chain through the system.
+
+    Attributes
+    ----------
+    name:
+        Symbolic path name, e.g. ``"pedal-to-torque"``.
+    segments:
+        Ordered component references: ``("task", "ECU1.SensorTask")``,
+        ``("message", "EngineTorque1")``, ``("gateway", "Gateway1:MsgOut")``,
+        ... The analysis sums the matching response times.
+    """
+
+    name: str
+    segments: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        valid = {"task", "message", "gateway"}
+        for kind, _ in self.segments:
+            if kind not in valid:
+                raise ValueError(f"unknown path segment kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class PathLatency:
+    """Worst-/best-case latency of one end-to-end path."""
+
+    path: EndToEndPath
+    worst_case: float
+    best_case: float
+    per_segment: tuple[tuple[str, float], ...]
+
+    @property
+    def jitter(self) -> float:
+        """End-to-end jitter bound (worst minus best case)."""
+        if math.isinf(self.worst_case):
+            return math.inf
+        return self.worst_case - self.best_case
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        wc = "unbounded" if math.isinf(self.worst_case) else f"{self.worst_case:.3f} ms"
+        return f"path {self.path.name}: worst {wc}, best {self.best_case:.3f} ms"
+
+
+def path_latency(
+    path: EndToEndPath,
+    system: SystemModel,
+    result: SystemAnalysisResult,
+) -> PathLatency:
+    """Sum the response-time contributions of every segment of ``path``.
+
+    Parameters
+    ----------
+    path:
+        The chain to evaluate.
+    system:
+        The system model (needed to resolve gateway segments).
+    result:
+        A completed compositional analysis of that system.
+    """
+    worst = 0.0
+    best = 0.0
+    per_segment: list[tuple[str, float]] = []
+    for kind, reference in path.segments:
+        if kind == "task":
+            task_result = result.task_results.get(reference)
+            if task_result is None:
+                raise KeyError(f"no task result for {reference!r}")
+            segment_worst = task_result.worst_case
+            segment_best = task_result.best_case
+        elif kind == "message":
+            message_result = result.message_results.get(reference)
+            if message_result is None:
+                raise KeyError(f"no message result for {reference!r}")
+            segment_worst = message_result.worst_case
+            segment_best = message_result.best_case
+        else:  # gateway segment: "GatewayName:DestinationMessage"
+            gateway_name, _, destination = reference.partition(":")
+            gateway = system.gateways.get(gateway_name)
+            if gateway is None:
+                raise KeyError(f"unknown gateway {gateway_name!r}")
+            analysis = GatewayAnalysis(gateway)
+            route = gateway.route_for_destination(destination)
+            latency = analysis.route_latency(route, result.arrival_models)
+            segment_worst = latency.worst_case
+            segment_best = latency.best_case
+        worst = worst + segment_worst if not math.isinf(segment_worst) else math.inf
+        best += segment_best
+        per_segment.append((f"{kind}:{reference}", segment_worst))
+    return PathLatency(path=path, worst_case=worst, best_case=best,
+                       per_segment=tuple(per_segment))

@@ -1,0 +1,25 @@
+"""Diagnostics and ECU-flashing traffic models.
+
+Figure 3 lists "flashing & diagnosis" among the information needed for
+reliable schedulability analysis, and the OEM questions of Section 2 include
+"How about diagnosis and ECU flashing?".  Both activities inject additional,
+usually low-priority but bursty traffic into the network; this package turns
+them into extra K-Matrix messages (with burst event models) so the standard
+analyses can answer those questions.
+"""
+
+from repro.diagnostics.traffic import (
+    DiagnosticSession,
+    FlashingSession,
+    diagnostic_messages,
+    flashing_messages,
+    kmatrix_with_diagnostics,
+)
+
+__all__ = [
+    "DiagnosticSession",
+    "FlashingSession",
+    "diagnostic_messages",
+    "flashing_messages",
+    "kmatrix_with_diagnostics",
+]

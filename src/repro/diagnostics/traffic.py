@@ -1,0 +1,142 @@
+"""Diagnostic and flashing traffic as additional bus load.
+
+Both kinds of traffic use ISO-TP style segmented transfers on dedicated
+request/response identifiers:
+
+* a *diagnostic session* (tester present, periodic readouts) produces a
+  request frame and a multi-frame response every polling interval;
+* a *flashing session* transfers large data blocks as back-to-back consecutive
+  frames, throttled by a separation time (STmin) -- a textbook "periodic with
+  burst" event stream.
+
+The helpers below convert session descriptions into extra
+:class:`~repro.can.message.CanMessage` rows (with appropriate burst
+parameters) so the regular load, response-time and loss analyses can quantify
+the impact on the production traffic, answering the "how about diagnosis and
+ECU flashing?" question of Section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+
+
+@dataclass(frozen=True)
+class DiagnosticSession:
+    """A periodic diagnostic exchange between a tester and one ECU."""
+
+    ecu: str
+    request_id: int
+    response_id: int
+    polling_period: float = 100.0
+    response_frames: int = 3
+    tester_name: str = "Tester"
+
+    def __post_init__(self) -> None:
+        if self.polling_period <= 0:
+            raise ValueError("polling_period must be positive")
+        if self.response_frames < 1:
+            raise ValueError("response_frames must be at least 1")
+
+
+@dataclass(frozen=True)
+class FlashingSession:
+    """A block-transfer (re-programming) session towards one ECU."""
+
+    ecu: str
+    data_id: int
+    ack_id: int
+    block_size_frames: int = 16
+    separation_time: float = 0.5
+    block_period: float = 50.0
+    tester_name: str = "Tester"
+
+    def __post_init__(self) -> None:
+        if self.block_size_frames < 1:
+            raise ValueError("block_size_frames must be at least 1")
+        if self.separation_time < 0:
+            raise ValueError("separation_time must be non-negative")
+        if self.block_period <= 0:
+            raise ValueError("block_period must be positive")
+        if self.block_size_frames * self.separation_time >= self.block_period:
+            raise ValueError("block must fit inside block_period")
+
+
+def diagnostic_messages(session: DiagnosticSession) -> list[CanMessage]:
+    """K-Matrix rows modelling one diagnostic session.
+
+    The request is a single periodic frame; the response is a periodic burst
+    of ``response_frames`` consecutive frames (first frame + consecutive
+    frames of the segmented answer).
+    """
+    request = CanMessage(
+        name=f"DiagRequest_{session.ecu}",
+        can_id=session.request_id,
+        dlc=8,
+        period=session.polling_period,
+        jitter=0.0,
+        sender=session.tester_name,
+        receivers=(session.ecu,),
+    )
+    # The response frames leave back-to-back once the ECU has assembled the
+    # answer: period = polling period, jitter > period models the burst, the
+    # minimum distance is the ECU's frame preparation gap.
+    response = CanMessage(
+        name=f"DiagResponse_{session.ecu}",
+        can_id=session.response_id,
+        dlc=8,
+        period=session.polling_period / session.response_frames,
+        jitter=session.polling_period,
+        min_distance=0.2,
+        sender=session.ecu,
+        receivers=(session.tester_name,),
+    )
+    return [request, response]
+
+
+def flashing_messages(session: FlashingSession) -> list[CanMessage]:
+    """K-Matrix rows modelling one flashing (block-transfer) session."""
+    data = CanMessage(
+        name=f"FlashData_{session.ecu}",
+        can_id=session.data_id,
+        dlc=8,
+        period=session.block_period / session.block_size_frames,
+        jitter=session.block_period,
+        min_distance=max(session.separation_time, 1e-3),
+        sender=session.tester_name,
+        receivers=(session.ecu,),
+    )
+    ack = CanMessage(
+        name=f"FlashAck_{session.ecu}",
+        can_id=session.ack_id,
+        dlc=3,
+        period=session.block_period,
+        jitter=0.0,
+        sender=session.ecu,
+        receivers=(session.tester_name,),
+    )
+    return [data, ack]
+
+
+def kmatrix_with_diagnostics(
+    kmatrix: KMatrix,
+    diagnostic_sessions: Sequence[DiagnosticSession] = (),
+    flashing_sessions: Sequence[FlashingSession] = (),
+) -> KMatrix:
+    """Return a new K-Matrix with diagnostic/flashing traffic added.
+
+    The production messages are untouched; the added rows use the identifiers
+    configured in the session descriptions (diagnostic identifiers are
+    normally at the very bottom of the priority range, which the caller
+    controls by choosing large ids).
+    """
+    messages = list(kmatrix.messages)
+    for session in diagnostic_sessions:
+        messages.extend(diagnostic_messages(session))
+    for session in flashing_sessions:
+        messages.extend(flashing_messages(session))
+    return KMatrix(messages=messages)

@@ -1,0 +1,40 @@
+"""ECU-internal scheduling substrate (OSEK-style).
+
+The paper's Section 5.2 notes that SymTA/S "considers operating system (OSEK)
+overhead, complex priority schemes with cooperative and preemptive tasks as
+well as hardware interrupts" and TimeTable (time-triggered) activation.  The
+message send jitters the bus analysis consumes are *produced* by exactly this
+ECU-level scheduling, so a faithful reproduction needs the ECU substrate:
+
+* :mod:`repro.ecu.task` -- tasks (preemptive / cooperative / interrupt),
+  OSEK overheads, TimeTable activation and the ECU container;
+* :mod:`repro.ecu.analysis` -- fixed-priority response-time analysis with
+  blocking from cooperative tasks, plus the derivation of message output
+  event models (send jitter) from task response-time intervals.
+"""
+
+from repro.ecu.task import (
+    EcuModel,
+    OsekOverheads,
+    Task,
+    TaskKind,
+    TimeTable,
+    TimeTableEntry,
+)
+from repro.ecu.analysis import (
+    EcuAnalysis,
+    TaskResponseTime,
+    message_output_models,
+)
+
+__all__ = [
+    "Task",
+    "TaskKind",
+    "OsekOverheads",
+    "TimeTable",
+    "TimeTableEntry",
+    "EcuModel",
+    "EcuAnalysis",
+    "TaskResponseTime",
+    "message_output_models",
+]

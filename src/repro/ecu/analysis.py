@@ -1,0 +1,218 @@
+"""Fixed-priority response-time analysis of ECU tasks.
+
+The analysis mirrors the bus-level one but for preemptive/cooperative tasks
+with OSEK overheads:
+
+* blocking: the longest non-preemptable region of any lower-priority task
+  (cooperative tasks are non-preemptable for their whole WCET);
+* interference: higher-priority tasks and ISRs according to their activation
+  event models (periodic, jitter or burst);
+* multi-instance busy-period analysis when the busy window exceeds the
+  activation period.
+
+From the task response-time intervals the module derives the *output event
+models* of the messages each task queues -- the send jitters the OEM usually
+has to guess (Section 3.3) and which the compositional engine of
+:mod:`repro.core` propagates onto the bus analysis instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.ecu.task import EcuModel, Task, TaskKind
+from repro.events.model import EventModel
+from repro.events.operations import output_event_model
+
+
+_MAX_ITERATIONS = 100_000
+_CONVERGENCE_EPS = 1e-9
+_MAX_BUSY_FACTOR = 1000.0
+
+
+@dataclass(frozen=True)
+class TaskResponseTime:
+    """Analysis result for one task."""
+
+    name: str
+    worst_case: float
+    best_case: float
+    blocking: float
+    busy_period: float
+    instances_analyzed: int
+    bounded: bool = True
+
+    @property
+    def response_interval(self) -> float:
+        """Width of the response-time interval (drives output jitter)."""
+        if not self.bounded:
+            return math.inf
+        return self.worst_case - self.best_case
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        wc = f"{self.worst_case:.3f}" if self.bounded else "unbounded"
+        return f"{self.name}: R=[{self.best_case:.3f}, {wc}] ms"
+
+
+class EcuAnalysis:
+    """Response-time analysis of all tasks on one ECU."""
+
+    def __init__(self, ecu: EcuModel) -> None:
+        self.ecu = ecu
+        self._costs = {
+            task.name: task.wcet + ecu.overheads.per_activation(task.kind)
+            for task in ecu.tasks
+        }
+        self._best_costs = {
+            task.name: max(task.bcet, 0.0)
+            + ecu.overheads.per_activation(task.kind)
+            for task in ecu.tasks
+        }
+
+    # ------------------------------------------------------------------ #
+    # Terms of the RTA
+    # ------------------------------------------------------------------ #
+    def blocking(self, task: Task) -> float:
+        """Longest non-preemptable region among lower-priority tasks."""
+        lower = self.ecu.lower_priority_tasks(task)
+        return max((t.effective_non_preemptable_region for t in lower),
+                   default=0.0)
+
+    def _interference(self, window: float, task: Task) -> float:
+        """Interference from higher-priority tasks in a window."""
+        total = 0.0
+        for other in self.ecu.higher_priority_tasks(task):
+            model = self.ecu.activation_of(other)
+            total += model.eta_plus(window) * self._costs[other.name]
+        return total
+
+    def _horizon(self) -> float:
+        periods = [self.ecu.activation_of(task).period for task in self.ecu.tasks]
+        return _MAX_BUSY_FACTOR * max(periods)
+
+    def _busy_period(self, task: Task) -> tuple[float, bool]:
+        """Level-i busy period including the task's own activations."""
+        model = self.ecu.activation_of(task)
+        cost = self._costs[task.name]
+        blocking = self.blocking(task)
+        horizon = self._horizon()
+        t = cost + blocking
+        for _ in range(_MAX_ITERATIONS):
+            own = max(model.eta_plus(t), 1)
+            new_t = blocking + own * cost + self._interference(t, task)
+            if new_t > horizon:
+                return new_t, False
+            if abs(new_t - t) < _CONVERGENCE_EPS:
+                return new_t, True
+            t = new_t
+        return t, False
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def response_time(self, task: Task) -> TaskResponseTime:
+        """Worst- and best-case response time of one task."""
+        model = self.ecu.activation_of(task)
+        cost = self._costs[task.name]
+        blocking = self.blocking(task)
+        horizon = self._horizon()
+
+        busy, busy_bounded = self._busy_period(task)
+        if not busy_bounded:
+            return TaskResponseTime(
+                name=task.name, worst_case=math.inf,
+                best_case=self._best_costs[task.name], blocking=blocking,
+                busy_period=busy, instances_analyzed=0, bounded=False)
+
+        instances = max(model.eta_plus(busy), 1)
+        worst = 0.0
+        bounded = True
+        for q in range(instances):
+            # For a preemptive task the finish time of instance q includes its
+            # own q prior instances plus its own execution.
+            w = blocking + (q + 1) * cost
+            for _ in range(_MAX_ITERATIONS):
+                new_w = (blocking + (q + 1) * cost
+                         + self._interference(w, task))
+                if new_w > horizon:
+                    bounded = False
+                    break
+                if abs(new_w - w) < _CONVERGENCE_EPS:
+                    w = new_w
+                    break
+                w = new_w
+            if not bounded:
+                worst = math.inf
+                break
+            arrival_offset = model.delta_minus(q + 1)
+            response = model.jitter + w - arrival_offset
+            worst = max(worst, response)
+
+        return TaskResponseTime(
+            name=task.name,
+            worst_case=worst,
+            best_case=self._best_costs[task.name],
+            blocking=blocking,
+            busy_period=busy,
+            instances_analyzed=instances,
+            bounded=bounded,
+        )
+
+    def analyze_all(self) -> dict[str, TaskResponseTime]:
+        """Response times of every task on the ECU, keyed by task name."""
+        return {task.name: self.response_time(task) for task in self.ecu.tasks}
+
+    def is_schedulable(self, deadlines: Mapping[str, float] | None = None) -> bool:
+        """Whether all tasks finish within their deadline.
+
+        Without explicit ``deadlines`` each task must finish within its
+        activation period (implicit deadlines).
+        """
+        results = self.analyze_all()
+        for task in self.ecu.tasks:
+            deadline = (deadlines or {}).get(
+                task.name, self.ecu.activation_of(task).period)
+            if results[task.name].worst_case > deadline + 1e-9:
+                return False
+        return True
+
+
+def message_output_models(
+    ecu: EcuModel,
+    min_output_distance: float = 0.0,
+) -> dict[str, EventModel]:
+    """Derive send event models for every message queued by the ECU's tasks.
+
+    A message queued at the end of a task inherits the task's activation
+    period and gains jitter equal to the task's activation jitter plus its
+    response-time interval -- exactly the "send jitter" an OEM would ask the
+    supplier to guarantee (Figure 6).
+
+    Parameters
+    ----------
+    ecu:
+        The ECU whose tasks queue the messages.
+    min_output_distance:
+        Physical lower bound between two queuings of the same message, e.g.
+        the frame transmission time of the attached bus.
+    """
+    analysis = EcuAnalysis(ecu)
+    results = analysis.analyze_all()
+    models: dict[str, EventModel] = {}
+    for task in ecu.tasks:
+        if not task.sends_messages:
+            continue
+        activation = ecu.activation_of(task)
+        result = results[task.name]
+        model = output_event_model(
+            input_model=activation,
+            best_case_response=result.best_case,
+            worst_case_response=result.worst_case,
+            min_output_distance=min_output_distance,
+        )
+        for message_name in task.sends_messages:
+            models[message_name] = model
+    return models

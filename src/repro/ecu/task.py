@@ -1,0 +1,278 @@
+"""Tasks, interrupts, OSEK overheads and the ECU container.
+
+The model follows what an OSEK/OSEKtime implementation exposes to a timing
+analyst:
+
+* *interrupt service routines* preempt every task;
+* *preemptive tasks* are scheduled by fixed priority and can preempt lower
+  priority tasks at any time;
+* *cooperative tasks* only yield at schedule points, so they add blocking to
+  higher-priority cooperative/preemptive tasks (bounded by their longest
+  non-preemptable region);
+* every activation pays OS overhead (activate + terminate + a share of the
+  schedule-table/ISR bookkeeping);
+* activation is either event-driven (an :class:`~repro.events.EventModel`,
+  e.g. "when message X arrives") or time-driven through a :class:`TimeTable`
+  (OSEKtime-style dispatcher table), which is simply a periodic event model
+  with a table-defined offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Iterable, Optional, Sequence
+
+from repro.events.model import EventModel, PeriodicEventModel, event_model_from_parameters
+
+
+class TaskKind(str, Enum):
+    """Scheduling class of a task."""
+
+    PREEMPTIVE = "preemptive"
+    COOPERATIVE = "cooperative"
+    INTERRUPT = "interrupt"
+
+
+@dataclass(frozen=True)
+class OsekOverheads:
+    """Per-activation operating-system overheads in milliseconds.
+
+    The defaults correspond to a small 16/32-bit automotive micro running a
+    commercial OSEK: a few microseconds per context switch.
+    """
+
+    activation: float = 0.004
+    termination: float = 0.003
+    isr_entry: float = 0.002
+    schedule_point: float = 0.002
+
+    def __post_init__(self) -> None:
+        for name in ("activation", "termination", "isr_entry", "schedule_point"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} overhead must be non-negative")
+
+    def per_activation(self, kind: TaskKind) -> float:
+        """Total bookkeeping added to one activation of a task of ``kind``."""
+        if kind == TaskKind.INTERRUPT:
+            return self.isr_entry + self.termination
+        if kind == TaskKind.COOPERATIVE:
+            return self.activation + self.termination + self.schedule_point
+        return self.activation + self.termination
+
+
+@dataclass(frozen=True)
+class TimeTableEntry:
+    """One slot of a time-triggered dispatcher table."""
+
+    task_name: str
+    offset: float
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+
+
+@dataclass(frozen=True)
+class TimeTable:
+    """OSEKtime-style dispatcher table: entries repeated every ``period``."""
+
+    period: float
+    entries: tuple[TimeTableEntry, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("TimeTable period must be positive")
+        for entry in self.entries:
+            if entry.offset >= self.period:
+                raise ValueError(
+                    f"entry for {entry.task_name!r} has offset {entry.offset} "
+                    f">= table period {self.period}")
+
+    def activations_of(self, task_name: str) -> tuple[TimeTableEntry, ...]:
+        """Entries dispatching the given task."""
+        return tuple(e for e in self.entries if e.task_name == task_name)
+
+    def event_model_for(self, task_name: str) -> EventModel:
+        """Activation event model the table implies for one task.
+
+        A task dispatched ``k`` times per table round has an average period
+        of ``period / k``; irregular spacing inside the round appears as
+        jitter relative to that average grid.
+        """
+        offsets = sorted(e.offset for e in self.activations_of(task_name))
+        if not offsets:
+            raise KeyError(task_name)
+        count = len(offsets)
+        average_period = self.period / count
+        if count == 1:
+            return PeriodicEventModel(period=self.period)
+        # Jitter: worst deviation of an actual dispatch from the average grid.
+        jitter = max(
+            abs(offset - (offsets[0] + index * average_period))
+            for index, offset in enumerate(offsets))
+        min_distance = min(
+            (b - a) for a, b in zip(offsets, offsets[1:])) if count > 1 else 0.0
+        return event_model_from_parameters(
+            period=average_period, jitter=jitter, min_distance=min_distance)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable entity on an ECU.
+
+    Attributes
+    ----------
+    name:
+        Unique task name within its ECU.
+    priority:
+        Fixed priority; smaller numbers mean higher priority (interrupts
+        should use the smallest numbers).
+    wcet / bcet:
+        Worst-/best-case execution time in milliseconds (without OS
+        overhead).
+    kind:
+        Scheduling class, see :class:`TaskKind`.
+    activation:
+        Activation event model (event-driven tasks); ``None`` when the task
+        is dispatched from the ECU's :class:`TimeTable`.
+    sends_messages:
+        Names of K-Matrix messages queued at the *end* of each execution of
+        this task; their send jitter is derived from the task's response-time
+        interval.
+    non_preemptable_region:
+        Longest code section executed with preemption disabled (ms); for
+        cooperative tasks this defaults to the whole WCET.
+    """
+
+    name: str
+    priority: int
+    wcet: float
+    bcet: float = 0.0
+    kind: TaskKind = TaskKind.PREEMPTIVE
+    activation: Optional[EventModel] = None
+    sends_messages: tuple[str, ...] = ()
+    non_preemptable_region: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0:
+            raise ValueError(f"task {self.name!r}: wcet must be positive")
+        if self.bcet < 0 or self.bcet > self.wcet:
+            raise ValueError(
+                f"task {self.name!r}: bcet must satisfy 0 <= bcet <= wcet")
+        if self.non_preemptable_region < 0:
+            raise ValueError("non_preemptable_region must be non-negative")
+        if self.non_preemptable_region > self.wcet:
+            raise ValueError("non_preemptable_region cannot exceed the wcet")
+
+    @property
+    def effective_non_preemptable_region(self) -> float:
+        """Blocking a lower-priority instance of this task can cause."""
+        if self.kind == TaskKind.COOPERATIVE and self.non_preemptable_region == 0:
+            return self.wcet
+        return self.non_preemptable_region
+
+    def with_activation(self, activation: EventModel) -> "Task":
+        """Copy of this task with a different activation model."""
+        return replace(self, activation=activation)
+
+
+@dataclass
+class EcuModel:
+    """One ECU: a set of tasks plus OS configuration.
+
+    Attributes
+    ----------
+    name:
+        ECU name matching the K-Matrix sender/receiver names.
+    tasks:
+        All tasks and ISRs of the ECU.
+    overheads:
+        OSEK overhead parameters.
+    timetable:
+        Optional time-triggered dispatcher table; tasks without an explicit
+        activation model must appear in it.
+    """
+
+    name: str
+    tasks: list[Task] = field(default_factory=list)
+    overheads: OsekOverheads = field(default_factory=OsekOverheads)
+    timetable: Optional[TimeTable] = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check name/priority uniqueness and activation completeness."""
+        names = [task.name for task in self.tasks]
+        if len(names) != len(set(names)):
+            raise ValueError(f"ECU {self.name!r} has duplicate task names")
+        priorities = [task.priority for task in self.tasks]
+        if len(priorities) != len(set(priorities)):
+            raise ValueError(f"ECU {self.name!r} has duplicate task priorities")
+        for task in self.tasks:
+            if task.activation is None:
+                if self.timetable is None or not self.timetable.activations_of(
+                        task.name):
+                    raise ValueError(
+                        f"task {task.name!r} on ECU {self.name!r} has neither "
+                        "an activation event model nor a TimeTable entry")
+
+    def task(self, name: str) -> Task:
+        """Return the task with the given name."""
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(name)
+
+    def add_task(self, task: Task) -> None:
+        """Add a task, re-validating the ECU."""
+        self.tasks.append(task)
+        try:
+            self.validate()
+        except ValueError:
+            self.tasks.pop()
+            raise
+
+    def activation_of(self, task: Task) -> EventModel:
+        """Effective activation model (explicit or from the TimeTable)."""
+        if task.activation is not None:
+            return task.activation
+        assert self.timetable is not None  # guaranteed by validate()
+        return self.timetable.event_model_for(task.name)
+
+    def higher_priority_tasks(self, task: Task) -> list[Task]:
+        """Tasks that can preempt ``task`` (interrupts always qualify)."""
+        result = []
+        for other in self.tasks:
+            if other.name == task.name:
+                continue
+            if other.kind == TaskKind.INTERRUPT and task.kind != TaskKind.INTERRUPT:
+                result.append(other)
+            elif other.priority < task.priority and not (
+                    task.kind == TaskKind.INTERRUPT
+                    and other.kind != TaskKind.INTERRUPT):
+                result.append(other)
+        return result
+
+    def lower_priority_tasks(self, task: Task) -> list[Task]:
+        """Tasks that ``task`` can preempt (used for blocking terms)."""
+        higher = {t.name for t in self.higher_priority_tasks(task)}
+        return [t for t in self.tasks
+                if t.name != task.name and t.name not in higher]
+
+    def sender_task_of(self, message_name: str) -> Optional[Task]:
+        """Task that queues the given K-Matrix message, if any."""
+        for task in self.tasks:
+            if message_name in task.sends_messages:
+                return task
+        return None
+
+    def utilization(self) -> float:
+        """Processor utilization of the ECU including per-activation overhead."""
+        total = 0.0
+        for task in self.tasks:
+            activation = self.activation_of(task)
+            cost = task.wcet + self.overheads.per_activation(task.kind)
+            total += cost / activation.period
+        return total

@@ -1,0 +1,34 @@
+"""Bus-error models for CAN response-time analysis.
+
+CAN retransmits corrupted frames automatically, so transmission errors show
+up in the timing analysis as additional interference: every error costs an
+error-signalling sequence (up to 31 bit times) plus the retransmission of the
+longest frame that may have been hit.  The paper uses two practically useful
+models:
+
+* the *sporadic* model of Tindell & Burns (ref [7]): at most one error every
+  ``T_error`` milliseconds (an MTBF-style bound);
+* the *burst* model of Punnekkat, Hansson & Norström (ref [8]): errors arrive
+  in bursts of up to ``burst_length`` closely spaced errors, bursts separated
+  by at least ``T_error``.
+
+Both are exposed through a single interface, :class:`ErrorModel`, whose
+``overhead(t, ...)`` method returns the worst-case time consumed by error
+handling in a busy window of length ``t``.
+"""
+
+from repro.errors.models import (
+    BurstErrorModel,
+    CompositeErrorModel,
+    ErrorModel,
+    NoErrors,
+    SporadicErrorModel,
+)
+
+__all__ = [
+    "ErrorModel",
+    "NoErrors",
+    "SporadicErrorModel",
+    "BurstErrorModel",
+    "CompositeErrorModel",
+]

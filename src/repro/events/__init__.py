@@ -1,0 +1,72 @@
+"""Standard event models and arrival-curve calculus.
+
+SymTA/S-style compositional analysis describes how often an event (a message
+queued for transmission, a task activation) can occur using *standard event
+models* (Richter, "Compositional Scheduling Analysis Using Standard Event
+Models", PhD thesis 2005).  An event model is characterised by the pair of
+arrival curves
+
+* ``eta_plus(dt)``  -- the maximum number of events in any half-open time
+  window of length ``dt``;
+* ``eta_minus(dt)`` -- the minimum number of events in any such window;
+
+or, equivalently, by the distance functions
+
+* ``delta_minus(n)`` -- the minimum distance between the first and the last
+  event of any sequence of ``n`` events;
+* ``delta_plus(n)``  -- the maximum such distance.
+
+Three parameterised families cover automotive practice:
+
+``PeriodicEventModel``
+    strictly periodic activation (period ``P``).
+``PeriodicWithJitter``
+    periodic activation whose individual events may be displaced by up to
+    ``J`` time units from the periodic reference grid.
+``PeriodicWithBurst``
+    periodic activation with jitter larger than the period, limited by a
+    minimum inter-event distance ``d_min`` (models bursts of back-to-back
+    events, e.g. gateway output or diagnostic traffic).
+``SporadicEventModel``
+    events separated by at least a minimum inter-arrival time (the classic
+    sporadic task model); mathematically a periodic model whose period is the
+    minimum inter-arrival time, used where only a rate bound is known.
+
+All models in this package use *milliseconds* as the canonical time unit,
+matching the K-Matrix convention, but nothing depends on the unit choice.
+"""
+
+from repro.events.model import (
+    EventModel,
+    PeriodicEventModel,
+    PeriodicWithBurst,
+    PeriodicWithJitter,
+    SporadicEventModel,
+    event_model_from_parameters,
+)
+from repro.events.curves import ArrivalCurve, DistanceFunction
+from repro.events.operations import (
+    add_jitter,
+    combine_and,
+    conservative_union,
+    is_refinement,
+    output_event_model,
+    scale_period,
+)
+
+__all__ = [
+    "ArrivalCurve",
+    "DistanceFunction",
+    "EventModel",
+    "PeriodicEventModel",
+    "PeriodicWithJitter",
+    "PeriodicWithBurst",
+    "SporadicEventModel",
+    "event_model_from_parameters",
+    "add_jitter",
+    "combine_and",
+    "conservative_union",
+    "is_refinement",
+    "output_event_model",
+    "scale_period",
+]

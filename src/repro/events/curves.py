@@ -1,0 +1,180 @@
+"""Generic arrival curves and distance functions.
+
+The standard event models in :mod:`repro.events.model` have closed-form
+eta/delta functions.  For analysis results (e.g. the observed activation
+pattern at a gateway output, or a trace captured by the simulator) we also
+need *empirical* curves sampled from event timestamps.  This module provides
+both a thin wrapper type used by generic algorithms and the construction of
+empirical curves from traces, so analysis and simulation results can be
+compared in the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class ArrivalCurve:
+    """A pair of arrival-curve callables (eta_plus, eta_minus).
+
+    Instances wrap either closed-form event-model curves or empirical curves
+    constructed from a trace, giving downstream code a uniform interface.
+    """
+
+    eta_plus: Callable[[float], int]
+    eta_minus: Callable[[float], int]
+    label: str = "arrival-curve"
+
+    def max_events(self, dt: float) -> int:
+        """Maximum number of events in any window of length ``dt``."""
+        return self.eta_plus(dt)
+
+    def min_events(self, dt: float) -> int:
+        """Minimum number of events in any window of length ``dt``."""
+        return self.eta_minus(dt)
+
+    def dominates(self, other: "ArrivalCurve", horizons: Sequence[float]) -> bool:
+        """True when this curve upper/lower-bounds ``other`` on all horizons."""
+        for dt in horizons:
+            if self.eta_plus(dt) < other.eta_plus(dt):
+                return False
+            if self.eta_minus(dt) > other.eta_minus(dt):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class DistanceFunction:
+    """A pair of distance-function callables (delta_minus, delta_plus)."""
+
+    delta_minus: Callable[[int], float]
+    delta_plus: Callable[[int], float]
+    label: str = "distance-function"
+
+    def min_span(self, n: int) -> float:
+        """Minimum time spanned by ``n`` consecutive events."""
+        return self.delta_minus(n)
+
+    def max_span(self, n: int) -> float:
+        """Maximum time spanned by ``n`` consecutive events."""
+        return self.delta_plus(n)
+
+
+@dataclass
+class EmpiricalEventTrace:
+    """A recorded sequence of event timestamps with curve extraction.
+
+    Used to turn simulator traces into arrival curves that can be checked
+    against the analytic curves of the configured event models (the analytic
+    eta_plus must dominate the empirical one, and the empirical eta_minus
+    must dominate the analytic one).
+    """
+
+    timestamps: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.timestamps = sorted(float(t) for t in self.timestamps)
+
+    def add(self, timestamp: float) -> None:
+        """Record an event occurrence (timestamps may arrive out of order)."""
+        index = bisect_left(self.timestamps, timestamp)
+        self.timestamps.insert(index, float(timestamp))
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def count_in_window(self, start: float, length: float) -> int:
+        """Number of events with ``start <= t < start + length``."""
+        lo = bisect_left(self.timestamps, start)
+        hi = bisect_left(self.timestamps, start + length)
+        return hi - lo
+
+    def empirical_eta_plus(self, dt: float) -> int:
+        """Maximum observed number of events in any window of length ``dt``."""
+        if dt <= 0 or not self.timestamps:
+            return 0
+        best = 0
+        times = self.timestamps
+        hi = 0
+        for lo, start in enumerate(times):
+            if hi < lo:
+                hi = lo
+            while hi < len(times) and times[hi] < start + dt:
+                hi += 1
+            best = max(best, hi - lo)
+        return best
+
+    def empirical_eta_minus(self, dt: float) -> int:
+        """Minimum observed number of events in any fully covered window."""
+        if dt <= 0 or not self.timestamps:
+            return 0
+        times = self.timestamps
+        span = times[-1] - times[0]
+        if dt > span:
+            return 0
+        worst = len(times)
+        # Slide windows anchored at each event and just after each event.
+        anchors = times + [t + 1e-9 for t in times]
+        for start in anchors:
+            if start + dt > times[-1] + 1e-9:
+                continue
+            lo = bisect_right(times, start)
+            hi = bisect_right(times, start + dt)
+            worst = min(worst, hi - lo)
+        return max(worst, 0)
+
+    def empirical_delta_minus(self, n: int) -> float:
+        """Minimum observed span of ``n`` consecutive events."""
+        if n < 2 or len(self.timestamps) < n:
+            return 0.0
+        times = self.timestamps
+        return min(times[i + n - 1] - times[i] for i in range(len(times) - n + 1))
+
+    def empirical_delta_plus(self, n: int) -> float:
+        """Maximum observed span of ``n`` consecutive events."""
+        if n < 2 or len(self.timestamps) < n:
+            return 0.0
+        times = self.timestamps
+        return max(times[i + n - 1] - times[i] for i in range(len(times) - n + 1))
+
+    def to_arrival_curve(self, label: str = "empirical") -> ArrivalCurve:
+        """Wrap the empirical curves into an :class:`ArrivalCurve`."""
+        return ArrivalCurve(
+            eta_plus=self.empirical_eta_plus,
+            eta_minus=self.empirical_eta_minus,
+            label=label,
+        )
+
+    def inter_arrival_times(self) -> list[float]:
+        """Distances between consecutive recorded events."""
+        times = self.timestamps
+        return [b - a for a, b in zip(times, times[1:])]
+
+
+def curve_from_event_model(model, label: str | None = None) -> ArrivalCurve:
+    """Build an :class:`ArrivalCurve` view of a standard event model."""
+    return ArrivalCurve(
+        eta_plus=model.eta_plus,
+        eta_minus=model.eta_minus,
+        label=label or model.describe(),
+    )
+
+
+def distance_from_event_model(model, label: str | None = None) -> DistanceFunction:
+    """Build a :class:`DistanceFunction` view of a standard event model."""
+    return DistanceFunction(
+        delta_minus=model.delta_minus,
+        delta_plus=model.delta_plus,
+        label=label or model.describe(),
+    )
+
+
+def merge_traces(traces: Iterable[EmpiricalEventTrace]) -> EmpiricalEventTrace:
+    """Merge several traces into one (e.g. all frames on a bus)."""
+    merged: list[float] = []
+    for trace in traces:
+        merged.extend(trace.timestamps)
+    return EmpiricalEventTrace(timestamps=merged)

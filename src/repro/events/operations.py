@@ -1,0 +1,187 @@
+"""Operations on standard event models.
+
+These are the building blocks of compositional analysis: deriving output
+event models from response-time intervals, checking whether a guaranteed
+model refines a required one (the supply-chain contract check of Figure 6 in
+the paper), and conservatively combining models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.events.model import (
+    EventModel,
+    PeriodicEventModel,
+    event_model_from_parameters,
+)
+
+
+def add_jitter(model: EventModel, extra_jitter: float,
+               min_distance: float | None = None) -> EventModel:
+    """Return a model identical to ``model`` with ``extra_jitter`` added.
+
+    This is the fundamental propagation step of compositional analysis: a
+    component that delays events by anywhere between its best-case and
+    worst-case response time widens the jitter of the event stream by the
+    difference of the two.
+
+    Parameters
+    ----------
+    model:
+        Input event model.
+    extra_jitter:
+        Additional jitter (ms), must be non-negative.
+    min_distance:
+        Minimum output distance enforced by the component (e.g. the
+        transmission time of a frame on the output bus).  When the resulting
+        jitter exceeds the period this bounds the burst density.
+    """
+    if extra_jitter < 0:
+        raise ValueError("extra_jitter must be non-negative")
+    new_jitter = model.jitter + extra_jitter
+    d_min = model.min_distance if min_distance is None else min_distance
+    return event_model_from_parameters(
+        period=model.period, jitter=new_jitter, min_distance=d_min)
+
+
+def scale_period(model: EventModel, factor: float) -> EventModel:
+    """Return a model whose period is scaled by ``factor`` (rate change)."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return event_model_from_parameters(
+        period=model.period * factor,
+        jitter=model.jitter,
+        min_distance=model.min_distance * factor if model.min_distance else 0.0,
+    )
+
+
+def output_event_model(
+    input_model: EventModel,
+    best_case_response: float,
+    worst_case_response: float,
+    min_output_distance: float = 0.0,
+) -> EventModel:
+    """Derive the output event model of a component.
+
+    An event entering a component with the given ``input_model`` leaves it
+    between ``best_case_response`` and ``worst_case_response`` later.  The
+    output stream keeps the period and gains ``worst - best`` jitter.
+
+    Parameters
+    ----------
+    input_model:
+        Event model at the component input (activation of the task /
+        queuing of the message).
+    best_case_response, worst_case_response:
+        Response-time interval of the component (ms).
+    min_output_distance:
+        Physical lower bound on the output event distance, e.g. the frame
+        transmission time for a bus or the minimum execution time of the
+        sending task; keeps burst models realistic.
+    """
+    if worst_case_response < best_case_response:
+        raise ValueError(
+            "worst_case_response must be >= best_case_response "
+            f"({worst_case_response} < {best_case_response})")
+    response_interval = worst_case_response - best_case_response
+    return add_jitter(input_model, response_interval,
+                      min_distance=min_output_distance)
+
+
+def is_refinement(guaranteed: EventModel, required: EventModel,
+                  horizons: Sequence[float] | None = None) -> bool:
+    """Check whether a guaranteed event model satisfies a required one.
+
+    ``guaranteed`` refines ``required`` when every event trace admitted by
+    the guarantee is also admitted by the requirement, i.e. the guarantee is
+    *at most as bursty* as the requirement allows.  For the parameterised
+    standard event models this reduces to parameter comparisons, but we also
+    verify the arrival curves on a set of horizons to catch corner cases of
+    mixed model classes.
+
+    This is the check behind Figure 6 of the paper: the supplier guarantees a
+    send jitter, the OEM requires one; integration is safe when the guarantee
+    refines the requirement.
+    """
+    # Rates must agree: a different period means a genuinely different stream.
+    if abs(guaranteed.period - required.period) > 1e-9:
+        # A slower guaranteed stream (longer period) still satisfies an upper
+        # arrival-curve requirement, but receivers typically also rely on the
+        # lower curve (fresh data!), so periods must match exactly.
+        return False
+    if guaranteed.jitter > required.jitter + 1e-9:
+        return False
+    horizons = list(horizons) if horizons is not None else _default_horizons(required)
+    for dt in horizons:
+        if guaranteed.eta_plus(dt) > required.eta_plus(dt):
+            return False
+        if guaranteed.eta_minus(dt) < required.eta_minus(dt):
+            return False
+    return True
+
+
+def _default_horizons(model: EventModel) -> list[float]:
+    """Horizons covering sub-period, period and multi-period windows."""
+    period = model.period
+    base = [period * f for f in (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0,
+                                 10.0, 20.0)]
+    if model.jitter:
+        base.extend([model.jitter * f for f in (0.5, 1.0, 2.0)])
+    if model.min_distance:
+        base.append(model.min_distance)
+    return sorted({round(h, 9) for h in base if h > 0})
+
+
+def conservative_union(models: Iterable[EventModel]) -> EventModel:
+    """Smallest-parameter standard model that upper-bounds all inputs.
+
+    Used when a single requirement must cover several possible behaviours
+    (e.g. an OEM requirement that has to admit any of the candidate ECU
+    implementations): take the fastest period and the largest jitter.
+    """
+    models = list(models)
+    if not models:
+        raise ValueError("conservative_union requires at least one model")
+    period = min(m.period for m in models)
+    jitter = max(m.jitter for m in models)
+    min_distances = [m.min_distance for m in models if m.min_distance > 0]
+    min_distance = min(min_distances) if min_distances else 0.0
+    return event_model_from_parameters(period=period, jitter=jitter,
+                                       min_distance=min_distance)
+
+
+def combine_and(first: EventModel, second: EventModel) -> EventModel:
+    """AND-activation of two event streams (both inputs needed per event).
+
+    The resulting stream runs at the slower of the two rates; its jitter is
+    bounded by the sum of the input jitters (an event can only happen once
+    its later input has arrived).  This conservative combination is used for
+    tasks activated by the arrival of several messages.
+    """
+    period = max(first.period, second.period)
+    jitter = first.jitter + second.jitter
+    min_distance = max(first.min_distance, second.min_distance)
+    return event_model_from_parameters(period=period, jitter=jitter,
+                                       min_distance=min_distance)
+
+
+def combine_or(first: EventModel, second: EventModel) -> EventModel:
+    """OR-activation of two event streams (either input triggers an event).
+
+    The combined rate is the sum of the input rates.  We approximate the
+    result with a standard model whose period is the harmonic combination of
+    the input periods and whose jitter is the maximum input jitter; the
+    minimum distance collapses to zero because events of the two streams can
+    coincide.
+    """
+    rate = 1.0 / first.period + 1.0 / second.period
+    period = 1.0 / rate
+    jitter = max(first.jitter, second.jitter)
+    return event_model_from_parameters(period=period, jitter=jitter,
+                                       min_distance=0.0)
+
+
+def periodic(period: float) -> PeriodicEventModel:
+    """Convenience constructor for a strictly periodic model."""
+    return PeriodicEventModel(period=period)

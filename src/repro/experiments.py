@@ -1,0 +1,125 @@
+"""Canonical experiment configurations of the case study (Section 4).
+
+The paper evaluates the power-train bus under a small set of named
+interpretations that the figures refer back to:
+
+* the **best case**: no bus errors, no worst-case bit stuffing, deadlines
+  equal to the message periods;
+* the **worst case**: burst bus errors, worst-case bit stuffing, and the
+  minimum re-arrival time used as deadline;
+* intermediate interpretations with sporadic errors used in the sensitivity
+  discussion.
+
+Centralising them here keeps tests, examples and the per-figure benchmarks
+consistent: every curve of Figure 5 is one of these interpretations swept
+over the jitter axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.schedulability import SchedulabilityReport, analyze_schedulability
+from repro.can.bus import CanBus
+from repro.can.controller import ControllerModel
+from repro.can.kmatrix import KMatrix
+from repro.errors.models import BurstErrorModel, ErrorModel, NoErrors, SporadicErrorModel
+
+
+#: Jitter sweep of Figures 4 and 5: 0 % to 60 % of the period in 5 % steps.
+JITTER_SWEEP_FRACTIONS: tuple[float, ...] = tuple(
+    round(0.05 * i, 2) for i in range(13))
+
+#: Burst error model of the worst-case interpretation: EMI bursts of three
+#: corrupted frames at least every 50 ms (Punnekkat-style parameters).
+WORST_CASE_ERRORS = BurstErrorModel(
+    min_interarrival=50.0, burst_length=3, intra_burst_gap=0.5)
+
+#: Sporadic error model used by the intermediate experiments (MTBF-style).
+SPORADIC_ERRORS = SporadicErrorModel(min_interarrival=100.0)
+
+
+@dataclass(frozen=True)
+class ExperimentInterpretation:
+    """One named interpretation of the case-study analysis."""
+
+    name: str
+    bit_stuffing: bool
+    error_model: ErrorModel
+    deadline_policy: str
+    description: str = ""
+
+    def analyze(
+        self,
+        kmatrix: KMatrix,
+        bus: CanBus,
+        jitter_fraction: float,
+        controllers: Mapping[str, ControllerModel] | None = None,
+    ) -> SchedulabilityReport:
+        """Run the schedulability analysis under this interpretation."""
+        return analyze_schedulability(
+            kmatrix=kmatrix,
+            bus=bus.with_bit_stuffing(self.bit_stuffing),
+            error_model=self.error_model,
+            assumed_jitter_fraction=jitter_fraction,
+            deadline_policy=self.deadline_policy,
+            controllers=controllers,
+        )
+
+    def loss_curve(
+        self,
+        kmatrix: KMatrix,
+        bus: CanBus,
+        jitter_fractions: Sequence[float] = JITTER_SWEEP_FRACTIONS,
+        controllers: Mapping[str, ControllerModel] | None = None,
+    ) -> list[tuple[float, float]]:
+        """(jitter fraction, loss fraction) points -- one Figure-5 curve."""
+        curve = []
+        for fraction in jitter_fractions:
+            report = self.analyze(kmatrix, bus, fraction, controllers)
+            curve.append((fraction, report.loss_fraction))
+        return curve
+
+
+#: The benign interpretation: "When ignoring bus errors (best-case line) ..."
+BEST_CASE = ExperimentInterpretation(
+    name="best case",
+    bit_stuffing=False,
+    error_model=NoErrors(),
+    deadline_policy="period",
+    description="no bus errors, nominal frame lengths, period deadlines",
+)
+
+#: The strict interpretation: "In the worst case experiment we considered
+#: burst bus errors, bit stuffing, and the minimum re-arrival time as a
+#: deadline."
+WORST_CASE = ExperimentInterpretation(
+    name="worst case",
+    bit_stuffing=True,
+    error_model=WORST_CASE_ERRORS,
+    deadline_policy="min-rearrival",
+    description=("burst bus errors, worst-case bit stuffing, minimum "
+                 "re-arrival time as deadline"),
+)
+
+#: Intermediate interpretation used by the sensitivity experiments.
+SPORADIC_ERROR_CASE = ExperimentInterpretation(
+    name="sporadic errors",
+    bit_stuffing=True,
+    error_model=SPORADIC_ERRORS,
+    deadline_policy="period",
+    description="sporadic (MTBF-style) errors, bit stuffing, period deadlines",
+)
+
+#: Experiment 1 of Section 4: zero jitters, no errors.
+ZERO_JITTER_CASE = ExperimentInterpretation(
+    name="experiment 1 (zero jitter)",
+    bit_stuffing=True,
+    error_model=NoErrors(),
+    deadline_policy="period",
+    description="all unknown jitters assumed zero, no errors",
+)
+
+ALL_INTERPRETATIONS: tuple[ExperimentInterpretation, ...] = (
+    BEST_CASE, WORST_CASE, SPORADIC_ERROR_CASE, ZERO_JITTER_CASE)

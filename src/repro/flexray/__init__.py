@@ -1,0 +1,26 @@
+"""FlexRay / time-triggered (TimeTable) bus analysis.
+
+Section 5.2 mentions that the technology "is able to consider TimeTable
+activation of messages and tasks, typically found in the automotive
+industry".  The time-triggered counterpart of the CAN analysis is the static
+segment of FlexRay (or a TTCAN-style schedule): messages are assigned slots
+in a fixed communication cycle, and the timing question becomes slot-fitting
+plus the sampling delay between queuing and the next owned slot.
+
+* :mod:`repro.flexray.schedule` -- cycle/slot configuration, slot assignment
+  heuristics and schedule validation;
+* :mod:`repro.flexray.analysis` -- worst-case latency and jitter of messages
+  in the static segment, plus a comparison helper against CAN.
+"""
+
+from repro.flexray.schedule import FlexRayConfig, SlotAssignment, StaticSchedule, assign_slots
+from repro.flexray.analysis import FlexRayMessageTiming, analyze_static_segment
+
+__all__ = [
+    "FlexRayConfig",
+    "SlotAssignment",
+    "StaticSchedule",
+    "assign_slots",
+    "FlexRayMessageTiming",
+    "analyze_static_segment",
+]

@@ -1,0 +1,167 @@
+"""FlexRay static-segment schedule construction.
+
+The model is deliberately reduced to what the timing analysis needs: a
+communication cycle of fixed length, divided into equally sized static slots;
+each message owns one slot in some subset of the 64 cycles (its *cycle
+repetition*), which determines its effective period on the bus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+
+
+@dataclass(frozen=True)
+class FlexRayConfig:
+    """Physical configuration of the static segment.
+
+    Attributes
+    ----------
+    cycle_length:
+        Communication-cycle length in milliseconds (typically 5 ms).
+    static_slots:
+        Number of static slots per cycle.
+    slot_length:
+        Length of one static slot in milliseconds.
+    max_cycle_repetition:
+        Largest allowed cycle repetition (power of two up to 64).
+    """
+
+    cycle_length: float = 5.0
+    static_slots: int = 60
+    slot_length: float = 0.05
+    max_cycle_repetition: int = 64
+
+    def __post_init__(self) -> None:
+        if self.cycle_length <= 0 or self.slot_length <= 0:
+            raise ValueError("cycle_length and slot_length must be positive")
+        if self.static_slots < 1:
+            raise ValueError("static_slots must be at least 1")
+        if self.static_slots * self.slot_length > self.cycle_length + 1e-9:
+            raise ValueError("static slots do not fit into the cycle")
+        if self.max_cycle_repetition < 1 or (
+                self.max_cycle_repetition & (self.max_cycle_repetition - 1)):
+            raise ValueError("max_cycle_repetition must be a power of two")
+
+
+@dataclass(frozen=True)
+class SlotAssignment:
+    """One message's place in the static schedule."""
+
+    message: str
+    slot: int
+    base_cycle: int
+    cycle_repetition: int
+
+    @property
+    def effective_period(self) -> float:
+        """Placeholder -- filled in by :class:`StaticSchedule.effective_period`."""
+        return float(self.cycle_repetition)
+
+
+@dataclass
+class StaticSchedule:
+    """A complete static-segment schedule."""
+
+    config: FlexRayConfig
+    assignments: dict[str, SlotAssignment] = field(default_factory=dict)
+
+    def add(self, assignment: SlotAssignment) -> None:
+        """Add an assignment, checking slot/cycle collisions."""
+        if assignment.slot < 1 or assignment.slot > self.config.static_slots:
+            raise ValueError(
+                f"slot {assignment.slot} outside 1..{self.config.static_slots}")
+        if assignment.cycle_repetition < 1 or (
+                assignment.cycle_repetition & (assignment.cycle_repetition - 1)):
+            raise ValueError("cycle_repetition must be a power of two")
+        if assignment.cycle_repetition > self.config.max_cycle_repetition:
+            raise ValueError("cycle_repetition exceeds the configured maximum")
+        if not 0 <= assignment.base_cycle < assignment.cycle_repetition:
+            raise ValueError("base_cycle must be within 0..cycle_repetition-1")
+        for existing in self.assignments.values():
+            if existing.slot != assignment.slot:
+                continue
+            if self._cycles_collide(existing, assignment):
+                raise ValueError(
+                    f"slot {assignment.slot} already used by "
+                    f"{existing.message!r} in overlapping cycles")
+        self.assignments[assignment.message] = assignment
+
+    @staticmethod
+    def _cycles_collide(first: SlotAssignment, second: SlotAssignment) -> bool:
+        """Whether two assignments of the same slot share a cycle."""
+        repetition = math.gcd(first.cycle_repetition, second.cycle_repetition)
+        return first.base_cycle % repetition == second.base_cycle % repetition
+
+    def effective_period(self, message: str) -> float:
+        """Distance between two slots owned by the message (ms)."""
+        assignment = self.assignments[message]
+        return assignment.cycle_repetition * self.config.cycle_length
+
+    def slot_start_offset(self, message: str) -> float:
+        """Offset of the owned slot inside its cycle (ms)."""
+        assignment = self.assignments[message]
+        return (assignment.slot - 1) * self.config.slot_length
+
+    def utilization(self) -> float:
+        """Fraction of static slots actually owned per schedule round."""
+        if not self.assignments:
+            return 0.0
+        total_cycles = max(a.cycle_repetition for a in self.assignments.values())
+        owned = sum(total_cycles // a.cycle_repetition
+                    for a in self.assignments.values())
+        return owned / (self.config.static_slots * total_cycles)
+
+
+def _repetition_for_period(period: float, config: FlexRayConfig) -> int:
+    """Largest power-of-two repetition whose slot distance still meets the period."""
+    repetition = 1
+    while (repetition * 2 * config.cycle_length <= period
+           and repetition * 2 <= config.max_cycle_repetition):
+        repetition *= 2
+    return repetition
+
+
+def assign_slots(kmatrix: KMatrix | Sequence[CanMessage],
+                 config: FlexRayConfig | None = None) -> StaticSchedule:
+    """Greedy slot assignment for a message set migrated from CAN.
+
+    Messages are sorted by period (fastest first, mirroring their importance)
+    and placed into the first slot/base-cycle combination that is still free
+    and whose slot distance does not exceed the message period.  Raises
+    ``ValueError`` when the static segment is too small for the message set.
+    """
+    config = config or FlexRayConfig()
+    schedule = StaticSchedule(config=config)
+    messages = sorted(kmatrix, key=lambda m: (m.period, m.name))
+    for message in messages:
+        repetition = _repetition_for_period(message.period, config)
+        placed = False
+        while not placed:
+            for slot in range(1, config.static_slots + 1):
+                for base_cycle in range(repetition):
+                    candidate = SlotAssignment(
+                        message=message.name, slot=slot,
+                        base_cycle=base_cycle, cycle_repetition=repetition)
+                    try:
+                        schedule.add(candidate)
+                    except ValueError:
+                        continue
+                    placed = True
+                    break
+                if placed:
+                    break
+            if placed:
+                break
+            if repetition == 1:
+                raise ValueError(
+                    f"static segment exhausted: cannot place {message.name!r}")
+            # Fall back to sending more often (smaller repetition) only if
+            # that helps finding a free cycle; otherwise give up.
+            repetition //= 2
+    return schedule

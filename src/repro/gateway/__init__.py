@@ -1,0 +1,26 @@
+"""Gateway substrate: store-and-forward routing between buses.
+
+The case-study bus contains gateways, and Section 5 mentions "gatewaying
+strategies ... usually under the control of the OEMs" with tunable queue
+configurations.  This package models a gateway as a set of routes, each
+forwarding a message from a source bus to a destination bus through a queue
+served by a forwarding task; it provides worst-case forwarding latency and
+jitter, queue-length bounds, and the output event models the compositional
+engine injects into the destination bus analysis.
+"""
+
+from repro.gateway.model import (
+    ForwardingPolicy,
+    GatewayAnalysis,
+    GatewayModel,
+    GatewayRoute,
+    RouteLatency,
+)
+
+__all__ = [
+    "ForwardingPolicy",
+    "GatewayModel",
+    "GatewayRoute",
+    "GatewayAnalysis",
+    "RouteLatency",
+]

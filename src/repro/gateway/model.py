@@ -1,0 +1,228 @@
+"""Gateway routes, queues and their worst-case forwarding behaviour.
+
+A gateway receives a message on one bus, optionally re-packs its signals, and
+queues a corresponding message on another bus.  Timing-wise each route adds
+
+* the forwarding-task latency (periodic polling or event-driven copy);
+* queuing delay when several routes share one output queue;
+* additional jitter equal to the width of the forwarding-latency interval.
+
+The analysis here is deliberately conservative and closed-form so that it can
+run inside the compositional fixed-point of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping, Sequence
+
+from repro.events.model import EventModel
+from repro.events.operations import add_jitter, output_event_model
+
+
+class ForwardingPolicy(str, Enum):
+    """How the gateway transfers a received message to the output queue."""
+
+    #: A periodic gateway task polls the receive buffers every ``period``.
+    PERIODIC_POLLING = "periodic-polling"
+
+    #: The receive interrupt copies the frame immediately (event-driven).
+    EVENT_DRIVEN = "event-driven"
+
+
+@dataclass(frozen=True)
+class GatewayRoute:
+    """One forwarding relation of a gateway."""
+
+    source_message: str
+    destination_message: str
+    source_bus: str
+    destination_bus: str
+    queue: str = "default"
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        return (f"{self.source_message}@{self.source_bus} -> "
+                f"{self.destination_message}@{self.destination_bus} "
+                f"[queue {self.queue}]")
+
+
+@dataclass(frozen=True)
+class RouteLatency:
+    """Worst-case forwarding behaviour of one route."""
+
+    route: GatewayRoute
+    best_case: float
+    worst_case: float
+    queue_length_bound: int
+
+    @property
+    def added_jitter(self) -> float:
+        """Jitter the gateway adds to the forwarded stream."""
+        return self.worst_case - self.best_case
+
+
+@dataclass
+class GatewayModel:
+    """A gateway ECU: routes plus forwarding configuration.
+
+    Attributes
+    ----------
+    name:
+        Gateway ECU name (matches the K-Matrix sender of forwarded messages).
+    routes:
+        Forwarding relations.
+    policy:
+        Polling or event-driven forwarding.
+    polling_period:
+        Period of the forwarding task (ms); only used for periodic polling.
+    copy_time:
+        CPU time to copy one frame between controllers (ms).
+    queue_capacities:
+        Maximum number of frames each named output queue can hold; used to
+        check the queue-length bounds computed by the analysis.
+    """
+
+    name: str
+    routes: list[GatewayRoute] = field(default_factory=list)
+    policy: ForwardingPolicy = ForwardingPolicy.PERIODIC_POLLING
+    polling_period: float = 5.0
+    copy_time: float = 0.05
+    queue_capacities: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.polling_period <= 0:
+            raise ValueError("polling_period must be positive")
+        if self.copy_time < 0:
+            raise ValueError("copy_time must be non-negative")
+        destinations = [route.destination_message for route in self.routes]
+        if len(destinations) != len(set(destinations)):
+            raise ValueError(
+                f"gateway {self.name!r}: a destination message appears in "
+                "more than one route")
+
+    def routes_through_queue(self, queue: str) -> list[GatewayRoute]:
+        """All routes sharing the given output queue."""
+        return [route for route in self.routes if route.queue == queue]
+
+    def route_for_destination(self, destination_message: str) -> GatewayRoute:
+        """The route producing the given destination message."""
+        for route in self.routes:
+            if route.destination_message == destination_message:
+                return route
+        raise KeyError(destination_message)
+
+    def add_route(self, route: GatewayRoute) -> None:
+        """Add a forwarding relation, re-validating the gateway."""
+        self.routes.append(route)
+        try:
+            self.__post_init__()
+        except ValueError:
+            self.routes.pop()
+            raise
+
+
+class GatewayAnalysis:
+    """Worst-case forwarding latency, jitter and queue bounds of a gateway."""
+
+    def __init__(self, gateway: GatewayModel) -> None:
+        self.gateway = gateway
+
+    def _forwarding_interval(self, pending_frames: int) -> tuple[float, float]:
+        """Best/worst-case latency to move one frame into the output queue."""
+        copy = self.gateway.copy_time
+        if self.gateway.policy == ForwardingPolicy.EVENT_DRIVEN:
+            best = copy
+            worst = copy * max(pending_frames, 1)
+            return best, worst
+        # Periodic polling: the frame may arrive right after a polling point
+        # and then waits a full period; the poller copies all pending frames.
+        best = copy
+        worst = self.gateway.polling_period + copy * max(pending_frames, 1)
+        return best, worst
+
+    def route_latency(
+        self,
+        route: GatewayRoute,
+        arrival_models: Mapping[str, EventModel],
+    ) -> RouteLatency:
+        """Forwarding latency of one route given arrival models at the gateway.
+
+        Parameters
+        ----------
+        route:
+            The route to analyse.
+        arrival_models:
+            Event models of the *source* messages as they arrive at the
+            gateway (typically the bus-analysis output models), keyed by
+            source message name.
+        """
+        shared = self.gateway.routes_through_queue(route.queue)
+        # Worst case: every route of the shared queue has a frame pending.
+        pending = len(shared)
+        best, worst = self._forwarding_interval(pending)
+
+        # Queue length bound: frames that can pile up between two services.
+        service_interval = (self.gateway.polling_period
+                            if self.gateway.policy == ForwardingPolicy.PERIODIC_POLLING
+                            else self.gateway.copy_time * pending)
+        queue_bound = 0
+        for other in shared:
+            model = arrival_models.get(other.source_message)
+            if model is None:
+                queue_bound += 1
+            else:
+                queue_bound += model.eta_plus(service_interval)
+        capacity = self.gateway.queue_capacities.get(route.queue)
+        if capacity is not None and queue_bound > capacity:
+            # Overflow is a correctness problem; surface it as unbounded
+            # latency so the system-level analysis flags the route.
+            worst = math.inf
+        return RouteLatency(route=route, best_case=best, worst_case=worst,
+                            queue_length_bound=queue_bound)
+
+    def output_event_models(
+        self,
+        arrival_models: Mapping[str, EventModel],
+        min_output_distance: float = 0.0,
+    ) -> dict[str, EventModel]:
+        """Event models of the forwarded (destination) messages.
+
+        Each forwarded stream keeps the period of its source stream and gains
+        the forwarding-latency interval as additional jitter.  Routes whose
+        source model is unknown are skipped (the caller falls back to the
+        K-Matrix parameters).
+        """
+        models: dict[str, EventModel] = {}
+        for route in self.gateway.routes:
+            source_model = arrival_models.get(route.source_message)
+            if source_model is None:
+                continue
+            latency = self.route_latency(route, arrival_models)
+            if math.isinf(latency.worst_case):
+                # Queue overflow: represent as a very bursty stream so the
+                # downstream analysis sees the overload instead of silently
+                # using optimistic numbers.
+                models[route.destination_message] = add_jitter(
+                    source_model, source_model.period * 10.0,
+                    min_distance=min_output_distance)
+                continue
+            models[route.destination_message] = output_event_model(
+                input_model=source_model,
+                best_case_response=latency.best_case,
+                worst_case_response=latency.worst_case,
+                min_output_distance=min_output_distance,
+            )
+        return models
+
+    def analyze_all(
+        self,
+        arrival_models: Mapping[str, EventModel],
+    ) -> dict[str, RouteLatency]:
+        """Latency results for every route, keyed by destination message."""
+        return {
+            route.destination_message: self.route_latency(route, arrival_models)
+            for route in self.gateway.routes
+        }

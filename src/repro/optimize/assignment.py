@@ -1,0 +1,125 @@
+"""Deterministic priority-assignment baselines.
+
+The genetic optimizer of the paper competes against (and is seeded with)
+classical assignments:
+
+* rate-monotonic: faster messages get lower identifiers;
+* deadline-monotonic: shorter deadlines get lower identifiers;
+* Audsley's optimal priority assignment (OPA): provably finds a feasible
+  assignment whenever one exists for analyses (like CAN response-time
+  analysis) where a message's response time depends only on the *set* of
+  higher-priority messages, not their relative order.
+
+All assignments permute the identifier pool already present in the K-Matrix,
+so the optimized matrix stays within the identifier ranges the OEM owns.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.schedulability import analyze_schedulability
+from repro.can.bus import CanBus
+from repro.can.controller import ControllerModel
+from repro.can.kmatrix import KMatrix
+from repro.errors.models import ErrorModel
+from repro.optimize.objectives import AnalysisScenario
+
+
+def _reassign(kmatrix: KMatrix, ordered_names: Sequence[str]) -> KMatrix:
+    """Give the i-th name in ``ordered_names`` the i-th smallest identifier."""
+    id_pool = sorted(message.can_id for message in kmatrix)
+    if len(ordered_names) != len(id_pool):
+        raise ValueError("ordered_names must cover every message exactly once")
+    mapping = {name: can_id for name, can_id in zip(ordered_names, id_pool)}
+    return kmatrix.with_priorities(mapping)
+
+
+def rate_monotonic_assignment(kmatrix: KMatrix) -> KMatrix:
+    """Re-assign identifiers so that shorter periods get higher priority."""
+    ordered = sorted(kmatrix, key=lambda m: (m.period, m.name))
+    return _reassign(kmatrix, [m.name for m in ordered])
+
+
+def deadline_monotonic_assignment(kmatrix: KMatrix,
+                                  deadline_policy: str = "explicit") -> KMatrix:
+    """Re-assign identifiers so that shorter deadlines get higher priority."""
+    ordered = sorted(
+        kmatrix,
+        key=lambda m: (m.effective_deadline(policy=deadline_policy), m.name))
+    return _reassign(kmatrix, [m.name for m in ordered])
+
+
+def audsley_assignment(
+    kmatrix: KMatrix,
+    scenario: AnalysisScenario,
+) -> tuple[KMatrix, bool]:
+    """Audsley's optimal priority assignment against one scenario.
+
+    Starting from the lowest priority level, find any message that is
+    schedulable at that level assuming all still-unassigned messages have
+    higher priority; fix it there and recurse upwards.  If at some level no
+    message fits, no fixed-priority assignment is feasible for this scenario.
+
+    Returns the (possibly partially improved) matrix and a feasibility flag.
+    When infeasible, the returned matrix assigns the remaining messages in
+    deadline-monotonic order so the result is still a complete, valid matrix.
+    """
+    id_pool = sorted(message.can_id for message in kmatrix)
+    unassigned = [m.name for m in kmatrix]
+    assignment: dict[str, int] = {}
+    feasible = True
+
+    # Walk identifier pool from the numerically largest (lowest priority).
+    for can_id in reversed(id_pool):
+        placed = None
+        for candidate in sorted(
+                unassigned,
+                key=lambda n: -kmatrix.get(n).effective_deadline(policy="explicit")):
+            trial_mapping = dict(assignment)
+            trial_mapping[candidate] = can_id
+            # Unassigned messages (other than the candidate) get the remaining
+            # (higher-priority) identifiers in an arbitrary but valid order.
+            remaining_ids = [i for i in id_pool
+                             if i not in trial_mapping.values()]
+            remaining_names = [n for n in unassigned if n != candidate]
+            for name, ident in zip(remaining_names, remaining_ids):
+                trial_mapping[name] = ident
+            trial_matrix = kmatrix.with_priorities(trial_mapping)
+            report = scenario.analyze(trial_matrix)
+            if report.verdict_for(candidate).meets_deadline:
+                placed = candidate
+                break
+        if placed is None:
+            feasible = False
+            break
+        assignment[placed] = can_id
+        unassigned.remove(placed)
+
+    if unassigned:
+        # Infeasible (or aborted): fill the remaining slots deadline-monotonic.
+        remaining_ids = sorted(i for i in id_pool
+                               if i not in assignment.values())
+        remaining_sorted = sorted(
+            unassigned,
+            key=lambda n: (kmatrix.get(n).effective_deadline(policy="explicit"),
+                           n))
+        for name, ident in zip(remaining_sorted, remaining_ids):
+            assignment[name] = ident
+    return kmatrix.with_priorities(assignment), feasible
+
+
+def is_feasible(
+    kmatrix: KMatrix,
+    bus: CanBus,
+    error_model: ErrorModel | None = None,
+    assumed_jitter_fraction: float = 0.0,
+    deadline_policy: str = "period",
+    controllers: Mapping[str, ControllerModel] | None = None,
+) -> bool:
+    """Convenience wrapper: does this matrix meet all deadlines here?"""
+    report = analyze_schedulability(
+        kmatrix=kmatrix, bus=bus, error_model=error_model,
+        assumed_jitter_fraction=assumed_jitter_fraction,
+        deadline_policy=deadline_policy, controllers=controllers)
+    return report.all_deadlines_met

@@ -1,0 +1,80 @@
+"""Plain-text table formatting used by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a simple fixed-width table.
+
+    Numbers are formatted with three decimals, percentages (floats in 0..1
+    when the header ends in ``%``) are scaled, everything else is ``str()``.
+    """
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for header, cell in zip(headers, row):
+            if isinstance(cell, float):
+                if header.strip().endswith("%"):
+                    rendered.append(f"{cell * 100:.1f}")
+                else:
+                    rendered.append(f"{cell:.3f}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_to_rows(series: Mapping[str, Sequence[tuple[float, float]]],
+                   ) -> list[list[object]]:
+    """Merge named (x, y) series into rows sharing the x column.
+
+    All series must be sampled at the same x values (the benchmarks sweep a
+    common jitter axis), which is validated.
+    """
+    names = list(series)
+    if not names:
+        return []
+    xs = [x for x, _ in series[names[0]]]
+    for name in names[1:]:
+        other_xs = [x for x, _ in series[name]]
+        if other_xs != xs:
+            raise ValueError(f"series {name!r} is sampled at different x values")
+    rows: list[list[object]] = []
+    for index, x in enumerate(xs):
+        row: list[object] = [x]
+        for name in names:
+            row.append(series[name][index][1])
+        rows.append(row)
+    return rows
+
+
+def format_loss_curves(series: Mapping[str, Sequence[tuple[float, float]]],
+                       title: str = "Message loss vs. jitter") -> str:
+    """Figure-5 style table: jitter fraction column plus one loss column per curve."""
+    headers = ["jitter %"] + [f"{name} %" for name in series]
+    rows = series_to_rows(series)
+    # The x column is also a fraction: scale it like the loss columns.
+    return format_table(headers, rows, title=title)
+
+
+def format_sensitivity_table(curves: Mapping[str, Sequence[tuple[float, float]]],
+                             title: str = "Response time vs. jitter") -> str:
+    """Figure-4 style table: jitter fraction column plus response-time columns."""
+    headers = ["jitter %"] + [f"{name} [ms]" for name in curves]
+    rows = series_to_rows(curves)
+    return format_table(headers, rows, title=title)

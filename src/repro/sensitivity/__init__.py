@@ -1,0 +1,46 @@
+"""Sensitivity and robustness analysis (Section 4.1 of the paper).
+
+"We repeated these experiments, and within minutes we determined how message
+response times vary over several jitter and error distributions.  We found
+out that some messages are relatively sensitive to jitters and errors, while
+others are quite robust."
+
+This package provides:
+
+* jitter-sensitivity curves (response time as a function of assumed jitter,
+  Figure 4) with the robust / medium / sensitive / very-sensitive
+  classification;
+* error-sensitivity curves (response time as a function of the error rate);
+* slack-based robustness metrics and binary-search for the maximum jitter a
+  message (or the whole bus) can tolerate -- the numbers an OEM turns into
+  supplier requirements (Section 5).
+"""
+
+from repro.sensitivity.jitter import (
+    JitterSensitivityCurve,
+    SensitivityClass,
+    classify_curve,
+    jitter_sensitivity,
+    jitter_sensitivity_all,
+)
+from repro.sensitivity.error import ErrorSensitivityCurve, error_sensitivity
+from repro.sensitivity.robustness import (
+    MaxJitterResult,
+    max_tolerable_jitter_fraction,
+    max_tolerable_jitter_per_message,
+    robustness_metrics,
+)
+
+__all__ = [
+    "SensitivityClass",
+    "JitterSensitivityCurve",
+    "jitter_sensitivity",
+    "jitter_sensitivity_all",
+    "classify_curve",
+    "ErrorSensitivityCurve",
+    "error_sensitivity",
+    "MaxJitterResult",
+    "max_tolerable_jitter_fraction",
+    "max_tolerable_jitter_per_message",
+    "robustness_metrics",
+]

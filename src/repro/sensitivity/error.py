@@ -1,0 +1,130 @@
+"""Error-sensitivity analysis.
+
+The paper reports that "similar results have been obtained for
+error-sensitivity": response times of some messages grow quickly as the bus
+error rate increases while others barely react.  The sweep variable here is
+the error inter-arrival time (smaller = more errors); the curve records the
+worst-case response time per error rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.response_time import CanBusAnalysis
+from repro.can.bus import CanBus
+from repro.can.controller import ControllerModel
+from repro.can.kmatrix import KMatrix
+from repro.errors.models import BurstErrorModel, ErrorModel, SporadicErrorModel
+
+
+#: Default error inter-arrival sweep in milliseconds, from "practically error
+#: free" down to "heavily disturbed".
+DEFAULT_ERROR_INTERARRIVALS_MS: tuple[float, ...] = (
+    1000.0, 500.0, 200.0, 100.0, 50.0, 20.0, 10.0, 5.0)
+
+
+@dataclass(frozen=True)
+class ErrorSensitivityCurve:
+    """Response time of one message as a function of the error rate."""
+
+    name: str
+    error_interarrivals: tuple[float, ...]
+    response_times: tuple[float, ...]
+    period: float
+    deadline: float
+    model_kind: str = "sporadic"
+
+    @property
+    def baseline(self) -> float:
+        """Response time at the largest (most benign) inter-arrival time."""
+        return self.response_times[0]
+
+    @property
+    def absolute_increase(self) -> float:
+        """Response-time growth from the most benign to the harshest point."""
+        final = self.response_times[-1]
+        if math.isinf(final):
+            return math.inf
+        return final - self.baseline
+
+    def first_violation_interarrival(self) -> float | None:
+        """Largest error inter-arrival at which the deadline is already missed."""
+        for interarrival, response in zip(self.error_interarrivals,
+                                          self.response_times):
+            if response > self.deadline + 1e-9:
+                return interarrival
+        return None
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        """(error inter-arrival, response time) rows for reporting."""
+        return list(zip(self.error_interarrivals, self.response_times))
+
+
+def _model_for(interarrival: float, kind: str) -> ErrorModel:
+    """Build the error model for one sweep point."""
+    if kind == "sporadic":
+        return SporadicErrorModel(min_interarrival=interarrival)
+    if kind == "burst":
+        return BurstErrorModel(min_interarrival=interarrival,
+                               burst_length=3,
+                               intra_burst_gap=min(0.5, interarrival / 10.0))
+    raise ValueError(f"unknown error model kind {kind!r}")
+
+
+def error_sensitivity(
+    message_names: Sequence[str] | None,
+    kmatrix: KMatrix,
+    bus: CanBus,
+    error_interarrivals: Sequence[float] = DEFAULT_ERROR_INTERARRIVALS_MS,
+    model_kind: str = "sporadic",
+    assumed_jitter_fraction: float = 0.0,
+    deadline_policy: str = "period",
+    controllers: Mapping[str, ControllerModel] | None = None,
+) -> dict[str, ErrorSensitivityCurve]:
+    """Error-sensitivity curves for the named messages (or all of them).
+
+    Parameters
+    ----------
+    message_names:
+        Names to analyse; ``None`` analyses every message in the K-Matrix.
+    error_interarrivals:
+        Error (or error-burst) minimum inter-arrival times in milliseconds,
+        swept from benign to harsh.
+    model_kind:
+        ``"sporadic"`` or ``"burst"``.
+    """
+    names = list(message_names) if message_names is not None else [
+        m.name for m in kmatrix]
+    per_point_results = []
+    for interarrival in error_interarrivals:
+        analysis = CanBusAnalysis(
+            kmatrix=kmatrix, bus=bus,
+            error_model=_model_for(interarrival, model_kind),
+            assumed_jitter_fraction=assumed_jitter_fraction,
+            controllers=controllers)
+        per_point_results.append(analysis.analyze_all())
+
+    reference = CanBusAnalysis(
+        kmatrix=kmatrix, bus=bus,
+        error_model=_model_for(error_interarrivals[0], model_kind),
+        assumed_jitter_fraction=assumed_jitter_fraction,
+        controllers=controllers)
+
+    curves: dict[str, ErrorSensitivityCurve] = {}
+    for name in names:
+        message = kmatrix.get(name)
+        responses = tuple(result[name].worst_case for result in per_point_results)
+        deadline = message.effective_deadline(
+            policy=deadline_policy, jitter=reference.jitter(message))
+        curves[name] = ErrorSensitivityCurve(
+            name=name,
+            error_interarrivals=tuple(error_interarrivals),
+            response_times=responses,
+            period=message.period,
+            deadline=deadline,
+            model_kind=model_kind,
+        )
+    return curves

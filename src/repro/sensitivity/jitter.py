@@ -1,0 +1,213 @@
+"""Jitter-sensitivity analysis (Figure 4).
+
+For every message, sweep the assumed send jitter (as a percentage of each
+message's period, exactly like the paper) and record the worst-case response
+time.  A message whose response time grows quickly with jitter is
+*sensitive*; one whose response time stays flat is *robust*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping, Sequence
+
+from repro.analysis.response_time import CanBusAnalysis
+from repro.can.bus import CanBus
+from repro.can.controller import ControllerModel
+from repro.can.kmatrix import KMatrix
+from repro.errors.models import ErrorModel
+
+
+#: Default jitter sweep matching the x-axis of Figures 4 and 5 (0..60 %).
+DEFAULT_JITTER_FRACTIONS: tuple[float, ...] = tuple(
+    round(0.05 * i, 2) for i in range(13))
+
+
+class SensitivityClass(str, Enum):
+    """Qualitative classification used in Figure 4."""
+
+    ROBUST = "robust"
+    MEDIUM = "medium sensitivity"
+    SENSITIVE = "sensitive"
+    VERY_SENSITIVE = "very sensitive"
+
+
+@dataclass(frozen=True)
+class JitterSensitivityCurve:
+    """Response time of one message as a function of the assumed jitter."""
+
+    name: str
+    jitter_fractions: tuple[float, ...]
+    response_times: tuple[float, ...]
+    period: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if len(self.jitter_fractions) != len(self.response_times):
+            raise ValueError("jitter_fractions and response_times must align")
+
+    @property
+    def baseline(self) -> float:
+        """Response time at the smallest analysed jitter."""
+        return self.response_times[0]
+
+    @property
+    def final(self) -> float:
+        """Response time at the largest analysed jitter."""
+        return self.response_times[-1]
+
+    @property
+    def absolute_increase(self) -> float:
+        """Total response-time growth over the sweep (ms)."""
+        if math.isinf(self.final):
+            return math.inf
+        return self.final - self.baseline
+
+    @property
+    def relative_increase(self) -> float:
+        """Response-time growth relative to the baseline."""
+        if self.baseline <= 0:
+            return math.inf
+        return self.absolute_increase / self.baseline
+
+    @property
+    def normalized_slope(self) -> float:
+        """Average response-time growth per unit of jitter fraction,
+        normalised by the message period (dimensionless).
+
+        A value of 1.0 means the response time grows exactly as fast as the
+        injected jitter; values well below 1 indicate robustness, values
+        above 1 indicate amplification through interference.
+        """
+        span = self.jitter_fractions[-1] - self.jitter_fractions[0]
+        if span <= 0 or self.period <= 0:
+            return math.inf
+        if math.isinf(self.absolute_increase):
+            return math.inf
+        return (self.absolute_increase / self.period) / span
+
+    def first_violation_fraction(self) -> float | None:
+        """Smallest analysed jitter fraction at which the deadline is missed."""
+        for fraction, response in zip(self.jitter_fractions, self.response_times):
+            if response > self.deadline + 1e-9:
+                return fraction
+        return None
+
+    def classification(self) -> SensitivityClass:
+        """Qualitative class of this curve (see :func:`classify_curve`)."""
+        return classify_curve(self)
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        """(jitter fraction, response time) rows for reporting."""
+        return list(zip(self.jitter_fractions, self.response_times))
+
+
+def classify_curve(curve: JitterSensitivityCurve,
+                   robust_slope: float = 0.25,
+                   medium_slope: float = 0.75,
+                   sensitive_slope: float = 1.5) -> SensitivityClass:
+    """Classify a sensitivity curve by its normalised slope.
+
+    The thresholds translate the qualitative bands of Figure 4 into slope
+    ranges: a robust message gains well under one period of response time per
+    period of injected jitter; a very sensitive one amplifies the jitter
+    through preemption by other (also jittering) messages.
+    """
+    slope = curve.normalized_slope
+    if slope <= robust_slope:
+        return SensitivityClass.ROBUST
+    if slope <= medium_slope:
+        return SensitivityClass.MEDIUM
+    if slope <= sensitive_slope:
+        return SensitivityClass.SENSITIVE
+    return SensitivityClass.VERY_SENSITIVE
+
+
+def jitter_sensitivity(
+    message_name: str,
+    kmatrix: KMatrix,
+    bus: CanBus,
+    jitter_fractions: Sequence[float] = DEFAULT_JITTER_FRACTIONS,
+    error_model: ErrorModel | None = None,
+    deadline_policy: str = "period",
+    controllers: Mapping[str, ControllerModel] | None = None,
+) -> JitterSensitivityCurve:
+    """Sensitivity curve of a single message.
+
+    The assumed jitter fraction is applied to *all* messages with unknown
+    jitter (the global what-if experiment of the paper), so the curve of one
+    message reflects both its own jitter and the increased interference from
+    the others.
+    """
+    message = kmatrix.get(message_name)
+    responses = []
+    for fraction in jitter_fractions:
+        analysis = CanBusAnalysis(
+            kmatrix=kmatrix, bus=bus, error_model=error_model,
+            assumed_jitter_fraction=fraction, controllers=controllers)
+        responses.append(analysis.response_time(message).worst_case)
+    reference = CanBusAnalysis(
+        kmatrix=kmatrix, bus=bus, error_model=error_model,
+        assumed_jitter_fraction=jitter_fractions[0], controllers=controllers)
+    deadline = message.effective_deadline(
+        policy=deadline_policy, jitter=reference.jitter(message))
+    return JitterSensitivityCurve(
+        name=message_name,
+        jitter_fractions=tuple(jitter_fractions),
+        response_times=tuple(responses),
+        period=message.period,
+        deadline=deadline,
+    )
+
+
+def jitter_sensitivity_all(
+    kmatrix: KMatrix,
+    bus: CanBus,
+    jitter_fractions: Sequence[float] = DEFAULT_JITTER_FRACTIONS,
+    error_model: ErrorModel | None = None,
+    deadline_policy: str = "period",
+    controllers: Mapping[str, ControllerModel] | None = None,
+) -> dict[str, JitterSensitivityCurve]:
+    """Sensitivity curves of every message, sharing the analysis sweep.
+
+    Running all messages together re-uses one :class:`CanBusAnalysis` per
+    jitter point, which keeps the full-matrix sweep in the "within minutes"
+    envelope the paper emphasises.
+    """
+    per_point_results = []
+    for fraction in jitter_fractions:
+        analysis = CanBusAnalysis(
+            kmatrix=kmatrix, bus=bus, error_model=error_model,
+            assumed_jitter_fraction=fraction, controllers=controllers)
+        per_point_results.append(analysis.analyze_all())
+
+    curves: dict[str, JitterSensitivityCurve] = {}
+    reference = CanBusAnalysis(
+        kmatrix=kmatrix, bus=bus, error_model=error_model,
+        assumed_jitter_fraction=jitter_fractions[0], controllers=controllers)
+    for message in kmatrix:
+        responses = tuple(result[message.name].worst_case
+                          for result in per_point_results)
+        deadline = message.effective_deadline(
+            policy=deadline_policy, jitter=reference.jitter(message))
+        curves[message.name] = JitterSensitivityCurve(
+            name=message.name,
+            jitter_fractions=tuple(jitter_fractions),
+            response_times=responses,
+            period=message.period,
+            deadline=deadline,
+        )
+    return curves
+
+
+def classify_all(curves: Mapping[str, JitterSensitivityCurve],
+                 ) -> dict[SensitivityClass, list[str]]:
+    """Group message names by sensitivity class (the legend of Figure 4)."""
+    groups: dict[SensitivityClass, list[str]] = {c: [] for c in SensitivityClass}
+    for name, curve in curves.items():
+        groups[curve.classification()].append(name)
+    for names in groups.values():
+        names.sort()
+    return groups

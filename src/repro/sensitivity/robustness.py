@@ -1,0 +1,165 @@
+"""Robustness metrics and maximum-tolerable-jitter search.
+
+Section 5 of the paper: once the sensitivity analysis has been conducted,
+"jitter constraints for the most critical (or sensitive) messages can be
+formulated as requirements for ECU suppliers".  The functions here compute
+exactly those constraints: the largest jitter (global, or per message) for
+which the bus still meets all deadlines, found by binary search over the
+schedulability analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.schedulability import SchedulabilityReport, analyze_schedulability
+from repro.can.bus import CanBus
+from repro.can.controller import ControllerModel
+from repro.can.kmatrix import KMatrix
+from repro.errors.models import ErrorModel
+
+
+@dataclass(frozen=True)
+class MaxJitterResult:
+    """Result of a maximum-tolerable-jitter search."""
+
+    scope: str
+    max_feasible_fraction: float
+    first_infeasible_fraction: float
+    iterations: int
+
+    @property
+    def max_feasible_percent(self) -> float:
+        """Maximum tolerable jitter in percent of the message period(s)."""
+        return self.max_feasible_fraction * 100.0
+
+    def describe(self) -> str:
+        """One-line summary used in requirement documents."""
+        return (f"{self.scope}: tolerates jitters up to "
+                f"{self.max_feasible_percent:.1f} % of the period")
+
+
+def _is_feasible(
+    kmatrix: KMatrix,
+    bus: CanBus,
+    jitter_fraction: float,
+    error_model: ErrorModel | None,
+    deadline_policy: str,
+    controllers: Mapping[str, ControllerModel] | None,
+) -> bool:
+    """Whether all deadlines are met at the given global jitter fraction."""
+    report = analyze_schedulability(
+        kmatrix=kmatrix, bus=bus, error_model=error_model,
+        assumed_jitter_fraction=jitter_fraction,
+        deadline_policy=deadline_policy, controllers=controllers)
+    return report.all_deadlines_met
+
+
+def max_tolerable_jitter_fraction(
+    kmatrix: KMatrix,
+    bus: CanBus,
+    error_model: ErrorModel | None = None,
+    deadline_policy: str = "period",
+    controllers: Mapping[str, ControllerModel] | None = None,
+    upper_bound: float = 1.0,
+    tolerance: float = 0.005,
+) -> MaxJitterResult:
+    """Largest global jitter fraction at which no deadline is missed.
+
+    Binary search between 0 and ``upper_bound``; returns the boundary with a
+    resolution of ``tolerance`` (0.5 % of the period by default).  If even
+    zero jitter is infeasible both bounds are zero; if the system tolerates
+    ``upper_bound`` the first infeasible fraction is reported as infinity.
+    """
+    if not _is_feasible(kmatrix, bus, 0.0, error_model, deadline_policy,
+                        controllers):
+        return MaxJitterResult(scope="bus", max_feasible_fraction=0.0,
+                               first_infeasible_fraction=0.0, iterations=1)
+    if _is_feasible(kmatrix, bus, upper_bound, error_model, deadline_policy,
+                    controllers):
+        return MaxJitterResult(scope="bus", max_feasible_fraction=upper_bound,
+                               first_infeasible_fraction=math.inf, iterations=2)
+    low, high = 0.0, upper_bound
+    iterations = 2
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        iterations += 1
+        if _is_feasible(kmatrix, bus, mid, error_model, deadline_policy,
+                        controllers):
+            low = mid
+        else:
+            high = mid
+    return MaxJitterResult(scope="bus", max_feasible_fraction=low,
+                           first_infeasible_fraction=high,
+                           iterations=iterations)
+
+
+def max_tolerable_jitter_per_message(
+    kmatrix: KMatrix,
+    bus: CanBus,
+    error_model: ErrorModel | None = None,
+    deadline_policy: str = "period",
+    controllers: Mapping[str, ControllerModel] | None = None,
+    background_jitter_fraction: float = 0.0,
+    upper_bound: float = 2.0,
+    tolerance: float = 0.01,
+) -> dict[str, MaxJitterResult]:
+    """Per-message jitter budgets with the rest of the bus held fixed.
+
+    For each message, all other messages keep ``background_jitter_fraction``
+    (or their known jitter) while the jitter of the message under study is
+    increased until some deadline on the bus is missed.  The result is the
+    jitter requirement the OEM can put into that message's supplier
+    specification.
+    """
+    results: dict[str, MaxJitterResult] = {}
+    for message in kmatrix:
+        def feasible_at(fraction: float, name: str = message.name) -> bool:
+            probe = kmatrix.map_messages(
+                lambda m: m.with_jitter(fraction * m.period)
+                if m.name == name else m)
+            probe = probe.with_assumed_jitters(background_jitter_fraction)
+            report = analyze_schedulability(
+                kmatrix=probe, bus=bus, error_model=error_model,
+                assumed_jitter_fraction=background_jitter_fraction,
+                deadline_policy=deadline_policy, controllers=controllers)
+            return report.all_deadlines_met
+
+        if not feasible_at(0.0):
+            results[message.name] = MaxJitterResult(
+                scope=message.name, max_feasible_fraction=0.0,
+                first_infeasible_fraction=0.0, iterations=1)
+            continue
+        if feasible_at(upper_bound):
+            results[message.name] = MaxJitterResult(
+                scope=message.name, max_feasible_fraction=upper_bound,
+                first_infeasible_fraction=math.inf, iterations=2)
+            continue
+        low, high = 0.0, upper_bound
+        iterations = 2
+        while high - low > tolerance:
+            mid = (low + high) / 2.0
+            iterations += 1
+            if feasible_at(mid):
+                low = mid
+            else:
+                high = mid
+        results[message.name] = MaxJitterResult(
+            scope=message.name, max_feasible_fraction=low,
+            first_infeasible_fraction=high, iterations=iterations)
+    return results
+
+
+def robustness_metrics(report: SchedulabilityReport) -> dict[str, float]:
+    """Aggregate robustness indicators of one configuration.
+
+    Returns the metrics the optimizer trades off: total positive slack,
+    worst normalised slack, and the loss fraction.
+    """
+    return {
+        "loss_fraction": report.loss_fraction,
+        "total_slack_ms": report.total_slack,
+        "worst_normalized_slack": report.worst_normalized_slack,
+    }

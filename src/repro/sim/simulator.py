@@ -1,0 +1,269 @@
+"""Discrete-event simulation of one CAN bus.
+
+The simulator models exactly the effects the response-time analysis bounds:
+
+* non-preemptive fixed-priority arbitration by CAN identifier;
+* per-ECU controller behaviour: a fullCAN controller always offers its
+  highest-priority pending frame for arbitration, a basicCAN controller
+  commits to the frame loaded into its single transmit buffer, a FIFO-queued
+  controller offers frames in queuing order;
+* send jitter: each instance of a message is queued at
+  ``n * period + uniform(0, jitter)`` (seeded, reproducible);
+* bus errors: sporadic or burst error processes corrupt the frame currently
+  on the wire, which costs an error frame and forces a retransmission;
+* sender-buffer overwrite: if a new instance of a message is queued while the
+  previous one is still waiting, the old instance is recorded as *lost* --
+  the message-loss mechanism of Section 2.
+
+The simulator is intentionally a *validation* tool: it produces lower bounds
+on the worst case (observed maxima) and realistic traces (Figure 2), while
+the analysis produces upper bounds.  Tests assert the containment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.can.bus import CanBus
+from repro.can.controller import CanControllerType, ControllerModel
+from repro.can.frame import worst_case_frame_bits, frame_bits_without_stuffing
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.errors.models import BurstErrorModel, ErrorModel, NoErrors, SporadicErrorModel
+from repro.sim.trace import ErrorRecord, LossRecord, SimulationTrace, TransmissionRecord
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one simulation run."""
+
+    duration: float = 1000.0
+    seed: int = 1
+    jitter_fraction: float = 0.0
+    random_stuffing: bool = True
+    error_rate_scale: float = 1.0
+    start_offsets: str = "random"
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.jitter_fraction < 0:
+            raise ValueError("jitter_fraction must be non-negative")
+        if self.error_rate_scale < 0:
+            raise ValueError("error_rate_scale must be non-negative")
+        if self.start_offsets not in {"random", "zero"}:
+            raise ValueError("start_offsets must be 'random' or 'zero'")
+
+
+@dataclass
+class _PendingFrame:
+    """One message instance waiting in (or loaded into) a controller."""
+
+    message: CanMessage
+    queued_at: float
+    attempt: int = 1
+
+
+class CanBusSimulator:
+    """Simulate one CAN bus carrying the messages of a K-Matrix."""
+
+    def __init__(
+        self,
+        kmatrix: KMatrix,
+        bus: CanBus,
+        controllers: Mapping[str, ControllerModel] | None = None,
+        error_model: ErrorModel | None = None,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self.kmatrix = kmatrix
+        self.bus = bus
+        self.controllers = dict(controllers or {})
+        self.error_model = error_model if error_model is not None else NoErrors()
+        self.config = config or SimulationConfig()
+        self._rng = random.Random(self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    # Per-run state helpers
+    # ------------------------------------------------------------------ #
+    def _effective_jitter(self, message: CanMessage) -> float:
+        if message.jitter is not None:
+            return message.jitter
+        return self.config.jitter_fraction * message.period
+
+    def _transmission_time(self, message: CanMessage) -> float:
+        """Transmission time of one attempt, optionally with random stuffing."""
+        nominal = frame_bits_without_stuffing(message.dlc, message.frame_format)
+        worst = worst_case_frame_bits(message.dlc, message.frame_format,
+                                      bit_stuffing=self.bus.bit_stuffing)
+        if not self.config.random_stuffing or worst == nominal:
+            bits = worst if self.bus.bit_stuffing else nominal
+        else:
+            bits = self._rng.randint(nominal, worst)
+        return bits / self.bus.bit_rate_bps * 1000.0
+
+    def _error_times(self) -> list[float]:
+        """Pre-draw the error-event times for the whole run."""
+        model = self.error_model
+        duration = self.config.duration
+        scale = self.config.error_rate_scale
+        if isinstance(model, NoErrors) or scale == 0.0:
+            return []
+        times: list[float] = []
+        if isinstance(model, SporadicErrorModel):
+            t = self._rng.uniform(0.0, model.min_interarrival / scale)
+            while t < duration:
+                times.append(t)
+                t += model.min_interarrival / scale * self._rng.uniform(1.0, 1.5)
+        elif isinstance(model, BurstErrorModel):
+            t = self._rng.uniform(0.0, model.min_interarrival / scale)
+            while t < duration:
+                for index in range(model.burst_length):
+                    error_at = t + index * max(model.intra_burst_gap, 1e-3)
+                    if error_at < duration:
+                        times.append(error_at)
+                t += model.min_interarrival / scale * self._rng.uniform(1.0, 1.5)
+        else:
+            # Composite or custom models: approximate with their error count
+            # over the duration, spread uniformly.
+            count = model.errors_in(duration)
+            times = sorted(self._rng.uniform(0.0, duration)
+                           for _ in range(min(count, 10_000)))
+        return sorted(times)
+
+    def _queue_times(self, message: CanMessage) -> list[float]:
+        """Queuing instants of all instances of one message."""
+        jitter = self._effective_jitter(message)
+        offset = 0.0
+        if self.config.start_offsets == "random":
+            offset = self._rng.uniform(0.0, message.period)
+        times = []
+        t = offset
+        while t < self.config.duration:
+            times.append(t + self._rng.uniform(0.0, jitter) if jitter else t)
+            t += message.period
+        return times
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationTrace:
+        """Execute the simulation and return the full trace."""
+        trace = SimulationTrace(duration=self.config.duration)
+        # Future queuing events: (time, message) sorted ascending.
+        releases: list[tuple[float, CanMessage]] = []
+        for message in self.kmatrix:
+            for queue_time in self._queue_times(message):
+                releases.append((queue_time, message))
+        releases.sort(key=lambda item: item[0], reverse=True)
+
+        error_times = self._error_times()
+        for error_at in error_times:
+            trace.errors.append(ErrorRecord(at=error_at, corrupted_message=None))
+        error_index = 0
+
+        # Pending frames per ECU (the controller decides what is offered).
+        pending: dict[str, list[_PendingFrame]] = {
+            name: [] for name in self.kmatrix.senders()}
+        now = 0.0
+
+        def admit_releases(up_to: float) -> None:
+            """Move queue events up to ``up_to`` into the controller queues."""
+            while releases and releases[-1][0] <= up_to:
+                queue_time, message = releases.pop()
+                queue = pending[message.sender]
+                # Sender-buffer overwrite: an older instance of the same
+                # message still pending is lost.
+                for index, frame in enumerate(queue):
+                    if frame.message.name == message.name:
+                        trace.losses.append(LossRecord(
+                            message=message.name, sender=message.sender,
+                            queued_at=frame.queued_at,
+                            overwritten_at=queue_time))
+                        queue.pop(index)
+                        break
+                queue.append(_PendingFrame(message=message,
+                                           queued_at=queue_time))
+
+        def offered_frames() -> list[_PendingFrame]:
+            """Frames currently taking part in arbitration."""
+            offers = []
+            for sender, queue in pending.items():
+                if not queue:
+                    continue
+                controller = self.controllers.get(sender)
+                ctype = (controller.controller_type
+                         if controller else CanControllerType.FULL)
+                if ctype == CanControllerType.QUEUED_FIFO:
+                    offers.append(min(queue, key=lambda f: f.queued_at))
+                elif ctype == CanControllerType.BASIC:
+                    # The frame loaded first stays in the buffer (no abort),
+                    # i.e. the oldest frame is offered; with abort enabled the
+                    # controller behaves like fullCAN.
+                    if controller is not None and controller.abort_on_higher_priority:
+                        offers.append(min(queue, key=lambda f: f.message.can_id))
+                    else:
+                        offers.append(min(queue, key=lambda f: f.queued_at))
+                else:
+                    offers.append(min(queue, key=lambda f: f.message.can_id))
+            return offers
+
+        while now < self.config.duration:
+            admit_releases(now)
+            offers = offered_frames()
+            if not offers:
+                if not releases:
+                    break
+                now = releases[-1][0]
+                continue
+            # Arbitration: lowest identifier wins among the offered frames.
+            winner = min(offers, key=lambda f: f.message.can_id)
+            start = now
+            duration = self._transmission_time(winner.message)
+            end = start + duration
+
+            # Does an error hit this transmission?
+            while error_index < len(error_times) and error_times[error_index] < start:
+                error_index += 1
+            hit = (error_index < len(error_times)
+                   and error_times[error_index] < end)
+            if hit:
+                error_at = error_times[error_index]
+                error_index += 1
+                recovery_end = error_at + self.bus.error_recovery_time()
+                trace.transmissions.append(TransmissionRecord(
+                    message=winner.message.name, sender=winner.message.sender,
+                    queued_at=winner.queued_at, started_at=start,
+                    finished_at=recovery_end, success=False,
+                    attempt=winner.attempt))
+                winner.attempt += 1
+                now = recovery_end
+                continue
+
+            trace.transmissions.append(TransmissionRecord(
+                message=winner.message.name, sender=winner.message.sender,
+                queued_at=winner.queued_at, started_at=start, finished_at=end,
+                success=True, attempt=winner.attempt))
+            pending[winner.message.sender].remove(winner)
+            now = end
+
+        return trace
+
+
+def simulate_powertrain(
+    kmatrix: KMatrix,
+    bus: CanBus,
+    controllers: Mapping[str, ControllerModel] | None = None,
+    error_model: ErrorModel | None = None,
+    duration: float = 2000.0,
+    jitter_fraction: float = 0.15,
+    seed: int = 1,
+) -> SimulationTrace:
+    """Convenience wrapper used by examples and the Figure-2 benchmark."""
+    simulator = CanBusSimulator(
+        kmatrix=kmatrix, bus=bus, controllers=controllers,
+        error_model=error_model,
+        config=SimulationConfig(duration=duration, seed=seed,
+                                jitter_fraction=jitter_fraction))
+    return simulator.run()

@@ -1,0 +1,154 @@
+"""Trace records produced by the CAN simulator.
+
+A trace is the raw material of Figure 2: per-frame transmission intervals,
+error events and buffer overwrites, with helpers to compute observed response
+times, per-message statistics and Gantt-style rows for textual rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.events.curves import EmpiricalEventTrace
+
+
+@dataclass(frozen=True)
+class TransmissionRecord:
+    """One (attempted or completed) frame transmission on the bus."""
+
+    message: str
+    sender: str
+    queued_at: float
+    started_at: float
+    finished_at: float
+    success: bool
+    attempt: int = 1
+
+    @property
+    def response_time(self) -> float:
+        """Observed response time (completion minus queuing instant)."""
+        return self.finished_at - self.queued_at
+
+    @property
+    def duration(self) -> float:
+        """Time the frame (or its aborted attempt) occupied the bus."""
+        return self.finished_at - self.started_at
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One injected bus error."""
+
+    at: float
+    corrupted_message: str | None
+
+
+@dataclass(frozen=True)
+class LossRecord:
+    """A message instance overwritten in the sender buffer before sending."""
+
+    message: str
+    sender: str
+    queued_at: float
+    overwritten_at: float
+
+
+@dataclass
+class SimulationTrace:
+    """Complete record of one simulation run."""
+
+    duration: float
+    transmissions: list[TransmissionRecord] = field(default_factory=list)
+    errors: list[ErrorRecord] = field(default_factory=list)
+    losses: list[LossRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Observed statistics
+    # ------------------------------------------------------------------ #
+    def completed(self, message: str | None = None) -> list[TransmissionRecord]:
+        """Successful transmissions (optionally of one message)."""
+        records = [t for t in self.transmissions if t.success]
+        if message is not None:
+            records = [t for t in records if t.message == message]
+        return records
+
+    def observed_response_times(self, message: str) -> list[float]:
+        """Observed response times of one message's successful transmissions."""
+        return [t.response_time for t in self.completed(message)]
+
+    def max_observed_response(self, message: str) -> float:
+        """Largest observed response time of one message (0.0 if never sent)."""
+        times = self.observed_response_times(message)
+        return max(times) if times else 0.0
+
+    def lost_instances(self, message: str | None = None) -> list[LossRecord]:
+        """Buffer-overwrite losses (optionally of one message)."""
+        if message is None:
+            return list(self.losses)
+        return [loss for loss in self.losses if loss.message == message]
+
+    def loss_ratio(self, message: str) -> float:
+        """Fraction of instances of one message that were lost."""
+        sent = len(self.completed(message))
+        lost = len(self.lost_instances(message))
+        total = sent + lost
+        return lost / total if total else 0.0
+
+    def lossy_messages(self) -> list[str]:
+        """Names of messages that lost at least one instance."""
+        return sorted({loss.message for loss in self.losses})
+
+    def bus_busy_time(self) -> float:
+        """Total time the bus was occupied (including error recovery)."""
+        return sum(t.duration for t in self.transmissions)
+
+    def observed_utilization(self) -> float:
+        """Fraction of the simulated time the bus was busy."""
+        if self.duration <= 0:
+            return 0.0
+        return self.bus_busy_time() / self.duration
+
+    def arrival_trace(self, message: str) -> EmpiricalEventTrace:
+        """Empirical event trace of one message's queuing instants."""
+        queued = [t.queued_at for t in self.transmissions if t.message == message
+                  and t.attempt == 1]
+        queued.extend(l.queued_at for l in self.losses if l.message == message)
+        return EmpiricalEventTrace(timestamps=queued)
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def gantt_rows(self, window: tuple[float, float] | None = None,
+                   ) -> list[tuple[str, float, float, str]]:
+        """(message, start, end, status) rows for a textual Gantt chart."""
+        rows = []
+        for record in self.transmissions:
+            if window is not None:
+                lo, hi = window
+                if record.finished_at < lo or record.started_at > hi:
+                    continue
+            status = "ok" if record.success else "error/retransmit"
+            rows.append((record.message, record.started_at, record.finished_at,
+                         status))
+        rows.sort(key=lambda row: row[1])
+        return rows
+
+    def render_gantt(self, window: tuple[float, float],
+                     width: int = 72) -> str:
+        """ASCII rendering of the bus occupation in a time window.
+
+        Each transmission becomes one line with a bar positioned
+        proportionally inside the window -- a lightweight stand-in for the
+        Figure-2 artwork that works in a terminal and in test output.
+        """
+        lo, hi = window
+        span = max(hi - lo, 1e-9)
+        lines = [f"bus trace {lo:.1f}..{hi:.1f} ms"]
+        for message, start, end, status in self.gantt_rows(window):
+            left = int((max(start, lo) - lo) / span * width)
+            right = max(int((min(end, hi) - lo) / span * width), left + 1)
+            bar = " " * left + "#" * (right - left)
+            marker = "!" if status != "ok" else " "
+            lines.append(f"{message[:24]:<24}{marker}|{bar:<{width}}|")
+        return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Supply-chain interfaces: data sheets, requirements and contracts.
+
+Sections 5 and 6 of the paper describe the methodological contribution: the
+same timing properties (send/receive jitters, deadlines, bursts) appear once
+as *requirements* written by one party and once as *guarantees* given by the
+other, in both directions (Figure 6).  Analysis lets either side derive the
+numbers early, and integration is safe when every guarantee refines the
+matching requirement -- without anyone disclosing internal implementation
+details (task priorities, gatewaying strategies).
+
+* :mod:`repro.supplychain.contracts` -- timing data sheets, requirement
+  specifications and the refinement check;
+* :mod:`repro.supplychain.workflow` -- deriving OEM requirements from
+  sensitivity analysis, deriving supplier data sheets from ECU analysis, and
+  the iterative-refinement loop of Section 5.2.
+"""
+
+from repro.supplychain.contracts import (
+    ContractCheckResult,
+    ContractViolation,
+    RequirementSpec,
+    TimingDataSheet,
+    TimingProperty,
+    check_contract,
+)
+from repro.supplychain.workflow import (
+    IntegrationRound,
+    derive_oem_requirements,
+    derive_supplier_datasheet,
+    iterative_refinement,
+)
+
+__all__ = [
+    "TimingProperty",
+    "TimingDataSheet",
+    "RequirementSpec",
+    "ContractViolation",
+    "ContractCheckResult",
+    "check_contract",
+    "derive_oem_requirements",
+    "derive_supplier_datasheet",
+    "IntegrationRound",
+    "iterative_refinement",
+]

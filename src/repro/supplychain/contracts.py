@@ -1,0 +1,207 @@
+"""Timing data sheets, requirement specifications and the refinement check.
+
+The exchange format is deliberately small: per message a period, a jitter
+bound, optionally a burst bound (minimum distance) and a deadline/maximum
+latency.  That is exactly the information Figure 6 shows crossing the
+OEM/supplier boundary, and it is sufficient for either side to re-run their
+analysis -- while internal details (task priorities, gatewaying strategies)
+stay private.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping, Optional
+
+from repro.events.model import EventModel, event_model_from_parameters
+from repro.events.operations import is_refinement
+
+
+class TimingProperty(str, Enum):
+    """Which timing aspect of a message a clause talks about."""
+
+    SEND_JITTER = "send-jitter"
+    ARRIVAL_JITTER = "arrival-jitter"
+    RESPONSE_TIME = "response-time"
+    PERIOD = "period"
+
+
+@dataclass(frozen=True)
+class MessageTimingClause:
+    """Timing of one message as stated in a data sheet or requirement.
+
+    Attributes
+    ----------
+    message:
+        K-Matrix message name.
+    period:
+        Nominal period (ms).
+    max_jitter:
+        Upper bound on the queuing (send side) or arrival (receive side)
+        jitter in milliseconds.
+    min_distance:
+        Lower bound on the distance between two consecutive events (ms);
+        zero when not constrained.
+    max_latency:
+        Upper bound on the response time / latency where applicable.
+    """
+
+    message: str
+    period: float
+    max_jitter: float = 0.0
+    min_distance: float = 0.0
+    max_latency: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.max_jitter < 0 or self.min_distance < 0:
+            raise ValueError("jitter and min_distance must be non-negative")
+        if self.max_latency is not None and self.max_latency <= 0:
+            raise ValueError("max_latency must be positive when given")
+
+    def event_model(self) -> EventModel:
+        """Standard event model corresponding to this clause."""
+        return event_model_from_parameters(
+            period=self.period, jitter=self.max_jitter,
+            min_distance=self.min_distance)
+
+
+@dataclass(frozen=True)
+class TimingDataSheet:
+    """What one party *guarantees* (Figure 6: "guaranteed by ...")."""
+
+    issuer: str
+    role: str  # "supplier" or "OEM"
+    property: TimingProperty
+    clauses: tuple[MessageTimingClause, ...] = ()
+
+    def clause_for(self, message: str) -> MessageTimingClause:
+        """Guaranteed clause of one message."""
+        for clause in self.clauses:
+            if clause.message == message:
+                return clause
+        raise KeyError(message)
+
+    def messages(self) -> list[str]:
+        """Names of all messages covered by the data sheet."""
+        return [clause.message for clause in self.clauses]
+
+
+@dataclass(frozen=True)
+class RequirementSpec:
+    """What one party *requires* (Figure 6: "required by ...")."""
+
+    issuer: str
+    role: str  # "OEM" or "supplier"
+    property: TimingProperty
+    clauses: tuple[MessageTimingClause, ...] = ()
+
+    def clause_for(self, message: str) -> MessageTimingClause:
+        """Required clause of one message."""
+        for clause in self.clauses:
+            if clause.message == message:
+                return clause
+        raise KeyError(message)
+
+    def messages(self) -> list[str]:
+        """Names of all messages covered by the requirement."""
+        return [clause.message for clause in self.clauses]
+
+
+@dataclass(frozen=True)
+class ContractViolation:
+    """One clause whose guarantee does not satisfy the requirement."""
+
+    message: str
+    reason: str
+    required: MessageTimingClause | None = None
+    guaranteed: MessageTimingClause | None = None
+
+    def describe(self) -> str:
+        """Human-readable explanation used in integration reports."""
+        return f"{self.message}: {self.reason}"
+
+
+@dataclass(frozen=True)
+class ContractCheckResult:
+    """Outcome of checking a data sheet against a requirement spec."""
+
+    requirement: RequirementSpec
+    datasheet: TimingDataSheet
+    violations: tuple[ContractViolation, ...] = ()
+
+    @property
+    def satisfied(self) -> bool:
+        """True when every required clause is covered and refined."""
+        return not self.violations
+
+    def describe(self) -> str:
+        """Multi-line integration-report text."""
+        header = (f"contract {self.datasheet.issuer} -> "
+                  f"{self.requirement.issuer} "
+                  f"({self.requirement.property.value}): ")
+        if self.satisfied:
+            return header + "all requirements met"
+        lines = [header + f"{len(self.violations)} violation(s)"]
+        lines.extend("  " + violation.describe() for violation in self.violations)
+        return "\n".join(lines)
+
+
+def check_contract(requirement: RequirementSpec,
+                   datasheet: TimingDataSheet) -> ContractCheckResult:
+    """Check that a guarantee data sheet satisfies a requirement spec.
+
+    For every required clause the data sheet must contain a clause for the
+    same message whose event model *refines* the required one (no faster, no
+    more jittery, no burstier) and whose latency bound (when required) is at
+    most the required one.
+    """
+    violations: list[ContractViolation] = []
+    if requirement.property != datasheet.property:
+        violations.append(ContractViolation(
+            message="*",
+            reason=(f"property mismatch: requirement is about "
+                    f"{requirement.property.value}, data sheet about "
+                    f"{datasheet.property.value}")))
+        return ContractCheckResult(requirement=requirement, datasheet=datasheet,
+                                   violations=tuple(violations))
+    for required in requirement.clauses:
+        try:
+            guaranteed = datasheet.clause_for(required.message)
+        except KeyError:
+            violations.append(ContractViolation(
+                message=required.message,
+                reason="no guarantee given for this message",
+                required=required))
+            continue
+        if abs(guaranteed.period - required.period) > 1e-9:
+            violations.append(ContractViolation(
+                message=required.message,
+                reason=(f"period mismatch: required {required.period:g} ms, "
+                        f"guaranteed {guaranteed.period:g} ms"),
+                required=required, guaranteed=guaranteed))
+            continue
+        if not is_refinement(guaranteed.event_model(), required.event_model()):
+            violations.append(ContractViolation(
+                message=required.message,
+                reason=(f"guaranteed jitter {guaranteed.max_jitter:g} ms does not "
+                        f"refine required jitter {required.max_jitter:g} ms"),
+                required=required, guaranteed=guaranteed))
+            continue
+        if required.max_latency is not None:
+            if guaranteed.max_latency is None:
+                violations.append(ContractViolation(
+                    message=required.message,
+                    reason="latency bound required but not guaranteed",
+                    required=required, guaranteed=guaranteed))
+                continue
+            if guaranteed.max_latency > required.max_latency + 1e-9:
+                violations.append(ContractViolation(
+                    message=required.message,
+                    reason=(f"guaranteed latency {guaranteed.max_latency:g} ms "
+                            f"exceeds required {required.max_latency:g} ms"),
+                    required=required, guaranteed=guaranteed))
+    return ContractCheckResult(requirement=requirement, datasheet=datasheet,
+                               violations=tuple(violations))

@@ -1,0 +1,213 @@
+"""Supply-chain workflows: deriving requirements, data sheets and iterating.
+
+Three pieces of the methodology:
+
+* the OEM derives *send-jitter requirements* for suppliers from sensitivity /
+  maximum-tolerable-jitter analysis of the bus (Section 5, first option);
+* the supplier derives a *send-jitter data sheet* from the ECU-level analysis
+  of its task set (Section 5.1), and the OEM conversely derives an
+  *arrival-timing data sheet* for the supplier's control algorithms;
+* both sides repeat the exchange as design details become available
+  (Section 5.2, "iterative refinement"), freezing parameters and re-checking
+  the contracts each round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.response_time import CanBusAnalysis
+from repro.can.bus import CanBus
+from repro.can.controller import ControllerModel
+from repro.can.kmatrix import KMatrix
+from repro.ecu.analysis import message_output_models
+from repro.ecu.task import EcuModel
+from repro.errors.models import ErrorModel
+from repro.sensitivity.robustness import max_tolerable_jitter_per_message
+from repro.supplychain.contracts import (
+    ContractCheckResult,
+    MessageTimingClause,
+    RequirementSpec,
+    TimingDataSheet,
+    TimingProperty,
+    check_contract,
+)
+
+
+def derive_oem_requirements(
+    kmatrix: KMatrix,
+    bus: CanBus,
+    supplier_ecus: Sequence[str],
+    error_model: ErrorModel | None = None,
+    deadline_policy: str = "period",
+    controllers: Mapping[str, ControllerModel] | None = None,
+    background_jitter_fraction: float = 0.15,
+    safety_margin: float = 0.8,
+    oem_name: str = "OEM",
+) -> dict[str, RequirementSpec]:
+    """Derive per-supplier send-jitter requirements from bus analysis.
+
+    For every message sent by one of the ``supplier_ecus`` the maximum
+    tolerable jitter is determined (with the rest of the bus at the
+    background assumption), scaled by ``safety_margin`` and written as a
+    requirement clause.  The result is one :class:`RequirementSpec` per
+    supplier ECU -- exactly the "required by OEM" arrow of Figure 6.
+    """
+    if not 0.0 < safety_margin <= 1.0:
+        raise ValueError("safety_margin must be within (0, 1]")
+    budgets = max_tolerable_jitter_per_message(
+        kmatrix=kmatrix, bus=bus, error_model=error_model,
+        deadline_policy=deadline_policy, controllers=controllers,
+        background_jitter_fraction=background_jitter_fraction)
+    specs: dict[str, RequirementSpec] = {}
+    for ecu in supplier_ecus:
+        clauses = []
+        for message in kmatrix.sent_by(ecu):
+            budget = budgets[message.name]
+            allowed_fraction = budget.max_feasible_fraction * safety_margin
+            clauses.append(MessageTimingClause(
+                message=message.name,
+                period=message.period,
+                max_jitter=round(allowed_fraction * message.period, 4),
+            ))
+        specs[ecu] = RequirementSpec(
+            issuer=oem_name, role="OEM",
+            property=TimingProperty.SEND_JITTER,
+            clauses=tuple(clauses))
+    return specs
+
+
+def derive_supplier_datasheet(
+    ecu: EcuModel,
+    kmatrix: KMatrix,
+    bus: CanBus,
+) -> TimingDataSheet:
+    """Derive the send-jitter guarantees of one supplier ECU.
+
+    The supplier runs the ECU-level analysis of its own task set (which it
+    does not have to disclose) and publishes only the resulting message
+    periods and send jitters -- the "guaranteed by supplier" arrow of
+    Figure 6.
+    """
+    models = message_output_models(ecu)
+    clauses = []
+    for message in kmatrix.sent_by(ecu.name):
+        model = models.get(message.name)
+        if model is None:
+            # The ECU model does not (yet) implement this message: publish
+            # the K-Matrix nominal values with zero jitter margin so the
+            # contract check flags it if the OEM requires more detail.
+            clauses.append(MessageTimingClause(
+                message=message.name, period=message.period,
+                max_jitter=message.jitter or 0.0))
+            continue
+        clauses.append(MessageTimingClause(
+            message=message.name,
+            period=model.period,
+            max_jitter=round(model.jitter, 4),
+            min_distance=model.min_distance,
+        ))
+    return TimingDataSheet(
+        issuer=ecu.name, role="supplier",
+        property=TimingProperty.SEND_JITTER,
+        clauses=tuple(clauses))
+
+
+def derive_oem_arrival_datasheet(
+    kmatrix: KMatrix,
+    bus: CanBus,
+    receiver_ecu: str,
+    error_model: ErrorModel | None = None,
+    assumed_jitter_fraction: float = 0.15,
+    controllers: Mapping[str, ControllerModel] | None = None,
+    oem_name: str = "OEM",
+) -> TimingDataSheet:
+    """Derive the arrival-timing guarantees the OEM gives a receiving ECU.
+
+    "The message arrival timing is a property of the bus, so the OEM is in
+    charge of providing such data" (Section 5.1): the OEM analyses the bus
+    and publishes, per message received by the supplier's ECU, the arrival
+    jitter (input jitter plus response-time interval) and the worst-case
+    latency.
+    """
+    analysis = CanBusAnalysis(
+        kmatrix=kmatrix, bus=bus, error_model=error_model,
+        assumed_jitter_fraction=assumed_jitter_fraction,
+        controllers=controllers)
+    clauses = []
+    for message in kmatrix.received_by(receiver_ecu):
+        result = analysis.response_time(message)
+        input_model = analysis.event_model(message)
+        arrival_jitter = input_model.jitter + result.response_interval
+        clauses.append(MessageTimingClause(
+            message=message.name,
+            period=message.period,
+            max_jitter=round(arrival_jitter, 4),
+            max_latency=round(result.worst_case, 4),
+        ))
+    return TimingDataSheet(
+        issuer=oem_name, role="OEM",
+        property=TimingProperty.ARRIVAL_JITTER,
+        clauses=tuple(clauses))
+
+
+@dataclass(frozen=True)
+class IntegrationRound:
+    """One round of the iterative-refinement loop."""
+
+    index: int
+    description: str
+    contract_results: tuple[ContractCheckResult, ...]
+    all_satisfied: bool
+
+    def describe(self) -> str:
+        """One-line summary used in refinement logs."""
+        status = "OK" if self.all_satisfied else "violations"
+        return f"round {self.index} ({self.description}): {status}"
+
+
+def iterative_refinement(
+    kmatrix: KMatrix,
+    bus: CanBus,
+    requirement_rounds: Sequence[tuple[str, Mapping[str, RequirementSpec]]],
+    datasheet_rounds: Sequence[Mapping[str, TimingDataSheet]],
+) -> list[IntegrationRound]:
+    """Replay an iterative-refinement history (Section 5.2).
+
+    Parameters
+    ----------
+    kmatrix, bus:
+        The integration context (not modified; kept for reporting symmetry).
+    requirement_rounds:
+        Per round, a description plus the OEM requirement specs per supplier
+        ECU valid in that round.
+    datasheet_rounds:
+        Per round, the supplier data sheets per ECU available in that round.
+
+    Returns
+    -------
+    list[IntegrationRound]
+        One entry per round with all contract checks evaluated, so newly
+        appearing bottlenecks are visible the moment a data sheet changes.
+    """
+    del kmatrix, bus
+    if len(requirement_rounds) != len(datasheet_rounds):
+        raise ValueError("requirement_rounds and datasheet_rounds must have "
+                         "the same length")
+    rounds: list[IntegrationRound] = []
+    for index, ((description, requirements), datasheets) in enumerate(
+            zip(requirement_rounds, datasheet_rounds), start=1):
+        results = []
+        for ecu_name, requirement in requirements.items():
+            datasheet = datasheets.get(ecu_name)
+            if datasheet is None:
+                continue
+            results.append(check_contract(requirement, datasheet))
+        rounds.append(IntegrationRound(
+            index=index,
+            description=description,
+            contract_results=tuple(results),
+            all_satisfied=all(result.satisfied for result in results),
+        ))
+    return rounds

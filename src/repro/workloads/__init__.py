@@ -1,0 +1,26 @@
+"""Workload generators.
+
+The paper's case study uses a proprietary power-train K-Matrix (several ECUs
+including gateways, more than 50 messages, 500 kbit/s, jitters known for only
+a few messages).  This package generates synthetic workloads matching every
+property the paper states, plus the small introductory example of Figure 1
+and parameterised scaling workloads for the ablation benchmarks.
+"""
+
+from repro.workloads.figure1 import figure1_network, figure1_traffic_rates
+from repro.workloads.powertrain import (
+    PowertrainConfig,
+    powertrain_kmatrix,
+    powertrain_system,
+)
+from repro.workloads.scaling import scaled_kmatrix, synthetic_kmatrix
+
+__all__ = [
+    "figure1_network",
+    "figure1_traffic_rates",
+    "PowertrainConfig",
+    "powertrain_kmatrix",
+    "powertrain_system",
+    "synthetic_kmatrix",
+    "scaled_kmatrix",
+]

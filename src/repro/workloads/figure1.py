@@ -1,0 +1,69 @@
+"""The introductory load-analysis example of Figure 1.
+
+Four ECUs share a 500 kbit/s CAN bus and inject 20, 50, 100 and 10 kbit/s of
+traffic respectively; the accumulated 180 kbit/s correspond to a 36 % load.
+(The figure's artwork labels a couple of rates in "MB/s" by mistake; the text
+and the 36 % result pin down the intended kbit/s values used here.)
+
+Besides the raw traffic rates the module also provides a small concrete
+K-Matrix whose message-level load matches the same per-ECU rates, so the
+example can be pushed through the full response-time analysis as well.
+"""
+
+from __future__ import annotations
+
+from repro.can.bus import CanBus
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+
+
+#: Per-ECU traffic of the Figure-1 example in bits per second.
+FIGURE1_RATES_BPS: dict[str, float] = {
+    "ECU1": 20_000.0,
+    "ECU2": 50_000.0,
+    "ECU3": 100_000.0,
+    "ECU4": 10_000.0,
+}
+
+#: Bus bandwidth of the Figure-1 example in bits per second.
+FIGURE1_BANDWIDTH_BPS: float = 500_000.0
+
+
+def figure1_traffic_rates() -> dict[str, float]:
+    """Per-ECU traffic rates (bits/s) of the Figure-1 example."""
+    return dict(FIGURE1_RATES_BPS)
+
+
+def figure1_network() -> tuple[KMatrix, CanBus]:
+    """A concrete K-Matrix realisation of the Figure-1 example.
+
+    Each ECU sends a handful of messages whose summed average frame rate
+    (8-byte frames without worst-case stuffing) approximates that ECU's
+    traffic share, so that ``bus_load(...)`` reports roughly 36 %.
+    """
+    bus = CanBus(name="Figure1-CAN", bit_rate_bps=FIGURE1_BANDWIDTH_BPS,
+                 bit_stuffing=False)
+    # An 8-byte standard frame without stuffing is 111 bits.  Periods are
+    # chosen so that each ECU's bits/s matches the figure.
+    frame_bits = 111.0
+
+    def periods_for(rate_bps: float, count: int) -> list[float]:
+        # Spread the rate over `count` messages with identical periods.
+        per_message = rate_bps / count
+        period_s = frame_bits / per_message
+        return [round(period_s * 1000.0, 3)] * count
+
+    messages = []
+    next_id = 0x100
+    for ecu, count in (("ECU1", 2), ("ECU2", 4), ("ECU3", 6), ("ECU4", 1)):
+        for index, period in enumerate(periods_for(FIGURE1_RATES_BPS[ecu], count)):
+            messages.append(CanMessage(
+                name=f"{ecu}_Msg{index + 1}",
+                can_id=next_id,
+                dlc=8,
+                period=period,
+                sender=ecu,
+                receivers=tuple(e for e in FIGURE1_RATES_BPS if e != ecu),
+            ))
+            next_id += 1
+    return KMatrix(messages=messages), bus

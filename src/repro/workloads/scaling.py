@@ -1,0 +1,177 @@
+"""Parameterised synthetic K-Matrices for ablation and scaling studies.
+
+Used by benchmarks that sweep the number of messages, the bus utilization or
+the identifier-assignment policy, and by property-based tests that need many
+structurally different but always-valid K-Matrices.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.can.bus import CanBus
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+
+
+_DEFAULT_PERIODS_MS: tuple[float, ...] = (5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+def synthetic_kmatrix(
+    n_messages: int,
+    n_ecus: int = 6,
+    seed: int = 0,
+    periods_ms: Sequence[float] = _DEFAULT_PERIODS_MS,
+    id_policy: str = "block",
+    dlc_choices: Sequence[int] = (2, 4, 8),
+    known_jitter_probability: float = 0.0,
+) -> KMatrix:
+    """Generate a random but valid K-Matrix.
+
+    Parameters
+    ----------
+    n_messages:
+        Number of messages to generate.
+    n_ecus:
+        Number of sending ECUs (receivers are picked among the others).
+    seed:
+        Random seed; the same seed always yields the same matrix.
+    periods_ms:
+        Period population to draw from.
+    id_policy:
+        ``"block"`` assigns identifiers in per-ECU blocks (realistic,
+        sub-optimal), ``"rate-monotonic"`` assigns lower ids to faster
+        messages (near-optimal), ``"random"`` shuffles identifiers.
+    dlc_choices:
+        Payload-length population to draw from.
+    known_jitter_probability:
+        Probability that a message gets an explicit jitter of 10-30 % of its
+        period; others keep ``jitter=None``.
+    """
+    if n_messages < 1:
+        raise ValueError("n_messages must be at least 1")
+    if n_ecus < 2:
+        raise ValueError("n_ecus must be at least 2")
+    if id_policy not in {"block", "rate-monotonic", "random"}:
+        raise ValueError(f"unknown id_policy {id_policy!r}")
+    rng = random.Random(seed)
+    ecus = [f"ECU{i + 1}" for i in range(n_ecus)]
+
+    drafts = []
+    for index in range(n_messages):
+        sender = ecus[index % n_ecus]
+        period = float(rng.choice(list(periods_ms)))
+        dlc = int(rng.choice(list(dlc_choices)))
+        jitter = None
+        if rng.random() < known_jitter_probability:
+            jitter = round(rng.uniform(0.10, 0.30) * period, 3)
+        receivers = tuple(sorted(rng.sample(
+            [e for e in ecus if e != sender],
+            rng.randint(1, min(3, n_ecus - 1)))))
+        drafts.append({
+            "name": f"Msg{index:03d}_{sender}",
+            "sender": sender,
+            "period": period,
+            "dlc": dlc,
+            "jitter": jitter,
+            "receivers": receivers,
+        })
+
+    can_ids = _assign_ids(drafts, ecus, id_policy, rng)
+    messages = [
+        CanMessage(
+            name=draft["name"],
+            can_id=can_id,
+            dlc=draft["dlc"],
+            period=draft["period"],
+            jitter=draft["jitter"],
+            sender=draft["sender"],
+            receivers=draft["receivers"],
+        )
+        for draft, can_id in zip(drafts, can_ids)
+    ]
+    return KMatrix(messages=messages)
+
+
+def scaled_kmatrix(
+    target_utilization: float,
+    bus: CanBus,
+    seed: int = 0,
+    n_ecus: int = 6,
+    id_policy: str = "block",
+) -> KMatrix:
+    """Generate a K-Matrix whose worst-case utilization approximates a target.
+
+    Messages are added one at a time until the accumulated worst-case
+    utilization (transmission time over period) reaches ``target_utilization``.
+    Used by the ablation that revisits the "40 % vs 60 % load limit"
+    discussion of Section 3.1.
+    """
+    if not 0.0 < target_utilization < 1.0:
+        raise ValueError("target_utilization must be within (0, 1)")
+    rng = random.Random(seed)
+    ecus = [f"ECU{i + 1}" for i in range(n_ecus)]
+    drafts = []
+    utilization = 0.0
+    index = 0
+    while utilization < target_utilization and index < 2000:
+        sender = ecus[index % n_ecus]
+        period = float(rng.choice(_DEFAULT_PERIODS_MS))
+        dlc = int(rng.choice((2, 4, 8)))
+        probe = CanMessage(name="probe", can_id=1, dlc=dlc, period=period,
+                           sender=sender)
+        step = bus.transmission_time(probe) / period
+        if utilization + step > target_utilization and index >= n_ecus:
+            break
+        utilization += step
+        receivers = tuple(sorted(rng.sample(
+            [e for e in ecus if e != sender], 1)))
+        drafts.append({
+            "name": f"Msg{index:03d}_{sender}",
+            "sender": sender,
+            "period": period,
+            "dlc": dlc,
+            "jitter": None,
+            "receivers": receivers,
+        })
+        index += 1
+    can_ids = _assign_ids(drafts, ecus, id_policy, rng)
+    messages = [
+        CanMessage(
+            name=draft["name"],
+            can_id=can_id,
+            dlc=draft["dlc"],
+            period=draft["period"],
+            jitter=draft["jitter"],
+            sender=draft["sender"],
+            receivers=draft["receivers"],
+        )
+        for draft, can_id in zip(drafts, can_ids)
+    ]
+    return KMatrix(messages=messages)
+
+
+def _assign_ids(drafts: list[dict], ecus: Sequence[str], id_policy: str,
+                rng: random.Random) -> list[int]:
+    """Assign unique CAN identifiers according to the chosen policy."""
+    if id_policy == "rate-monotonic":
+        order = sorted(range(len(drafts)),
+                       key=lambda i: (drafts[i]["period"], drafts[i]["name"]))
+        ids = [0] * len(drafts)
+        for rank, draft_index in enumerate(order):
+            ids[draft_index] = 0x80 + rank
+        return ids
+    if id_policy == "random":
+        pool = list(range(0x80, 0x80 + len(drafts)))
+        rng.shuffle(pool)
+        return pool
+    # block policy: contiguous identifier range per ECU.
+    block = max(len(drafts) // max(len(ecus), 1) + 2, 4)
+    counters = {ecu: 0 for ecu in ecus}
+    ids = []
+    for draft in drafts:
+        ecu_index = list(ecus).index(draft["sender"])
+        ids.append(0x80 + ecu_index * block + counters[draft["sender"]])
+        counters[draft["sender"]] += 1
+    return ids

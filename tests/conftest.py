@@ -1,0 +1,76 @@
+"""Shared fixtures: small deterministic networks that keep the suite fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.can.bus import CanBus
+from repro.can.controller import CanControllerType, ControllerModel
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.workloads.powertrain import (
+    PowertrainConfig,
+    powertrain_bus,
+    powertrain_controllers,
+    powertrain_kmatrix,
+)
+
+
+@pytest.fixture()
+def small_bus() -> CanBus:
+    """A 500 kbit/s bus with worst-case stuffing, as in the case study."""
+    return CanBus(name="TestBus", bit_rate_bps=500_000.0, bit_stuffing=True)
+
+
+@pytest.fixture()
+def small_kmatrix() -> KMatrix:
+    """Five messages on two ECUs with hand-checkable parameters."""
+    return KMatrix(messages=[
+        CanMessage(name="FastA", can_id=0x100, dlc=8, period=10.0,
+                   sender="ECU_A", receivers=("ECU_B",)),
+        CanMessage(name="FastB", can_id=0x110, dlc=8, period=10.0,
+                   sender="ECU_B", receivers=("ECU_A",)),
+        CanMessage(name="Medium", can_id=0x200, dlc=4, period=20.0,
+                   jitter=2.0, sender="ECU_A", receivers=("ECU_B",)),
+        CanMessage(name="Slow", can_id=0x300, dlc=8, period=100.0,
+                   sender="ECU_B", receivers=("ECU_A",)),
+        CanMessage(name="Background", can_id=0x400, dlc=2, period=500.0,
+                   sender="ECU_A", receivers=("ECU_B",)),
+    ])
+
+
+@pytest.fixture()
+def small_controllers() -> dict[str, ControllerModel]:
+    """FullCAN on ECU_A, basicCAN on ECU_B."""
+    return {
+        "ECU_A": ControllerModel(controller_type=CanControllerType.FULL),
+        "ECU_B": ControllerModel(controller_type=CanControllerType.BASIC,
+                                 tx_buffers=2),
+    }
+
+
+@pytest.fixture(scope="session")
+def powertrain_config() -> PowertrainConfig:
+    """The canonical case-study configuration (shared, immutable)."""
+    return PowertrainConfig()
+
+
+@pytest.fixture(scope="session")
+def powertrain(powertrain_config):
+    """The canonical case-study network: (kmatrix, bus, controllers)."""
+    return (
+        powertrain_kmatrix(powertrain_config),
+        powertrain_bus(powertrain_config),
+        powertrain_controllers(powertrain_config),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_powertrain():
+    """A reduced case-study network for the slower what-if sweeps."""
+    config = PowertrainConfig(n_messages=24, n_ecus=4, n_gateways=1, seed=5)
+    return (
+        powertrain_kmatrix(config),
+        powertrain_bus(config),
+        powertrain_controllers(config),
+    )

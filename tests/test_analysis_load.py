@@ -1,0 +1,114 @@
+"""Unit tests for the bus-load (utilization) analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.load import abstract_load_from_rates, bus_load
+from repro.can.bus import CanBus
+from repro.can.message import CanMessage
+from repro.workloads.figure1 import (
+    FIGURE1_BANDWIDTH_BPS,
+    figure1_network,
+    figure1_traffic_rates,
+)
+
+
+class TestAbstractLoad:
+    def test_figure1_example_is_36_percent(self):
+        report = abstract_load_from_rates(figure1_traffic_rates(),
+                                          FIGURE1_BANDWIDTH_BPS)
+        assert report.total_bits_per_second == pytest.approx(180_000.0)
+        assert report.utilization_percent == pytest.approx(36.0)
+
+    def test_per_ecu_breakdown(self):
+        report = abstract_load_from_rates(figure1_traffic_rates(),
+                                          FIGURE1_BANDWIDTH_BPS)
+        per_ecu = report.per_ecu()
+        assert per_ecu["ECU3"] == pytest.approx(100_000.0)
+        assert sum(per_ecu.values()) == pytest.approx(180_000.0)
+
+    def test_limit_check(self):
+        report = abstract_load_from_rates(figure1_traffic_rates(),
+                                          FIGURE1_BANDWIDTH_BPS)
+        assert not report.exceeds(0.40)
+        assert report.exceeds(0.30)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            abstract_load_from_rates({"E": 1000.0}, 0.0)
+
+
+class TestKMatrixLoad:
+    def test_manual_utilization_matches(self, small_kmatrix, small_bus):
+        report = bus_load(small_kmatrix, small_bus)
+        expected = sum(
+            small_bus.transmission_time(m) / m.period for m in small_kmatrix)
+        assert report.utilization == pytest.approx(expected)
+
+    def test_stuffing_override_increases_load(self, small_kmatrix, small_bus):
+        plain = bus_load(small_kmatrix, small_bus, include_stuffing=False)
+        stuffed = bus_load(small_kmatrix, small_bus, include_stuffing=True)
+        assert stuffed.utilization > plain.utilization
+
+    def test_per_message_shares_sum_to_total(self, small_kmatrix, small_bus):
+        report = bus_load(small_kmatrix, small_bus)
+        assert sum(s.bits_per_second for s in report.per_message) == \
+            pytest.approx(report.total_bits_per_second)
+        assert sum(s.utilization for s in report.per_message) == \
+            pytest.approx(report.utilization)
+
+    def test_headroom_estimate(self, small_kmatrix, small_bus):
+        report = bus_load(small_kmatrix, small_bus)
+        template = CanMessage(name="Extra", can_id=0x700, dlc=8, period=10.0,
+                              sender="ECU_C")
+        headroom = report.headroom_messages(template, small_bus,
+                                            limit_fraction=0.6)
+        assert headroom > 0
+        # Adding that many messages must not exceed the limit.
+        extra_util = headroom * small_bus.transmission_time(template) / 10.0
+        assert report.utilization + extra_util <= 0.6 + 1e-9
+
+    def test_headroom_zero_when_already_over_limit(self, small_kmatrix, small_bus):
+        report = bus_load(small_kmatrix, small_bus)
+        template = CanMessage(name="Extra", can_id=0x700, dlc=8, period=10.0,
+                              sender="ECU_C")
+        assert report.headroom_messages(template, small_bus,
+                                        limit_fraction=0.001) == 0
+
+    def test_describe_mentions_utilization(self, small_kmatrix, small_bus):
+        text = bus_load(small_kmatrix, small_bus).describe()
+        assert "%" in text and "ECU_A" in text
+
+
+class TestFigure1Network:
+    def test_concrete_network_load_matches_figure(self):
+        kmatrix, bus = figure1_network()
+        report = bus_load(kmatrix, bus)
+        # The concrete realisation approximates the 36 % of the figure.
+        assert report.utilization_percent == pytest.approx(36.0, abs=1.5)
+
+    def test_four_ecus_present(self):
+        kmatrix, _bus = figure1_network()
+        assert len(kmatrix.senders()) == 4
+
+    def test_load_says_nothing_about_deadlines(self):
+        """The paper's point: moderate load does not imply schedulability.
+
+        A single low-priority message with a deadline shorter than one frame
+        transmission time misses its deadline even on an almost idle bus.
+        """
+        from repro.analysis.schedulability import analyze_schedulability
+        from repro.can.kmatrix import KMatrix
+        messages = KMatrix(messages=[
+            CanMessage(name="Blocker", can_id=0x100, dlc=8, period=1000.0,
+                       sender="E1"),
+            CanMessage(name="Urgent", can_id=0x200, dlc=8, period=1000.0,
+                       deadline=0.3, sender="E2"),
+        ])
+        bus = CanBus(name="idle", bit_rate_bps=500_000.0)
+        load = bus_load(messages, bus)
+        assert load.utilization < 0.01
+        report = analyze_schedulability(messages, bus,
+                                        deadline_policy="explicit")
+        assert not report.all_deadlines_met

@@ -1,0 +1,111 @@
+"""Unit tests for schedulability verdicts and message-loss prediction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.schedulability import (
+    analyze_schedulability,
+    message_loss_fraction,
+    response_time_table,
+)
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.errors.models import BurstErrorModel
+from repro.experiments import BEST_CASE, WORST_CASE
+
+
+class TestVerdicts:
+    def test_small_matrix_is_schedulable(self, small_kmatrix, small_bus):
+        report = analyze_schedulability(small_kmatrix, small_bus)
+        assert report.all_deadlines_met
+        assert report.loss_fraction == 0.0
+        assert not report.missed
+        assert not report.lossy
+
+    def test_verdict_fields_are_consistent(self, small_kmatrix, small_bus):
+        report = analyze_schedulability(small_kmatrix, small_bus,
+                                        assumed_jitter_fraction=0.2)
+        for verdict in report.verdicts:
+            assert verdict.slack == pytest.approx(
+                verdict.deadline - verdict.worst_case_response)
+            assert verdict.meets_deadline == (verdict.slack >= -1e-9)
+            assert verdict.can_be_lost == (not verdict.meets_deadline)
+
+    def test_verdict_lookup(self, small_kmatrix, small_bus):
+        report = analyze_schedulability(small_kmatrix, small_bus)
+        assert report.verdict_for("FastA").name == "FastA"
+        with pytest.raises(KeyError):
+            report.verdict_for("Nope")
+
+    def test_deadline_policy_changes_verdicts(self, small_kmatrix, small_bus):
+        period = analyze_schedulability(small_kmatrix, small_bus,
+                                        assumed_jitter_fraction=0.5,
+                                        deadline_policy="period")
+        rearrival = analyze_schedulability(small_kmatrix, small_bus,
+                                           assumed_jitter_fraction=0.5,
+                                           deadline_policy="min-rearrival")
+        for p_verdict, r_verdict in zip(period.verdicts, rearrival.verdicts):
+            assert r_verdict.deadline <= p_verdict.deadline + 1e-9
+        assert rearrival.loss_fraction >= period.loss_fraction
+
+    def test_total_slack_positive_for_schedulable_system(self, small_kmatrix,
+                                                         small_bus):
+        report = analyze_schedulability(small_kmatrix, small_bus)
+        assert report.total_slack > 0
+        assert report.worst_normalized_slack > 0
+
+    def test_describe_lists_misses(self, small_kmatrix, small_bus):
+        text = analyze_schedulability(small_kmatrix, small_bus).describe()
+        assert "utilization" in text
+
+
+class TestLossFraction:
+    def test_loss_fraction_between_zero_and_one(self, small_powertrain):
+        kmatrix, bus, controllers = small_powertrain
+        for fraction in (0.0, 0.3, 0.6):
+            loss = message_loss_fraction(kmatrix, bus, fraction,
+                                         controllers=controllers)
+            assert 0.0 <= loss <= 1.0
+
+    def test_loss_monotone_in_jitter_for_worst_case(self, small_powertrain):
+        kmatrix, bus, controllers = small_powertrain
+        losses = [
+            WORST_CASE.analyze(kmatrix, bus, fraction, controllers).loss_fraction
+            for fraction in (0.0, 0.2, 0.4, 0.6)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(losses, losses[1:]))
+
+    def test_worst_case_loses_at_least_as_much_as_best_case(self,
+                                                            small_powertrain):
+        kmatrix, bus, controllers = small_powertrain
+        for fraction in (0.0, 0.25, 0.5):
+            best = BEST_CASE.analyze(kmatrix, bus, fraction, controllers)
+            worst = WORST_CASE.analyze(kmatrix, bus, fraction, controllers)
+            assert worst.loss_fraction >= best.loss_fraction - 1e-9
+
+    def test_errors_increase_loss(self, small_bus):
+        messages = [
+            CanMessage(name=f"M{i}", can_id=0x100 + i, dlc=8, period=5.0,
+                       deadline=1.8, sender=f"E{i % 3}")
+            for i in range(6)
+        ]
+        kmatrix = KMatrix(messages=messages)
+        clean = analyze_schedulability(kmatrix, small_bus,
+                                       deadline_policy="explicit")
+        noisy = analyze_schedulability(
+            kmatrix, small_bus, deadline_policy="explicit",
+            error_model=BurstErrorModel(min_interarrival=10.0, burst_length=3,
+                                        intra_burst_gap=0.3))
+        assert noisy.loss_fraction >= clean.loss_fraction
+        assert noisy.loss_fraction > 0.0
+
+
+class TestHelpers:
+    def test_response_time_table_from_mapping(self, small_kmatrix, small_bus):
+        from repro.analysis.response_time import CanBusAnalysis
+        results = CanBusAnalysis(small_kmatrix, small_bus).analyze_all()
+        rows = response_time_table(results)
+        assert len(rows) == len(small_kmatrix)
+        for _name, best, worst in rows:
+            assert worst >= best

@@ -1,0 +1,103 @@
+"""Unit tests for bus configuration and controller models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.can.bus import CanBus
+from repro.can.controller import (
+    CanControllerType,
+    ControllerModel,
+    default_controllers,
+    mixed_controllers,
+)
+from repro.can.message import CanMessage
+
+
+class TestCanBus:
+    def test_transmission_times(self, small_bus, small_kmatrix):
+        fast = small_kmatrix.get("FastA")          # 8 bytes
+        background = small_kmatrix.get("Background")  # 2 bytes
+        assert small_bus.transmission_time(fast) == pytest.approx(0.27)
+        assert small_bus.transmission_time(background) < \
+            small_bus.transmission_time(fast)
+        assert small_bus.best_case_transmission_time(fast) == pytest.approx(0.222)
+
+    def test_bit_time(self, small_bus):
+        assert small_bus.bit_time_ms == pytest.approx(0.002)
+
+    def test_with_bit_stuffing_copy(self, small_bus, small_kmatrix):
+        plain = small_bus.with_bit_stuffing(False)
+        fast = small_kmatrix.get("FastA")
+        assert plain.transmission_time(fast) == pytest.approx(0.222)
+        assert small_bus.bit_stuffing is True  # original unchanged
+
+    def test_with_bit_rate_copy(self, small_bus):
+        slower = small_bus.with_bit_rate(125_000.0)
+        assert slower.bit_time_ms == pytest.approx(0.008)
+
+    def test_invalid_bit_rate(self):
+        with pytest.raises(ValueError):
+            CanBus(name="bad", bit_rate_bps=0.0)
+
+    def test_describe(self, small_bus):
+        assert "500" in small_bus.describe()
+
+
+class TestControllerModel:
+    def test_fullcan_adds_no_internal_blocking(self):
+        controller = ControllerModel(controller_type=CanControllerType.FULL)
+        blocking = controller.internal_blocking("A", {"B": 0.27, "C": 0.13})
+        assert blocking == 0.0
+
+    def test_basiccan_adds_one_frame(self):
+        controller = ControllerModel(controller_type=CanControllerType.BASIC)
+        blocking = controller.internal_blocking("A", {"B": 0.27, "C": 0.13})
+        assert blocking == pytest.approx(0.27)
+
+    def test_basiccan_with_abort_behaves_like_fullcan(self):
+        controller = ControllerModel(controller_type=CanControllerType.BASIC,
+                                     abort_on_higher_priority=True)
+        assert controller.internal_blocking("A", {"B": 0.27}) == 0.0
+        assert controller.preserves_priority_order
+
+    def test_fifo_queue_adds_multiple_frames(self):
+        controller = ControllerModel(controller_type=CanControllerType.QUEUED_FIFO,
+                                     tx_buffers=3)
+        blocking = controller.internal_blocking(
+            "A", {"B": 0.27, "C": 0.25, "D": 0.10})
+        assert blocking == pytest.approx(0.52)
+
+    def test_message_itself_is_ignored(self):
+        controller = ControllerModel(controller_type=CanControllerType.BASIC)
+        assert controller.internal_blocking("A", {"A": 0.27}) == 0.0
+
+    def test_invalid_buffer_count(self):
+        with pytest.raises(ValueError):
+            ControllerModel(tx_buffers=0)
+
+
+class TestControllerFactories:
+    def test_default_controllers(self):
+        controllers = default_controllers(["E1", "E2"])
+        assert set(controllers) == {"E1", "E2"}
+        assert all(c.controller_type == CanControllerType.FULL
+                   for c in controllers.values())
+
+    def test_mixed_controllers(self):
+        controllers = mixed_controllers(
+            {"GW": CanControllerType.BASIC}, ecu_names=["E1", "GW"])
+        assert controllers["GW"].controller_type == CanControllerType.BASIC
+        assert controllers["E1"].controller_type == CanControllerType.FULL
+
+
+class TestControllerEffectOnAnalysis:
+    def test_basiccan_increases_response_time(self, small_kmatrix, small_bus):
+        from repro.analysis.response_time import CanBusAnalysis
+        full = CanBusAnalysis(small_kmatrix, small_bus, controllers={
+            "ECU_A": ControllerModel(controller_type=CanControllerType.FULL)})
+        basic = CanBusAnalysis(small_kmatrix, small_bus, controllers={
+            "ECU_A": ControllerModel(controller_type=CanControllerType.BASIC)})
+        message = small_kmatrix.get("FastA")  # ECU_A also sends lower-priority
+        assert basic.response_time(message).worst_case >= \
+            full.response_time(message).worst_case

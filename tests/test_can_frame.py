@@ -1,0 +1,85 @@
+"""Unit tests for CAN frame timing (lengths, stuffing, overheads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.can.frame import (
+    CanFrameFormat,
+    best_case_transmission_time,
+    error_frame_bits,
+    error_recovery_overhead,
+    frame_bits_without_stuffing,
+    max_stuff_bits,
+    worst_case_frame_bits,
+    worst_case_transmission_time,
+)
+
+
+class TestFrameBits:
+    def test_standard_8_byte_frame_without_stuffing(self):
+        # 34 overhead + 64 data + 13 trailer = 111 bits.
+        assert frame_bits_without_stuffing(8, CanFrameFormat.STANDARD) == 111
+
+    def test_extended_8_byte_frame_without_stuffing(self):
+        assert frame_bits_without_stuffing(8, CanFrameFormat.EXTENDED) == 131
+
+    def test_zero_payload(self):
+        assert frame_bits_without_stuffing(0) == 47
+
+    def test_worst_case_stuffing_standard_8_bytes(self):
+        # (34 + 64 - 1) // 4 = 24 stuff bits -> 135 bits total.
+        assert max_stuff_bits(8, CanFrameFormat.STANDARD) == 24
+        assert worst_case_frame_bits(8, CanFrameFormat.STANDARD) == 135
+
+    def test_stuffing_can_be_disabled(self):
+        assert worst_case_frame_bits(8, bit_stuffing=False) == 111
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ValueError):
+            frame_bits_without_stuffing(9)
+        with pytest.raises(ValueError):
+            frame_bits_without_stuffing(-1)
+
+    @pytest.mark.parametrize("payload", range(9))
+    def test_extended_always_longer_than_standard(self, payload):
+        assert (worst_case_frame_bits(payload, CanFrameFormat.EXTENDED)
+                > worst_case_frame_bits(payload, CanFrameFormat.STANDARD))
+
+    @pytest.mark.parametrize("payload", range(1, 9))
+    def test_bits_increase_with_payload(self, payload):
+        assert (worst_case_frame_bits(payload)
+                > worst_case_frame_bits(payload - 1))
+
+
+class TestTransmissionTimes:
+    def test_500kbit_8_byte_worst_case(self):
+        # 135 bits at 500 kbit/s = 0.27 ms.
+        assert worst_case_transmission_time(8, 500_000.0) == pytest.approx(0.27)
+
+    def test_best_case_is_shorter(self):
+        assert (best_case_transmission_time(8, 500_000.0)
+                < worst_case_transmission_time(8, 500_000.0))
+
+    def test_scales_inversely_with_bit_rate(self):
+        slow = worst_case_transmission_time(8, 125_000.0)
+        fast = worst_case_transmission_time(8, 500_000.0)
+        assert slow == pytest.approx(4 * fast)
+
+    def test_invalid_bit_rate_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_transmission_time(8, 0.0)
+        with pytest.raises(ValueError):
+            best_case_transmission_time(8, -1.0)
+
+
+class TestErrorOverhead:
+    def test_error_frame_is_31_bits(self):
+        assert error_frame_bits() == 31
+
+    def test_error_recovery_at_500kbit(self):
+        assert error_recovery_overhead(500_000.0) == pytest.approx(0.062)
+
+    def test_error_recovery_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            error_recovery_overhead(0.0)

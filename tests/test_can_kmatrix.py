@@ -1,0 +1,126 @@
+"""Unit tests for the K-Matrix container (validation, queries, CSV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.can.kmatrix import KMatrix, KMatrixValidationError
+from repro.can.message import CanMessage
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self, small_kmatrix):
+        with pytest.raises(KMatrixValidationError):
+            small_kmatrix.add(CanMessage(name="New", can_id=0x100, dlc=1,
+                                         period=10.0, sender="ECU_A"))
+        assert "New" not in small_kmatrix
+
+    def test_duplicate_names_rejected(self, small_kmatrix):
+        with pytest.raises(KMatrixValidationError):
+            small_kmatrix.add(CanMessage(name="FastA", can_id=0x500, dlc=1,
+                                         period=10.0, sender="ECU_A"))
+
+    def test_add_and_remove(self, small_kmatrix):
+        small_kmatrix.add(CanMessage(name="New", can_id=0x500, dlc=1,
+                                     period=10.0, sender="ECU_A"))
+        assert "New" in small_kmatrix
+        removed = small_kmatrix.remove("New")
+        assert removed.can_id == 0x500
+        with pytest.raises(KeyError):
+            small_kmatrix.remove("New")
+
+
+class TestQueries:
+    def test_sorted_by_priority(self, small_kmatrix):
+        names = [m.name for m in small_kmatrix.sorted_by_priority()]
+        assert names == ["FastA", "FastB", "Medium", "Slow", "Background"]
+
+    def test_sent_and_received_by(self, small_kmatrix):
+        assert {m.name for m in small_kmatrix.sent_by("ECU_A")} == \
+            {"FastA", "Medium", "Background"}
+        assert {m.name for m in small_kmatrix.received_by("ECU_A")} == \
+            {"FastB", "Slow"}
+
+    def test_ecu_names(self, small_kmatrix):
+        assert small_kmatrix.ecu_names() == ["ECU_A", "ECU_B"]
+
+    def test_priority_partitions(self, small_kmatrix):
+        medium = small_kmatrix.get("Medium")
+        higher = {m.name for m in small_kmatrix.higher_priority_than(medium)}
+        lower = {m.name for m in small_kmatrix.lower_priority_than(medium)}
+        assert higher == {"FastA", "FastB"}
+        assert lower == {"Slow", "Background"}
+        assert len(higher) + len(lower) + 1 == len(small_kmatrix)
+
+    def test_by_id_and_get(self, small_kmatrix):
+        assert small_kmatrix.by_id(0x300).name == "Slow"
+        with pytest.raises(KeyError):
+            small_kmatrix.by_id(0x999)
+        with pytest.raises(KeyError):
+            small_kmatrix.get("DoesNotExist")
+
+    def test_unknown_jitter_listing(self, small_kmatrix):
+        unknown = {m.name for m in small_kmatrix.messages_with_unknown_jitter()}
+        assert "Medium" not in unknown
+        assert "FastA" in unknown
+
+    def test_subset(self, small_kmatrix):
+        subset = small_kmatrix.subset(["FastA", "Slow"])
+        assert len(subset) == 2
+
+
+class TestDerivedMatrices:
+    def test_with_priorities_swaps_ids(self, small_kmatrix):
+        swapped = small_kmatrix.with_priorities({"FastA": 0x300, "Slow": 0x100})
+        assert swapped.get("FastA").can_id == 0x300
+        assert swapped.get("Slow").can_id == 0x100
+        # The original is untouched.
+        assert small_kmatrix.get("FastA").can_id == 0x100
+
+    def test_with_priorities_detects_conflicts(self, small_kmatrix):
+        with pytest.raises(KMatrixValidationError):
+            small_kmatrix.with_priorities({"FastA": 0x110})
+
+    def test_with_assumed_jitters_only_fills_unknown(self, small_kmatrix):
+        assumed = small_kmatrix.with_assumed_jitters(0.2)
+        assert assumed.get("FastA").jitter == pytest.approx(2.0)
+        assert assumed.get("Medium").jitter == pytest.approx(2.0)  # known: kept
+        assert assumed.get("Slow").jitter == pytest.approx(20.0)
+
+    def test_with_all_jitters_overrides_everything(self, small_kmatrix):
+        assumed = small_kmatrix.with_all_jitters(0.1)
+        assert assumed.get("Medium").jitter == pytest.approx(2.0)
+        assert assumed.get("FastB").jitter == pytest.approx(1.0)
+
+    def test_negative_fraction_rejected(self, small_kmatrix):
+        with pytest.raises(ValueError):
+            small_kmatrix.with_assumed_jitters(-0.1)
+
+    def test_map_messages(self, small_kmatrix):
+        doubled = small_kmatrix.map_messages(lambda m: m.with_period(m.period * 2))
+        assert doubled.get("FastA").period == 20.0
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_messages(self, small_kmatrix, tmp_path):
+        path = tmp_path / "kmatrix.csv"
+        small_kmatrix.to_csv(path)
+        loaded = KMatrix.from_csv(path)
+        assert len(loaded) == len(small_kmatrix)
+        for message in small_kmatrix:
+            other = loaded.get(message.name)
+            assert other.can_id == message.can_id
+            assert other.dlc == message.dlc
+            assert other.period == pytest.approx(message.period)
+            assert (other.jitter is None) == (message.jitter is None)
+            assert other.receivers == message.receivers
+
+    def test_round_trip_from_text(self, small_kmatrix):
+        text = small_kmatrix.to_csv()
+        loaded = KMatrix.from_csv(text)
+        assert {m.name for m in loaded} == {m.name for m in small_kmatrix}
+
+    def test_describe_lists_all_messages(self, small_kmatrix):
+        text = small_kmatrix.describe()
+        for message in small_kmatrix:
+            assert message.name in text

@@ -1,0 +1,98 @@
+"""Unit tests for the K-Matrix message abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.can.frame import CanFrameFormat
+from repro.can.message import CanMessage, SignalSpec
+from repro.events.model import PeriodicEventModel, PeriodicWithJitter
+
+
+def _message(**overrides) -> CanMessage:
+    parameters = dict(name="M", can_id=0x123, dlc=8, period=10.0, sender="ECU1")
+    parameters.update(overrides)
+    return CanMessage(**parameters)
+
+
+class TestValidation:
+    def test_standard_id_range(self):
+        with pytest.raises(ValueError):
+            _message(can_id=0x800)
+        assert _message(can_id=0x7FF).can_id == 0x7FF
+
+    def test_extended_id_range(self):
+        message = _message(can_id=0x1FFFFFFF,
+                           frame_format=CanFrameFormat.EXTENDED)
+        assert message.can_id == 0x1FFFFFFF
+        with pytest.raises(ValueError):
+            _message(can_id=0x20000000, frame_format=CanFrameFormat.EXTENDED)
+
+    def test_dlc_range(self):
+        with pytest.raises(ValueError):
+            _message(dlc=9)
+        with pytest.raises(ValueError):
+            _message(dlc=-1)
+
+    def test_period_positive(self):
+        with pytest.raises(ValueError):
+            _message(period=0.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            _message(jitter=-1.0)
+
+    def test_signal_bounds(self):
+        with pytest.raises(ValueError):
+            SignalSpec(name="S", start_bit=60, length_bits=8)
+        spec = SignalSpec(name="S", start_bit=0, length_bits=16)
+        assert spec.length_bits == 16
+
+
+class TestDerivedProperties:
+    def test_priority_is_identifier(self):
+        assert _message(can_id=0x55).priority == 0x55
+
+    def test_jitter_known(self):
+        assert not _message().jitter_known
+        assert _message(jitter=1.0).jitter_known
+
+    def test_effective_jitter_uses_assumption_when_unknown(self):
+        message = _message(period=20.0)
+        assert message.effective_jitter(0.25) == pytest.approx(5.0)
+
+    def test_effective_jitter_prefers_known_value(self):
+        message = _message(period=20.0, jitter=1.5)
+        assert message.effective_jitter(0.25) == pytest.approx(1.5)
+
+    def test_effective_deadline_policies(self):
+        message = _message(period=20.0, jitter=4.0, deadline=12.0)
+        assert message.effective_deadline("period") == 20.0
+        assert message.effective_deadline("explicit") == 12.0
+        assert message.effective_deadline("min-rearrival") == pytest.approx(16.0)
+        assert message.effective_deadline("min-rearrival", jitter=10.0) == \
+            pytest.approx(10.0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            _message().effective_deadline("whatever")
+
+    def test_event_model_classes(self):
+        assert isinstance(_message().event_model(), PeriodicEventModel)
+        assert isinstance(_message(jitter=2.0).event_model(), PeriodicWithJitter)
+        assert _message().event_model(0.3).jitter == pytest.approx(3.0)
+
+    def test_payload_bits(self):
+        assert _message(dlc=3).payload_bits() == 24
+
+    def test_copies_are_independent(self):
+        original = _message()
+        changed = original.with_can_id(0x200).with_jitter(2.0).with_period(50.0)
+        assert original.can_id == 0x123 and original.jitter is None
+        assert changed.can_id == 0x200
+        assert changed.jitter == 2.0
+        assert changed.period == 50.0
+
+    def test_describe_contains_key_facts(self):
+        text = _message(jitter=2.0).describe()
+        assert "0x123" in text and "ECU1" in text

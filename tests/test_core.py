@@ -1,0 +1,190 @@
+"""Unit and integration tests for the compositional analysis engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.can.bus import CanBus
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.core.engine import CompositionalAnalysis
+from repro.core.paths import EndToEndPath, path_latency
+from repro.core.system import BusSegment, SystemModel
+from repro.ecu.task import EcuModel, OsekOverheads, Task, TaskKind
+from repro.events.model import PeriodicEventModel
+from repro.gateway.model import ForwardingPolicy, GatewayModel, GatewayRoute
+
+
+def _two_bus_system() -> SystemModel:
+    """Two buses coupled by a gateway, one detailed sender ECU."""
+    body = KMatrix(messages=[
+        CanMessage(name="BodySpeed", can_id=0x100, dlc=8, period=20.0,
+                   sender="BodyECU", receivers=("Gateway1",)),
+        CanMessage(name="BodyLight", can_id=0x200, dlc=4, period=100.0,
+                   sender="BodyECU", receivers=("Gateway1",)),
+    ])
+    powertrain = KMatrix(messages=[
+        CanMessage(name="PTSpeed", can_id=0x110, dlc=8, period=20.0,
+                   sender="Gateway1", receivers=("EngineECU",)),
+        CanMessage(name="EngineTorque", can_id=0x120, dlc=8, period=10.0,
+                   sender="EngineECU", receivers=("Gateway1",)),
+    ])
+    system = SystemModel(name="two-bus")
+    system.add_bus(BusSegment(bus=CanBus(name="Body-CAN", bit_rate_bps=125_000.0),
+                              kmatrix=body))
+    system.add_bus(BusSegment(bus=CanBus(name="PT-CAN", bit_rate_bps=500_000.0),
+                              kmatrix=powertrain))
+    system.add_gateway(GatewayModel(
+        name="Gateway1",
+        policy=ForwardingPolicy.PERIODIC_POLLING,
+        polling_period=2.0,
+        copy_time=0.05,
+        routes=[GatewayRoute(source_message="BodySpeed",
+                             destination_message="PTSpeed",
+                             source_bus="Body-CAN",
+                             destination_bus="PT-CAN")],
+    ))
+    system.add_ecu(EcuModel(
+        name="EngineECU",
+        overheads=OsekOverheads(0.0, 0.0, 0.0, 0.0),
+        tasks=[
+            Task(name="TorqueTask", priority=2, wcet=1.5, bcet=0.5,
+                 activation=PeriodicEventModel(period=10.0),
+                 sends_messages=("EngineTorque",)),
+            Task(name="IdleTask", priority=9, wcet=2.0,
+                 kind=TaskKind.COOPERATIVE,
+                 activation=PeriodicEventModel(period=50.0)),
+        ]))
+    return system
+
+
+class TestSystemModel:
+    def test_validation_passes_for_consistent_system(self):
+        assert _two_bus_system().validate() == []
+
+    def test_validation_reports_unknown_messages(self):
+        system = _two_bus_system()
+        system.gateways["Gateway1"].routes.append(
+            GatewayRoute("Ghost", "AlsoGhost", "Body-CAN", "PT-CAN"))
+        problems = system.validate()
+        assert any("Ghost" in p for p in problems)
+
+    def test_validation_reports_bus_mismatch(self):
+        system = _two_bus_system()
+        system.gateways["Gateway1"].routes[0] = GatewayRoute(
+            "BodySpeed", "PTSpeed", "PT-CAN", "Body-CAN")
+        problems = system.validate()
+        assert len(problems) == 2
+
+    def test_duplicate_registration_rejected(self):
+        system = _two_bus_system()
+        with pytest.raises(ValueError):
+            system.add_bus(system.buses["PT-CAN"])
+        with pytest.raises(ValueError):
+            system.add_gateway(system.gateways["Gateway1"])
+        with pytest.raises(ValueError):
+            system.add_ecu(system.ecus["EngineECU"])
+
+    def test_bus_of_message(self):
+        system = _two_bus_system()
+        assert system.bus_of_message("BodySpeed").name == "Body-CAN"
+        with pytest.raises(KeyError):
+            system.bus_of_message("Nope")
+
+    def test_describe_lists_buses(self):
+        text = _two_bus_system().describe()
+        assert "Body-CAN" in text and "PT-CAN" in text
+
+
+class TestCompositionalAnalysis:
+    def test_invalid_system_rejected(self):
+        system = _two_bus_system()
+        system.gateways["Gateway1"].routes.append(
+            GatewayRoute("Ghost", "AlsoGhost", "Body-CAN", "PT-CAN"))
+        with pytest.raises(ValueError):
+            CompositionalAnalysis(system)
+
+    def test_fixed_point_converges(self):
+        result = CompositionalAnalysis(_two_bus_system()).run()
+        assert result.converged
+        assert result.all_deadlines_met
+        assert result.iterations >= 2
+
+    def test_all_messages_and_tasks_analyzed(self):
+        system = _two_bus_system()
+        result = CompositionalAnalysis(system).run()
+        assert set(result.message_results) == set(system.message_names())
+        assert "EngineECU.TorqueTask" in result.task_results
+
+    def test_forwarded_message_inherits_jitter(self):
+        """The gateway output jitter must show up in the PT-CAN analysis."""
+        result = CompositionalAnalysis(_two_bus_system()).run()
+        # PTSpeed is forwarded from BodySpeed: its send model must carry the
+        # forwarding jitter (polling period) on top of the arrival jitter.
+        assert result.send_jitter("PTSpeed") > result.arrival_jitter("BodySpeed") - 1e-9
+        assert result.send_jitter("PTSpeed") >= 2.0  # at least the polling period
+
+    def test_task_sent_message_uses_response_interval(self):
+        result = CompositionalAnalysis(_two_bus_system()).run()
+        task = result.task_results["EngineECU.TorqueTask"]
+        assert result.send_jitter("EngineTorque") == pytest.approx(
+            task.worst_case - task.best_case, abs=1e-6)
+
+    def test_arrival_jitter_exceeds_send_jitter(self):
+        result = CompositionalAnalysis(_two_bus_system()).run()
+        for name in ("BodySpeed", "PTSpeed", "EngineTorque"):
+            assert result.arrival_jitter(name) >= result.send_jitter(name) - 1e-9 \
+                or result.send_jitter(name) != result.send_jitter(name)  # NaN guard
+
+    def test_single_bus_without_components_converges_trivially(self,
+                                                               small_kmatrix,
+                                                               small_bus):
+        system = SystemModel(name="flat")
+        system.add_bus(BusSegment(bus=small_bus, kmatrix=small_kmatrix))
+        result = CompositionalAnalysis(system).run()
+        assert result.converged
+        assert result.total_messages == len(small_kmatrix)
+
+    def test_describe_mentions_buses(self):
+        result = CompositionalAnalysis(_two_bus_system()).run()
+        assert "PT-CAN" in result.describe()
+
+
+class TestEndToEndPaths:
+    def test_path_latency_sums_segments(self):
+        system = _two_bus_system()
+        result = CompositionalAnalysis(system).run()
+        path = EndToEndPath(name="body-to-engine", segments=(
+            ("message", "BodySpeed"),
+            ("gateway", "Gateway1:PTSpeed"),
+            ("message", "PTSpeed"),
+        ))
+        latency = path_latency(path, system, result)
+        assert latency.worst_case >= result.worst_case_response("BodySpeed")
+        assert latency.worst_case >= result.worst_case_response("PTSpeed")
+        assert latency.best_case <= latency.worst_case
+        assert latency.jitter >= 0.0
+        assert len(latency.per_segment) == 3
+
+    def test_task_segment(self):
+        system = _two_bus_system()
+        result = CompositionalAnalysis(system).run()
+        path = EndToEndPath(name="torque", segments=(
+            ("task", "EngineECU.TorqueTask"),
+            ("message", "EngineTorque"),
+        ))
+        latency = path_latency(path, system, result)
+        assert latency.worst_case == pytest.approx(
+            result.task_results["EngineECU.TorqueTask"].worst_case
+            + result.worst_case_response("EngineTorque"))
+
+    def test_unknown_segment_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EndToEndPath(name="bad", segments=(("pigeon", "X"),))
+
+    def test_unknown_references_raise(self):
+        system = _two_bus_system()
+        result = CompositionalAnalysis(system).run()
+        with pytest.raises(KeyError):
+            path_latency(EndToEndPath(name="p", segments=(("message", "Nope"),)),
+                         system, result)

@@ -1,0 +1,146 @@
+"""Unit tests for diagnostics/flashing traffic and the FlexRay extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.load import bus_load
+from repro.analysis.schedulability import analyze_schedulability
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.diagnostics.traffic import (
+    DiagnosticSession,
+    FlashingSession,
+    diagnostic_messages,
+    flashing_messages,
+    kmatrix_with_diagnostics,
+)
+from repro.flexray.analysis import analyze_static_segment, compare_with_can
+from repro.flexray.schedule import FlexRayConfig, SlotAssignment, StaticSchedule, assign_slots
+
+
+class TestDiagnosticsTraffic:
+    def test_diagnostic_messages_structure(self):
+        session = DiagnosticSession(ecu="ECU_A", request_id=0x700,
+                                    response_id=0x708)
+        messages = diagnostic_messages(session)
+        assert len(messages) == 2
+        request, response = messages
+        assert request.sender == "Tester"
+        assert response.sender == "ECU_A"
+        assert response.event_model().is_bursty
+
+    def test_flashing_messages_structure(self):
+        session = FlashingSession(ecu="ECU_A", data_id=0x710, ack_id=0x718)
+        data, ack = flashing_messages(session)
+        assert data.min_distance > 0
+        assert data.event_model().is_bursty
+        assert ack.sender == "ECU_A"
+
+    def test_invalid_sessions_rejected(self):
+        with pytest.raises(ValueError):
+            DiagnosticSession(ecu="E", request_id=1, response_id=2,
+                              polling_period=0.0)
+        with pytest.raises(ValueError):
+            FlashingSession(ecu="E", data_id=1, ack_id=2,
+                            block_size_frames=200, separation_time=1.0,
+                            block_period=50.0)
+
+    def test_added_traffic_increases_load(self, small_kmatrix, small_bus):
+        base_load = bus_load(small_kmatrix, small_bus).utilization
+        extended = kmatrix_with_diagnostics(
+            small_kmatrix,
+            diagnostic_sessions=[DiagnosticSession(ecu="ECU_A",
+                                                   request_id=0x700,
+                                                   response_id=0x708)],
+            flashing_sessions=[FlashingSession(ecu="ECU_B", data_id=0x710,
+                                               ack_id=0x718)])
+        assert len(extended) == len(small_kmatrix) + 4
+        assert bus_load(extended, small_bus).utilization > base_load
+        # Production messages keep their identifiers.
+        assert extended.get("FastA").can_id == small_kmatrix.get("FastA").can_id
+
+    def test_low_priority_diagnostics_do_not_break_production(self,
+                                                              small_kmatrix,
+                                                              small_bus):
+        extended = kmatrix_with_diagnostics(
+            small_kmatrix,
+            flashing_sessions=[FlashingSession(ecu="ECU_B", data_id=0x710,
+                                               ack_id=0x718)])
+        report = analyze_schedulability(extended, small_bus)
+        production = [v for v in report.verdicts
+                      if v.name in {m.name for m in small_kmatrix}]
+        assert all(v.meets_deadline for v in production)
+
+
+class TestFlexRaySchedule:
+    def test_greedy_assignment_places_all_messages(self, small_kmatrix):
+        schedule = assign_slots(small_kmatrix)
+        assert set(schedule.assignments) == {m.name for m in small_kmatrix}
+
+    def test_effective_period_not_exceeding_message_period(self, small_kmatrix):
+        schedule = assign_slots(small_kmatrix)
+        for message in small_kmatrix:
+            assert schedule.effective_period(message.name) <= message.period + 1e-9
+
+    def test_collision_detection(self):
+        schedule = StaticSchedule(config=FlexRayConfig())
+        schedule.add(SlotAssignment(message="A", slot=1, base_cycle=0,
+                                    cycle_repetition=2))
+        with pytest.raises(ValueError):
+            schedule.add(SlotAssignment(message="B", slot=1, base_cycle=0,
+                                        cycle_repetition=4))
+        # The other base cycle is free.
+        schedule.add(SlotAssignment(message="C", slot=1, base_cycle=1,
+                                    cycle_repetition=2))
+
+    def test_invalid_assignments_rejected(self):
+        schedule = StaticSchedule(config=FlexRayConfig(static_slots=4))
+        with pytest.raises(ValueError):
+            schedule.add(SlotAssignment(message="A", slot=9, base_cycle=0,
+                                        cycle_repetition=1))
+        with pytest.raises(ValueError):
+            schedule.add(SlotAssignment(message="A", slot=1, base_cycle=0,
+                                        cycle_repetition=3))
+
+    def test_exhaustion_raises(self):
+        config = FlexRayConfig(static_slots=1, cycle_length=5.0,
+                               slot_length=0.05, max_cycle_repetition=1)
+        messages = KMatrix(messages=[
+            CanMessage(name=f"M{i}", can_id=0x100 + i, dlc=8, period=5.0,
+                       sender="E1")
+            for i in range(3)
+        ])
+        with pytest.raises(ValueError):
+            assign_slots(messages, config)
+
+    def test_utilization(self, small_kmatrix):
+        schedule = assign_slots(small_kmatrix)
+        assert 0.0 < schedule.utilization() <= 1.0
+
+
+class TestFlexRayAnalysis:
+    def test_latency_bounds(self, small_kmatrix):
+        timings = analyze_static_segment(small_kmatrix)
+        for message in small_kmatrix:
+            timing = timings[message.name]
+            assert timing.best_case > 0
+            assert timing.worst_case >= timing.effective_period
+            assert timing.jitter >= 0
+
+    def test_jitter_increases_worst_case(self, small_kmatrix):
+        calm = analyze_static_segment(small_kmatrix,
+                                      assumed_jitter_fraction=0.0)
+        jittery = analyze_static_segment(small_kmatrix,
+                                         assumed_jitter_fraction=0.3)
+        for name in calm:
+            assert jittery[name].worst_case >= calm[name].worst_case
+
+    def test_comparison_with_can_shows_crossover_tendency(self, small_kmatrix,
+                                                          small_bus):
+        rows = compare_with_can(small_kmatrix, small_bus)
+        assert len(rows) == len(small_kmatrix)
+        by_name = {name: (can, flexray) for name, can, flexray in rows}
+        # The highest-priority CAN message beats its FlexRay latency ...
+        top = small_kmatrix.sorted_by_priority()[0].name
+        assert by_name[top][0] < by_name[top][1]

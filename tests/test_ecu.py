@@ -1,0 +1,199 @@
+"""Unit tests for the OSEK-style ECU substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ecu.analysis import EcuAnalysis, message_output_models
+from repro.ecu.task import (
+    EcuModel,
+    OsekOverheads,
+    Task,
+    TaskKind,
+    TimeTable,
+    TimeTableEntry,
+)
+from repro.events.model import PeriodicEventModel, PeriodicWithJitter
+
+
+def _simple_ecu() -> EcuModel:
+    """Three-task ECU with hand-checkable response times."""
+    return EcuModel(name="ECU_A", overheads=OsekOverheads(0.0, 0.0, 0.0, 0.0),
+                    tasks=[
+        Task(name="ISR", priority=1, wcet=0.2, bcet=0.1,
+             kind=TaskKind.INTERRUPT,
+             activation=PeriodicEventModel(period=5.0)),
+        Task(name="Control", priority=5, wcet=1.0, bcet=0.6,
+             activation=PeriodicEventModel(period=10.0),
+             sends_messages=("EngineTorque",)),
+        Task(name="Background", priority=9, wcet=3.0, bcet=1.0,
+             kind=TaskKind.COOPERATIVE,
+             activation=PeriodicEventModel(period=100.0)),
+    ])
+
+
+class TestTaskModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Task(name="T", priority=1, wcet=0.0)
+        with pytest.raises(ValueError):
+            Task(name="T", priority=1, wcet=1.0, bcet=2.0)
+        with pytest.raises(ValueError):
+            Task(name="T", priority=1, wcet=1.0, non_preemptable_region=2.0)
+
+    def test_cooperative_tasks_block_for_their_wcet(self):
+        task = Task(name="T", priority=1, wcet=3.0, kind=TaskKind.COOPERATIVE,
+                    activation=PeriodicEventModel(period=10.0))
+        assert task.effective_non_preemptable_region == 3.0
+
+    def test_preemptive_task_blocks_only_explicit_region(self):
+        task = Task(name="T", priority=1, wcet=3.0,
+                    non_preemptable_region=0.5,
+                    activation=PeriodicEventModel(period=10.0))
+        assert task.effective_non_preemptable_region == 0.5
+
+    def test_osek_overhead_validation(self):
+        with pytest.raises(ValueError):
+            OsekOverheads(activation=-1.0)
+
+
+class TestEcuModel:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            EcuModel(name="E", tasks=[
+                Task(name="T", priority=1, wcet=1.0,
+                     activation=PeriodicEventModel(period=10.0)),
+                Task(name="T", priority=2, wcet=1.0,
+                     activation=PeriodicEventModel(period=10.0)),
+            ])
+
+    def test_task_without_activation_needs_timetable(self):
+        with pytest.raises(ValueError):
+            EcuModel(name="E", tasks=[Task(name="T", priority=1, wcet=1.0)])
+        ecu = EcuModel(
+            name="E",
+            tasks=[Task(name="T", priority=1, wcet=1.0)],
+            timetable=TimeTable(period=10.0,
+                                entries=(TimeTableEntry("T", 0.0),)))
+        assert ecu.activation_of(ecu.task("T")).period == 10.0
+
+    def test_priority_relations(self):
+        ecu = _simple_ecu()
+        control = ecu.task("Control")
+        higher = {t.name for t in ecu.higher_priority_tasks(control)}
+        lower = {t.name for t in ecu.lower_priority_tasks(control)}
+        assert higher == {"ISR"}
+        assert lower == {"Background"}
+
+    def test_utilization(self):
+        ecu = _simple_ecu()
+        expected = 0.2 / 5.0 + 1.0 / 10.0 + 3.0 / 100.0
+        assert ecu.utilization() == pytest.approx(expected)
+
+    def test_sender_task_lookup(self):
+        ecu = _simple_ecu()
+        assert ecu.sender_task_of("EngineTorque").name == "Control"
+        assert ecu.sender_task_of("Unknown") is None
+
+
+class TestTimeTable:
+    def test_single_entry_is_periodic(self):
+        table = TimeTable(period=10.0, entries=(TimeTableEntry("T", 2.0),))
+        model = table.event_model_for("T")
+        assert model.period == 10.0
+        assert model.jitter == 0.0
+
+    def test_multiple_entries_give_faster_rate(self):
+        table = TimeTable(period=20.0, entries=(
+            TimeTableEntry("T", 0.0), TimeTableEntry("T", 10.0)))
+        model = table.event_model_for("T")
+        assert model.period == pytest.approx(10.0)
+
+    def test_irregular_entries_have_jitter(self):
+        table = TimeTable(period=20.0, entries=(
+            TimeTableEntry("T", 0.0), TimeTableEntry("T", 6.0)))
+        model = table.event_model_for("T")
+        assert model.jitter > 0.0
+
+    def test_offset_outside_period_rejected(self):
+        with pytest.raises(ValueError):
+            TimeTable(period=10.0, entries=(TimeTableEntry("T", 12.0),))
+
+    def test_unknown_task_raises(self):
+        table = TimeTable(period=10.0, entries=(TimeTableEntry("T", 0.0),))
+        with pytest.raises(KeyError):
+            table.event_model_for("Other")
+
+
+class TestEcuAnalysis:
+    def test_hand_computed_response_times(self):
+        ecu = _simple_ecu()
+        results = EcuAnalysis(ecu).analyze_all()
+        # ISR: blocked by the longest lower-priority non-preemptable region
+        # (Background, 3.0 ms cooperative) plus its own execution.
+        assert results["ISR"].worst_case == pytest.approx(3.0 + 0.2)
+        # Control: blocking 3.0 + ISR interference (one hit in 4.2ms window)
+        # + own 1.0 = 4.2.
+        assert results["Control"].worst_case == pytest.approx(4.2)
+        # Background: no lower-priority blocking, interference from both.
+        assert results["Background"].worst_case >= 3.0
+
+    def test_best_case_not_exceeding_worst_case(self):
+        results = EcuAnalysis(_simple_ecu()).analyze_all()
+        for result in results.values():
+            assert result.best_case <= result.worst_case
+
+    def test_overheads_increase_response_times(self):
+        bare = _simple_ecu()
+        costly = EcuModel(name="ECU_A",
+                          overheads=OsekOverheads(0.05, 0.05, 0.02, 0.02),
+                          tasks=list(bare.tasks))
+        bare_results = EcuAnalysis(bare).analyze_all()
+        costly_results = EcuAnalysis(costly).analyze_all()
+        for name in bare_results:
+            assert costly_results[name].worst_case > bare_results[name].worst_case
+
+    def test_overloaded_ecu_reported_unbounded(self):
+        ecu = EcuModel(name="E", overheads=OsekOverheads(0, 0, 0, 0), tasks=[
+            Task(name="T1", priority=1, wcet=6.0,
+                 activation=PeriodicEventModel(period=10.0)),
+            Task(name="T2", priority=2, wcet=6.0,
+                 activation=PeriodicEventModel(period=10.0)),
+        ])
+        results = EcuAnalysis(ecu).analyze_all()
+        assert not results["T2"].bounded
+        assert math.isinf(results["T2"].worst_case)
+
+    def test_is_schedulable(self):
+        assert EcuAnalysis(_simple_ecu()).is_schedulable()
+        assert not EcuAnalysis(_simple_ecu()).is_schedulable(
+            deadlines={"Control": 0.5})
+
+
+class TestMessageOutputModels:
+    def test_output_jitter_is_response_interval(self):
+        ecu = _simple_ecu()
+        results = EcuAnalysis(ecu).analyze_all()
+        models = message_output_models(ecu)
+        control = results["Control"]
+        model = models["EngineTorque"]
+        assert model.period == 10.0
+        assert model.jitter == pytest.approx(
+            control.worst_case - control.best_case)
+
+    def test_activation_jitter_is_propagated(self):
+        ecu = _simple_ecu()
+        jittery = EcuModel(name="E", overheads=ecu.overheads, tasks=[
+            task if task.name != "Control" else task.with_activation(
+                PeriodicWithJitter(period=10.0, jitter=2.0))
+            for task in ecu.tasks
+        ])
+        models = message_output_models(jittery)
+        assert models["EngineTorque"].jitter >= 2.0
+
+    def test_tasks_without_messages_produce_nothing(self):
+        ecu = _simple_ecu()
+        models = message_output_models(ecu)
+        assert set(models) == {"EngineTorque"}

@@ -1,0 +1,117 @@
+"""Unit tests for the bus-error models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors.models import (
+    BurstErrorModel,
+    CompositeErrorModel,
+    ErrorModel,
+    NoErrors,
+    SporadicErrorModel,
+    composite,
+)
+
+
+class TestNoErrors:
+    def test_zero_everything(self):
+        model = NoErrors()
+        assert model.errors_in(1000.0) == 0
+        assert model.overhead(1000.0, 0.062, 0.27) == 0.0
+        assert "no errors" in model.describe()
+
+
+class TestSporadicErrorModel:
+    def test_error_count_in_window(self):
+        model = SporadicErrorModel(min_interarrival=10.0)
+        assert model.errors_in(0.0) == 0
+        assert model.errors_in(5.0) == 1
+        assert model.errors_in(10.0) == 2
+        assert model.errors_in(25.0) == 3
+
+    def test_overhead_scales_with_costs(self):
+        model = SporadicErrorModel(min_interarrival=10.0)
+        assert model.overhead(5.0, 0.062, 0.27) == pytest.approx(0.332)
+        assert model.overhead(25.0, 0.062, 0.27) == pytest.approx(3 * 0.332)
+
+    def test_rare_errors_cost_little(self):
+        frequent = SporadicErrorModel(min_interarrival=5.0)
+        rare = SporadicErrorModel(min_interarrival=500.0)
+        assert rare.overhead(100.0, 0.062, 0.27) < \
+            frequent.overhead(100.0, 0.062, 0.27)
+
+    def test_invalid_interarrival(self):
+        with pytest.raises(ValueError):
+            SporadicErrorModel(min_interarrival=0.0)
+
+    def test_monotonic_in_window(self):
+        model = SporadicErrorModel(min_interarrival=7.0)
+        values = [model.errors_in(t) for t in (0, 1, 5, 7, 10, 50, 100)]
+        assert values == sorted(values)
+
+
+class TestBurstErrorModel:
+    def test_short_window_sees_partial_burst(self):
+        model = BurstErrorModel(min_interarrival=50.0, burst_length=3,
+                                intra_burst_gap=1.0)
+        assert model.errors_in(0.5) == 1
+        assert model.errors_in(1.5) == 2
+        assert model.errors_in(10.0) == 3
+
+    def test_long_window_sees_multiple_bursts(self):
+        model = BurstErrorModel(min_interarrival=50.0, burst_length=3,
+                                intra_burst_gap=1.0)
+        assert model.errors_in(50.0) == 2 * 3
+        assert model.errors_in(149.0) == 3 * 3
+
+    def test_burst_costs_more_than_sporadic(self):
+        burst = BurstErrorModel(min_interarrival=50.0, burst_length=3,
+                                intra_burst_gap=0.5)
+        sporadic = SporadicErrorModel(min_interarrival=50.0)
+        assert burst.overhead(100.0, 0.062, 0.27) > \
+            sporadic.overhead(100.0, 0.062, 0.27)
+
+    def test_burst_must_fit_between_bursts(self):
+        with pytest.raises(ValueError):
+            BurstErrorModel(min_interarrival=2.0, burst_length=5,
+                            intra_burst_gap=1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BurstErrorModel(burst_length=0)
+        with pytest.raises(ValueError):
+            BurstErrorModel(intra_burst_gap=-1.0)
+
+    def test_monotonic_in_window(self):
+        model = BurstErrorModel(min_interarrival=20.0, burst_length=4,
+                                intra_burst_gap=0.5)
+        values = [model.errors_in(t) for t in (0, 0.4, 1, 2, 10, 20, 40, 100)]
+        assert values == sorted(values)
+
+
+class TestComposite:
+    def test_composite_adds_overheads(self):
+        sporadic = SporadicErrorModel(min_interarrival=10.0)
+        burst = BurstErrorModel(min_interarrival=100.0, burst_length=2,
+                                intra_burst_gap=0.5)
+        combined = CompositeErrorModel(components=(sporadic, burst))
+        assert combined.errors_in(50.0) == \
+            sporadic.errors_in(50.0) + burst.errors_in(50.0)
+        assert combined.overhead(50.0, 0.062, 0.27) == pytest.approx(
+            sporadic.overhead(50.0, 0.062, 0.27)
+            + burst.overhead(50.0, 0.062, 0.27))
+
+    def test_composite_factory_collapses_trivial_cases(self):
+        assert isinstance(composite([]), NoErrors)
+        assert isinstance(composite([NoErrors()]), NoErrors)
+        single = SporadicErrorModel(min_interarrival=10.0)
+        assert composite([single, NoErrors()]) is single
+        assert isinstance(composite([single, single]), CompositeErrorModel)
+
+    def test_describe_concatenates(self):
+        combined = CompositeErrorModel(components=(
+            SporadicErrorModel(min_interarrival=10.0),
+            BurstErrorModel(min_interarrival=100.0)))
+        text = combined.describe()
+        assert "sporadic" in text and "burst" in text

@@ -1,0 +1,93 @@
+"""Unit tests for empirical traces and arrival-curve wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.curves import (
+    ArrivalCurve,
+    EmpiricalEventTrace,
+    curve_from_event_model,
+    distance_from_event_model,
+    merge_traces,
+)
+from repro.events.model import PeriodicEventModel, PeriodicWithJitter
+
+
+class TestEmpiricalEventTrace:
+    def test_count_in_window(self):
+        trace = EmpiricalEventTrace(timestamps=[0.0, 5.0, 10.0, 15.0])
+        assert trace.count_in_window(0.0, 10.0) == 2
+        assert trace.count_in_window(0.0, 10.1) == 3
+        assert trace.count_in_window(20.0, 10.0) == 0
+
+    def test_add_keeps_order(self):
+        trace = EmpiricalEventTrace(timestamps=[5.0, 1.0])
+        trace.add(3.0)
+        assert trace.timestamps == [1.0, 3.0, 5.0]
+
+    def test_empirical_eta_plus_of_periodic_trace(self):
+        trace = EmpiricalEventTrace(timestamps=[i * 10.0 for i in range(10)])
+        assert trace.empirical_eta_plus(10.5) == 2
+        assert trace.empirical_eta_plus(1.0) == 1
+
+    def test_empirical_delta_functions(self):
+        trace = EmpiricalEventTrace(timestamps=[0.0, 9.0, 20.0, 29.0])
+        assert trace.empirical_delta_minus(2) == pytest.approx(9.0)
+        assert trace.empirical_delta_plus(2) == pytest.approx(11.0)
+        assert trace.empirical_delta_minus(5) == 0.0
+
+    def test_inter_arrival_times(self):
+        trace = EmpiricalEventTrace(timestamps=[0.0, 2.0, 7.0])
+        assert trace.inter_arrival_times() == [2.0, 5.0]
+
+    def test_empty_trace_is_harmless(self):
+        trace = EmpiricalEventTrace()
+        assert len(trace) == 0
+        assert trace.empirical_eta_plus(10.0) == 0
+        assert trace.empirical_eta_minus(10.0) == 0
+
+    def test_merge_traces(self):
+        merged = merge_traces([
+            EmpiricalEventTrace(timestamps=[0.0, 10.0]),
+            EmpiricalEventTrace(timestamps=[5.0]),
+        ])
+        assert merged.timestamps == [0.0, 5.0, 10.0]
+
+    def test_analytic_model_dominates_jittered_trace(self):
+        """An analytic model with the trace's parameters must upper-bound it."""
+        model = PeriodicWithJitter(period=10.0, jitter=3.0)
+        # Simulated arrivals: period 10, each displaced by <= 3 ms.
+        offsets = [0.0, 2.5, 1.0, 3.0, 0.5, 2.0]
+        trace = EmpiricalEventTrace(
+            timestamps=[i * 10.0 + offsets[i % len(offsets)] for i in range(30)])
+        for dt in (1.0, 5.0, 10.0, 25.0, 50.0, 100.0):
+            assert model.eta_plus(dt) >= trace.empirical_eta_plus(dt)
+            assert model.eta_minus(dt) <= trace.empirical_eta_minus(dt)
+
+
+class TestCurveWrappers:
+    def test_curve_from_event_model_delegates(self):
+        model = PeriodicEventModel(period=10.0)
+        curve = curve_from_event_model(model)
+        assert curve.max_events(25.0) == model.eta_plus(25.0)
+        assert curve.min_events(25.0) == model.eta_minus(25.0)
+
+    def test_distance_from_event_model_delegates(self):
+        model = PeriodicWithJitter(period=10.0, jitter=2.0)
+        distance = distance_from_event_model(model)
+        assert distance.min_span(3) == model.delta_minus(3)
+        assert distance.max_span(3) == model.delta_plus(3)
+
+    def test_dominates(self):
+        loose = curve_from_event_model(PeriodicWithJitter(period=10.0, jitter=5.0))
+        tight = curve_from_event_model(PeriodicEventModel(period=10.0))
+        horizons = [1.0, 10.0, 50.0]
+        assert loose.dominates(tight, horizons)
+        assert not tight.dominates(loose, horizons)
+
+    def test_trace_to_arrival_curve(self):
+        trace = EmpiricalEventTrace(timestamps=[0.0, 10.0, 20.0])
+        curve = trace.to_arrival_curve("measured")
+        assert isinstance(curve, ArrivalCurve)
+        assert curve.max_events(25.0) == 3

@@ -1,0 +1,163 @@
+"""Unit tests for the standard event models (eta/delta calculus)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.model import (
+    EventModel,
+    PeriodicEventModel,
+    PeriodicWithBurst,
+    PeriodicWithJitter,
+    SporadicEventModel,
+    event_model_from_parameters,
+)
+
+
+class TestPeriodicEventModel:
+    def test_eta_plus_counts_grid_points(self):
+        model = PeriodicEventModel(period=10.0)
+        assert model.eta_plus(0.0) == 0
+        assert model.eta_plus(1.0) == 1
+        assert model.eta_plus(10.0) == 1
+        assert model.eta_plus(10.5) == 2
+        assert model.eta_plus(100.0) == 10
+
+    def test_eta_minus_counts_guaranteed_events(self):
+        model = PeriodicEventModel(period=10.0)
+        assert model.eta_minus(9.9) == 0
+        assert model.eta_minus(10.0) == 1
+        assert model.eta_minus(35.0) == 3
+
+    def test_delta_functions(self):
+        model = PeriodicEventModel(period=10.0)
+        assert model.delta_minus(1) == 0.0
+        assert model.delta_minus(3) == 20.0
+        assert model.delta_plus(3) == 20.0
+
+    def test_rejects_nonzero_jitter(self):
+        with pytest.raises(ValueError):
+            PeriodicEventModel(period=10.0, jitter=1.0)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            PeriodicEventModel(period=0.0)
+
+
+class TestPeriodicWithJitter:
+    def test_eta_plus_includes_jitter(self):
+        model = PeriodicWithJitter(period=10.0, jitter=4.0)
+        # Window of 7 ms can contain events at 0 and at 10-4=6.
+        assert model.eta_plus(7.0) == 2
+        assert model.eta_plus(0.5) == 1
+
+    def test_eta_minus_excludes_jitter(self):
+        model = PeriodicWithJitter(period=10.0, jitter=4.0)
+        assert model.eta_minus(13.9) == 0
+        assert model.eta_minus(14.0) == 1
+
+    def test_delta_minus_shrinks_with_jitter(self):
+        model = PeriodicWithJitter(period=10.0, jitter=4.0)
+        assert model.delta_minus(2) == 6.0
+        assert model.delta_plus(2) == 14.0
+
+    def test_effective_min_distance(self):
+        model = PeriodicWithJitter(period=10.0, jitter=4.0)
+        assert model.effective_min_distance == pytest.approx(6.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicWithJitter(period=10.0, jitter=-1.0)
+
+
+class TestPeriodicWithBurst:
+    def test_burst_size_bounded_by_min_distance(self):
+        model = PeriodicWithBurst(period=10.0, jitter=25.0, min_distance=1.0)
+        assert model.is_bursty
+        assert model.burst_size >= 2
+        # In a 1 ms window at most ceil(1/1)+1 = 2 events.
+        assert model.eta_plus(1.0) == 2
+
+    def test_eta_plus_uses_minimum_of_bounds(self):
+        model = PeriodicWithBurst(period=10.0, jitter=25.0, min_distance=1.0)
+        # Long horizons are governed by the period+jitter bound.
+        assert model.eta_plus(100.0) == 13
+        # Short horizons are governed by the distance bound.
+        assert model.eta_plus(2.0) == 3
+
+    def test_delta_minus_uses_min_distance(self):
+        model = PeriodicWithBurst(period=10.0, jitter=25.0, min_distance=1.0)
+        assert model.delta_minus(3) == pytest.approx(2.0)
+
+    def test_requires_min_distance(self):
+        with pytest.raises(ValueError):
+            PeriodicWithBurst(period=10.0, jitter=25.0, min_distance=0.0)
+
+
+class TestSporadicEventModel:
+    def test_no_lower_bound(self):
+        model = SporadicEventModel(period=10.0)
+        assert model.eta_minus(1000.0) == 0
+
+    def test_upper_bound_matches_min_interarrival(self):
+        model = SporadicEventModel(period=10.0)
+        assert model.eta_plus(25.0) == 3
+
+
+class TestFactory:
+    def test_zero_jitter_gives_periodic(self):
+        model = event_model_from_parameters(period=5.0)
+        assert isinstance(model, PeriodicEventModel)
+
+    def test_small_jitter_gives_jitter_model(self):
+        model = event_model_from_parameters(period=5.0, jitter=1.0)
+        assert isinstance(model, PeriodicWithJitter)
+
+    def test_large_jitter_with_distance_gives_burst_model(self):
+        model = event_model_from_parameters(period=5.0, jitter=12.0,
+                                            min_distance=0.5)
+        assert isinstance(model, PeriodicWithBurst)
+
+    def test_sporadic_flag(self):
+        model = event_model_from_parameters(period=5.0, jitter=1.0, sporadic=True)
+        assert isinstance(model, SporadicEventModel)
+
+    def test_with_jitter_returns_new_instance(self):
+        model = event_model_from_parameters(period=5.0, jitter=1.0)
+        changed = model.with_jitter(2.0)
+        assert changed.jitter == 2.0
+        assert model.jitter == 1.0
+
+    def test_describe_mentions_parameters(self):
+        model = event_model_from_parameters(period=5.0, jitter=1.0)
+        text = model.describe()
+        assert "P=5" in text and "J=1" in text
+
+
+class TestConsistency:
+    """Cross-checks between eta and delta views."""
+
+    @pytest.mark.parametrize("model", [
+        PeriodicEventModel(period=7.0),
+        PeriodicWithJitter(period=7.0, jitter=3.0),
+        PeriodicWithBurst(period=7.0, jitter=20.0, min_distance=0.5),
+        SporadicEventModel(period=7.0, jitter=2.0),
+    ])
+    def test_eta_plus_of_delta_minus_covers_n(self, model: EventModel):
+        # n events fit into a window just larger than delta_minus(n).
+        for n in range(2, 8):
+            window = model.delta_minus(n) + 1e-6
+            assert model.eta_plus(window) >= n
+
+    @pytest.mark.parametrize("model", [
+        PeriodicEventModel(period=7.0),
+        PeriodicWithJitter(period=7.0, jitter=3.0),
+        PeriodicWithBurst(period=7.0, jitter=20.0, min_distance=0.5),
+    ])
+    def test_monotonicity(self, model: EventModel):
+        windows = [0.5, 1.0, 5.0, 7.0, 14.0, 70.0]
+        values = [model.eta_plus(dt) for dt in windows]
+        assert values == sorted(values)
+        lower = [model.eta_minus(dt) for dt in windows]
+        assert lower == sorted(lower)
+        assert all(lo <= hi for lo, hi in zip(lower, values))

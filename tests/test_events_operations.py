@@ -1,0 +1,119 @@
+"""Unit tests for event-model operations (propagation, refinement, combine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.model import (
+    PeriodicEventModel,
+    PeriodicWithBurst,
+    PeriodicWithJitter,
+)
+from repro.events.operations import (
+    add_jitter,
+    combine_and,
+    combine_or,
+    conservative_union,
+    is_refinement,
+    output_event_model,
+    scale_period,
+)
+
+
+class TestAddJitter:
+    def test_adds_to_existing_jitter(self):
+        model = PeriodicWithJitter(period=10.0, jitter=2.0)
+        widened = add_jitter(model, 3.0)
+        assert widened.jitter == pytest.approx(5.0)
+        assert widened.period == 10.0
+
+    def test_zero_extra_keeps_class(self):
+        model = PeriodicEventModel(period=10.0)
+        assert add_jitter(model, 0.0).jitter == 0.0
+
+    def test_becomes_burst_model_when_jitter_exceeds_period(self):
+        model = PeriodicWithJitter(period=10.0, jitter=2.0)
+        widened = add_jitter(model, 15.0, min_distance=0.5)
+        assert isinstance(widened, PeriodicWithBurst)
+        assert widened.min_distance == 0.5
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(ValueError):
+            add_jitter(PeriodicEventModel(period=10.0), -1.0)
+
+
+class TestOutputEventModel:
+    def test_jitter_grows_by_response_interval(self):
+        model = PeriodicWithJitter(period=10.0, jitter=1.0)
+        out = output_event_model(model, best_case_response=0.5,
+                                 worst_case_response=3.0)
+        assert out.jitter == pytest.approx(1.0 + 2.5)
+        assert out.period == 10.0
+
+    def test_equal_best_and_worst_adds_nothing(self):
+        model = PeriodicWithJitter(period=10.0, jitter=1.0)
+        out = output_event_model(model, 2.0, 2.0)
+        assert out.jitter == pytest.approx(1.0)
+
+    def test_invalid_interval_rejected(self):
+        model = PeriodicEventModel(period=10.0)
+        with pytest.raises(ValueError):
+            output_event_model(model, 3.0, 2.0)
+
+
+class TestRefinement:
+    def test_smaller_jitter_refines_larger(self):
+        tight = PeriodicWithJitter(period=10.0, jitter=1.0)
+        loose = PeriodicWithJitter(period=10.0, jitter=3.0)
+        assert is_refinement(tight, loose)
+        assert not is_refinement(loose, tight)
+
+    def test_periodic_refines_jittery(self):
+        assert is_refinement(PeriodicEventModel(period=10.0),
+                             PeriodicWithJitter(period=10.0, jitter=2.0))
+
+    def test_different_periods_do_not_refine(self):
+        assert not is_refinement(PeriodicEventModel(period=5.0),
+                                 PeriodicWithJitter(period=10.0, jitter=2.0))
+
+    def test_model_refines_itself(self):
+        model = PeriodicWithJitter(period=10.0, jitter=2.0)
+        assert is_refinement(model, model)
+
+
+class TestCombinators:
+    def test_conservative_union_takes_extremes(self):
+        union = conservative_union([
+            PeriodicWithJitter(period=10.0, jitter=1.0),
+            PeriodicWithJitter(period=20.0, jitter=4.0),
+        ])
+        assert union.period == 10.0
+        assert union.jitter == 4.0
+
+    def test_conservative_union_rejects_empty(self):
+        with pytest.raises(ValueError):
+            conservative_union([])
+
+    def test_union_admits_all_inputs(self):
+        models = [PeriodicWithJitter(period=10.0, jitter=1.0),
+                  PeriodicWithJitter(period=10.0, jitter=4.0)]
+        union = conservative_union(models)
+        for model in models:
+            assert is_refinement(model, union)
+
+    def test_combine_and_uses_slower_rate(self):
+        combined = combine_and(PeriodicWithJitter(period=10.0, jitter=1.0),
+                               PeriodicWithJitter(period=25.0, jitter=2.0))
+        assert combined.period == 25.0
+        assert combined.jitter == pytest.approx(3.0)
+
+    def test_combine_or_adds_rates(self):
+        combined = combine_or(PeriodicEventModel(period=10.0),
+                              PeriodicEventModel(period=10.0))
+        assert combined.period == pytest.approx(5.0)
+
+    def test_scale_period(self):
+        scaled = scale_period(PeriodicWithJitter(period=10.0, jitter=1.0), 2.0)
+        assert scaled.period == 20.0
+        with pytest.raises(ValueError):
+            scale_period(PeriodicEventModel(period=10.0), 0.0)

@@ -1,0 +1,119 @@
+"""Unit tests for the gateway substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.events.model import PeriodicWithJitter
+from repro.gateway.model import (
+    ForwardingPolicy,
+    GatewayAnalysis,
+    GatewayModel,
+    GatewayRoute,
+)
+
+
+def _gateway(policy=ForwardingPolicy.PERIODIC_POLLING, **kwargs) -> GatewayModel:
+    return GatewayModel(
+        name="Gateway1",
+        policy=policy,
+        polling_period=kwargs.pop("polling_period", 5.0),
+        copy_time=kwargs.pop("copy_time", 0.05),
+        routes=[
+            GatewayRoute(source_message="BodySpeed", destination_message="PTSpeed",
+                         source_bus="Body-CAN", destination_bus="PT-CAN"),
+            GatewayRoute(source_message="BodyTemp", destination_message="PTTemp",
+                         source_bus="Body-CAN", destination_bus="PT-CAN"),
+        ],
+        **kwargs,
+    )
+
+
+ARRIVALS = {
+    "BodySpeed": PeriodicWithJitter(period=20.0, jitter=2.0),
+    "BodyTemp": PeriodicWithJitter(period=100.0, jitter=5.0),
+}
+
+
+class TestGatewayModel:
+    def test_duplicate_destination_rejected(self):
+        with pytest.raises(ValueError):
+            GatewayModel(name="GW", routes=[
+                GatewayRoute("A", "X", "b1", "b2"),
+                GatewayRoute("B", "X", "b1", "b2"),
+            ])
+
+    def test_route_lookup(self):
+        gateway = _gateway()
+        assert gateway.route_for_destination("PTSpeed").source_message == \
+            "BodySpeed"
+        with pytest.raises(KeyError):
+            gateway.route_for_destination("Nope")
+
+    def test_routes_through_queue(self):
+        gateway = _gateway()
+        assert len(gateway.routes_through_queue("default")) == 2
+
+    def test_add_route_validates(self):
+        gateway = _gateway()
+        with pytest.raises(ValueError):
+            gateway.add_route(GatewayRoute("Other", "PTSpeed", "b1", "b2"))
+        assert len(gateway.routes) == 2
+
+
+class TestGatewayAnalysis:
+    def test_polling_latency_bounds(self):
+        gateway = _gateway()
+        analysis = GatewayAnalysis(gateway)
+        latency = analysis.route_latency(
+            gateway.route_for_destination("PTSpeed"), ARRIVALS)
+        # Best: one copy; worst: full polling period plus copying both routes.
+        assert latency.best_case == pytest.approx(0.05)
+        assert latency.worst_case == pytest.approx(5.0 + 2 * 0.05)
+        assert latency.added_jitter == pytest.approx(latency.worst_case - 0.05)
+
+    def test_event_driven_is_faster(self):
+        polled = GatewayAnalysis(_gateway()).route_latency(
+            _gateway().route_for_destination("PTSpeed"), ARRIVALS)
+        event = GatewayAnalysis(_gateway(policy=ForwardingPolicy.EVENT_DRIVEN))
+        event_latency = event.route_latency(
+            _gateway(policy=ForwardingPolicy.EVENT_DRIVEN)
+            .route_for_destination("PTSpeed"), ARRIVALS)
+        assert event_latency.worst_case < polled.worst_case
+
+    def test_output_models_add_jitter(self):
+        gateway = _gateway()
+        models = GatewayAnalysis(gateway).output_event_models(ARRIVALS)
+        assert set(models) == {"PTSpeed", "PTTemp"}
+        out = models["PTSpeed"]
+        assert out.period == 20.0
+        assert out.jitter > ARRIVALS["BodySpeed"].jitter
+
+    def test_unknown_sources_are_skipped(self):
+        gateway = _gateway()
+        models = GatewayAnalysis(gateway).output_event_models(
+            {"BodySpeed": ARRIVALS["BodySpeed"]})
+        assert "PTTemp" not in models
+
+    def test_queue_length_bound(self):
+        gateway = _gateway()
+        latencies = GatewayAnalysis(gateway).analyze_all(ARRIVALS)
+        for latency in latencies.values():
+            assert latency.queue_length_bound >= 1
+
+    def test_queue_overflow_reported(self):
+        gateway = _gateway(queue_capacities={"default": 0})
+        latency = GatewayAnalysis(gateway).route_latency(
+            gateway.route_for_destination("PTSpeed"), ARRIVALS)
+        assert math.isinf(latency.worst_case)
+        # The output model degrades to a very bursty stream instead of lying.
+        models = GatewayAnalysis(gateway).output_event_models(ARRIVALS)
+        assert models["PTSpeed"].jitter > 10 * ARRIVALS["BodySpeed"].period
+
+    def test_validation_of_parameters(self):
+        with pytest.raises(ValueError):
+            GatewayModel(name="GW", polling_period=0.0)
+        with pytest.raises(ValueError):
+            GatewayModel(name="GW", copy_time=-0.1)

@@ -1,0 +1,113 @@
+"""Cross-module integration tests reproducing the paper's workflow end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.load import bus_load
+from repro.analysis.response_time import CanBusAnalysis
+from repro.analysis.schedulability import analyze_schedulability
+from repro.core.engine import CompositionalAnalysis
+from repro.core.system import BusSegment, SystemModel
+from repro.diagnostics.traffic import FlashingSession, kmatrix_with_diagnostics
+from repro.experiments import BEST_CASE, WORST_CASE
+from repro.optimize import GeneticOptimizerConfig, optimize_priorities, paper_scenarios
+from repro.sensitivity.jitter import jitter_sensitivity_all
+from repro.sim.simulator import CanBusSimulator, SimulationConfig
+from repro.supplychain.workflow import derive_oem_requirements
+
+
+class TestCaseStudyPipeline:
+    """The Section-4 experiments chained together on the case-study network."""
+
+    def test_zero_jitter_then_realistic_jitter_then_errors(self, powertrain):
+        kmatrix, bus, controllers = powertrain
+        # Experiment 1: zero jitters, no errors -> schedulable.
+        first = analyze_schedulability(kmatrix, bus, controllers=controllers)
+        assert first.all_deadlines_met
+        # Realistic jitters on the unknown messages still fine in the best case.
+        second = BEST_CASE.analyze(kmatrix, bus, 0.20, controllers)
+        assert second.loss_fraction == 0.0
+        # The worst-case interpretation starts losing messages.
+        third = WORST_CASE.analyze(kmatrix, bus, 0.25, controllers)
+        assert third.loss_fraction > 0.0
+
+    def test_optimization_removes_loss_at_25_percent(self, powertrain):
+        """Section 4.3: the optimized configuration loses nothing at 25 %."""
+        kmatrix, bus, controllers = powertrain
+        assert WORST_CASE.analyze(kmatrix, bus, 0.25,
+                                  controllers).loss_fraction > 0.0
+        scenarios = paper_scenarios(bus, controllers)
+        result = optimize_priorities(
+            kmatrix, scenarios,
+            GeneticOptimizerConfig(population_size=10, archive_size=5,
+                                   generations=3, seed=7))
+        optimized = result.best_kmatrix
+        assert WORST_CASE.analyze(optimized, bus, 0.25,
+                                  controllers).loss_fraction == 0.0
+        assert BEST_CASE.analyze(optimized, bus, 0.25,
+                                 controllers).loss_fraction == 0.0
+
+    def test_sensitivity_feeds_supplier_requirements(self, small_powertrain):
+        """Section 5: sensitivity results become supplier jitter requirements."""
+        kmatrix, bus, controllers = small_powertrain
+        curves = jitter_sensitivity_all(kmatrix, bus,
+                                        jitter_fractions=(0.0, 0.3, 0.6),
+                                        controllers=controllers)
+        assert set(curves) == {m.name for m in kmatrix}
+        supplier = kmatrix.senders()[0]
+        specs = derive_oem_requirements(kmatrix, bus, supplier_ecus=[supplier],
+                                        controllers=controllers,
+                                        background_jitter_fraction=0.1)
+        clauses = specs[supplier].clauses
+        assert clauses
+        # Every requirement clause points at a message the supplier sends.
+        sent = {m.name for m in kmatrix.sent_by(supplier)}
+        assert {clause.message for clause in clauses} == sent
+
+    def test_flashing_scenario_is_analyzable(self, small_powertrain):
+        """Section 2: 'How about diagnosis and ECU flashing?'"""
+        kmatrix, bus, controllers = small_powertrain
+        extended = kmatrix_with_diagnostics(
+            kmatrix,
+            flashing_sessions=[FlashingSession(ecu=kmatrix.senders()[0],
+                                               data_id=0x7A0, ack_id=0x7A8)])
+        base = bus_load(kmatrix, bus).utilization
+        loaded = bus_load(extended, bus).utilization
+        assert loaded > base
+        report = analyze_schedulability(extended, bus, controllers=controllers)
+        production_ok = [v.meets_deadline for v in report.verdicts
+                         if v.name in {m.name for m in kmatrix}]
+        assert all(production_ok)
+
+    def test_simulation_confirms_analysis_on_powertrain_subset(
+            self, small_powertrain):
+        """Observed responses never exceed the analytic bounds (containment)."""
+        kmatrix, bus, controllers = small_powertrain
+        analysis = CanBusAnalysis(kmatrix, bus, controllers=controllers,
+                                  assumed_jitter_fraction=0.15).analyze_all()
+        trace = CanBusSimulator(
+            kmatrix, bus, controllers=controllers,
+            config=SimulationConfig(duration=3000.0, seed=23,
+                                    jitter_fraction=0.15)).run()
+        violations = []
+        for message in kmatrix:
+            observed = trace.max_observed_response(message.name)
+            bound = analysis[message.name].worst_case
+            if observed > bound + 1e-9:
+                violations.append((message.name, observed, bound))
+        assert not violations
+
+    def test_whole_system_fixed_point_on_case_study(self, small_powertrain):
+        """The compositional engine handles the case-study bus as one segment."""
+        kmatrix, bus, controllers = small_powertrain
+        system = SystemModel(name="case-study", controllers=dict(controllers))
+        system.add_bus(BusSegment(bus=bus, kmatrix=kmatrix,
+                                  assumed_jitter_fraction=0.15))
+        result = CompositionalAnalysis(system).run()
+        assert result.converged
+        assert result.total_messages == len(kmatrix)
+        # Arrival jitter at the receivers includes the response interval.
+        for message in kmatrix:
+            assert result.arrival_jitter(message.name) >= \
+                result.message_results[message.name].response_interval - 1e-9

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.can.bus import CanBus
+from repro.can.frame import (
+    CanFrameFormat,
+    frame_bits_without_stuffing,
+    max_stuff_bits,
+    worst_case_frame_bits,
+)
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.errors.models import BurstErrorModel, SporadicErrorModel
+from repro.events.model import event_model_from_parameters
+from repro.events.operations import add_jitter, is_refinement, output_event_model
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+periods = st.floats(min_value=1.0, max_value=1000.0, allow_nan=False,
+                    allow_infinity=False)
+jitters = st.floats(min_value=0.0, max_value=500.0, allow_nan=False,
+                    allow_infinity=False)
+windows = st.floats(min_value=0.0, max_value=5000.0, allow_nan=False,
+                    allow_infinity=False)
+payloads = st.integers(min_value=0, max_value=8)
+
+
+@st.composite
+def event_models(draw):
+    period = draw(periods)
+    jitter = draw(jitters)
+    min_distance = 0.0
+    if jitter > period:
+        min_distance = draw(st.floats(min_value=0.01, max_value=period))
+    return event_model_from_parameters(period=period, jitter=jitter,
+                                       min_distance=min_distance)
+
+
+@st.composite
+def kmatrices(draw):
+    count = draw(st.integers(min_value=2, max_value=10))
+    period_pool = [5.0, 10.0, 20.0, 50.0, 100.0, 500.0]
+    messages = []
+    for index in range(count):
+        messages.append(CanMessage(
+            name=f"M{index}",
+            can_id=0x100 + index,
+            dlc=draw(payloads),
+            period=draw(st.sampled_from(period_pool)),
+            jitter=draw(st.one_of(st.none(),
+                                  st.floats(min_value=0.0, max_value=4.0))),
+            sender=f"E{index % 3}",
+        ))
+    return KMatrix(messages=messages)
+
+
+# --------------------------------------------------------------------------- #
+# Event-model calculus
+# --------------------------------------------------------------------------- #
+class TestEventModelProperties:
+    @given(model=event_models(), dt=windows)
+    def test_eta_bounds_ordered(self, model, dt):
+        assert model.eta_minus(dt) <= model.eta_plus(dt)
+
+    @given(model=event_models(), dt1=windows, dt2=windows)
+    def test_eta_plus_monotone(self, model, dt1, dt2):
+        lo, hi = sorted((dt1, dt2))
+        assert model.eta_plus(lo) <= model.eta_plus(hi)
+
+    @given(model=event_models(), dt1=windows, dt2=windows)
+    def test_eta_plus_subadditive(self, model, dt1, dt2):
+        """eta+(a+b) <= eta+(a) + eta+(b): windows can be split."""
+        assert model.eta_plus(dt1 + dt2) <= \
+            model.eta_plus(dt1) + model.eta_plus(dt2)
+
+    @given(model=event_models(), n=st.integers(min_value=2, max_value=20))
+    def test_delta_ordered_and_pseudo_inverse(self, model, n):
+        assert model.delta_minus(n) <= model.delta_plus(n)
+        # n events fit in a window slightly larger than delta_minus(n).
+        assert model.eta_plus(model.delta_minus(n) + 1e-6) >= n
+
+    @given(model=event_models(), extra=st.floats(min_value=0.0, max_value=100.0))
+    def test_add_jitter_only_loosens(self, model, extra):
+        loosened = add_jitter(model, extra, min_distance=min(
+            model.min_distance or model.period, model.period) if extra else None)
+        assert loosened.jitter >= model.jitter
+        # The original stream always satisfies the loosened bound.
+        for dt in (0.5 * model.period, model.period, 3 * model.period):
+            assert loosened.eta_plus(dt) >= model.eta_plus(dt)
+
+    @given(model=event_models(), best=st.floats(min_value=0.0, max_value=10.0),
+           width=st.floats(min_value=0.0, max_value=10.0))
+    def test_output_model_refines_backwards(self, model, best, width):
+        out = output_event_model(model, best, best + width)
+        assert out.period == model.period
+        assert out.jitter >= model.jitter
+        assert is_refinement(model, out) or model.min_distance > 0
+
+
+# --------------------------------------------------------------------------- #
+# CAN frames
+# --------------------------------------------------------------------------- #
+class TestFrameProperties:
+    @given(payload=payloads,
+           fmt=st.sampled_from(list(CanFrameFormat)))
+    def test_stuffing_bounded_by_quarter(self, payload, fmt):
+        base = frame_bits_without_stuffing(payload, fmt)
+        stuffed = worst_case_frame_bits(payload, fmt)
+        assert base <= stuffed <= base + (base // 4) + 1
+        assert max_stuff_bits(payload, fmt) >= 0
+
+    @given(payload=payloads, rate=st.sampled_from([125_000.0, 250_000.0,
+                                                   500_000.0, 1_000_000.0]))
+    def test_transmission_time_positive_and_bounded(self, payload, rate):
+        bus = CanBus(name="b", bit_rate_bps=rate)
+        message = CanMessage(name="M", can_id=1, dlc=payload, period=10.0,
+                             sender="E")
+        wc = bus.transmission_time(message)
+        bc = bus.best_case_transmission_time(message)
+        assert 0 < bc <= wc
+        # A frame is at most 160 bits even with worst-case stuffing.
+        assert wc <= 160 / rate * 1000.0
+
+
+# --------------------------------------------------------------------------- #
+# Error models
+# --------------------------------------------------------------------------- #
+class TestErrorModelProperties:
+    @given(interarrival=st.floats(min_value=0.5, max_value=1000.0),
+           t1=windows, t2=windows)
+    def test_sporadic_monotone_and_subadditive(self, interarrival, t1, t2):
+        model = SporadicErrorModel(min_interarrival=interarrival)
+        lo, hi = sorted((t1, t2))
+        assert model.errors_in(lo) <= model.errors_in(hi)
+        assert model.overhead(lo, 0.062, 0.27) <= model.overhead(hi, 0.062, 0.27)
+
+    @given(interarrival=st.floats(min_value=5.0, max_value=1000.0),
+           burst=st.integers(min_value=1, max_value=5),
+           t=windows)
+    def test_burst_at_least_sporadic(self, interarrival, burst, t):
+        gap = min(0.5, interarrival / (burst + 1) / 2)
+        burst_model = BurstErrorModel(min_interarrival=interarrival,
+                                      burst_length=burst, intra_burst_gap=gap)
+        sporadic = SporadicErrorModel(min_interarrival=interarrival)
+        assert burst_model.errors_in(t) >= sporadic.errors_in(t)
+
+
+# --------------------------------------------------------------------------- #
+# Response-time analysis invariants on random K-Matrices
+# --------------------------------------------------------------------------- #
+class TestAnalysisProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(kmatrix=kmatrices())
+    def test_response_times_bounded_below_by_transmission(self, kmatrix):
+        from repro.analysis.response_time import CanBusAnalysis
+        bus = CanBus(name="b", bit_rate_bps=500_000.0)
+        analysis = CanBusAnalysis(kmatrix, bus)
+        for message in kmatrix:
+            result = analysis.response_time(message)
+            assert result.worst_case >= result.transmission_time - 1e-9
+            assert result.worst_case >= result.best_case - 1e-9
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(kmatrix=kmatrices(),
+           fractions=st.tuples(
+               st.floats(min_value=0.0, max_value=0.3),
+               st.floats(min_value=0.3, max_value=0.8)))
+    def test_loss_fraction_monotone_in_jitter(self, kmatrix, fractions):
+        from repro.analysis.schedulability import analyze_schedulability
+        bus = CanBus(name="b", bit_rate_bps=500_000.0)
+        lo, hi = fractions
+        low = analyze_schedulability(kmatrix, bus, assumed_jitter_fraction=lo,
+                                     deadline_policy="min-rearrival")
+        high = analyze_schedulability(kmatrix, bus, assumed_jitter_fraction=hi,
+                                      deadline_policy="min-rearrival")
+        assert high.loss_fraction >= low.loss_fraction - 1e-9
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(kmatrix=kmatrices())
+    def test_priority_permutation_preserves_id_pool(self, kmatrix):
+        from repro.optimize.assignment import rate_monotonic_assignment
+        optimized = rate_monotonic_assignment(kmatrix)
+        assert sorted(m.can_id for m in optimized) == \
+            sorted(m.can_id for m in kmatrix)
+        assert {m.name for m in optimized} == {m.name for m in kmatrix}
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(kmatrix=kmatrices())
+    def test_csv_round_trip(self, kmatrix):
+        loaded = KMatrix.from_csv(kmatrix.to_csv())
+        assert {m.name for m in loaded} == {m.name for m in kmatrix}
+        for message in kmatrix:
+            other = loaded.get(message.name)
+            assert other.can_id == message.can_id
+            assert abs(other.period - message.period) < 1e-6

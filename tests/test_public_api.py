@@ -1,0 +1,34 @@
+"""Smoke tests for the top-level public API exported by ``repro``."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_quickstart_snippet_from_readme(self):
+        kmatrix, bus, controllers = repro.powertrain_system()
+        report = repro.analyze_schedulability(kmatrix, bus,
+                                              controllers=controllers)
+        assert report.all_deadlines_met
+        load = repro.bus_load(kmatrix, bus)
+        assert 0.0 < load.utilization < 1.0
+
+    def test_loss_fraction_wrapper(self):
+        kmatrix, bus, controllers = repro.powertrain_system()
+        loss = repro.message_loss_fraction(kmatrix, bus, 0.1,
+                                           controllers=controllers)
+        assert 0.0 <= loss <= 1.0
+
+    def test_single_message_analysis_wrapper(self):
+        kmatrix, bus, _controllers = repro.powertrain_system()
+        message = kmatrix.sorted_by_priority()[0]
+        result = repro.worst_case_response_time(message, kmatrix, bus)
+        assert result.worst_case >= result.transmission_time

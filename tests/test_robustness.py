@@ -1,0 +1,92 @@
+"""Unit tests for robustness metrics and maximum-tolerable-jitter search."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.schedulability import analyze_schedulability
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.sensitivity.robustness import (
+    max_tolerable_jitter_fraction,
+    max_tolerable_jitter_per_message,
+    robustness_metrics,
+)
+
+
+class TestGlobalJitterBudget:
+    def test_budget_is_boundary_of_feasibility(self, small_kmatrix, small_bus):
+        result = max_tolerable_jitter_fraction(small_kmatrix, small_bus,
+                                               upper_bound=0.9, tolerance=0.02)
+        assert result.max_feasible_fraction >= 0.0
+        if math.isfinite(result.first_infeasible_fraction):
+            # Just below the boundary the system must be schedulable.
+            ok = analyze_schedulability(
+                small_kmatrix, small_bus,
+                assumed_jitter_fraction=result.max_feasible_fraction)
+            assert ok.all_deadlines_met
+            # Just above it, it must not be.
+            bad = analyze_schedulability(
+                small_kmatrix, small_bus,
+                assumed_jitter_fraction=result.first_infeasible_fraction)
+            assert not bad.all_deadlines_met
+
+    def test_relaxed_system_tolerates_upper_bound(self, small_bus):
+        kmatrix = KMatrix(messages=[
+            CanMessage(name="A", can_id=0x100, dlc=2, period=100.0, sender="E1"),
+            CanMessage(name="B", can_id=0x200, dlc=2, period=100.0, sender="E2"),
+        ])
+        result = max_tolerable_jitter_fraction(kmatrix, small_bus,
+                                               upper_bound=0.5)
+        assert result.max_feasible_fraction == pytest.approx(0.5)
+        assert math.isinf(result.first_infeasible_fraction)
+
+    def test_infeasible_at_zero(self, small_bus):
+        kmatrix = KMatrix(messages=[
+            CanMessage(name="Blocker", can_id=0x100, dlc=8, period=1000.0,
+                       sender="E1"),
+            CanMessage(name="Urgent", can_id=0x200, dlc=8, period=1000.0,
+                       deadline=0.3, sender="E2"),
+        ])
+        result = max_tolerable_jitter_fraction(kmatrix, small_bus,
+                                               deadline_policy="explicit")
+        assert result.max_feasible_fraction == 0.0
+        assert result.first_infeasible_fraction == 0.0
+
+    def test_describe_mentions_percent(self, small_kmatrix, small_bus):
+        result = max_tolerable_jitter_fraction(small_kmatrix, small_bus,
+                                               upper_bound=0.4, tolerance=0.05)
+        assert "%" in result.describe()
+
+
+class TestPerMessageBudgets:
+    def test_budgets_cover_all_messages(self, small_kmatrix, small_bus):
+        budgets = max_tolerable_jitter_per_message(
+            small_kmatrix, small_bus, upper_bound=1.0, tolerance=0.05)
+        assert set(budgets) == {m.name for m in small_kmatrix}
+        for result in budgets.values():
+            assert result.max_feasible_fraction >= 0.0
+
+    def test_budget_feasibility_witness(self, small_kmatrix, small_bus):
+        budgets = max_tolerable_jitter_per_message(
+            small_kmatrix, small_bus, upper_bound=1.0, tolerance=0.05)
+        # Setting one message's jitter to its budget keeps the bus schedulable.
+        name, result = next(iter(budgets.items()))
+        if math.isfinite(result.first_infeasible_fraction):
+            probe = small_kmatrix.map_messages(
+                lambda m: m.with_jitter(result.max_feasible_fraction * m.period)
+                if m.name == name else m)
+            report = analyze_schedulability(probe, small_bus)
+            assert report.all_deadlines_met
+
+
+class TestRobustnessMetrics:
+    def test_metric_keys(self, small_kmatrix, small_bus):
+        report = analyze_schedulability(small_kmatrix, small_bus)
+        metrics = robustness_metrics(report)
+        assert set(metrics) == {"loss_fraction", "total_slack_ms",
+                                "worst_normalized_slack"}
+        assert metrics["loss_fraction"] == 0.0
+        assert metrics["total_slack_ms"] > 0.0

@@ -1,0 +1,135 @@
+"""Unit tests for jitter/error sensitivity analysis (Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sensitivity.error import error_sensitivity
+from repro.sensitivity.jitter import (
+    SensitivityClass,
+    classify_all,
+    classify_curve,
+    jitter_sensitivity,
+    jitter_sensitivity_all,
+)
+
+
+FRACTIONS = (0.0, 0.2, 0.4, 0.6)
+
+
+class TestJitterSensitivity:
+    def test_single_message_curve(self, small_kmatrix, small_bus):
+        curve = jitter_sensitivity("Slow", small_kmatrix, small_bus,
+                                   jitter_fractions=FRACTIONS)
+        assert curve.name == "Slow"
+        assert len(curve.response_times) == len(FRACTIONS)
+        assert curve.baseline <= curve.final
+        assert curve.period == 100.0
+
+    def test_all_curves_cover_kmatrix(self, small_kmatrix, small_bus):
+        curves = jitter_sensitivity_all(small_kmatrix, small_bus,
+                                        jitter_fractions=FRACTIONS)
+        assert set(curves) == {m.name for m in small_kmatrix}
+
+    def test_batch_matches_single(self, small_kmatrix, small_bus):
+        batch = jitter_sensitivity_all(small_kmatrix, small_bus,
+                                       jitter_fractions=FRACTIONS)
+        single = jitter_sensitivity("FastB", small_kmatrix, small_bus,
+                                    jitter_fractions=FRACTIONS)
+        assert batch["FastB"].response_times == pytest.approx(
+            single.response_times)
+
+    def test_curves_are_nondecreasing(self, small_kmatrix, small_bus):
+        curves = jitter_sensitivity_all(small_kmatrix, small_bus,
+                                        jitter_fractions=FRACTIONS)
+        for curve in curves.values():
+            values = list(curve.response_times)
+            assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_first_violation_detection(self, small_kmatrix, small_bus):
+        curves = jitter_sensitivity_all(small_kmatrix, small_bus,
+                                        jitter_fractions=FRACTIONS)
+        for curve in curves.values():
+            violation = curve.first_violation_fraction()
+            if violation is not None:
+                assert violation in FRACTIONS
+
+    def test_rows_export(self, small_kmatrix, small_bus):
+        curve = jitter_sensitivity("FastA", small_kmatrix, small_bus,
+                                   jitter_fractions=FRACTIONS)
+        rows = curve.as_rows()
+        assert rows[0][0] == 0.0
+        assert len(rows) == len(FRACTIONS)
+
+
+class TestClassification:
+    def test_classification_thresholds(self, small_kmatrix, small_bus):
+        curves = jitter_sensitivity_all(small_kmatrix, small_bus,
+                                        jitter_fractions=FRACTIONS)
+        for curve in curves.values():
+            assert isinstance(curve.classification(), SensitivityClass)
+
+    def test_classify_all_partitions_messages(self, small_kmatrix, small_bus):
+        curves = jitter_sensitivity_all(small_kmatrix, small_bus,
+                                        jitter_fractions=FRACTIONS)
+        groups = classify_all(curves)
+        names = [name for group in groups.values() for name in group]
+        assert sorted(names) == sorted(curves)
+
+    def test_flat_curve_is_robust(self):
+        from repro.sensitivity.jitter import JitterSensitivityCurve
+        curve = JitterSensitivityCurve(
+            name="flat", jitter_fractions=(0.0, 0.3, 0.6),
+            response_times=(1.0, 1.01, 1.02), period=10.0, deadline=10.0)
+        assert classify_curve(curve) == SensitivityClass.ROBUST
+
+    def test_steep_curve_is_very_sensitive(self):
+        from repro.sensitivity.jitter import JitterSensitivityCurve
+        curve = JitterSensitivityCurve(
+            name="steep", jitter_fractions=(0.0, 0.3, 0.6),
+            response_times=(1.0, 8.0, 20.0), period=10.0, deadline=10.0)
+        assert classify_curve(curve) == SensitivityClass.VERY_SENSITIVE
+
+    def test_case_study_has_both_robust_and_sensitive_messages(
+            self, small_powertrain):
+        """Section 4.1: some messages are sensitive, others robust."""
+        kmatrix, bus, controllers = small_powertrain
+        curves = jitter_sensitivity_all(kmatrix, bus,
+                                        jitter_fractions=(0.0, 0.3, 0.6),
+                                        controllers=controllers)
+        groups = classify_all(curves)
+        robust = groups[SensitivityClass.ROBUST]
+        not_robust = (groups[SensitivityClass.MEDIUM]
+                      + groups[SensitivityClass.SENSITIVE]
+                      + groups[SensitivityClass.VERY_SENSITIVE])
+        assert robust, "expected at least one robust message"
+        assert not_robust, "expected at least one non-robust message"
+
+
+class TestErrorSensitivity:
+    def test_curves_grow_with_error_rate(self, small_kmatrix, small_bus):
+        curves = error_sensitivity(["Slow", "FastA"], small_kmatrix, small_bus,
+                                   error_interarrivals=(100.0, 20.0, 5.0))
+        for curve in curves.values():
+            values = list(curve.response_times)
+            assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+            assert curve.absolute_increase >= 0
+
+    def test_burst_model_hurts_more_than_sporadic(self, small_kmatrix, small_bus):
+        sporadic = error_sensitivity(["Slow"], small_kmatrix, small_bus,
+                                     error_interarrivals=(20.0,),
+                                     model_kind="sporadic")["Slow"]
+        burst = error_sensitivity(["Slow"], small_kmatrix, small_bus,
+                                  error_interarrivals=(20.0,),
+                                  model_kind="burst")["Slow"]
+        assert burst.response_times[0] >= sporadic.response_times[0]
+
+    def test_none_analyses_all_messages(self, small_kmatrix, small_bus):
+        curves = error_sensitivity(None, small_kmatrix, small_bus,
+                                   error_interarrivals=(50.0, 10.0))
+        assert set(curves) == {m.name for m in small_kmatrix}
+
+    def test_unknown_model_kind_rejected(self, small_kmatrix, small_bus):
+        with pytest.raises(ValueError):
+            error_sensitivity(["Slow"], small_kmatrix, small_bus,
+                              model_kind="cosmic-rays")

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event CAN simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.response_time import CanBusAnalysis
+from repro.can.controller import CanControllerType, ControllerModel
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.errors.models import BurstErrorModel, SporadicErrorModel
+from repro.sim.simulator import CanBusSimulator, SimulationConfig
+from repro.sim.trace import SimulationTrace, TransmissionRecord
+
+
+class TestSimulatorBasics:
+    def test_all_messages_get_transmitted(self, small_kmatrix, small_bus):
+        simulator = CanBusSimulator(small_kmatrix, small_bus,
+                                    config=SimulationConfig(duration=500.0,
+                                                            seed=7))
+        trace = simulator.run()
+        for message in small_kmatrix:
+            expected = int(500.0 / message.period)
+            completed = len(trace.completed(message.name))
+            assert completed >= expected - 2
+
+    def test_no_overlapping_transmissions(self, small_kmatrix, small_bus):
+        trace = CanBusSimulator(small_kmatrix, small_bus,
+                                config=SimulationConfig(duration=300.0,
+                                                        seed=3)).run()
+        ordered = sorted(trace.transmissions, key=lambda t: t.started_at)
+        for first, second in zip(ordered, ordered[1:]):
+            assert second.started_at >= first.finished_at - 1e-9
+
+    def test_deterministic_for_fixed_seed(self, small_kmatrix, small_bus):
+        config = SimulationConfig(duration=200.0, seed=11)
+        first = CanBusSimulator(small_kmatrix, small_bus, config=config).run()
+        second = CanBusSimulator(small_kmatrix, small_bus, config=config).run()
+        assert [t.started_at for t in first.transmissions] == \
+            [t.started_at for t in second.transmissions]
+
+    def test_different_seeds_differ(self, small_kmatrix, small_bus):
+        first = CanBusSimulator(small_kmatrix, small_bus,
+                                config=SimulationConfig(duration=200.0,
+                                                        seed=1)).run()
+        second = CanBusSimulator(small_kmatrix, small_bus,
+                                 config=SimulationConfig(duration=200.0,
+                                                         seed=2)).run()
+        assert [t.started_at for t in first.transmissions] != \
+            [t.started_at for t in second.transmissions]
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(duration=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(jitter_fraction=-0.1)
+        with pytest.raises(ValueError):
+            SimulationConfig(start_offsets="sometimes")
+
+
+class TestArbitration:
+    def test_higher_priority_wins_when_both_pending(self, small_bus):
+        kmatrix = KMatrix(messages=[
+            CanMessage(name="High", can_id=0x100, dlc=8, period=10.0,
+                       sender="E1"),
+            CanMessage(name="Low", can_id=0x200, dlc=8, period=10.0,
+                       sender="E2"),
+        ])
+        trace = CanBusSimulator(
+            kmatrix, small_bus,
+            config=SimulationConfig(duration=200.0, seed=5,
+                                    start_offsets="zero",
+                                    random_stuffing=False)).run()
+        # Whenever both are queued simultaneously (same release grid), the
+        # high-priority frame is served first.
+        highs = [t for t in trace.completed("High")]
+        lows = [t for t in trace.completed("Low")]
+        assert highs and lows
+        assert max(t.response_time for t in highs) <= \
+            max(t.response_time for t in lows) + 1e-9
+
+    def test_errors_cause_retransmissions(self, small_kmatrix, small_bus):
+        noisy = CanBusSimulator(
+            small_kmatrix, small_bus,
+            error_model=SporadicErrorModel(min_interarrival=5.0),
+            config=SimulationConfig(duration=500.0, seed=5)).run()
+        failed = [t for t in noisy.transmissions if not t.success]
+        assert failed, "expected at least one corrupted transmission"
+        # Retransmission: the same instance appears again later and succeeds.
+        example = failed[0]
+        later = [t for t in noisy.completed(example.message)
+                 if t.queued_at == example.queued_at]
+        assert later, "corrupted frame was never retransmitted"
+
+    def test_overload_causes_buffer_overwrites(self, small_bus):
+        kmatrix = KMatrix(messages=[
+            CanMessage(name=f"M{i}", can_id=0x100 + i, dlc=8, period=0.5,
+                       sender="E1")
+            for i in range(4)
+        ])
+        trace = CanBusSimulator(kmatrix, small_bus,
+                                config=SimulationConfig(duration=100.0,
+                                                        seed=1)).run()
+        assert trace.losses, "an overloaded bus must overwrite send buffers"
+        assert trace.loss_ratio("M3") > 0.0
+
+
+class TestTraceStatistics:
+    def test_observed_utilization_close_to_load(self, small_kmatrix, small_bus):
+        from repro.analysis.load import bus_load
+        plain_bus = small_bus.with_bit_stuffing(False)
+        trace = CanBusSimulator(small_kmatrix, plain_bus,
+                                config=SimulationConfig(duration=2000.0, seed=9,
+                                                        random_stuffing=False)
+                                ).run()
+        load = bus_load(small_kmatrix, plain_bus)
+        assert trace.observed_utilization() == pytest.approx(load.utilization,
+                                                             rel=0.15)
+
+    def test_gantt_rendering(self, small_kmatrix, small_bus):
+        trace = CanBusSimulator(small_kmatrix, small_bus,
+                                config=SimulationConfig(duration=50.0,
+                                                        seed=2)).run()
+        art = trace.render_gantt(window=(0.0, 20.0))
+        assert "#" in art
+        assert "bus trace" in art
+
+    def test_arrival_trace_extraction(self, small_kmatrix, small_bus):
+        trace = CanBusSimulator(small_kmatrix, small_bus,
+                                config=SimulationConfig(duration=500.0,
+                                                        seed=2)).run()
+        arrivals = trace.arrival_trace("FastA")
+        assert len(arrivals) >= 45  # ~50 instances in 500 ms
+
+    def test_empty_trace_statistics(self):
+        trace = SimulationTrace(duration=100.0)
+        assert trace.observed_utilization() == 0.0
+        assert trace.max_observed_response("X") == 0.0
+        assert trace.loss_ratio("X") == 0.0
+
+
+class TestAnalysisContainment:
+    """Observed behaviour must stay within the analytic worst-case bounds."""
+
+    def test_observed_responses_below_bounds_zero_jitter(self, small_kmatrix,
+                                                         small_bus):
+        analysis = CanBusAnalysis(small_kmatrix, small_bus).analyze_all()
+        trace = CanBusSimulator(small_kmatrix, small_bus,
+                                config=SimulationConfig(duration=2000.0,
+                                                        seed=13)).run()
+        for message in small_kmatrix:
+            observed = trace.max_observed_response(message.name)
+            assert observed <= analysis[message.name].worst_case + 1e-9
+
+    def test_observed_responses_below_bounds_with_jitter_and_errors(
+            self, small_kmatrix, small_bus, small_controllers):
+        error_model = BurstErrorModel(min_interarrival=30.0, burst_length=2,
+                                      intra_burst_gap=0.5)
+        analysis = CanBusAnalysis(small_kmatrix, small_bus,
+                                  error_model=error_model,
+                                  assumed_jitter_fraction=0.3,
+                                  controllers=small_controllers).analyze_all()
+        trace = CanBusSimulator(small_kmatrix, small_bus,
+                                controllers=small_controllers,
+                                error_model=error_model,
+                                config=SimulationConfig(duration=3000.0,
+                                                        seed=17,
+                                                        jitter_fraction=0.3)
+                                ).run()
+        for message in small_kmatrix:
+            observed = trace.max_observed_response(message.name)
+            assert observed <= analysis[message.name].worst_case + 1e-9

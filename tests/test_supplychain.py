@@ -1,0 +1,200 @@
+"""Unit tests for supply-chain contracts and workflows (Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.can.bus import CanBus
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.ecu.task import EcuModel, OsekOverheads, Task
+from repro.events.model import PeriodicEventModel
+from repro.supplychain.contracts import (
+    MessageTimingClause,
+    RequirementSpec,
+    TimingDataSheet,
+    TimingProperty,
+    check_contract,
+)
+from repro.supplychain.workflow import (
+    derive_oem_arrival_datasheet,
+    derive_oem_requirements,
+    derive_supplier_datasheet,
+    iterative_refinement,
+)
+
+
+def _requirement(jitter: float = 2.0) -> RequirementSpec:
+    return RequirementSpec(
+        issuer="OEM", role="OEM", property=TimingProperty.SEND_JITTER,
+        clauses=(MessageTimingClause(message="M1", period=10.0,
+                                     max_jitter=jitter),))
+
+
+def _datasheet(jitter: float = 1.0,
+               message: str = "M1") -> TimingDataSheet:
+    return TimingDataSheet(
+        issuer="Supplier", role="supplier", property=TimingProperty.SEND_JITTER,
+        clauses=(MessageTimingClause(message=message, period=10.0,
+                                     max_jitter=jitter),))
+
+
+class TestContracts:
+    def test_tighter_guarantee_satisfies_requirement(self):
+        result = check_contract(_requirement(2.0), _datasheet(1.0))
+        assert result.satisfied
+        assert "all requirements met" in result.describe()
+
+    def test_looser_guarantee_violates(self):
+        result = check_contract(_requirement(2.0), _datasheet(3.0))
+        assert not result.satisfied
+        assert result.violations[0].message == "M1"
+
+    def test_missing_message_violates(self):
+        result = check_contract(_requirement(), _datasheet(message="Other"))
+        assert not result.satisfied
+        assert "no guarantee" in result.violations[0].reason
+
+    def test_period_mismatch_violates(self):
+        datasheet = TimingDataSheet(
+            issuer="S", role="supplier", property=TimingProperty.SEND_JITTER,
+            clauses=(MessageTimingClause(message="M1", period=20.0,
+                                         max_jitter=0.5),))
+        result = check_contract(_requirement(), datasheet)
+        assert not result.satisfied
+        assert "period" in result.violations[0].reason
+
+    def test_property_mismatch_violates(self):
+        datasheet = TimingDataSheet(
+            issuer="S", role="supplier", property=TimingProperty.ARRIVAL_JITTER,
+            clauses=(MessageTimingClause(message="M1", period=10.0),))
+        result = check_contract(_requirement(), datasheet)
+        assert not result.satisfied
+
+    def test_latency_bound_checked(self):
+        requirement = RequirementSpec(
+            issuer="Supplier", role="supplier",
+            property=TimingProperty.ARRIVAL_JITTER,
+            clauses=(MessageTimingClause(message="M1", period=10.0,
+                                         max_jitter=5.0, max_latency=4.0),))
+        good = TimingDataSheet(
+            issuer="OEM", role="OEM", property=TimingProperty.ARRIVAL_JITTER,
+            clauses=(MessageTimingClause(message="M1", period=10.0,
+                                         max_jitter=3.0, max_latency=3.5),))
+        bad = TimingDataSheet(
+            issuer="OEM", role="OEM", property=TimingProperty.ARRIVAL_JITTER,
+            clauses=(MessageTimingClause(message="M1", period=10.0,
+                                         max_jitter=3.0, max_latency=6.0),))
+        assert check_contract(requirement, good).satisfied
+        assert not check_contract(requirement, bad).satisfied
+
+    def test_clause_validation(self):
+        with pytest.raises(ValueError):
+            MessageTimingClause(message="M", period=0.0)
+        with pytest.raises(ValueError):
+            MessageTimingClause(message="M", period=10.0, max_jitter=-1.0)
+
+
+class TestWorkflow:
+    @pytest.fixture()
+    def network(self, small_kmatrix, small_bus):
+        return small_kmatrix, small_bus
+
+    def test_oem_requirements_cover_supplier_messages(self, network):
+        kmatrix, bus = network
+        specs = derive_oem_requirements(kmatrix, bus, supplier_ecus=["ECU_A"],
+                                        background_jitter_fraction=0.1)
+        assert set(specs) == {"ECU_A"}
+        spec = specs["ECU_A"]
+        assert set(spec.messages()) == {m.name for m in kmatrix.sent_by("ECU_A")}
+        for clause in spec.clauses:
+            assert clause.max_jitter >= 0.0
+
+    def test_requirements_keep_bus_schedulable(self, network):
+        """Setting every message to its required jitter must stay feasible."""
+        from repro.analysis.schedulability import analyze_schedulability
+        kmatrix, bus = network
+        specs = derive_oem_requirements(kmatrix, bus,
+                                        supplier_ecus=["ECU_A", "ECU_B"],
+                                        background_jitter_fraction=0.0,
+                                        safety_margin=0.7)
+        jitters = {}
+        for spec in specs.values():
+            for clause in spec.clauses:
+                jitters[clause.message] = clause.max_jitter
+        probe = kmatrix.map_messages(
+            lambda m: m.with_jitter(min(jitters.get(m.name, 0.0), 2 * m.period)))
+        report = analyze_schedulability(probe, bus)
+        assert report.all_deadlines_met
+
+    def test_supplier_datasheet_from_ecu_model(self, network):
+        kmatrix, bus = network
+        ecu = EcuModel(name="ECU_A", overheads=OsekOverheads(0, 0, 0, 0), tasks=[
+            Task(name="Fast", priority=1, wcet=0.5, bcet=0.2,
+                 activation=PeriodicEventModel(period=10.0),
+                 sends_messages=("FastA",)),
+            Task(name="Slow", priority=5, wcet=2.0, bcet=1.0,
+                 activation=PeriodicEventModel(period=20.0),
+                 sends_messages=("Medium",)),
+            Task(name="Bg", priority=9, wcet=1.0, bcet=0.5,
+                 activation=PeriodicEventModel(period=500.0),
+                 sends_messages=("Background",)),
+        ])
+        datasheet = derive_supplier_datasheet(ecu, kmatrix, bus)
+        assert set(datasheet.messages()) == {"FastA", "Medium", "Background"}
+        assert datasheet.clause_for("FastA").max_jitter == pytest.approx(0.3)
+
+    def test_duality_round_trip(self, network):
+        """OEM requirement vs. supplier guarantee: the Figure-6 check."""
+        kmatrix, bus = network
+        specs = derive_oem_requirements(kmatrix, bus, supplier_ecus=["ECU_A"],
+                                        background_jitter_fraction=0.1)
+        ecu = EcuModel(name="ECU_A", overheads=OsekOverheads(0, 0, 0, 0), tasks=[
+            Task(name="Fast", priority=1, wcet=0.2, bcet=0.1,
+                 activation=PeriodicEventModel(period=10.0),
+                 sends_messages=("FastA",)),
+            Task(name="Slow", priority=5, wcet=0.5, bcet=0.3,
+                 activation=PeriodicEventModel(period=20.0),
+                 sends_messages=("Medium",)),
+            Task(name="Bg", priority=9, wcet=0.3, bcet=0.2,
+                 activation=PeriodicEventModel(period=500.0),
+                 sends_messages=("Background",)),
+        ])
+        datasheet = derive_supplier_datasheet(ecu, kmatrix, bus)
+        result = check_contract(specs["ECU_A"], datasheet)
+        assert result.satisfied
+
+    def test_oem_arrival_datasheet(self, network):
+        kmatrix, bus = network
+        datasheet = derive_oem_arrival_datasheet(kmatrix, bus,
+                                                 receiver_ecu="ECU_B",
+                                                 assumed_jitter_fraction=0.1)
+        received = {m.name for m in kmatrix.received_by("ECU_B")}
+        assert set(datasheet.messages()) == received
+        for clause in datasheet.clauses:
+            assert clause.max_latency is not None and clause.max_latency > 0
+
+    def test_iterative_refinement_rounds(self, network):
+        kmatrix, bus = network
+        requirement = _requirement(2.0)
+        rounds = iterative_refinement(
+            kmatrix, bus,
+            requirement_rounds=[
+                ("initial assumptions", {"ECU_A": requirement}),
+                ("after supplier feedback", {"ECU_A": requirement}),
+            ],
+            datasheet_rounds=[
+                {"ECU_A": _datasheet(3.0)},
+                {"ECU_A": _datasheet(1.5)},
+            ])
+        assert len(rounds) == 2
+        assert not rounds[0].all_satisfied
+        assert rounds[1].all_satisfied
+        assert "round 2" in rounds[1].describe()
+
+    def test_refinement_length_mismatch(self, network):
+        kmatrix, bus = network
+        with pytest.raises(ValueError):
+            iterative_refinement(kmatrix, bus,
+                                 requirement_rounds=[("a", {})],
+                                 datasheet_rounds=[])

@@ -1,0 +1,165 @@
+"""Tests for workload generators, the canonical experiments and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.load import bus_load
+from repro.can.bus import CanBus
+from repro.experiments import (
+    ALL_INTERPRETATIONS,
+    BEST_CASE,
+    JITTER_SWEEP_FRACTIONS,
+    WORST_CASE,
+    ZERO_JITTER_CASE,
+)
+from repro.reporting.tables import (
+    format_loss_curves,
+    format_sensitivity_table,
+    format_table,
+    series_to_rows,
+)
+from repro.workloads.figure1 import figure1_network
+from repro.workloads.powertrain import (
+    PowertrainConfig,
+    powertrain_controllers,
+    powertrain_kmatrix,
+    powertrain_system,
+)
+from repro.workloads.scaling import scaled_kmatrix, synthetic_kmatrix
+
+
+class TestPowertrainWorkload:
+    def test_matches_paper_description(self, powertrain):
+        kmatrix, bus, controllers = powertrain
+        # "more than 50 messages", "several ECUs including gateways",
+        # 500 kbit/s power-train bus.
+        assert len(kmatrix) > 50
+        assert len(kmatrix.ecu_names()) >= 6
+        assert any(name.startswith("Gateway") for name in kmatrix.senders())
+        assert bus.bit_rate_bps == 500_000.0
+        assert set(controllers) == set(PowertrainConfig().ecu_names)
+
+    def test_only_some_jitters_are_known(self, powertrain):
+        kmatrix, _bus, _controllers = powertrain
+        known = [m for m in kmatrix if m.jitter is not None]
+        unknown = kmatrix.messages_with_unknown_jitter()
+        assert known and unknown
+        assert len(known) < len(kmatrix) / 2
+        # "typically in the range of 10-30 % of the message's period"
+        for message in known:
+            fraction = message.jitter / message.period
+            assert 0.05 <= fraction <= 0.35
+
+    def test_generation_is_deterministic(self, powertrain_config):
+        first = powertrain_kmatrix(powertrain_config)
+        second = powertrain_kmatrix(powertrain_config)
+        assert first.to_csv() == second.to_csv()
+
+    def test_different_seeds_differ(self):
+        a = powertrain_kmatrix(PowertrainConfig(seed=1))
+        b = powertrain_kmatrix(PowertrainConfig(seed=2))
+        assert a.to_csv() != b.to_csv()
+
+    def test_utilization_in_realistic_band(self, powertrain):
+        kmatrix, bus, _controllers = powertrain
+        load = bus_load(kmatrix, bus, include_stuffing=True)
+        assert 0.40 < load.utilization < 0.75
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            PowertrainConfig(n_ecus=1)
+        with pytest.raises(ValueError):
+            PowertrainConfig(n_gateways=8, n_ecus=8)
+        with pytest.raises(ValueError):
+            PowertrainConfig(displaced_fraction=1.5)
+
+    def test_controllers_mark_gateways_basiccan(self, powertrain_config):
+        controllers = powertrain_controllers(powertrain_config)
+        from repro.can.controller import CanControllerType
+        assert controllers["Gateway1"].controller_type == CanControllerType.BASIC
+        assert controllers["ECU1"].controller_type == CanControllerType.FULL
+
+
+class TestSyntheticWorkloads:
+    def test_synthetic_kmatrix_policies(self):
+        for policy in ("block", "rate-monotonic", "random"):
+            kmatrix = synthetic_kmatrix(30, seed=3, id_policy=policy)
+            assert len(kmatrix) == 30
+        with pytest.raises(ValueError):
+            synthetic_kmatrix(10, id_policy="alphabetical")
+
+    def test_rate_monotonic_policy_orders_fast_first(self):
+        kmatrix = synthetic_kmatrix(40, seed=1, id_policy="rate-monotonic")
+        ordered = kmatrix.sorted_by_priority()
+        periods = [m.period for m in ordered]
+        assert periods == sorted(periods)
+
+    def test_scaled_kmatrix_hits_target(self, small_bus):
+        for target in (0.3, 0.5):
+            kmatrix = scaled_kmatrix(target, small_bus, seed=2)
+            load = bus_load(kmatrix, small_bus)
+            assert load.utilization <= target + 0.02
+            assert load.utilization >= target - 0.15
+
+    def test_figure1_network_consistency(self):
+        kmatrix, bus = figure1_network()
+        assert bus.bit_rate_bps == 500_000.0
+        assert len(kmatrix.senders()) == 4
+
+
+class TestExperiments:
+    def test_experiment1_zero_jitter_all_deadlines_met(self, powertrain):
+        """Section 4, experiment 1: zero jitters -> all deadlines met."""
+        kmatrix, bus, controllers = powertrain
+        report = ZERO_JITTER_CASE.analyze(kmatrix, bus, 0.0, controllers)
+        assert report.all_deadlines_met
+
+    def test_worst_case_loses_more_than_best_case(self, powertrain):
+        kmatrix, bus, controllers = powertrain
+        best = BEST_CASE.analyze(kmatrix, bus, 0.25, controllers)
+        worst = WORST_CASE.analyze(kmatrix, bus, 0.25, controllers)
+        assert worst.loss_fraction >= best.loss_fraction
+        assert worst.loss_fraction > 0.0
+
+    def test_loss_curves_are_monotone(self, small_powertrain):
+        kmatrix, bus, controllers = small_powertrain
+        curve = WORST_CASE.loss_curve(kmatrix, bus,
+                                      jitter_fractions=(0.0, 0.2, 0.4, 0.6),
+                                      controllers=controllers)
+        losses = [loss for _fraction, loss in curve]
+        assert all(b >= a - 1e-9 for a, b in zip(losses, losses[1:]))
+
+    def test_sweep_covers_0_to_60_percent(self):
+        assert JITTER_SWEEP_FRACTIONS[0] == 0.0
+        assert JITTER_SWEEP_FRACTIONS[-1] == pytest.approx(0.60)
+        assert len(JITTER_SWEEP_FRACTIONS) == 13
+
+    def test_all_interpretations_have_distinct_names(self):
+        names = [interpretation.name for interpretation in ALL_INTERPRETATIONS]
+        assert len(names) == len(set(names))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value %"], [["a", 0.5], ["bb", 0.25]],
+                            title="demo")
+        assert "demo" in text
+        assert "50.0" in text and "25.0" in text
+
+    def test_series_to_rows_requires_common_axis(self):
+        with pytest.raises(ValueError):
+            series_to_rows({"a": [(0.0, 1.0)], "b": [(0.5, 2.0)]})
+        rows = series_to_rows({"a": [(0.0, 1.0), (0.1, 2.0)],
+                               "b": [(0.0, 3.0), (0.1, 4.0)]})
+        assert rows == [[0.0, 1.0, 3.0], [0.1, 2.0, 4.0]]
+
+    def test_loss_curve_formatting(self):
+        text = format_loss_curves({"best": [(0.0, 0.0), (0.2, 0.1)],
+                                   "worst": [(0.0, 0.05), (0.2, 0.4)]})
+        assert "jitter %" in text
+        assert "worst %" in text
+
+    def test_sensitivity_table_formatting(self):
+        text = format_sensitivity_table({"MsgA": [(0.0, 1.2), (0.2, 3.4)]})
+        assert "MsgA [ms]" in text
