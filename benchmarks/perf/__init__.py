@@ -1,0 +1,1 @@
+"""Seed-vs-kernel wall-clock benchmark suite (see run_bench.py)."""

@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Deterministic seed-vs-kernel timing suite.
+
+Runs four scenarios that dominate the paper's reproduction workload, timing
+the retained naive analysis path (:mod:`repro.analysis.reference`, the seed
+formulation) against the optimised kernel
+(:mod:`repro.analysis.response_time` with warm starts threaded through the
+sweeps), and writes the results to ``BENCH_timing.json`` at the repo root:
+
+* ``analyze_all_powertrain80`` -- one cold full-matrix analysis of the
+  80-message power-train case study;
+* ``jitter_sweep_13pt`` -- the 13-point Figure-4 jitter sweep over the full
+  matrix (warm-started in the kernel path);
+* ``scaling_n{50,100,200,400}`` -- cold full-matrix analyses of synthetic
+  K-Matrices with the bus bit rate scaled to hold utilization roughly
+  constant (see :func:`repro.workloads.scaling.scaling_benchmark_case`);
+* ``ga_run`` -- a small SPEA2 optimisation of the case study
+  (population 12, 4 generations) across the four paper scenarios.
+
+All workloads are seeded and the analyses are exact, so both paths produce
+**identical results** -- the suite asserts this before trusting any timing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py            # rewrite baseline
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --check    # CI regression gate
+
+``--check`` compares fresh kernel timings against the committed baseline and
+exits non-zero when any scenario is more than ``--threshold`` (default 2.0)
+times slower; the gate is skipped (exit 0) when no baseline exists yet.
+``--skip-seed`` reuses the baseline's seed timings instead of re-running the
+slow reference path (useful for quick iteration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.reference import ReferenceCanBusAnalysis  # noqa: E402
+from repro.analysis.response_time import CanBusAnalysis  # noqa: E402
+from repro.optimize.genetic import (  # noqa: E402
+    GeneticOptimizerConfig,
+    optimize_priorities,
+)
+from repro.optimize.objectives import paper_scenarios  # noqa: E402
+from repro.sensitivity.jitter import (  # noqa: E402
+    DEFAULT_JITTER_FRACTIONS,
+    jitter_sensitivity_all,
+)
+from repro.workloads.powertrain import (  # noqa: E402
+    PowertrainConfig,
+    powertrain_bus,
+    powertrain_controllers,
+    powertrain_kmatrix,
+)
+from repro.workloads.scaling import scaling_benchmark_case  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_timing.json"
+SCALING_SIZES = (50, 100, 200, 400)
+GA_CONFIG = dict(population_size=12, archive_size=6, generations=4, seed=7)
+
+
+def _timed(fn, repeat: int):
+    """Best-of-``repeat`` wall-clock time and the last result."""
+    best = None
+    result = None
+    for _ in range(max(repeat, 1)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _case_study():
+    config = PowertrainConfig(n_messages=80)
+    return (powertrain_kmatrix(config), powertrain_bus(config),
+            powertrain_controllers(config))
+
+
+def run_scenarios(repeat: int, skip_seed: bool,
+                  baseline: dict | None) -> dict[str, dict]:
+    """Run every scenario; returns name -> timing record."""
+    kmatrix, bus, controllers = _case_study()
+    scenarios: dict[str, dict] = {}
+
+    def record(name: str, seed_fn, kernel_fn, check_equal=None, **extra):
+        kernel_seconds, kernel_result = _timed(kernel_fn, repeat)
+        baseline_entry = (baseline or {}).get("scenarios", {}).get(name, {})
+        if skip_seed and "seed_seconds" in baseline_entry:
+            seed_seconds = baseline_entry["seed_seconds"]
+        else:
+            # Same best-of policy as the kernel path, so the reported
+            # speedup is not inflated by scheduling noise on the seed side.
+            seed_seconds, seed_result = _timed(seed_fn, repeat)
+            if check_equal is not None:
+                check_equal(seed_result, kernel_result)
+        scenarios[name] = {
+            "seed_seconds": round(seed_seconds, 6),
+            "kernel_seconds": round(kernel_seconds, 6),
+            "speedup": round(seed_seconds / kernel_seconds, 2),
+            **extra,
+        }
+        print(f"  {name:24s} seed {seed_seconds:8.3f}s   "
+              f"kernel {kernel_seconds:8.3f}s   "
+              f"speedup {seed_seconds / kernel_seconds:6.1f}x")
+
+    def assert_identical(seed_result, kernel_result):
+        if seed_result != kernel_result:
+            raise AssertionError(
+                "seed and kernel paths disagree -- timing aborted")
+
+    # 1. Cold full-matrix analysis of the case study.
+    record(
+        "analyze_all_powertrain80",
+        lambda: ReferenceCanBusAnalysis(
+            kmatrix, bus, assumed_jitter_fraction=0.15,
+            controllers=controllers).analyze_all(),
+        lambda: CanBusAnalysis(
+            kmatrix, bus, assumed_jitter_fraction=0.15,
+            controllers=controllers).analyze_all(),
+        check_equal=assert_identical,
+        n_messages=len(kmatrix),
+    )
+
+    # 2. The 13-point Figure-4 jitter sweep (warm-started kernel path).
+    def seed_sweep():
+        return [
+            ReferenceCanBusAnalysis(
+                kmatrix, bus, assumed_jitter_fraction=fraction,
+                controllers=controllers).analyze_all()
+            for fraction in DEFAULT_JITTER_FRACTIONS
+        ]
+
+    def kernel_sweep():
+        return jitter_sensitivity_all(kmatrix, bus, controllers=controllers)
+
+    def check_sweep(seed_result, kernel_result):
+        for index, per_point in enumerate(seed_result):
+            for name, response in per_point.items():
+                got = kernel_result[name].response_times[index]
+                want = response.worst_case
+                if got != want:
+                    raise AssertionError(
+                        f"sweep mismatch at point {index}, message {name}")
+
+    record("jitter_sweep_13pt", seed_sweep, kernel_sweep,
+           check_equal=check_sweep,
+           n_messages=len(kmatrix), points=len(DEFAULT_JITTER_FRACTIONS))
+
+    # 3. Scaling sweep: cold analyses at constant utilization.
+    for size in SCALING_SIZES:
+        scaled_kmatrix, scaled_bus = scaling_benchmark_case(size)
+        record(
+            f"scaling_n{size}",
+            lambda k=scaled_kmatrix, b=scaled_bus:
+                ReferenceCanBusAnalysis(k, b).analyze_all(),
+            lambda k=scaled_kmatrix, b=scaled_bus:
+                CanBusAnalysis(k, b).analyze_all(),
+            check_equal=assert_identical,
+            n_messages=size,
+        )
+
+    # 4. One small GA run (objective values are asserted identical).
+    ga_scenarios = paper_scenarios(bus, controllers)
+
+    def seed_ga():
+        return optimize_priorities(kmatrix, ga_scenarios, GeneticOptimizerConfig(
+            **GA_CONFIG, analysis_backend="reference"))
+
+    def kernel_ga():
+        return optimize_priorities(kmatrix, ga_scenarios,
+                                   GeneticOptimizerConfig(**GA_CONFIG))
+
+    def check_ga(seed_result, kernel_result):
+        if (seed_result.best_evaluation != kernel_result.best_evaluation
+                or seed_result.history != kernel_result.history
+                or seed_result.evaluations != kernel_result.evaluations):
+            raise AssertionError("GA backends disagree -- timing aborted")
+
+    record("ga_run", seed_ga, kernel_ga, check_equal=check_ga,
+           n_messages=len(kmatrix), **GA_CONFIG)
+
+    return scenarios
+
+
+def check_regression(fresh: dict[str, dict], baseline: dict,
+                     threshold: float) -> list[str]:
+    """Scenario names whose kernel time regressed beyond the threshold."""
+    failures = []
+    for name, entry in baseline.get("scenarios", {}).items():
+        old = entry.get("kernel_seconds")
+        new = fresh.get(name, {}).get("kernel_seconds")
+        if not old or not new:
+            continue
+        if new > threshold * old:
+            failures.append(
+                f"{name}: kernel {new:.3f}s vs baseline {old:.3f}s "
+                f"(> {threshold:.1f}x)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the timing JSON")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when a scenario regresses vs the baseline")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="allowed kernel slow-down factor for --check")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="best-of repetitions for kernel timings")
+    parser.add_argument("--skip-seed", action="store_true",
+                        help="reuse baseline seed timings (skip slow path)")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.output.exists():
+        baseline = json.loads(args.output.read_text(encoding="utf-8"))
+
+    print("Running seed-vs-kernel timing suite "
+          "(REPRO_PARALLEL=%s)..." % (os.environ.get("REPRO_PARALLEL", "auto")))
+    scenarios = run_scenarios(args.repeat, args.skip_seed, baseline)
+
+    if args.check:
+        if baseline is None:
+            print("no committed baseline -- regression gate skipped")
+            return 0
+        failures = check_regression(scenarios, baseline, args.threshold)
+        if failures:
+            print("PERF REGRESSION:")
+            for failure in failures:
+                print("  " + failure)
+            return 1
+        print(f"regression gate passed (threshold {args.threshold:.1f}x)")
+        return 0
+
+    payload = {
+        "schema": 1,
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "scenarios": scenarios,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

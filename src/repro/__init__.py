@@ -26,6 +26,8 @@ The subpackages group the functionality:
 * :mod:`repro.ecu` -- OSEK-style task scheduling inside ECUs;
 * :mod:`repro.gateway` -- store-and-forward gateways between buses;
 * :mod:`repro.core` -- the compositional system-level analysis engine;
+* :mod:`repro.parallel` -- deterministic parallel evaluation of independent
+  analysis units (bus segments, GA candidates, sweep points);
 * :mod:`repro.sim` -- a discrete-event CAN simulator for cross-validation;
 * :mod:`repro.supplychain` -- data sheets, requirements and contracts;
 * :mod:`repro.diagnostics` -- flashing and diagnostics traffic models;
@@ -51,6 +53,7 @@ from repro.events import (
     PeriodicWithJitter,
 )
 from repro.optimize import optimize_priorities, paper_scenarios
+from repro.parallel import parallel_map
 from repro.sensitivity import jitter_sensitivity_all, max_tolerable_jitter_fraction
 from repro.workloads import powertrain_kmatrix, powertrain_system
 
@@ -78,6 +81,7 @@ __all__ = [
     "max_tolerable_jitter_fraction",
     "optimize_priorities",
     "paper_scenarios",
+    "parallel_map",
     "powertrain_kmatrix",
     "powertrain_system",
 ]

@@ -9,10 +9,17 @@ This package contains the analyses the paper contrasts:
   (Section 3.2), following Tindell/Burns and the Davis et al. revision;
 * :mod:`repro.analysis.schedulability` -- system-level verdicts: which
   messages meet their deadlines, which can be lost, and by how much
-  (Sections 4 and 4.2).
+  (Sections 4 and 4.2);
+* :mod:`repro.analysis.reference` -- the retained naive formulation of the
+  response-time analysis, the executable specification the optimised kernel
+  is checked (bit-identically) and benchmarked against.
 """
 
 from repro.analysis.load import BusLoadReport, MessageLoadShare, bus_load
+from repro.analysis.reference import (
+    ReferenceCanBusAnalysis,
+    reference_analyze_all,
+)
 from repro.analysis.response_time import (
     CanBusAnalysis,
     MessageResponseTime,
@@ -24,6 +31,8 @@ from repro.analysis.schedulability import (
     SchedulabilityReport,
     analyze_schedulability,
     message_loss_fraction,
+    report_from_results,
+    schedulability_with_results,
 )
 
 __all__ = [
@@ -32,9 +41,13 @@ __all__ = [
     "MessageLoadShare",
     "CanBusAnalysis",
     "MessageResponseTime",
+    "ReferenceCanBusAnalysis",
+    "reference_analyze_all",
     "worst_case_response_time",
     "best_case_response_time",
     "analyze_schedulability",
+    "schedulability_with_results",
+    "report_from_results",
     "SchedulabilityReport",
     "MessageVerdict",
     "message_loss_fraction",

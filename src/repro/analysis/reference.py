@@ -1,0 +1,225 @@
+"""Retained naive response-time analysis (executable specification).
+
+This module preserves the straightforward formulation of the CAN busy-period
+analysis that :class:`repro.analysis.response_time.CanBusAnalysis` optimises:
+priority sets, event models, blocking terms and horizons are re-derived
+inside every fixed-point iteration, and convergence uses the classical
+``1e-9`` delta.  It exists for two reasons:
+
+* the property-based equivalence tests assert that the cached/warm-started
+  kernel returns **bit-identical** results to this path across many synthetic
+  K-Matrices (same float summation order, same fixed points);
+* the :mod:`benchmarks.perf` timing suite measures the kernel speedup
+  against it, which is the seed-vs-kernel trajectory recorded in
+  ``BENCH_timing.json``.
+
+Do not optimise this module: its value is being obviously equivalent to the
+textbook formulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.analysis.response_time import MessageResponseTime
+from repro.can.bus import CanBus
+from repro.can.controller import ControllerModel
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.errors.models import ErrorModel, NoErrors
+from repro.events.model import EventModel
+
+_MAX_BUSY_PERIOD_FACTOR = 1000.0
+_MAX_ITERATIONS = 100_000
+_CONVERGENCE_EPS = 1e-9
+
+
+class ReferenceCanBusAnalysis:
+    """Naive per-iteration re-derivation of the response-time analysis.
+
+    Constructor-compatible with
+    :class:`~repro.analysis.response_time.CanBusAnalysis`; produces the same
+    :class:`~repro.analysis.response_time.MessageResponseTime` results.
+    """
+
+    def __init__(
+        self,
+        kmatrix: KMatrix,
+        bus: CanBus,
+        error_model: ErrorModel | None = None,
+        assumed_jitter_fraction: float = 0.0,
+        controllers: Mapping[str, ControllerModel] | None = None,
+        event_models: Mapping[str, EventModel] | None = None,
+    ) -> None:
+        self.kmatrix = kmatrix
+        self.bus = bus
+        self.error_model = error_model if error_model is not None else NoErrors()
+        self.assumed_jitter_fraction = assumed_jitter_fraction
+        self.controllers = dict(controllers or {})
+        self._external_event_models = dict(event_models or {})
+        self._transmission_times = {
+            m.name: bus.transmission_time(m) for m in kmatrix
+        }
+        self._best_case_times = {
+            m.name: bus.best_case_transmission_time(m) for m in kmatrix
+        }
+        self._bit_time = bus.bit_time_ms
+        self._recovery = bus.error_recovery_time()
+
+    # ------------------------------------------------------------------ #
+    # Model accessors (re-derived on every call, on purpose)
+    # ------------------------------------------------------------------ #
+    def event_model(self, message: CanMessage) -> EventModel:
+        if message.name in self._external_event_models:
+            return self._external_event_models[message.name]
+        return message.event_model(self.assumed_jitter_fraction)
+
+    def jitter(self, message: CanMessage) -> float:
+        return self.event_model(message).jitter
+
+    def blocking(self, message: CanMessage) -> float:
+        lower = self.kmatrix.lower_priority_than(message)
+        bus_blocking = max(
+            (self._transmission_times[m.name] for m in lower), default=0.0)
+        controller = self.controllers.get(message.sender)
+        internal = 0.0
+        if controller is not None:
+            same_ecu_lower = {
+                m.name: self._transmission_times[m.name]
+                for m in self.kmatrix.sent_by(message.sender)
+                if m.can_id > message.can_id
+            }
+            internal = controller.internal_blocking(message.name, same_ecu_lower)
+        return bus_blocking + internal
+
+    def _error_overhead(self, window: float, message: CanMessage) -> float:
+        if isinstance(self.error_model, NoErrors):
+            return 0.0
+        candidates = [self._transmission_times[message.name]]
+        candidates.extend(
+            self._transmission_times[m.name]
+            for m in self.kmatrix.higher_priority_than(message)
+        )
+        retransmit = max(candidates)
+        return self.error_model.overhead(window, self._recovery, retransmit)
+
+    def _interference(self, window: float, message: CanMessage) -> float:
+        total = 0.0
+        for other in self.kmatrix.higher_priority_than(message):
+            model = self.event_model(other)
+            activations = model.eta_plus(window + self._bit_time)
+            total += activations * self._transmission_times[other.name]
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Busy-period machinery
+    # ------------------------------------------------------------------ #
+    def _busy_period(self, message: CanMessage) -> tuple[float, bool]:
+        own_c = self._transmission_times[message.name]
+        own_model = self.event_model(message)
+        blocking = self.blocking(message)
+        horizon = _MAX_BUSY_PERIOD_FACTOR * max(
+            [message.period] + [m.period for m in self.kmatrix])
+        t = own_c + blocking
+        for _ in range(_MAX_ITERATIONS):
+            own_instances = max(own_model.eta_plus(t), 1)
+            new_t = (blocking
+                     + own_instances * own_c
+                     + self._interference(t, message)
+                     + self._error_overhead(t, message))
+            if new_t > horizon:
+                return new_t, False
+            if abs(new_t - t) < _CONVERGENCE_EPS:
+                return new_t, True
+            t = new_t
+        return t, False
+
+    def _queuing_delay(self, message: CanMessage, instance: int,
+                       horizon: float) -> tuple[float, bool]:
+        own_c = self._transmission_times[message.name]
+        blocking = self.blocking(message)
+        w = blocking + instance * own_c
+        for _ in range(_MAX_ITERATIONS):
+            new_w = (blocking
+                     + instance * own_c
+                     + self._interference(w, message)
+                     + self._error_overhead(w + own_c, message))
+            if new_w > horizon:
+                return new_w, False
+            if abs(new_w - w) < _CONVERGENCE_EPS:
+                return new_w, True
+            w = new_w
+        return w, False
+
+    # ------------------------------------------------------------------ #
+    # Public analysis entry points
+    # ------------------------------------------------------------------ #
+    def response_time(self, message: CanMessage) -> MessageResponseTime:
+        own_c = self._transmission_times[message.name]
+        own_model = self.event_model(message)
+        jitter = own_model.jitter
+        blocking = self.blocking(message)
+        horizon = _MAX_BUSY_PERIOD_FACTOR * max(
+            [message.period] + [m.period for m in self.kmatrix])
+
+        busy, busy_bounded = self._busy_period(message)
+        if not busy_bounded:
+            return MessageResponseTime(
+                name=message.name, can_id=message.can_id,
+                transmission_time=own_c, blocking=blocking, jitter=jitter,
+                worst_case=math.inf,
+                best_case=self._best_case_times[message.name],
+                busy_period=busy, instances_analyzed=0, bounded=False)
+
+        instances = max(own_model.eta_plus(busy), 1)
+        worst = 0.0
+        bounded = True
+        delays: list[float] = []
+        for q in range(instances):
+            w, ok = self._queuing_delay(message, q, horizon)
+            if not ok:
+                bounded = False
+                worst = math.inf
+                break
+            delays.append(w)
+            arrival_offset = own_model.delta_minus(q + 1)
+            response = jitter + w + own_c - arrival_offset
+            worst = max(worst, response)
+
+        return MessageResponseTime(
+            name=message.name,
+            can_id=message.can_id,
+            transmission_time=own_c,
+            blocking=blocking,
+            jitter=jitter,
+            worst_case=worst,
+            best_case=self._best_case_times[message.name],
+            busy_period=busy,
+            instances_analyzed=instances,
+            bounded=bounded,
+            queuing_delays=tuple(delays),
+        )
+
+    def analyze_all(self) -> dict[str, MessageResponseTime]:
+        return {m.name: self.response_time(m) for m in self.kmatrix}
+
+    def utilization(self) -> float:
+        return sum(
+            self._transmission_times[m.name] / m.period for m in self.kmatrix)
+
+
+def reference_analyze_all(
+    kmatrix: KMatrix,
+    bus: CanBus,
+    error_model: ErrorModel | None = None,
+    assumed_jitter_fraction: float = 0.0,
+    controllers: Mapping[str, ControllerModel] | None = None,
+    event_models: Mapping[str, EventModel] | None = None,
+) -> dict[str, MessageResponseTime]:
+    """One-shot naive analysis of every message (testing/benchmark helper)."""
+    analysis = ReferenceCanBusAnalysis(
+        kmatrix=kmatrix, bus=bus, error_model=error_model,
+        assumed_jitter_fraction=assumed_jitter_fraction,
+        controllers=controllers, event_models=event_models)
+    return analysis.analyze_all()

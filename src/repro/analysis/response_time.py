@@ -17,6 +17,51 @@ Burns, Bril & Lukkien (2007):
   inside the busy period must be analysed (the Davis et al. revision).
 
 All times are in milliseconds.
+
+Analysis kernel
+---------------
+:class:`CanBusAnalysis` is the hot primitive of the whole library: the jitter
+sweeps of Figure 4/5, the GA of Section 4.3 and the compositional engine all
+reduce to many ``analyze_all`` calls.  The class therefore precomputes, once
+per instance, a per-message *interference table*: the flat sequence of
+``(transmission_time, period, jitter, min_distance)`` tuples of all
+higher-priority messages (in K-Matrix order, so float summation order -- and
+hence every result bit -- matches the naive formulation retained in
+:mod:`repro.analysis.reference`).  The busy-period and queuing-delay fixed
+points then run as tight arithmetic loops over those tables instead of
+re-deriving priority sets, event models, blocking terms and horizons on every
+iteration.  Blocking, the error-retransmission bound and the divergence
+horizon are likewise computed once per message.
+
+Because the right-hand side of each fixed point depends on the iterate only
+through *integer* activation counts (the ``eta_plus`` values and the error
+count), successive iterates are sums of the same quantities and the iteration
+is run to exact float equality (``new_w == w``) instead of a ``1e-9`` delta:
+once the activation counts stop changing the iterate reproduces itself
+bit-for-bit, which both terminates earlier and makes results independent of
+the convergence epsilon.
+
+Warm starts
+-----------
+``analyze_all(warm_start=...)`` and ``response_time(message, warm_start=...)``
+seed each fixed point from a previous :class:`MessageResponseTime` (its
+``busy_period`` and per-instance ``queuing_delays``).  The contract is:
+
+    A seed is only valid when it is a **known lower bound** of the new least
+    fixed point -- i.e. when it is the converged solution of an analysis
+    whose right-hand side is pointwise less than or equal to the current one
+    (same priorities and transmission times; jitters no larger; periods
+    equal; minimum distances no smaller; error model no harsher).
+
+Under that contract the warm-started iteration converges to *exactly* the
+same least fixed point as a cold start (monotone iteration from any point
+below the least fixed point cannot cross it), so warm-started sweeps remain
+bit-identical to cold ones while skipping most iterations.  Sweeping the
+assumed jitter fraction upwards, repeating a bus analysis inside the global
+engine with non-decreased jitters, or hardening the error model along a
+sweep all satisfy the contract.  Seeds that might overshoot (e.g. results of
+a *different* priority assignment) must not be passed: the iteration could
+land on a larger fixed point and silently lose exactness.
 """
 
 from __future__ import annotations
@@ -30,7 +75,8 @@ from repro.can.controller import ControllerModel
 from repro.can.kmatrix import KMatrix
 from repro.can.message import CanMessage
 from repro.errors.models import ErrorModel, NoErrors
-from repro.events.model import EventModel
+from repro.events.model import EventModel, _ceil_div
+from repro.events.model import _EPSILON as _SNAP_EPS
 
 
 #: Safety valve for the fixed-point iterations: if a busy period grows beyond
@@ -38,12 +84,20 @@ from repro.events.model import EventModel
 #: as unschedulable (response time unbounded for practical purposes).
 _MAX_BUSY_PERIOD_FACTOR = 1000.0
 _MAX_ITERATIONS = 100_000
-_CONVERGENCE_EPS = 1e-9
+
+#: Base implementation of the arrival curve; event models that do not
+#: override it can be evaluated from their flat parameter tuple.
+_BASE_ETA_PLUS = EventModel.eta_plus
 
 
 @dataclass(frozen=True)
 class MessageResponseTime:
-    """Analysis result for one message."""
+    """Analysis result for one message.
+
+    ``queuing_delays`` records the converged queuing-delay fixed point of
+    every instance analysed inside the busy period; it is what warm-started
+    re-analyses (see the module docstring) use as seeds.
+    """
 
     name: str
     can_id: int
@@ -55,6 +109,7 @@ class MessageResponseTime:
     busy_period: float
     instances_analyzed: int
     bounded: bool = True
+    queuing_delays: tuple[float, ...] = ()
 
     @property
     def response_interval(self) -> float:
@@ -77,6 +132,24 @@ def best_case_response_time(message: CanMessage, bus: CanBus) -> float:
     No interference, no blocking, no stuff bits beyond the fixed format.
     """
     return bus.best_case_transmission_time(message)
+
+
+class _MessageKernel:
+    """Frozen per-message interference table (see the module docstring).
+
+    ``hp_flat`` holds one ``(transmission_time, period, jitter, min_distance)``
+    tuple per higher-priority message, in K-Matrix order.  When any involved
+    event model overrides ``eta_plus`` the kernel falls back to ``hp_models``
+    (``(transmission_time, model)`` pairs, same order) so exotic models keep
+    their semantics.
+    """
+
+    __slots__ = ("own_c", "best_c", "model", "own_params", "blocking",
+                 "retransmit", "hp_flat", "hp_models", "jitter")
+
+    def __init__(self) -> None:
+        self.hp_flat: Optional[list[tuple[float, float, float, float]]] = None
+        self.hp_models: list[tuple[float, EventModel]] = []
 
 
 class CanBusAnalysis:
@@ -126,19 +199,36 @@ class CanBusAnalysis:
         }
         self._bit_time = bus.bit_time_ms
         self._recovery = bus.error_recovery_time()
+        self._no_errors = isinstance(self.error_model, NoErrors)
+        # Event models are frozen once: every fixed-point iteration reads
+        # them, so they must not be rebuilt per call.
+        self._models = {m.name: self._resolve_event_model(m) for m in kmatrix}
+        # One divergence horizon for the whole bus (the per-message horizon
+        # of the naive formulation always evaluates to this global value).
+        self._horizon = _MAX_BUSY_PERIOD_FACTOR * max(
+            (m.period for m in kmatrix), default=1.0)
+        # Per-message interference tables, built lazily so single-message
+        # queries do not pay the full O(n^2) table construction.
+        self._kernels: dict[str, _MessageKernel] = {}
 
     # ------------------------------------------------------------------ #
     # Model accessors
     # ------------------------------------------------------------------ #
+    def _resolve_event_model(self, message: CanMessage) -> EventModel:
+        if message.name in self._external_event_models:
+            return self._external_event_models[message.name]
+        return message.event_model(self.assumed_jitter_fraction)
+
     def transmission_time(self, message: CanMessage) -> float:
         """Worst-case transmission time of ``message`` on the analysed bus."""
         return self._transmission_times[message.name]
 
     def event_model(self, message: CanMessage) -> EventModel:
         """Activation model of ``message`` (external override or K-Matrix)."""
-        if message.name in self._external_event_models:
-            return self._external_event_models[message.name]
-        return message.event_model(self.assumed_jitter_fraction)
+        model = self._models.get(message.name)
+        if model is None:
+            model = self._resolve_event_model(message)
+        return model
 
     def jitter(self, message: CanMessage) -> float:
         """Queuing jitter of ``message`` used by the analysis."""
@@ -146,6 +236,12 @@ class CanBusAnalysis:
 
     def blocking(self, message: CanMessage) -> float:
         """Worst-case blocking: one lower-priority frame plus controller term."""
+        kernel = self._kernels.get(message.name)
+        if kernel is not None:
+            return kernel.blocking
+        return self._compute_blocking(message)
+
+    def _compute_blocking(self, message: CanMessage) -> float:
         lower = self.kmatrix.lower_priority_than(message)
         bus_blocking = max(
             (self._transmission_times[m.name] for m in lower), default=0.0)
@@ -160,67 +256,157 @@ class CanBusAnalysis:
             internal = controller.internal_blocking(message.name, same_ecu_lower)
         return bus_blocking + internal
 
-    def _error_overhead(self, window: float, message: CanMessage) -> float:
-        """Error recovery + retransmission overhead in a window."""
-        if isinstance(self.error_model, NoErrors):
-            return 0.0
-        # The corrupted frame that must be retransmitted can be any frame that
-        # delays the message under analysis: itself or a higher-priority one.
-        candidates = [self._transmission_times[message.name]]
-        candidates.extend(
-            self._transmission_times[m.name]
-            for m in self.kmatrix.higher_priority_than(message)
-        )
-        retransmit = max(candidates)
-        return self.error_model.overhead(window, self._recovery, retransmit)
+    # ------------------------------------------------------------------ #
+    # Kernel construction
+    # ------------------------------------------------------------------ #
+    def _kernel(self, message: CanMessage) -> _MessageKernel:
+        kernel = self._kernels.get(message.name)
+        if kernel is None:
+            kernel = self._build_kernel(message)
+            self._kernels[message.name] = kernel
+        return kernel
 
-    def _interference(self, window: float, message: CanMessage) -> float:
-        """Higher-priority interference in a queuing window of length ``window``."""
+    def _build_kernel(self, message: CanMessage) -> _MessageKernel:
+        kernel = _MessageKernel()
+        own_c = self._transmission_times[message.name]
+        kernel.own_c = own_c
+        kernel.best_c = self._best_case_times[message.name]
+        model = self.event_model(message)
+        kernel.model = model
+        kernel.jitter = model.jitter
+        kernel.blocking = self._compute_blocking(message)
+        kernel.own_params = (
+            (model.period, model.jitter, model.min_distance)
+            if type(model).eta_plus is _BASE_ETA_PLUS else None)
+
+        hp_models: list[tuple[float, EventModel]] = []
+        all_standard = True
+        retransmit = own_c
+        own_id = message.can_id
+        for other in self.kmatrix:
+            if other.can_id >= own_id:
+                continue
+            c = self._transmission_times[other.name]
+            other_model = self._models[other.name]
+            hp_models.append((c, other_model))
+            if type(other_model).eta_plus is not _BASE_ETA_PLUS:
+                all_standard = False
+            if c > retransmit:
+                retransmit = c
+        kernel.hp_models = hp_models
+        kernel.retransmit = retransmit
+        if all_standard:
+            kernel.hp_flat = [
+                (c, m.period, m.jitter, m.min_distance) for c, m in hp_models]
+        else:
+            # A custom eta_plus somewhere: evaluate every model generically so
+            # summation order (and therefore every float bit) is preserved.
+            kernel.hp_flat = None
+        return kernel
+
+    # ------------------------------------------------------------------ #
+    # Hot arithmetic loops
+    # ------------------------------------------------------------------ #
+    def _interference_of(self, kernel: _MessageKernel, window: float) -> float:
+        """Higher-priority interference in a queuing window of ``window`` ms.
+
+        The flat path inlines :func:`repro.events.model._ceil_div` (same
+        arithmetic, bit for bit) to keep the per-iteration cost at a few
+        float operations per higher-priority message.
+        """
+        dt = window + self._bit_time
         total = 0.0
-        for other in self.kmatrix.higher_priority_than(message):
-            model = self.event_model(other)
-            activations = model.eta_plus(window + self._bit_time)
-            total += activations * self._transmission_times[other.name]
+        if kernel.hp_flat is not None:
+            if dt <= 0:
+                return 0.0
+            ceil = math.ceil
+            for c, period, jitter, min_distance in kernel.hp_flat:
+                value = (dt + jitter) / period
+                nearest = round(value)
+                if abs(value - nearest) <= _SNAP_EPS * (
+                        nearest if nearest > 1.0 else 1.0):
+                    activations = nearest
+                else:
+                    activations = ceil(value)
+                if min_distance > 0.0:
+                    capped = _ceil_div(dt, min_distance) + 1
+                    if capped < activations:
+                        activations = capped
+                total += activations * c
+            return total
+        for c, model in kernel.hp_models:
+            total += model.eta_plus(dt) * c
         return total
+
+    def _own_eta_plus(self, kernel: _MessageKernel, dt: float) -> int:
+        params = kernel.own_params
+        if params is None:
+            return kernel.model.eta_plus(dt)
+        if dt <= 0:
+            return 0
+        period, jitter, min_distance = params
+        activations = _ceil_div(dt + jitter, period)
+        if min_distance > 0.0:
+            capped = _ceil_div(dt, min_distance) + 1
+            if capped < activations:
+                activations = capped
+        return activations
+
+    def _error_overhead_of(self, kernel: _MessageKernel, window: float) -> float:
+        """Error recovery + retransmission overhead in a window."""
+        if self._no_errors:
+            return 0.0
+        return self.error_model.overhead(
+            window, self._recovery, kernel.retransmit)
 
     # ------------------------------------------------------------------ #
     # Busy-period machinery
     # ------------------------------------------------------------------ #
-    def _busy_period(self, message: CanMessage) -> tuple[float, bool]:
-        """Length of the priority-level busy period (includes own instances)."""
-        own_c = self._transmission_times[message.name]
-        own_model = self.event_model(message)
-        blocking = self.blocking(message)
-        horizon = _MAX_BUSY_PERIOD_FACTOR * max(
-            [message.period] + [m.period for m in self.kmatrix])
+    def _busy_period(self, kernel: _MessageKernel,
+                     seed: float | None = None) -> tuple[float, bool]:
+        """Length of the priority-level busy period (includes own instances).
+
+        ``seed`` warm-starts the fixed point; it must respect the lower-bound
+        contract of the module docstring.
+        """
+        own_c = kernel.own_c
+        blocking = kernel.blocking
+        horizon = self._horizon
         t = own_c + blocking
+        if seed is not None and seed > t:
+            t = seed
         for _ in range(_MAX_ITERATIONS):
-            own_instances = max(own_model.eta_plus(t), 1)
+            own_instances = self._own_eta_plus(kernel, t)
+            if own_instances < 1:
+                own_instances = 1
             new_t = (blocking
                      + own_instances * own_c
-                     + self._interference(t, message)
-                     + self._error_overhead(t, message))
+                     + self._interference_of(kernel, t)
+                     + self._error_overhead_of(kernel, t))
             if new_t > horizon:
                 return new_t, False
-            if abs(new_t - t) < _CONVERGENCE_EPS:
+            if new_t == t:
                 return new_t, True
             t = new_t
         return t, False
 
-    def _queuing_delay(self, message: CanMessage, instance: int,
-                       horizon: float) -> tuple[float, bool]:
+    def _queuing_delay(self, kernel: _MessageKernel, instance: int,
+                       seed: float | None = None) -> tuple[float, bool]:
         """Fixed point for the queuing delay of the given instance (0-based)."""
-        own_c = self._transmission_times[message.name]
-        blocking = self.blocking(message)
-        w = blocking + instance * own_c
+        own_c = kernel.own_c
+        blocking = kernel.blocking
+        horizon = self._horizon
+        base = blocking + instance * own_c
+        w = base
+        if seed is not None and seed > w:
+            w = seed
         for _ in range(_MAX_ITERATIONS):
-            new_w = (blocking
-                     + instance * own_c
-                     + self._interference(w, message)
-                     + self._error_overhead(w + own_c, message))
+            new_w = (base
+                     + self._interference_of(kernel, w)
+                     + self._error_overhead_of(kernel, w + own_c))
             if new_w > horizon:
                 return new_w, False
-            if abs(new_w - w) < _CONVERGENCE_EPS:
+            if new_w == w:
                 return new_w, True
             w = new_w
         return w, False
@@ -228,33 +414,50 @@ class CanBusAnalysis:
     # ------------------------------------------------------------------ #
     # Public analysis entry points
     # ------------------------------------------------------------------ #
-    def response_time(self, message: CanMessage) -> MessageResponseTime:
-        """Worst-case (and best-case) response time of one message."""
-        own_c = self._transmission_times[message.name]
-        own_model = self.event_model(message)
-        jitter = own_model.jitter
-        blocking = self.blocking(message)
-        horizon = _MAX_BUSY_PERIOD_FACTOR * max(
-            [message.period] + [m.period for m in self.kmatrix])
+    def response_time(
+        self,
+        message: CanMessage,
+        warm_start: MessageResponseTime | None = None,
+    ) -> MessageResponseTime:
+        """Worst-case (and best-case) response time of one message.
 
-        busy, busy_bounded = self._busy_period(message)
+        ``warm_start`` seeds the busy-period and per-instance queuing-delay
+        fixed points from a previous result; see the module docstring for the
+        monotonicity contract that keeps the seeded analysis exact.
+        """
+        kernel = self._kernel(message)
+        own_c = kernel.own_c
+        jitter = kernel.jitter
+        blocking = kernel.blocking
+
+        busy_seed = None
+        delay_seeds: Sequence[float] = ()
+        if warm_start is not None and warm_start.bounded:
+            busy_seed = warm_start.busy_period
+            delay_seeds = warm_start.queuing_delays
+
+        busy, busy_bounded = self._busy_period(kernel, seed=busy_seed)
         if not busy_bounded:
             return MessageResponseTime(
                 name=message.name, can_id=message.can_id,
                 transmission_time=own_c, blocking=blocking, jitter=jitter,
                 worst_case=math.inf,
-                best_case=self._best_case_times[message.name],
+                best_case=kernel.best_c,
                 busy_period=busy, instances_analyzed=0, bounded=False)
 
-        instances = max(own_model.eta_plus(busy), 1)
+        instances = max(self._own_eta_plus(kernel, busy), 1)
         worst = 0.0
         bounded = True
+        delays: list[float] = []
+        own_model = kernel.model
         for q in range(instances):
-            w, ok = self._queuing_delay(message, q, horizon)
+            seed = delay_seeds[q] if q < len(delay_seeds) else None
+            w, ok = self._queuing_delay(kernel, q, seed=seed)
             if not ok:
                 bounded = False
                 worst = math.inf
                 break
+            delays.append(w)
             # The (q+1)-th instance arrives no earlier than delta_minus(q+1)
             # after the critical-instant arrival, which itself was delayed by
             # the full jitter.
@@ -269,15 +472,29 @@ class CanBusAnalysis:
             blocking=blocking,
             jitter=jitter,
             worst_case=worst,
-            best_case=self._best_case_times[message.name],
+            best_case=kernel.best_c,
             busy_period=busy,
             instances_analyzed=instances,
             bounded=bounded,
+            queuing_delays=tuple(delays),
         )
 
-    def analyze_all(self) -> dict[str, MessageResponseTime]:
-        """Response times of every message in the K-Matrix, keyed by name."""
-        return {m.name: self.response_time(m) for m in self.kmatrix}
+    def analyze_all(
+        self,
+        warm_start: Mapping[str, MessageResponseTime] | None = None,
+    ) -> dict[str, MessageResponseTime]:
+        """Response times of every message in the K-Matrix, keyed by name.
+
+        ``warm_start`` maps message names to previous results used as
+        fixed-point seeds (missing names are analysed cold); the seeds must
+        satisfy the lower-bound contract described in the module docstring.
+        """
+        if warm_start is None:
+            return {m.name: self.response_time(m) for m in self.kmatrix}
+        return {
+            m.name: self.response_time(m, warm_start=warm_start.get(m.name))
+            for m in self.kmatrix
+        }
 
     def utilization(self) -> float:
         """Worst-case bus utilization implied by the analysed message set."""

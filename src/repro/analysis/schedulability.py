@@ -133,6 +133,7 @@ def analyze_schedulability(
     deadline_policy: str = "period",
     controllers: Mapping[str, ControllerModel] | None = None,
     event_models: Mapping[str, EventModel] | None = None,
+    warm_start: Mapping[str, MessageResponseTime] | None = None,
 ) -> SchedulabilityReport:
     """Full schedulability analysis of one bus configuration.
 
@@ -144,7 +145,32 @@ def analyze_schedulability(
     deadline_policy:
         ``"period"`` (implicit deadlines), ``"min-rearrival"`` (the paper's
         strictest worst-case experiment) or ``"explicit"``.
+    warm_start:
+        Optional fixed-point seeds (previous response times) forwarded to
+        :meth:`~repro.analysis.response_time.CanBusAnalysis.analyze_all`;
+        must satisfy the lower-bound contract documented there.
     """
+    report, _ = schedulability_with_results(
+        kmatrix=kmatrix, bus=bus, error_model=error_model,
+        assumed_jitter_fraction=assumed_jitter_fraction,
+        deadline_policy=deadline_policy, controllers=controllers,
+        event_models=event_models, warm_start=warm_start)
+    return report
+
+
+def schedulability_with_results(
+    kmatrix: KMatrix,
+    bus: CanBus,
+    error_model: ErrorModel | None = None,
+    assumed_jitter_fraction: float = 0.0,
+    deadline_policy: str = "period",
+    controllers: Mapping[str, ControllerModel] | None = None,
+    event_models: Mapping[str, EventModel] | None = None,
+    warm_start: Mapping[str, MessageResponseTime] | None = None,
+) -> tuple[SchedulabilityReport, dict[str, MessageResponseTime]]:
+    """Like :func:`analyze_schedulability`, but also returns the raw
+    per-message response times so callers can chain warm starts (e.g. the
+    optimizer's scenario sweep, or an ascending jitter sweep)."""
     analysis = CanBusAnalysis(
         kmatrix=kmatrix,
         bus=bus,
@@ -153,7 +179,20 @@ def analyze_schedulability(
         controllers=controllers,
         event_models=event_models,
     )
-    results = analysis.analyze_all()
+    results = analysis.analyze_all(warm_start=warm_start)
+    report = report_from_results(kmatrix, analysis, results, deadline_policy)
+    return report, results
+
+
+def report_from_results(
+    kmatrix: KMatrix,
+    analysis: CanBusAnalysis,
+    results: Mapping[str, MessageResponseTime],
+    deadline_policy: str = "period",
+) -> SchedulabilityReport:
+    """Build a :class:`SchedulabilityReport` from already computed response
+    times, so callers that have just run ``analyze_all`` (e.g. the
+    compositional engine) do not pay for a second full analysis."""
     verdicts = []
     for message in kmatrix:
         result = results[message.name]

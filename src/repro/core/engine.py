@@ -18,6 +18,19 @@ propagation step:
 The iteration stops when no event model changed (fixed point) or when the
 iteration limit is reached (reported as non-convergence -- the system is
 overloaded or has a cyclic dependency that keeps amplifying jitter).
+
+Two performance levers keep large systems in the "within minutes" envelope:
+
+* independent bus segments inside one global iteration are analysed through
+  :func:`repro.parallel.parallel_map` (results are merged in segment order,
+  so parallelism never changes a result);
+* each global iteration's bus analyses are **warm-started** from the
+  previous iteration's response times whenever the propagated event models
+  only grew (jitter non-decreasing, periods unchanged, burst distances not
+  tightened) -- the monotone case that dominates converging systems.  See
+  the warm-start contract in :mod:`repro.analysis.response_time`; when an
+  event model shrank (e.g. an oscillating gateway), the affected segment
+  falls back to a cold start to preserve exactness.
 """
 
 from __future__ import annotations
@@ -26,31 +39,76 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.analysis.response_time import CanBusAnalysis, MessageResponseTime
-from repro.analysis.schedulability import analyze_schedulability
+from repro.analysis.schedulability import report_from_results
 from repro.core.results import SystemAnalysisResult
 from repro.core.system import SystemModel
 from repro.ecu.analysis import EcuAnalysis, message_output_models
 from repro.events.model import EventModel
 from repro.events.operations import output_event_model
 from repro.gateway.model import GatewayAnalysis
+from repro.parallel import parallel_map
 
 
 _MODEL_EPS = 1e-6
 
+#: Base arrival curve implementation; used to recognise event models whose
+#: eta_plus semantics are fully described by (period, jitter, min_distance).
+_BASE_ETA_PLUS = EventModel.eta_plus
+
 
 def _models_equal(first: Mapping[str, EventModel],
                   second: Mapping[str, EventModel]) -> bool:
-    """Whether two event-model maps are (numerically) identical."""
+    """Whether two event-model maps are (numerically) identical.
+
+    Models of different classes are never equal even with identical
+    parameters: a :class:`SporadicEventModel` and a periodic model with the
+    same ``(period, jitter, min_distance)`` bound different event streams,
+    and treating them as equal could terminate the global fixed point early.
+    """
     if first.keys() != second.keys():
         return False
     for name, model in first.items():
         other = second[name]
+        if type(model) is not type(other):
+            return False
         if abs(model.period - other.period) > _MODEL_EPS:
             return False
         if abs(model.jitter - other.jitter) > _MODEL_EPS:
             return False
         if abs(model.min_distance - other.min_distance) > _MODEL_EPS:
             return False
+    return True
+
+
+def _warm_seed_valid(previous: Mapping[str, EventModel],
+                     current: Mapping[str, EventModel]) -> bool:
+    """Whether the previous iteration's response times lower-bound the new
+    ones, i.e. every event model only became (weakly) more demanding.
+
+    This is the segment-level guard for the warm-start contract of
+    :mod:`repro.analysis.response_time`: jitters must not shrink, periods
+    must not change, and a burst-limiting minimum distance must not grow
+    (a larger minimum distance caps ``eta_plus`` harder).  Models with a
+    custom ``eta_plus`` are only accepted when literally unchanged.
+    """
+    if previous.keys() != current.keys():
+        return False
+    for name, old in previous.items():
+        new = current[name]
+        if (type(old).eta_plus is not _BASE_ETA_PLUS
+                or type(new).eta_plus is not _BASE_ETA_PLUS):
+            if type(old) is not type(new) or old != new:
+                return False
+            continue
+        if new.period != old.period or new.jitter < old.jitter:
+            return False
+        if new.min_distance != old.min_distance:
+            # Dropping the cap (to zero) only raises eta_plus; any other
+            # change is safe only when the cap tightened.
+            if new.min_distance != 0.0 and not (
+                    0.0 < new.min_distance <= old.min_distance
+                    and old.min_distance > 0.0):
+                return False
     return True
 
 
@@ -95,53 +153,83 @@ class CompositionalAnalysis:
                 ecu, min_output_distance=min_distance))
         return send_models, task_results
 
+    def _analyze_segment(
+        self,
+        segment,
+        send_models: Mapping[str, EventModel],
+        previous: tuple[dict[str, EventModel],
+                        dict[str, MessageResponseTime]] | None,
+    ) -> tuple[dict[str, MessageResponseTime], dict[str, EventModel],
+               object, dict[str, EventModel]]:
+        """Analyse one bus segment (independent unit of the sweep)."""
+        overrides = {
+            name: model for name, model in send_models.items()
+            if name in segment.kmatrix}
+        analysis = CanBusAnalysis(
+            kmatrix=segment.kmatrix,
+            bus=segment.bus,
+            error_model=segment.error_model,
+            assumed_jitter_fraction=segment.assumed_jitter_fraction,
+            controllers=self.system.controllers,
+            event_models=overrides,
+        )
+        models = {m.name: analysis.event_model(m) for m in segment.kmatrix}
+        seeds = None
+        if previous is not None:
+            previous_models, previous_results = previous
+            if _warm_seed_valid(previous_models, models):
+                seeds = previous_results
+        results = analysis.analyze_all(warm_start=seeds)
+        arrival_models: dict[str, EventModel] = {}
+        for message in segment.kmatrix:
+            result = results[message.name]
+            input_model = models[message.name]
+            if not result.bounded:
+                # Represent divergence as a very large jitter so that the
+                # fixed point reports non-convergence instead of hiding it.
+                arrival_models[message.name] = input_model.with_jitter(
+                    input_model.jitter + 100.0 * message.period)
+                continue
+            arrival_models[message.name] = output_event_model(
+                input_model=input_model,
+                best_case_response=result.best_case,
+                worst_case_response=result.worst_case,
+                min_output_distance=result.transmission_time,
+            )
+        report = report_from_results(
+            segment.kmatrix, analysis, results, segment.deadline_policy)
+        return results, arrival_models, report, models
+
     def _bus_sweep(
         self,
         send_models: Mapping[str, EventModel],
-    ) -> tuple[dict[str, MessageResponseTime], dict[str, EventModel], dict]:
-        """Analyse all buses with the given send models."""
+        previous_sweep: Mapping[str, tuple] | None = None,
+    ) -> tuple[dict[str, MessageResponseTime], dict[str, EventModel], dict,
+               dict[str, tuple]]:
+        """Analyse all buses with the given send models.
+
+        Independent segments run through :func:`repro.parallel.parallel_map`;
+        results are merged in segment order, so the sweep is deterministic.
+        ``previous_sweep`` carries each segment's (event models, results)
+        from the last global iteration for warm starting.
+        """
+        segments = list(self.system.buses.values())
+        previous_sweep = previous_sweep or {}
+        outcomes = parallel_map(
+            lambda segment: self._analyze_segment(
+                segment, send_models, previous_sweep.get(segment.name)),
+            segments)
         message_results: dict[str, MessageResponseTime] = {}
         arrival_models: dict[str, EventModel] = {}
         bus_reports = {}
-        for segment in self.system.buses.values():
-            overrides = {
-                name: model for name, model in send_models.items()
-                if name in segment.kmatrix}
-            analysis = CanBusAnalysis(
-                kmatrix=segment.kmatrix,
-                bus=segment.bus,
-                error_model=segment.error_model,
-                assumed_jitter_fraction=segment.assumed_jitter_fraction,
-                controllers=self.system.controllers,
-                event_models=overrides,
-            )
-            results = analysis.analyze_all()
+        sweep_state: dict[str, tuple] = {}
+        for segment, (results, arrivals, report, models) in zip(
+                segments, outcomes):
             message_results.update(results)
-            for message in segment.kmatrix:
-                result = results[message.name]
-                input_model = analysis.event_model(message)
-                if not result.bounded:
-                    # Represent divergence as a very large jitter so that the
-                    # fixed point reports non-convergence instead of hiding it.
-                    arrival_models[message.name] = input_model.with_jitter(
-                        input_model.jitter + 100.0 * message.period)
-                    continue
-                arrival_models[message.name] = output_event_model(
-                    input_model=input_model,
-                    best_case_response=result.best_case,
-                    worst_case_response=result.worst_case,
-                    min_output_distance=result.transmission_time,
-                )
-            bus_reports[segment.name] = analyze_schedulability(
-                kmatrix=segment.kmatrix,
-                bus=segment.bus,
-                error_model=segment.error_model,
-                assumed_jitter_fraction=segment.assumed_jitter_fraction,
-                deadline_policy=segment.deadline_policy,
-                controllers=self.system.controllers,
-                event_models=overrides,
-            )
-        return message_results, arrival_models, bus_reports
+            arrival_models.update(arrivals)
+            bus_reports[segment.name] = report
+            sweep_state[segment.name] = (models, results)
+        return message_results, arrival_models, bus_reports, sweep_state
 
     def _gateway_sweep(
         self,
@@ -179,10 +267,11 @@ class CompositionalAnalysis:
         converged = False
         iterations = 0
 
+        previous_sweep: dict[str, tuple] = {}
         for iteration in range(1, self.max_iterations + 1):
             iterations = iteration
-            message_results, arrival_models, bus_reports = self._bus_sweep(
-                send_models)
+            (message_results, arrival_models, bus_reports,
+             previous_sweep) = self._bus_sweep(send_models, previous_sweep)
             forwarded = self._gateway_sweep(arrival_models)
             new_send = dict(ecu_send_models)
             new_send.update(forwarded)

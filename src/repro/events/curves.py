@@ -11,8 +11,8 @@ compared in the same vocabulary.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-from dataclasses import dataclass, field
+from bisect import bisect_left
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 
@@ -63,7 +63,6 @@ class DistanceFunction:
         return self.delta_plus(n)
 
 
-@dataclass
 class EmpiricalEventTrace:
     """A recorded sequence of event timestamps with curve extraction.
 
@@ -71,20 +70,47 @@ class EmpiricalEventTrace:
     against the analytic curves of the configured event models (the analytic
     eta_plus must dominate the empirical one, and the empirical eta_minus
     must dominate the analytic one).
+
+    ``add`` is O(1) amortised: new timestamps are buffered and merged with a
+    single Timsort pass the next time the (sorted) timestamps are read.  The
+    previous per-event ``list.insert`` made trace construction quadratic,
+    which dominated long simulator runs.
     """
 
-    timestamps: list[float] = field(default_factory=list)
+    def __init__(self, timestamps: Iterable[float] | None = None) -> None:
+        self._times = sorted(float(t) for t in (timestamps or ()))
+        self._pending: list[float] = []
 
-    def __post_init__(self) -> None:
-        self.timestamps = sorted(float(t) for t in self.timestamps)
+    @property
+    def timestamps(self) -> list[float]:
+        """Sorted event timestamps (flushes any buffered ``add`` calls)."""
+        pending = self._pending
+        if pending:
+            self._times.extend(pending)
+            pending.clear()
+            # Timsort is O(n) on the mostly-sorted result of appends.
+            self._times.sort()
+        return self._times
+
+    @timestamps.setter
+    def timestamps(self, values: Iterable[float]) -> None:
+        self._times = sorted(float(t) for t in values)
+        self._pending = []
 
     def add(self, timestamp: float) -> None:
         """Record an event occurrence (timestamps may arrive out of order)."""
-        index = bisect_left(self.timestamps, timestamp)
-        self.timestamps.insert(index, float(timestamp))
+        self._pending.append(float(timestamp))
 
     def __len__(self) -> int:
-        return len(self.timestamps)
+        return len(self._times) + len(self._pending)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EmpiricalEventTrace):
+            return NotImplemented
+        return self.timestamps == other.timestamps
+
+    def __repr__(self) -> str:
+        return f"EmpiricalEventTrace(timestamps={self.timestamps!r})"
 
     def count_in_window(self, start: float, length: float) -> int:
         """Number of events with ``start <= t < start + length``."""
@@ -108,22 +134,44 @@ class EmpiricalEventTrace:
         return best
 
     def empirical_eta_minus(self, dt: float) -> int:
-        """Minimum observed number of events in any fully covered window."""
+        """Minimum observed number of events in any fully covered window.
+
+        A single sliding-window pass symmetric to :meth:`empirical_eta_plus`:
+        the minimising window starts at an event (or just after one), so for
+        each event two anchor windows are examined -- ``(t, t + dt]`` and
+        ``(t + 1e-9, t + 1e-9 + dt]`` -- with all four boundary pointers
+        advancing monotonically (O(n) total instead of the previous
+        re-scan per anchor).
+        """
         if dt <= 0 or not self.timestamps:
             return 0
         times = self.timestamps
-        span = times[-1] - times[0]
+        last = times[-1]
+        span = last - times[0]
         if dt > span:
             return 0
-        worst = len(times)
-        # Slide windows anchored at each event and just after each event.
-        anchors = times + [t + 1e-9 for t in times]
-        for start in anchors:
-            if start + dt > times[-1] + 1e-9:
-                continue
-            lo = bisect_right(times, start)
-            hi = bisect_right(times, start + dt)
-            worst = min(worst, hi - lo)
+        n = len(times)
+        worst = n
+        # Pointers: lo_* = first index strictly after the window start,
+        # hi_* = first index strictly after the window end, for the two
+        # anchor families (at an event / just after an event).
+        lo_a = hi_a = lo_b = hi_b = 0
+        for i, start in enumerate(times):
+            if start + dt <= last + 1e-9:
+                while lo_a < n and times[lo_a] <= start:
+                    lo_a += 1
+                while hi_a < n and times[hi_a] <= start + dt:
+                    hi_a += 1
+                if hi_a - lo_a < worst:
+                    worst = hi_a - lo_a
+            nudged = start + 1e-9
+            if nudged + dt <= last + 1e-9:
+                while lo_b < n and times[lo_b] <= nudged:
+                    lo_b += 1
+                while hi_b < n and times[hi_b] <= nudged + dt:
+                    hi_b += 1
+                if hi_b - lo_b < worst:
+                    worst = hi_b - lo_b
         return max(worst, 0)
 
     def empirical_delta_minus(self, n: int) -> float:

@@ -13,7 +13,13 @@ import math
 from dataclasses import dataclass, replace
 
 
-_EPSILON = 1e-9
+#: Relative snap tolerance for the robust integer divisions below.  It must
+#: be large enough to absorb accumulated rounding noise of the fixed-point
+#: sums (a few hundred ulps, i.e. < 1e-13 relative) yet strictly smaller than
+#: any deliberate perturbation callers apply -- sensitivity probes nudge
+#: windows by 1e-6 ms against periods up to ~1e3 ms, i.e. 1e-9 relative, so
+#: an *absolute* 1e-9 snap (the previous rule) could swallow a real event.
+_EPSILON = 1e-12
 
 
 def _ceil_div(numerator: float, denominator: float) -> int:
@@ -22,7 +28,7 @@ def _ceil_div(numerator: float, denominator: float) -> int:
         raise ValueError("denominator must be positive")
     value = numerator / denominator
     nearest = round(value)
-    if abs(value - nearest) < _EPSILON:
+    if abs(value - nearest) <= _EPSILON * max(1.0, abs(nearest)):
         return int(nearest)
     return int(math.ceil(value))
 
@@ -33,7 +39,7 @@ def _floor_div(numerator: float, denominator: float) -> int:
         raise ValueError("denominator must be positive")
     value = numerator / denominator
     nearest = round(value)
-    if abs(value - nearest) < _EPSILON:
+    if abs(value - nearest) <= _EPSILON * max(1.0, abs(nearest)):
         return int(nearest)
     return int(math.floor(value))
 

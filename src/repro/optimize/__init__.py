@@ -25,7 +25,9 @@ from repro.optimize.assignment import (
 from repro.optimize.objectives import (
     AnalysisScenario,
     ConfigurationEvaluation,
+    EvaluationContext,
     evaluate_configuration,
+    evaluate_configuration_with_context,
     paper_scenarios,
 )
 from repro.optimize.genetic import (
@@ -40,7 +42,9 @@ __all__ = [
     "audsley_assignment",
     "AnalysisScenario",
     "ConfigurationEvaluation",
+    "EvaluationContext",
     "evaluate_configuration",
+    "evaluate_configuration_with_context",
     "paper_scenarios",
     "GeneticOptimizerConfig",
     "OptimizationResult",

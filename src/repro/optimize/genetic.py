@@ -31,13 +31,21 @@ from repro.optimize.assignment import (
 from repro.optimize.objectives import (
     AnalysisScenario,
     ConfigurationEvaluation,
-    evaluate_configuration,
+    EvaluationContext,
+    evaluate_configuration_with_context,
 )
+from repro.parallel import parallel_map
 
 
 @dataclass(frozen=True)
 class GeneticOptimizerConfig:
-    """Hyper-parameters of the SPEA2-style search."""
+    """Hyper-parameters of the SPEA2-style search.
+
+    ``analysis_backend`` selects the optimised analysis kernel (default) or
+    the retained naive path (``"reference"``); the latter exists for the
+    equivalence tests and the seed-vs-kernel benchmark, which assert that
+    both backends return identical objective values.
+    """
 
     population_size: int = 24
     archive_size: int = 12
@@ -48,6 +56,7 @@ class GeneticOptimizerConfig:
     seed: int = 42
     sensitivity_threshold: float = 0.10
     seed_with_audsley: bool = True
+    analysis_backend: str = "kernel"
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -60,15 +69,24 @@ class GeneticOptimizerConfig:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1]")
+        if self.analysis_backend not in ("kernel", "reference"):
+            raise ValueError(
+                f"unknown analysis backend {self.analysis_backend!r}")
 
 
 @dataclass
 class _Individual:
-    """One candidate: an ordering of message names (priority order)."""
+    """One candidate: an ordering of message names (priority order).
+
+    ``parent_order`` identifies the already evaluated candidate this one was
+    derived from; its evaluation context warm-starts this candidate's
+    analysis (see :mod:`repro.optimize.objectives`).
+    """
 
     order: tuple[str, ...]
     evaluation: ConfigurationEvaluation | None = None
     fitness: float = math.inf
+    parent_order: tuple[str, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -120,20 +138,54 @@ def optimize_priorities(
     id_pool = sorted(message.can_id for message in kmatrix)
     names = [message.name for message in kmatrix]
     evaluations = 0
-    cache: dict[tuple[str, ...], ConfigurationEvaluation] = {}
+    cache: dict[tuple[str, ...],
+                tuple[ConfigurationEvaluation, EvaluationContext]] = {}
 
     def matrix_for(order: Sequence[str]) -> KMatrix:
         mapping = {name: can_id for name, can_id in zip(order, id_pool)}
         return kmatrix.with_priorities(mapping)
 
+    def evaluate_one(
+        order: tuple[str, ...],
+        parent_order: tuple[str, ...] | None = None,
+    ) -> tuple[ConfigurationEvaluation, EvaluationContext]:
+        parent_context = None
+        if parent_order is not None:
+            parent_entry = cache.get(parent_order)
+            if parent_entry is not None:
+                parent_context = parent_entry[1]
+        return evaluate_configuration_with_context(
+            matrix_for(order), scenarios,
+            sensitivity_threshold=config.sensitivity_threshold,
+            warm_start=parent_context,
+            backend=config.analysis_backend)
+
     def evaluate(order: tuple[str, ...]) -> ConfigurationEvaluation:
         nonlocal evaluations
         if order not in cache:
             evaluations += 1
-            cache[order] = evaluate_configuration(
-                matrix_for(order), scenarios,
-                sensitivity_threshold=config.sensitivity_threshold)
-        return cache[order]
+            cache[order] = evaluate_one(order)
+        return cache[order][0]
+
+    def evaluate_population(individuals: Sequence[_Individual]) -> None:
+        """Evaluate all candidates, sharing the cache and running uncached
+        ones through :func:`repro.parallel.parallel_map` (GA candidates are
+        independent; results merge in population order, deterministically).
+        """
+        nonlocal evaluations
+        pending: list[_Individual] = []
+        seen: set[tuple[str, ...]] = set()
+        for individual in individuals:
+            if individual.order not in cache and individual.order not in seen:
+                seen.add(individual.order)
+                pending.append(individual)
+        outcomes = parallel_map(
+            lambda ind: evaluate_one(ind.order, ind.parent_order), pending)
+        for individual, outcome in zip(pending, outcomes):
+            cache[individual.order] = outcome
+            evaluations += 1
+        for individual in individuals:
+            individual.evaluation = cache[individual.order][0]
 
     # --- seed population -------------------------------------------------
     # Besides the original assignment and the monotonic heuristics, the
@@ -167,8 +219,7 @@ def optimize_priorities(
     history: list[float] = []
 
     for generation in range(config.generations):
-        for individual in population:
-            individual.evaluation = evaluate(individual.order)
+        evaluate_population(population)
         union = _dedupe(population + archive)
         _assign_spea2_fitness(union)
         archive = _environmental_selection(union, config.archive_size)
@@ -191,7 +242,8 @@ def optimize_priorities(
                 child_order = parent_a.order
             if rng.random() < config.mutation_probability:
                 child_order = _mutate(child_order, config.mutation_swaps, rng)
-            offspring.append(_Individual(order=child_order))
+            offspring.append(_Individual(order=child_order,
+                                         parent_order=parent_a.order))
             if len(offspring) >= config.population_size:
                 break
         population = offspring

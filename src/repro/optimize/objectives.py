@@ -6,6 +6,22 @@ operating point but across a set of what-if scenarios (different jitter
 assumptions, error models and deadline interpretations).  This module defines
 the scenario abstraction and the multi-objective evaluation the genetic
 optimizer and the baselines share.
+
+Warm starts
+-----------
+A candidate evaluation re-solves the same fixed points many times, so two
+warm-start channels (both obeying the lower-bound contract documented in
+:mod:`repro.analysis.response_time`, hence bit-identical to cold starts):
+
+* **scenario chaining** -- scenarios that differ only in the assumed jitter
+  fraction are evaluated in ascending order, each seeded from the previous
+  one (raising jitter only grows the fixed points);
+* **parent seeding** -- a GA candidate starts from its parent's evaluation,
+  but only for messages where the parent solution provably lower-bounds the
+  child's: the child must give the message a superset of the parent's
+  higher-priority messages *and* at least the parent's blocking term.
+  Messages that got a better priority than in the parent (where the parent
+  solution could overshoot the new least fixed point) are analysed cold.
 """
 
 from __future__ import annotations
@@ -13,7 +29,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.analysis.schedulability import SchedulabilityReport, analyze_schedulability
+from repro.analysis.reference import ReferenceCanBusAnalysis
+from repro.analysis.response_time import CanBusAnalysis, MessageResponseTime
+from repro.analysis.schedulability import (
+    SchedulabilityReport,
+    analyze_schedulability,
+    report_from_results,
+)
 from repro.can.bus import CanBus
 from repro.can.controller import ControllerModel
 from repro.can.kmatrix import KMatrix
@@ -79,18 +101,175 @@ class ConfigurationEvaluation:
             m < t for m, t in zip(mine, theirs))
 
 
+@dataclass(frozen=True)
+class EvaluationContext:
+    """Warm-start seeds carried from one evaluated candidate to the next.
+
+    ``priority_order`` is the candidate's message order from highest to
+    lowest priority; ``scenario_results`` maps scenario index to the raw
+    per-message response times of that scenario.
+    """
+
+    priority_order: tuple[str, ...]
+    scenario_results: tuple[Mapping[str, MessageResponseTime], ...]
+
+
+def _chain_predecessor(
+    scenarios: Sequence[AnalysisScenario],
+    evaluated: Sequence[int],
+    index: int,
+) -> int | None:
+    """Best already-evaluated scenario to chain warm starts from.
+
+    A predecessor must differ from ``scenarios[index]`` only in a smaller or
+    equal assumed jitter fraction (same bus, error model and controllers --
+    the deadline policy does not influence response times); among candidates
+    the largest jitter wins.
+    """
+    target = scenarios[index]
+    best: int | None = None
+    for done in evaluated:
+        other = scenarios[done]
+        if other.bus != target.bus:
+            continue
+        if other.error_model != target.error_model:
+            continue
+        if other.controllers != target.controllers:
+            continue
+        if other.assumed_jitter_fraction > target.assumed_jitter_fraction:
+            continue
+        if (best is None or scenarios[best].assumed_jitter_fraction
+                < other.assumed_jitter_fraction):
+            best = done
+    return best
+
+
+def _parent_seeds(
+    kmatrix: KMatrix,
+    analysis: CanBusAnalysis,
+    order: Sequence[str],
+    parent: EvaluationContext,
+    scenario_index: int,
+) -> dict[str, MessageResponseTime]:
+    """Parent results that provably lower-bound the child's fixed points.
+
+    A parent result for message ``m`` is a valid seed when the child gives
+    ``m`` a superset of the parent's higher-priority messages (checked via a
+    running maximum over child positions, O(n) total) and at least the
+    parent's blocking term; then the child's analysis right-hand side
+    dominates the parent's pointwise and the seeded iteration converges to
+    the same least fixed point as a cold start.
+    """
+    if scenario_index >= len(parent.scenario_results):
+        return {}
+    parent_results = parent.scenario_results[scenario_index]
+    child_pos = {name: i for i, name in enumerate(order)}
+    if len(child_pos) != len(parent.priority_order):
+        return {}
+    seeds: dict[str, MessageResponseTime] = {}
+    running_max = -1
+    for name in parent.priority_order:
+        position = child_pos.get(name)
+        if position is None:
+            return {}
+        result = parent_results.get(name)
+        if (result is not None and result.bounded and running_max < position):
+            message = kmatrix.get(name)
+            if analysis.blocking(message) >= result.blocking:
+                seeds[name] = result
+        if position > running_max:
+            running_max = position
+    return seeds
+
+
+def _merge_seeds(
+    first: Mapping[str, MessageResponseTime] | None,
+    second: Mapping[str, MessageResponseTime] | None,
+) -> Mapping[str, MessageResponseTime] | None:
+    """Elementwise maximum of two seed maps (both are lower bounds)."""
+    if not first:
+        return second
+    if not second:
+        return first
+    merged: dict[str, MessageResponseTime] = dict(first)
+    for name, candidate in second.items():
+        existing = merged.get(name)
+        if existing is None or candidate.busy_period > existing.busy_period:
+            merged[name] = candidate
+    return merged
+
+
 def evaluate_configuration(
     kmatrix: KMatrix,
     scenarios: Sequence[AnalysisScenario],
     sensitivity_threshold: float = 0.10,
 ) -> ConfigurationEvaluation:
     """Evaluate one K-Matrix (identifier assignment) across all scenarios."""
+    evaluation, _ = evaluate_configuration_with_context(
+        kmatrix, scenarios, sensitivity_threshold=sensitivity_threshold)
+    return evaluation
+
+
+def evaluate_configuration_with_context(
+    kmatrix: KMatrix,
+    scenarios: Sequence[AnalysisScenario],
+    sensitivity_threshold: float = 0.10,
+    warm_start: EvaluationContext | None = None,
+    backend: str = "kernel",
+) -> tuple[ConfigurationEvaluation, EvaluationContext]:
+    """Evaluate a candidate and return warm-start context for its offspring.
+
+    ``warm_start`` supplies the parent candidate's context (see the module
+    docstring); ``backend`` selects the optimised kernel (default) or the
+    retained naive path (``"reference"``, used by equivalence tests and the
+    seed-vs-kernel benchmark; it ignores all warm starts).
+    """
+    if backend not in ("kernel", "reference"):
+        raise ValueError(f"unknown analysis backend {backend!r}")
+    order = tuple(m.name for m in kmatrix.sorted_by_priority())
+
+    # Evaluate scenarios in an order that allows chaining: ascending jitter
+    # within compatible groups.  Objectives are aggregated in the caller's
+    # scenario order afterwards, so the result is order-independent.
+    schedule = sorted(range(len(scenarios)),
+                      key=lambda i: scenarios[i].assumed_jitter_fraction)
+    reports: dict[int, SchedulabilityReport] = {}
+    results: dict[int, dict[str, MessageResponseTime]] = {}
+    evaluated: list[int] = []
+    for index in schedule:
+        scenario = scenarios[index]
+        if backend == "reference":
+            analysis = ReferenceCanBusAnalysis(
+                kmatrix=kmatrix, bus=scenario.bus,
+                error_model=scenario.error_model,
+                assumed_jitter_fraction=scenario.assumed_jitter_fraction,
+                controllers=scenario.controllers)
+            scenario_results = analysis.analyze_all()
+        else:
+            analysis = CanBusAnalysis(
+                kmatrix=kmatrix, bus=scenario.bus,
+                error_model=scenario.error_model,
+                assumed_jitter_fraction=scenario.assumed_jitter_fraction,
+                controllers=scenario.controllers)
+            seeds: Mapping[str, MessageResponseTime] | None = None
+            predecessor = _chain_predecessor(scenarios, evaluated, index)
+            if predecessor is not None:
+                seeds = results[predecessor]
+            if warm_start is not None:
+                seeds = _merge_seeds(seeds, _parent_seeds(
+                    kmatrix, analysis, order, warm_start, index))
+            scenario_results = analysis.analyze_all(warm_start=seeds)
+        results[index] = scenario_results
+        reports[index] = report_from_results(
+            kmatrix, analysis, scenario_results, scenario.deadline_policy)
+        evaluated.append(index)
+
     lost = 0
     robustness = 0.0
     tight_messages: set[str] = set()
     per_scenario_loss = []
-    for scenario in scenarios:
-        report = scenario.analyze(kmatrix)
+    for index in range(len(scenarios)):
+        report = reports[index]
         lost += len(report.missed)
         per_scenario_loss.append(report.loss_fraction)
         worst = report.worst_normalized_slack
@@ -100,12 +279,17 @@ def evaluate_configuration(
         for verdict in report.verdicts:
             if verdict.normalized_slack < sensitivity_threshold:
                 tight_messages.add(verdict.name)
-    return ConfigurationEvaluation(
+    evaluation = ConfigurationEvaluation(
         lost_messages=lost,
         negative_robustness=-robustness,
         sensitivity_penalty=len(tight_messages),
         per_scenario_loss=tuple(per_scenario_loss),
     )
+    context = EvaluationContext(
+        priority_order=order,
+        scenario_results=tuple(results[i] for i in range(len(scenarios))),
+    )
+    return evaluation, context
 
 
 def paper_scenarios(

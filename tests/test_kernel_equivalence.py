@@ -1,0 +1,223 @@
+"""Property-based equivalence: optimised kernel vs retained reference path.
+
+The cached/warm-started analysis kernel of
+:mod:`repro.analysis.response_time` must return results **identical** (not
+just close) to the naive formulation retained in
+:mod:`repro.analysis.reference` -- same float summation order, same fixed
+points, bit for bit.  These tests sweep many structurally different
+synthetic K-Matrices (:func:`repro.workloads.scaling.synthetic_kmatrix`
+seeds, mirroring a hypothesis-style generator with a fixed corpus so CI is
+deterministic) and compare full result objects with ``==``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reference import ReferenceCanBusAnalysis
+from repro.analysis.response_time import CanBusAnalysis
+from repro.can.bus import CanBus
+from repro.errors.models import BurstErrorModel, SporadicErrorModel
+from repro.optimize.genetic import GeneticOptimizerConfig, optimize_priorities
+from repro.optimize.objectives import (
+    AnalysisScenario,
+    evaluate_configuration,
+    evaluate_configuration_with_context,
+)
+from repro.parallel import parallel_map, resolve_mode
+from repro.sensitivity.jitter import jitter_sensitivity, jitter_sensitivity_all
+from repro.workloads.scaling import scaling_benchmark_case, synthetic_kmatrix
+
+#: Synthetic K-Matrix corpus: >= 20 seeds with varying shape and id policy.
+SEEDS = tuple(range(24))
+
+_BUS = CanBus(name="equiv", bit_rate_bps=250_000.0)
+
+
+def _matrix(seed: int):
+    return synthetic_kmatrix(
+        n_messages=10 + seed % 7,
+        n_ecus=3 + seed % 4,
+        seed=seed,
+        id_policy=("block", "rate-monotonic", "random")[seed % 3],
+        known_jitter_probability=0.3,
+    )
+
+
+def _error_model(seed: int):
+    if seed % 3 == 0:
+        return None
+    if seed % 3 == 1:
+        return SporadicErrorModel(min_interarrival=25.0)
+    return BurstErrorModel(min_interarrival=60.0, burst_length=3,
+                           intra_burst_gap=0.5)
+
+
+class TestAnalyzeAllEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cold_analysis_identical(self, seed):
+        kmatrix = _matrix(seed)
+        fraction = (seed % 5) * 0.1
+        kwargs = dict(error_model=_error_model(seed),
+                      assumed_jitter_fraction=fraction)
+        fast = CanBusAnalysis(kmatrix, _BUS, **kwargs).analyze_all()
+        slow = ReferenceCanBusAnalysis(kmatrix, _BUS, **kwargs).analyze_all()
+        assert fast == slow
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_warm_start_identical_to_cold(self, seed):
+        """Ascending-jitter warm starts converge to the same fixed points."""
+        kmatrix = _matrix(seed)
+        previous = None
+        for fraction in (0.0, 0.1, 0.25, 0.4, 0.6):
+            analysis = CanBusAnalysis(
+                kmatrix, _BUS, assumed_jitter_fraction=fraction)
+            warm = analysis.analyze_all(warm_start=previous)
+            cold = CanBusAnalysis(
+                kmatrix, _BUS, assumed_jitter_fraction=fraction).analyze_all()
+            assert warm == cold
+            previous = warm
+
+    def test_scaling_case_identical(self):
+        kmatrix, bus = scaling_benchmark_case(100)
+        assert (CanBusAnalysis(kmatrix, bus).analyze_all()
+                == ReferenceCanBusAnalysis(kmatrix, bus).analyze_all())
+
+
+class TestSensitivityEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sweep_matches_reference_points(self, seed):
+        kmatrix = _matrix(seed)
+        fractions = (0.0, 0.15, 0.3, 0.45)
+        curves = jitter_sensitivity_all(kmatrix, _BUS,
+                                        jitter_fractions=fractions)
+        for index, fraction in enumerate(fractions):
+            reference = ReferenceCanBusAnalysis(
+                kmatrix, _BUS, assumed_jitter_fraction=fraction).analyze_all()
+            for message in kmatrix:
+                assert (curves[message.name].response_times[index]
+                        == reference[message.name].worst_case)
+
+    def test_single_message_delegates_to_shared_sweep(self):
+        kmatrix = _matrix(3)
+        name = kmatrix.messages[0].name
+        single = jitter_sensitivity(name, kmatrix, _BUS)
+        shared = jitter_sensitivity_all(kmatrix, _BUS)[name]
+        assert single == shared
+
+    def test_unsorted_fractions_keep_caller_order(self):
+        kmatrix = _matrix(5)
+        fractions = (0.3, 0.0, 0.6, 0.15)
+        curves = jitter_sensitivity_all(kmatrix, _BUS,
+                                        jitter_fractions=fractions)
+        sorted_curves = jitter_sensitivity_all(
+            kmatrix, _BUS, jitter_fractions=tuple(sorted(fractions)))
+        for name, curve in curves.items():
+            assert curve.jitter_fractions == fractions
+            lookup = dict(zip(sorted_curves[name].jitter_fractions,
+                              sorted_curves[name].response_times))
+            assert curve.response_times == tuple(
+                lookup[f] for f in fractions)
+
+
+def _scenarios(seed: int) -> list[AnalysisScenario]:
+    return [
+        AnalysisScenario(name="lo", bus=_BUS, assumed_jitter_fraction=0.1),
+        AnalysisScenario(name="hi", bus=_BUS, assumed_jitter_fraction=0.3),
+        AnalysisScenario(
+            name="noisy", bus=_BUS,
+            error_model=SporadicErrorModel(min_interarrival=40.0),
+            assumed_jitter_fraction=0.2, deadline_policy="min-rearrival"),
+    ]
+
+
+class TestOptimizerEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_objective_values_identical(self, seed):
+        """Kernel (chained + parent-seeded) == reference objective vector."""
+        kmatrix = _matrix(seed)
+        scenarios = _scenarios(seed)
+        fast, context = evaluate_configuration_with_context(
+            kmatrix, scenarios)
+        slow, _ = evaluate_configuration_with_context(
+            kmatrix, scenarios, backend="reference")
+        assert fast == slow
+        # Parent seeding from a *different* candidate must stay exact: demote
+        # the highest-priority message to the back, seed from the original.
+        order = context.priority_order
+        child_order = order[1:] + order[:1]
+        pool = sorted(m.can_id for m in kmatrix)
+        child = kmatrix.with_priorities(
+            dict(zip(child_order, pool)))
+        seeded, _ = evaluate_configuration_with_context(
+            child, scenarios, warm_start=context)
+        cold = evaluate_configuration(child, scenarios)
+        assert seeded == cold
+
+    @pytest.mark.parametrize("seed", (0, 5, 11, 17, 23))
+    def test_ga_runs_identical(self, seed):
+        kmatrix = _matrix(seed)
+        scenarios = _scenarios(seed)
+        config = dict(population_size=6, archive_size=3, generations=2,
+                      seed=seed)
+        fast = optimize_priorities(kmatrix, scenarios,
+                                   GeneticOptimizerConfig(**config))
+        slow = optimize_priorities(
+            kmatrix, scenarios,
+            GeneticOptimizerConfig(**config, analysis_backend="reference"))
+        assert fast.best_evaluation == slow.best_evaluation
+        assert fast.original_evaluation == slow.original_evaluation
+        assert fast.history == slow.history
+        assert fast.evaluations == slow.evaluations
+        assert ([m.can_id for m in fast.best_kmatrix]
+                == [m.can_id for m in slow.best_kmatrix])
+
+
+class TestParallelHelper:
+    def test_serial_and_thread_modes_agree(self):
+        items = list(range(20))
+        fn = lambda x: x * x  # noqa: E731
+        assert (parallel_map(fn, items, mode="serial")
+                == parallel_map(fn, items, mode="thread")
+                == [x * x for x in items])
+
+    def test_order_preserved_with_uneven_work(self):
+        def work(n):
+            total = 0
+            for i in range((20 - n) * 500):
+                total += i
+            return n
+        assert parallel_map(work, list(range(20)), mode="thread") == list(range(20))
+
+    def test_exceptions_propagate(self):
+        def boom(n):
+            if n == 3:
+                raise ValueError("n=3")
+            return n
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1, 2, 3, 4], mode="thread")
+
+    def test_resolve_mode(self):
+        assert resolve_mode("serial", 10) == "serial"
+        assert resolve_mode("thread", 1) == "serial"
+        with pytest.raises(ValueError):
+            resolve_mode("warp", 4)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "serial")
+        assert resolve_mode("thread", 10) == "serial"
+
+    def test_parallel_analysis_matches_serial(self, monkeypatch):
+        """Thread-parallel segment analysis returns bit-identical results."""
+        kmatrix = _matrix(7)
+        jobs = [0.0, 0.1, 0.2, 0.3]
+
+        def analyze(fraction):
+            return CanBusAnalysis(
+                kmatrix, _BUS, assumed_jitter_fraction=fraction).analyze_all()
+
+        monkeypatch.setenv("REPRO_PARALLEL", "thread")
+        threaded = parallel_map(analyze, jobs)
+        monkeypatch.setenv("REPRO_PARALLEL", "serial")
+        serial = parallel_map(analyze, jobs)
+        assert threaded == serial
