@@ -17,6 +17,20 @@ sweeps), and writes the results to ``BENCH_timing.json`` at the repo root:
 * ``ga_run`` -- a small SPEA2 optimisation of the case study
   (population 12, 4 generations) across the four paper scenarios.
 
+A ``service`` section measures the what-if service layer.  Here the "seed"
+column is **not** the naive reference path but 100 *independent kernel*
+``analyze_all`` runs -- the strongest baseline a client without the session
+cache could use:
+
+* ``service_jitter_whatif_100q`` -- a 100-query what-if sweep of one
+  mid-priority message's send jitter through a cached
+  :class:`~repro.service.session.AnalysisSession`; gated at >= 5x
+  (``min_speedup``) under ``--check``;
+* ``service_fraction_sweep_100q`` -- a 100-point global assumed-jitter
+  sweep through the same session machinery (informational);
+* ``service_cold_session`` -- one cold session construction + base
+  analysis, bounding the session overhead on a cache-less query.
+
 All workloads are seeded and the analyses are exact, so both paths produce
 **identical results** -- the suite asserts this before trusting any timing.
 
@@ -63,11 +77,14 @@ from repro.workloads.powertrain import (  # noqa: E402
     powertrain_controllers,
     powertrain_kmatrix,
 )
+from repro.service import AnalysisSession, JitterDelta  # noqa: E402
 from repro.workloads.scaling import scaling_benchmark_case  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_timing.json"
 SCALING_SIZES = (50, 100, 200, 400)
 GA_CONFIG = dict(population_size=12, archive_size=6, generations=4, seed=7)
+SERVICE_QUERIES = 100
+SERVICE_MIN_SPEEDUP = 5.0
 
 
 def _timed(fn, repeat: int):
@@ -192,12 +209,91 @@ def run_scenarios(repeat: int, skip_seed: bool,
     record("ga_run", seed_ga, kernel_ga, check_equal=check_ga,
            n_messages=len(kmatrix), **GA_CONFIG)
 
+    # 5. Service layer: cached-delta what-if queries vs INDEPENDENT kernel
+    # analyses (the "seed" column is the kernel itself here, not the naive
+    # reference path -- see the module docstring).  The what-if victim is
+    # the median-priority message: everything below it is re-analysed per
+    # query, everything above comes straight from the session cache.
+    priority_order = kmatrix.sorted_by_priority()
+    victim = priority_order[len(priority_order) // 2]
+    base_jitter = victim.jitter or 0.0
+    jitters = [base_jitter + 0.002 * i * victim.period
+               for i in range(SERVICE_QUERIES)]
+
+    def independent_whatif():
+        results = []
+        for jitter in jitters:
+            mutated = kmatrix.map_messages(
+                lambda m, j=jitter: m.with_jitter(j)
+                if m.name == victim.name else m)
+            results.append(CanBusAnalysis(
+                mutated, bus, assumed_jitter_fraction=0.15,
+                controllers=controllers).analyze_all())
+        return results
+
+    def session_whatif():
+        session = AnalysisSession(kmatrix, bus, assumed_jitter_fraction=0.15,
+                                  controllers=controllers)
+        results, previous = [], None
+        for jitter in jitters:
+            previous = session.query(
+                (JitterDelta(message_name=victim.name, jitter=jitter),),
+                warm_from=previous, with_report=False)
+            results.append(previous.results)
+        return results
+
+    record("service_jitter_whatif_100q", independent_whatif, session_whatif,
+           check_equal=assert_identical, n_messages=len(kmatrix),
+           queries=SERVICE_QUERIES, victim=victim.name,
+           baseline="independent kernel analyze_all",
+           min_speedup=SERVICE_MIN_SPEEDUP)
+
+    fractions = [round(0.006 * i, 4) for i in range(SERVICE_QUERIES)]
+
+    def independent_fraction_sweep():
+        return [CanBusAnalysis(kmatrix, bus, assumed_jitter_fraction=fraction,
+                               controllers=controllers).analyze_all()
+                for fraction in fractions]
+
+    def session_fraction_sweep():
+        session = AnalysisSession(
+            kmatrix, bus, assumed_jitter_fraction=fractions[0],
+            controllers=controllers)
+        results, previous = [], None
+        for fraction in fractions:
+            previous = session.query((JitterDelta(fraction=fraction),),
+                                     warm_from=previous, with_report=False)
+            results.append(previous.results)
+        return results
+
+    record("service_fraction_sweep_100q", independent_fraction_sweep,
+           session_fraction_sweep, check_equal=assert_identical,
+           n_messages=len(kmatrix), queries=SERVICE_QUERIES,
+           baseline="independent kernel analyze_all")
+
+    def plain_cold():
+        return CanBusAnalysis(kmatrix, bus, assumed_jitter_fraction=0.15,
+                              controllers=controllers).analyze_all()
+
+    def session_cold():
+        # with_report=False keeps the comparison apples-to-apples: the
+        # plain-kernel baseline does not build a schedulability report.
+        return AnalysisSession(
+            kmatrix, bus, assumed_jitter_fraction=0.15,
+            controllers=controllers).query((), with_report=False).results
+
+    record("service_cold_session", plain_cold, session_cold,
+           check_equal=assert_identical, n_messages=len(kmatrix),
+           baseline="plain kernel analyze_all")
+
     return scenarios
 
 
 def check_regression(fresh: dict[str, dict], baseline: dict,
                      threshold: float) -> list[str]:
-    """Scenario names whose kernel time regressed beyond the threshold."""
+    """Scenario names whose kernel time regressed beyond the threshold,
+    plus scenarios that fell below their declared minimum speedup (the
+    service layer's >= 5x cached-query target)."""
     failures = []
     for name, entry in baseline.get("scenarios", {}).items():
         old = entry.get("kernel_seconds")
@@ -208,6 +304,12 @@ def check_regression(fresh: dict[str, dict], baseline: dict,
             failures.append(
                 f"{name}: kernel {new:.3f}s vs baseline {old:.3f}s "
                 f"(> {threshold:.1f}x)")
+    for name, entry in fresh.items():
+        minimum = entry.get("min_speedup")
+        if minimum and entry.get("speedup", 0.0) < minimum:
+            failures.append(
+                f"{name}: speedup {entry.get('speedup', 0.0):.1f}x below "
+                f"the required {minimum:.1f}x")
     return failures
 
 

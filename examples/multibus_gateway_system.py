@@ -5,7 +5,10 @@ Shows the full SymTA/S-style loop (Section 5.2): detailed ECU task models
 produce message send jitters, the bus analyses consume them, the gateway
 propagates arrival timing onto the second bus, and the global fixed point
 yields end-to-end latencies along a sensor-to-actuator path -- plus a
-comparison of the same message set on a FlexRay static segment.
+comparison of the same message set on a FlexRay static segment, and a
+cached what-if session per bus: the same scenario from the catalog swept
+over every segment of the system (and over a larger generated multi-bus
+chain) through the deterministic batch runner.
 
 Run with:  python examples/multibus_gateway_system.py
 """
@@ -24,6 +27,14 @@ from repro.events.model import PeriodicEventModel
 from repro.flexray.analysis import compare_with_can
 from repro.gateway.model import ForwardingPolicy, GatewayModel, GatewayRoute
 from repro.reporting.tables import format_table
+from repro.service import (
+    AnalysisSession,
+    BatchRunner,
+    JitterDelta,
+    jitter_sweep_scenario,
+    system_jobs,
+)
+from repro.workloads.multibus import multibus_system
 
 
 def build_system() -> SystemModel:
@@ -116,6 +127,37 @@ def main() -> None:
     print(format_table(["message", "CAN worst [ms]", "FlexRay worst [ms]"],
                        rows,
                        title="Event-triggered vs. time-triggered comparison"))
+
+    # ---------------------------------------------------------------- #
+    # Cached what-if queries per bus: one session per segment, the same
+    # catalog scenario batched deterministically over all of them.
+    # ---------------------------------------------------------------- #
+    session = AnalysisSession.from_system(system, "Powertrain-CAN")
+    session.analyze()
+    whatif = session.query(
+        (JitterDelta(message_name="PT_WheelSpeeds", jitter=1.5),),
+        label="gateway forwarding jitter grows to 1.5 ms")
+    print()
+    print("What-if on the powertrain segment:")
+    print("  " + whatif.describe())
+    print("  " + session.describe())
+
+    sweep = jitter_sweep_scenario(fractions=(0.0, 0.1, 0.2, 0.3))
+    results = BatchRunner().run(system_jobs(system, sweep))
+    for run in results:
+        print()
+        print(run.to_table())
+
+    # The same batch over a generated many-bus chain (the ROADMAP's
+    # multi-bus scale-out family).
+    chain = multibus_system(n_buses=4, messages_per_bus=12, seed=3)
+    results = BatchRunner().run(system_jobs(chain, sweep))
+    print()
+    print(f"{chain.name}: swept {len(results)} buses, "
+          f"{sum(len(r.queries) for r in results)} what-if queries, "
+          "loss at 30 % jitter per bus: "
+          + ", ".join(f"{r.session}={r.queries[-1].report.loss_fraction:.0%}"
+                      for r in results))
 
 
 if __name__ == "__main__":

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Quickstart: load analysis vs. response-time analysis on the case study.
+"""Quickstart: load analysis, response-time analysis and what-if queries.
 
 Reproduces the narrative of Sections 3 and 4 of the paper in a few lines:
 
@@ -8,16 +8,37 @@ Reproduces the narrative of Sections 3 and 4 of the paper in a few lines:
 2. run the popular-but-insufficient bus-load analysis (Section 3.1);
 3. run the real schedulability analysis, first with zero jitters
    (experiment 1), then with realistic assumptions and bus errors;
-4. print which messages become critical.
+4. explore the design interactively through a cached what-if session: the
+   jitter/error sweeps, a single sender degrading, a priority swap -- every
+   query a typed delta against the same session, re-analysing only what the
+   delta touched;
+5. print which messages become critical.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import analyze_schedulability, bus_load, powertrain_system
-from repro.experiments import BEST_CASE, WORST_CASE
+from repro import (
+    AnalysisSession,
+    ErrorModelDelta,
+    JitterDelta,
+    PriorityDelta,
+    bus_load,
+    powertrain_system,
+)
+from repro.experiments import WORST_CASE, WORST_CASE_ERRORS
 from repro.reporting.tables import format_table
+from repro.service.deltas import BusDelta, DeadlinePolicyDelta
+
+#: The worst-case interpretation of the paper as a reusable delta list
+#: (same parameters as repro.experiments.WORST_CASE).
+WORST_CASE_DELTAS = (
+    BusDelta(bit_stuffing=True),
+    ErrorModelDelta(WORST_CASE_ERRORS),
+    DeadlinePolicyDelta("min-rearrival"),
+)
+BEST_CASE_DELTAS = (BusDelta(bit_stuffing=False), DeadlinePolicyDelta("period"))
 
 
 def main() -> None:
@@ -34,26 +55,48 @@ def main() -> None:
     print("The load model says nothing about deadlines -- so we analyse.")
 
     # ---------------------------------------------------------------- #
-    # Section 4, experiment 1: zero jitters, no errors.
+    # Section 4, experiment 1: zero jitters, no errors -- the first query
+    # of a cached what-if session over the shared K-Matrix.
     # ---------------------------------------------------------------- #
-    report = analyze_schedulability(kmatrix, bus, controllers=controllers)
+    session = AnalysisSession(kmatrix, bus, controllers=controllers,
+                              name="powertrain")
+    report = session.analyze().report
     print()
     print(f"Experiment 1 (zero jitter, no errors): "
           f"all deadlines met = {report.all_deadlines_met}")
 
     # ---------------------------------------------------------------- #
-    # Realistic jitters and the worst-case interpretation.
+    # Interactive what-if analysis through the same session: many
+    # hypotheses, each expressed as a typed delta, re-analysing only what
+    # the delta touched.
     # ---------------------------------------------------------------- #
     rows = []
     for jitter_fraction in (0.0, 0.15, 0.25, 0.40):
-        best = BEST_CASE.analyze(kmatrix, bus, jitter_fraction, controllers)
-        worst = WORST_CASE.analyze(kmatrix, bus, jitter_fraction, controllers)
-        rows.append([f"{jitter_fraction:.0%}", best.loss_fraction,
-                     worst.loss_fraction])
+        best = session.query(
+            BEST_CASE_DELTAS + (JitterDelta(fraction=jitter_fraction),))
+        worst = session.query(
+            WORST_CASE_DELTAS + (JitterDelta(fraction=jitter_fraction),))
+        rows.append([f"{jitter_fraction:.0%}", best.report.loss_fraction,
+                     worst.report.loss_fraction])
     print()
     print(format_table(
         ["assumed jitter", "best-case loss %", "worst-case loss %"], rows,
         title="Message loss under different assumptions (what-if analysis)"))
+
+    # What if one specific sender degrades?  Only messages the delta
+    # actually touches are re-analysed; the rest come from the cache.
+    victim = max(kmatrix, key=lambda m: m.can_id)
+    whatif = session.query(
+        (JitterDelta(message_name=victim.name, fraction=0.5),),
+        label=f"{victim.name} sender degrades")
+    print()
+    print(f"What-if: {whatif.describe()}")
+    swap = session.query(
+        (PriorityDelta(swap=(kmatrix.sorted_by_priority()[0].name,
+                             kmatrix.sorted_by_priority()[1].name)),),
+        label="swap two highest priorities")
+    print(f"What-if: {swap.describe()}")
+    print(session.describe())
 
     # ---------------------------------------------------------------- #
     # Which messages become critical first?

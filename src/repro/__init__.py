@@ -26,6 +26,9 @@ The subpackages group the functionality:
 * :mod:`repro.ecu` -- OSEK-style task scheduling inside ECUs;
 * :mod:`repro.gateway` -- store-and-forward gateways between buses;
 * :mod:`repro.core` -- the compositional system-level analysis engine;
+* :mod:`repro.service` -- the what-if analysis service: cached-kernel
+  sessions, typed deltas with incremental re-analysis, scenario catalog and
+  batch runner;
 * :mod:`repro.parallel` -- deterministic parallel evaluation of independent
   analysis units (bus segments, GA candidates, sweep points);
 * :mod:`repro.sim` -- a discrete-event CAN simulator for cross-validation;
@@ -55,6 +58,19 @@ from repro.events import (
 from repro.optimize import optimize_priorities, paper_scenarios
 from repro.parallel import parallel_map
 from repro.sensitivity import jitter_sensitivity_all, max_tolerable_jitter_fraction
+from repro.service import (
+    AddMessageDelta,
+    AnalysisSession,
+    BatchRunner,
+    ErrorModelDelta,
+    JitterDelta,
+    PriorityDelta,
+    QueryResult,
+    RemoveMessageDelta,
+    ScenarioCatalog,
+    WhatIfScenario,
+    builtin_catalog,
+)
 from repro.workloads import powertrain_kmatrix, powertrain_system
 
 __version__ = "1.0.0"
@@ -84,4 +100,15 @@ __all__ = [
     "parallel_map",
     "powertrain_kmatrix",
     "powertrain_system",
+    "AnalysisSession",
+    "QueryResult",
+    "JitterDelta",
+    "ErrorModelDelta",
+    "PriorityDelta",
+    "AddMessageDelta",
+    "RemoveMessageDelta",
+    "WhatIfScenario",
+    "ScenarioCatalog",
+    "BatchRunner",
+    "builtin_catalog",
 ]

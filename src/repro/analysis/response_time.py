@@ -145,11 +145,12 @@ class _MessageKernel:
     """
 
     __slots__ = ("own_c", "best_c", "model", "own_params", "blocking",
-                 "retransmit", "hp_flat", "hp_models", "jitter")
+                 "retransmit", "hp_flat", "hp_models", "hp_names", "jitter")
 
     def __init__(self) -> None:
         self.hp_flat: Optional[list[tuple[float, float, float, float]]] = None
         self.hp_models: list[tuple[float, EventModel]] = []
+        self.hp_names: list[str] = []
 
 
 class CanBusAnalysis:
@@ -210,6 +211,9 @@ class CanBusAnalysis:
         # Per-message interference tables, built lazily so single-message
         # queries do not pay the full O(n^2) table construction.
         self._kernels: dict[str, _MessageKernel] = {}
+        # Blocking terms are O(n) each and queried both by the what-if
+        # planner (before any kernel exists) and by kernel construction.
+        self._blocking: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     # Model accessors
@@ -236,10 +240,11 @@ class CanBusAnalysis:
 
     def blocking(self, message: CanMessage) -> float:
         """Worst-case blocking: one lower-priority frame plus controller term."""
-        kernel = self._kernels.get(message.name)
-        if kernel is not None:
-            return kernel.blocking
-        return self._compute_blocking(message)
+        value = self._blocking.get(message.name)
+        if value is None:
+            value = self._compute_blocking(message)
+            self._blocking[message.name] = value
+        return value
 
     def _compute_blocking(self, message: CanMessage) -> float:
         lower = self.kmatrix.lower_priority_than(message)
@@ -274,12 +279,13 @@ class CanBusAnalysis:
         model = self.event_model(message)
         kernel.model = model
         kernel.jitter = model.jitter
-        kernel.blocking = self._compute_blocking(message)
+        kernel.blocking = self.blocking(message)
         kernel.own_params = (
             (model.period, model.jitter, model.min_distance)
             if type(model).eta_plus is _BASE_ETA_PLUS else None)
 
         hp_models: list[tuple[float, EventModel]] = []
+        hp_names: list[str] = []
         all_standard = True
         retransmit = own_c
         own_id = message.can_id
@@ -289,11 +295,13 @@ class CanBusAnalysis:
             c = self._transmission_times[other.name]
             other_model = self._models[other.name]
             hp_models.append((c, other_model))
+            hp_names.append(other.name)
             if type(other_model).eta_plus is not _BASE_ETA_PLUS:
                 all_standard = False
             if c > retransmit:
                 retransmit = c
         kernel.hp_models = hp_models
+        kernel.hp_names = hp_names
         kernel.retransmit = retransmit
         if all_standard:
             kernel.hp_flat = [
@@ -303,6 +311,92 @@ class CanBusAnalysis:
             # summation order (and therefore every float bit) is preserved.
             kernel.hp_flat = None
         return kernel
+
+    def adopt_kernels(
+        self,
+        basis: "CanBusAnalysis",
+        changed_models: Mapping[str, EventModel],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Seed this analysis's interference tables from ``basis``.
+
+        Precondition (the caller must guarantee it -- the what-if session's
+        planner does): ``basis`` analyses the *same* K-Matrix list order,
+        identifiers, transmission times, senders, controllers and bus as
+        this analysis, and the two configurations differ **only** in the
+        event models of the messages named in ``changed_models`` (and, at
+        most, the bus-error model, which the tables do not capture).  Under
+        that precondition blocking, retransmission bounds and interference
+        membership are identical, so a basis kernel either carries over
+        verbatim (no changed model at or above the message) or needs only
+        its changed ``hp_flat``/model entries patched -- O(|hp|) pointer
+        work per message instead of a full table rebuild.
+
+        ``names`` restricts adoption to the messages about to be analysed.
+        Models with a custom ``eta_plus`` anywhere in the changed set fall
+        back to the normal lazy build (exactness over speed).
+        """
+        if any(type(m).eta_plus is not _BASE_ETA_PLUS
+               for m in changed_models.values()):
+            return
+        changed = set(changed_models)
+        wanted = set(names) if names is not None else None
+        for message in self.kmatrix:
+            name = message.name
+            if name in self._kernels:
+                continue
+            if wanted is not None and name not in wanted:
+                continue
+            old = basis._kernel(message)
+            if old.hp_flat is None:
+                continue
+            own_changed = name in changed
+            if len(changed) <= 4:
+                # C-speed scans beat a Python enumerate for small deltas.
+                positions = []
+                for changed_name in changed:
+                    try:
+                        positions.append(old.hp_names.index(changed_name))
+                    except ValueError:
+                        pass
+                positions.sort()
+            else:
+                positions = [index for index, hp_name
+                             in enumerate(old.hp_names) if hp_name in changed]
+            if not own_changed and not positions:
+                self._kernels[name] = old
+                continue
+            kernel = _MessageKernel()
+            kernel.own_c = old.own_c
+            kernel.best_c = old.best_c
+            kernel.blocking = old.blocking
+            kernel.retransmit = old.retransmit
+            kernel.hp_names = old.hp_names
+            if positions:
+                hp_flat = old.hp_flat.copy()
+                hp_models = old.hp_models.copy()
+                for index in positions:
+                    c = hp_flat[index][0]
+                    model = changed_models[old.hp_names[index]]
+                    hp_flat[index] = (c, model.period, model.jitter,
+                                      model.min_distance)
+                    hp_models[index] = (c, model)
+                kernel.hp_flat = hp_flat
+                kernel.hp_models = hp_models
+            else:
+                kernel.hp_flat = old.hp_flat
+                kernel.hp_models = old.hp_models
+            if own_changed:
+                model = changed_models[name]
+                kernel.model = model
+                kernel.jitter = model.jitter
+                kernel.own_params = (model.period, model.jitter,
+                                     model.min_distance)
+            else:
+                kernel.model = old.model
+                kernel.jitter = old.jitter
+                kernel.own_params = old.own_params
+            self._kernels[name] = kernel
 
     # ------------------------------------------------------------------ #
     # Hot arithmetic loops

@@ -15,6 +15,7 @@ is the corrected version of the original Tindell analysis cited by the paper.
 from __future__ import annotations
 
 from enum import Enum
+from functools import lru_cache
 
 
 class CanFrameFormat(str, Enum):
@@ -76,18 +77,25 @@ def max_stuff_bits(
     return (stuffable - 1) // 4
 
 
+@lru_cache(maxsize=None)
 def worst_case_frame_bits(
     payload_bytes: int,
     frame_format: CanFrameFormat = CanFrameFormat.STANDARD,
     bit_stuffing: bool = True,
 ) -> int:
-    """Worst-case length of a frame in bits (including interframe space)."""
+    """Worst-case length of a frame in bits (including interframe space).
+
+    Cached: the argument domain is tiny (9 payload lengths, 2 formats,
+    stuffing on/off) and the what-if service rebuilds per-configuration
+    transmission-time tables often enough for the lookups to matter.
+    """
     bits = frame_bits_without_stuffing(payload_bytes, frame_format)
     if bit_stuffing:
         bits += max_stuff_bits(payload_bytes, frame_format)
     return bits
 
 
+@lru_cache(maxsize=None)
 def best_case_frame_bits(
     payload_bytes: int,
     frame_format: CanFrameFormat = CanFrameFormat.STANDARD,

@@ -112,6 +112,53 @@ def _warm_seed_valid(previous: Mapping[str, EventModel],
     return True
 
 
+def _analyze_segment_job(args: tuple) -> tuple:
+    """Analyse one bus segment (top-level so ``process`` pools can pickle it).
+
+    ``args`` is ``(segment, controllers, send_models, previous)`` where
+    ``previous`` carries the segment's (event models, results) from the last
+    global iteration for warm starting.
+    """
+    segment, controllers, send_models, previous = args
+    overrides = {
+        name: model for name, model in send_models.items()
+        if name in segment.kmatrix}
+    analysis = CanBusAnalysis(
+        kmatrix=segment.kmatrix,
+        bus=segment.bus,
+        error_model=segment.error_model,
+        assumed_jitter_fraction=segment.assumed_jitter_fraction,
+        controllers=controllers,
+        event_models=overrides,
+    )
+    models = {m.name: analysis.event_model(m) for m in segment.kmatrix}
+    seeds = None
+    if previous is not None:
+        previous_models, previous_results = previous
+        if _warm_seed_valid(previous_models, models):
+            seeds = previous_results
+    results = analysis.analyze_all(warm_start=seeds)
+    arrival_models: dict[str, EventModel] = {}
+    for message in segment.kmatrix:
+        result = results[message.name]
+        input_model = models[message.name]
+        if not result.bounded:
+            # Represent divergence as a very large jitter so that the
+            # fixed point reports non-convergence instead of hiding it.
+            arrival_models[message.name] = input_model.with_jitter(
+                input_model.jitter + 100.0 * message.period)
+            continue
+        arrival_models[message.name] = output_event_model(
+            input_model=input_model,
+            best_case_response=result.best_case,
+            worst_case_response=result.worst_case,
+            min_output_distance=result.transmission_time,
+        )
+    report = report_from_results(
+        segment.kmatrix, analysis, results, segment.deadline_policy)
+    return results, arrival_models, report, models
+
+
 class CompositionalAnalysis:
     """Global analysis of a :class:`~repro.core.system.SystemModel`."""
 
@@ -153,53 +200,6 @@ class CompositionalAnalysis:
                 ecu, min_output_distance=min_distance))
         return send_models, task_results
 
-    def _analyze_segment(
-        self,
-        segment,
-        send_models: Mapping[str, EventModel],
-        previous: tuple[dict[str, EventModel],
-                        dict[str, MessageResponseTime]] | None,
-    ) -> tuple[dict[str, MessageResponseTime], dict[str, EventModel],
-               object, dict[str, EventModel]]:
-        """Analyse one bus segment (independent unit of the sweep)."""
-        overrides = {
-            name: model for name, model in send_models.items()
-            if name in segment.kmatrix}
-        analysis = CanBusAnalysis(
-            kmatrix=segment.kmatrix,
-            bus=segment.bus,
-            error_model=segment.error_model,
-            assumed_jitter_fraction=segment.assumed_jitter_fraction,
-            controllers=self.system.controllers,
-            event_models=overrides,
-        )
-        models = {m.name: analysis.event_model(m) for m in segment.kmatrix}
-        seeds = None
-        if previous is not None:
-            previous_models, previous_results = previous
-            if _warm_seed_valid(previous_models, models):
-                seeds = previous_results
-        results = analysis.analyze_all(warm_start=seeds)
-        arrival_models: dict[str, EventModel] = {}
-        for message in segment.kmatrix:
-            result = results[message.name]
-            input_model = models[message.name]
-            if not result.bounded:
-                # Represent divergence as a very large jitter so that the
-                # fixed point reports non-convergence instead of hiding it.
-                arrival_models[message.name] = input_model.with_jitter(
-                    input_model.jitter + 100.0 * message.period)
-                continue
-            arrival_models[message.name] = output_event_model(
-                input_model=input_model,
-                best_case_response=result.best_case,
-                worst_case_response=result.worst_case,
-                min_output_distance=result.transmission_time,
-            )
-        report = report_from_results(
-            segment.kmatrix, analysis, results, segment.deadline_policy)
-        return results, arrival_models, report, models
-
     def _bus_sweep(
         self,
         send_models: Mapping[str, EventModel],
@@ -208,17 +208,20 @@ class CompositionalAnalysis:
                dict[str, tuple]]:
         """Analyse all buses with the given send models.
 
-        Independent segments run through :func:`repro.parallel.parallel_map`;
+        Independent segments run through :func:`repro.parallel.parallel_map`
+        as picklable job tuples for the top-level
+        :func:`_analyze_segment_job` (so ``REPRO_PARALLEL=process`` works);
         results are merged in segment order, so the sweep is deterministic.
         ``previous_sweep`` carries each segment's (event models, results)
         from the last global iteration for warm starting.
         """
         segments = list(self.system.buses.values())
         previous_sweep = previous_sweep or {}
+        controllers = dict(self.system.controllers)
         outcomes = parallel_map(
-            lambda segment: self._analyze_segment(
-                segment, send_models, previous_sweep.get(segment.name)),
-            segments)
+            _analyze_segment_job,
+            [(segment, controllers, dict(send_models),
+              previous_sweep.get(segment.name)) for segment in segments])
         message_results: dict[str, MessageResponseTime] = {}
         arrival_models: dict[str, EventModel] = {}
         bus_reports = {}

@@ -34,7 +34,26 @@ from repro.optimize.objectives import (
     EvaluationContext,
     evaluate_configuration_with_context,
 )
-from repro.parallel import parallel_map
+from repro.parallel import parallel_map, resolve_mode
+
+
+def _evaluate_order_job(job: tuple) -> tuple[ConfigurationEvaluation,
+                                             EvaluationContext]:
+    """Evaluate one candidate order from a fully picklable job tuple.
+
+    Top-level on purpose: ``REPRO_PARALLEL=process`` pools pickle the
+    callable and every argument, which the closure-based population
+    evaluation cannot satisfy.  Worker processes share no session cache, so
+    each candidate is evaluated directly (warm starts only affect speed,
+    never results -- all modes return bit-identical evaluations).
+    """
+    (kmatrix, scenarios, order, id_pool, parent_context, threshold,
+     backend) = job
+    mapping = {name: can_id for name, can_id in zip(order, id_pool)}
+    return evaluate_configuration_with_context(
+        kmatrix.with_priorities(mapping), scenarios,
+        sensitivity_threshold=threshold, warm_start=parent_context,
+        backend=backend)
 
 
 @dataclass(frozen=True)
@@ -141,6 +160,19 @@ def optimize_priorities(
     cache: dict[tuple[str, ...],
                 tuple[ConfigurationEvaluation, EvaluationContext]] = {}
 
+    # Candidate evaluations of the kernel backend run as PriorityDelta
+    # queries through cached-kernel sessions: messages whose higher-priority
+    # set a mutation left untouched reuse the parent's fixed point outright,
+    # demoted messages warm-start from it, promoted ones go cold -- the
+    # incremental per-candidate re-analysis, bit-identical to the direct
+    # path (the reference backend keeps using it for the equivalence tests).
+    evaluator = None
+    if config.analysis_backend == "kernel":
+        from repro.service.evaluation import SessionEvaluator
+        evaluator = SessionEvaluator(
+            kmatrix, scenarios,
+            sensitivity_threshold=config.sensitivity_threshold)
+
     def matrix_for(order: Sequence[str]) -> KMatrix:
         mapping = {name: can_id for name, can_id in zip(order, id_pool)}
         return kmatrix.with_priorities(mapping)
@@ -154,6 +186,8 @@ def optimize_priorities(
             parent_entry = cache.get(parent_order)
             if parent_entry is not None:
                 parent_context = parent_entry[1]
+        if evaluator is not None:
+            return evaluator.evaluate(order, warm_start=parent_context)
         return evaluate_configuration_with_context(
             matrix_for(order), scenarios,
             sensitivity_threshold=config.sensitivity_threshold,
@@ -171,6 +205,10 @@ def optimize_priorities(
         """Evaluate all candidates, sharing the cache and running uncached
         ones through :func:`repro.parallel.parallel_map` (GA candidates are
         independent; results merge in population order, deterministically).
+
+        In ``process`` mode the work ships as picklable job tuples to the
+        top-level :func:`_evaluate_order_job`; other modes evaluate through
+        the shared session cache in this process.
         """
         nonlocal evaluations
         pending: list[_Individual] = []
@@ -179,8 +217,22 @@ def optimize_priorities(
             if individual.order not in cache and individual.order not in seen:
                 seen.add(individual.order)
                 pending.append(individual)
-        outcomes = parallel_map(
-            lambda ind: evaluate_one(ind.order, ind.parent_order), pending)
+        mode = resolve_mode("auto", len(pending))
+        if mode == "process":
+            jobs = []
+            for individual in pending:
+                parent_entry = (cache.get(individual.parent_order)
+                                if individual.parent_order else None)
+                jobs.append((
+                    kmatrix, tuple(scenarios), individual.order,
+                    tuple(id_pool),
+                    parent_entry[1] if parent_entry else None,
+                    config.sensitivity_threshold, config.analysis_backend))
+            outcomes = parallel_map(_evaluate_order_job, jobs, mode="process")
+        else:
+            outcomes = parallel_map(
+                lambda ind: evaluate_one(ind.order, ind.parent_order),
+                pending, mode=mode)
         for individual, outcome in zip(pending, outcomes):
             cache[individual.order] = outcome
             evaluations += 1

@@ -199,6 +199,38 @@ def _merge_seeds(
     return merged
 
 
+def aggregate_reports(
+    reports: Sequence[SchedulabilityReport],
+    sensitivity_threshold: float = 0.10,
+) -> ConfigurationEvaluation:
+    """Fold per-scenario schedulability reports into the objective vector.
+
+    Shared by the direct evaluation path below and the session-backed
+    evaluator in :mod:`repro.service.evaluation`, so both aggregate
+    identically (``reports`` must be in caller scenario order).
+    """
+    lost = 0
+    robustness = 0.0
+    tight_messages: set[str] = set()
+    per_scenario_loss = []
+    for report in reports:
+        lost += len(report.missed)
+        per_scenario_loss.append(report.loss_fraction)
+        worst = report.worst_normalized_slack
+        # Clamp the contribution of one scenario so a single unbounded
+        # response time does not drown out the other objectives.
+        robustness += max(min(worst, 1.0), -1.0)
+        for verdict in report.verdicts:
+            if verdict.normalized_slack < sensitivity_threshold:
+                tight_messages.add(verdict.name)
+    return ConfigurationEvaluation(
+        lost_messages=lost,
+        negative_robustness=-robustness,
+        sensitivity_penalty=len(tight_messages),
+        per_scenario_loss=tuple(per_scenario_loss),
+    )
+
+
 def evaluate_configuration(
     kmatrix: KMatrix,
     scenarios: Sequence[AnalysisScenario],
@@ -264,27 +296,8 @@ def evaluate_configuration_with_context(
             kmatrix, analysis, scenario_results, scenario.deadline_policy)
         evaluated.append(index)
 
-    lost = 0
-    robustness = 0.0
-    tight_messages: set[str] = set()
-    per_scenario_loss = []
-    for index in range(len(scenarios)):
-        report = reports[index]
-        lost += len(report.missed)
-        per_scenario_loss.append(report.loss_fraction)
-        worst = report.worst_normalized_slack
-        # Clamp the contribution of one scenario so a single unbounded
-        # response time does not drown out the other objectives.
-        robustness += max(min(worst, 1.0), -1.0)
-        for verdict in report.verdicts:
-            if verdict.normalized_slack < sensitivity_threshold:
-                tight_messages.add(verdict.name)
-    evaluation = ConfigurationEvaluation(
-        lost_messages=lost,
-        negative_robustness=-robustness,
-        sensitivity_penalty=len(tight_messages),
-        per_scenario_loss=tuple(per_scenario_loss),
-    )
+    evaluation = aggregate_reports(
+        [reports[i] for i in range(len(scenarios))], sensitivity_threshold)
     context = EvaluationContext(
         priority_order=order,
         scenario_results=tuple(results[i] for i in range(len(scenarios))),

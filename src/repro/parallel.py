@@ -18,10 +18,11 @@ Execution modes
     kernel and is what multi-core C-extension backends will use.
 ``process``
     A :class:`~concurrent.futures.ProcessPoolExecutor`.  Requires picklable
-    functions and arguments (no closures), which is why the analysis callers
-    default to ``auto`` instead of forcing it.  When the callable cannot be
-    pickled (e.g. the engine's per-segment closures under a global
-    ``REPRO_PARALLEL=process`` override), the call degrades to ``thread``
+    functions and arguments (no closures); the engine's segment sweep, the
+    GA's population evaluation and the service batch runner all submit
+    top-level worker functions with picklable job tuples, so a global
+    ``REPRO_PARALLEL=process`` override genuinely runs them multi-process.
+    When a callable cannot be pickled the call still degrades to ``thread``
     instead of crashing.
 ``auto``
     ``serial`` when the machine has one usable core, the item count is

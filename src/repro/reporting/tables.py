@@ -78,3 +78,16 @@ def format_sensitivity_table(curves: Mapping[str, Sequence[tuple[float, float]]]
     headers = ["jitter %"] + [f"{name} [ms]" for name in curves]
     rows = series_to_rows(curves)
     return format_table(headers, rows, title=title)
+
+
+def format_whatif_table(rows: Iterable[Sequence[object]],
+                        title: str | None = None) -> str:
+    """What-if scenario table: per query the verdicts and the plan counts.
+
+    ``rows`` are ``(query, loss fraction, worst normalised slack, reused,
+    warm, cold)`` as produced by
+    :meth:`repro.service.catalog.ScenarioRunResult.rows`; the plan columns
+    show how much of each query was served from the session cache.
+    """
+    headers = ["query", "loss %", "worst slack", "reused", "warm", "cold"]
+    return format_table(headers, rows, title=title)

@@ -98,23 +98,32 @@ def error_sensitivity(
     """
     names = list(message_names) if message_names is not None else [
         m.name for m in kmatrix]
-    # Sweep from benign (large inter-arrival) to harsh: shrinking the error
-    # inter-arrival only increases the worst-case error overhead, so each
-    # point warm-starts from the previous solution (see the warm-start
-    # contract in :mod:`repro.analysis.response_time`) without changing any
-    # result bit.
+    # Sweep from benign (large inter-arrival) to harsh as typed
+    # ErrorModelDelta queries through one cached-kernel session: shrinking
+    # the error inter-arrival only increases the worst-case error overhead,
+    # so the session's planner warm-starts each point from the previous
+    # solution (see the warm-start contract in
+    # :mod:`repro.analysis.response_time`) without changing any result bit.
+    from repro.service.deltas import ErrorModelDelta
+    from repro.service.session import AnalysisSession
+
     benign_to_harsh = sorted(range(len(error_interarrivals)),
                              key=lambda i: -error_interarrivals[i])
+    session = AnalysisSession(
+        kmatrix=kmatrix, bus=bus,
+        error_model=_model_for(
+            error_interarrivals[benign_to_harsh[0]], model_kind),
+        assumed_jitter_fraction=assumed_jitter_fraction,
+        controllers=controllers)
     results_by_index: dict[int, dict] = {}
     previous = None
     for index in benign_to_harsh:
-        analysis = CanBusAnalysis(
-            kmatrix=kmatrix, bus=bus,
-            error_model=_model_for(error_interarrivals[index], model_kind),
-            assumed_jitter_fraction=assumed_jitter_fraction,
-            controllers=controllers)
-        previous = analysis.analyze_all(warm_start=previous)
-        results_by_index[index] = previous
+        interarrival = error_interarrivals[index]
+        previous = session.query(
+            (ErrorModelDelta(_model_for(interarrival, model_kind)),),
+            warm_from=previous,
+            label=f"errors >= {interarrival:g}ms", with_report=False)
+        results_by_index[index] = previous.results
     per_point_results = [
         results_by_index[i] for i in range(len(error_interarrivals))]
 

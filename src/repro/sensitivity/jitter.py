@@ -160,14 +160,18 @@ def jitter_sensitivity_all(
 ) -> dict[str, JitterSensitivityCurve]:
     """Sensitivity curves of every message, sharing the analysis sweep.
 
-    Running all messages together re-uses one :class:`CanBusAnalysis` per
-    jitter point, and the sweep is evaluated in ascending jitter order so
-    each point's fixed points are **warm-started** from the previous point's
-    solution.  Raising the assumed jitter only enlarges the analysis
-    right-hand side, so the previous solution is a valid lower bound (see the
-    warm-start contract in :mod:`repro.analysis.response_time`) and the
-    warm-started sweep is bit-identical to thirteen cold analyses while
-    skipping most fixed-point iterations.
+    The sweep is issued as :class:`~repro.service.deltas.JitterDelta`
+    queries through one cached-kernel
+    :class:`~repro.service.session.AnalysisSession`, evaluated in ascending
+    jitter order with each point chained to the previous one.  Raising the
+    assumed jitter only enlarges the analysis right-hand side, so the
+    session's planner **warm-starts** every affected fixed point from the
+    previous point's solution and **reuses** the results of messages whose
+    interference the new fraction does not touch (known-jitter messages
+    above every changed one); see the warm-start contract in
+    :mod:`repro.analysis.response_time`.  The swept curve is bit-identical
+    to thirteen independent cold analyses while skipping most fixed-point
+    iterations.
 
     ``message_names`` restricts the sweep to the named messages (e.g. the
     single-message convenience wrapper above): only their fixed points are
@@ -175,35 +179,30 @@ def jitter_sensitivity_all(
     higher-priority messages, never on their response times, so the subset
     sweep returns exactly the full sweep's values at a fraction of the cost.
     """
+    from repro.service.deltas import JitterDelta
+    from repro.service.session import AnalysisSession
+
     if message_names is None:
         targets = list(kmatrix)
+        names: tuple[str, ...] | None = None
     else:
         targets = [kmatrix.get(name) for name in message_names]
+        names = tuple(message.name for message in targets)
     ascending = sorted(range(len(jitter_fractions)),
                        key=lambda i: jitter_fractions[i])
-    results_by_index: dict[int, dict] = {}
-    previous: dict | None = None
-    previous_fraction = None
+    session = AnalysisSession(
+        kmatrix=kmatrix, bus=bus, error_model=error_model,
+        assumed_jitter_fraction=jitter_fractions[ascending[0]],
+        controllers=controllers)
+    results_by_index: dict[int, Mapping] = {}
+    previous = None
     for index in ascending:
         fraction = jitter_fractions[index]
-        if fraction == previous_fraction:
-            # Duplicate sweep point: the fixed points are identical.
-            results_by_index[index] = previous
-            continue
-        analysis = CanBusAnalysis(
-            kmatrix=kmatrix, bus=bus, error_model=error_model,
-            assumed_jitter_fraction=fraction, controllers=controllers)
-        if message_names is None:
-            previous = analysis.analyze_all(warm_start=previous)
-        else:
-            seeds = previous or {}
-            previous = {
-                message.name: analysis.response_time(
-                    message, warm_start=seeds.get(message.name))
-                for message in targets
-            }
-        results_by_index[index] = previous
-        previous_fraction = fraction
+        previous = session.query(
+            (JitterDelta(fraction=fraction),),
+            warm_from=previous, message_names=names,
+            label=f"jitter {fraction:.0%}", with_report=False)
+        results_by_index[index] = previous.results
     per_point_results = [results_by_index[i] for i in range(len(jitter_fractions))]
 
     curves: dict[str, JitterSensitivityCurve] = {}

@@ -1,0 +1,797 @@
+"""Cached-kernel what-if sessions with delta-based incremental re-analysis.
+
+An :class:`AnalysisSession` turns the fast analysis kernel into a query
+engine for interactive exploration: it holds one base
+:class:`~repro.service.deltas.BusConfiguration`, fingerprints every
+configuration it analyses, and caches the frozen
+:class:`~repro.analysis.response_time.CanBusAnalysis` kernel **and** the
+last converged fixed point per fingerprint.  A query is a sequence of typed
+deltas; the session applies them to a copy-on-write view and then plans, per
+message, the cheapest *exact* way to obtain the new result:
+
+``reuse``
+    Every input of the message's analysis (own event model and transmission
+    time, the full ordered higher-priority interference sequence, blocking,
+    error model, divergence horizon) is bit-identical to a cached
+    configuration -- the cached :class:`MessageResponseTime` *is* the result
+    and no fixed point is solved at all.
+``warm``
+    The inputs changed, but only monotonically (jitters grew, the error
+    model hardened, the higher-priority set gained members, blocking did not
+    shrink) -- the cached solution is a valid lower bound under the PR 2
+    warm-start contract of :mod:`repro.analysis.response_time`, so the fixed
+    point is re-converged from it in a handful of iterations.
+``cold``
+    Anything else (jitter shrank, a message got a better priority, a
+    higher-priority message disappeared): the message is analysed from
+    scratch, because a stale seed could overshoot the new least fixed point.
+
+All three paths return results bit-identical to a from-scratch
+``analyze_all`` on the mutated K-Matrix; the plan only decides how much work
+that takes.  Divergent (unbounded) results are always re-derived cold before
+caching so that every cached value is the canonical cold-start value.
+
+Sessions are thread-safe: the cache is guarded by a lock, analyses run
+outside it, and a concurrent duplicate computation is harmless because every
+path is deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.analysis.response_time import (
+    _MAX_BUSY_PERIOD_FACTOR,
+    CanBusAnalysis,
+    MessageResponseTime,
+)
+from repro.analysis.schedulability import (
+    SchedulabilityReport,
+    report_from_results,
+)
+from repro.can.bus import CanBus
+from repro.can.controller import ControllerModel
+from repro.can.kmatrix import KMatrix
+from repro.errors.models import (
+    BurstErrorModel,
+    CompositeErrorModel,
+    ErrorModel,
+    NoErrors,
+    SporadicErrorModel,
+)
+from repro.events.model import EventModel
+from repro.service.deltas import BusConfiguration, Delta, apply_deltas
+
+_BASE_ETA_PLUS = EventModel.eta_plus
+
+_REUSE = "reuse"
+_WARM = "warm"
+_COLD = "cold"
+
+
+# --------------------------------------------------------------------------- #
+# Monotonicity predicates (the warm-start contract, machine-checked)
+# --------------------------------------------------------------------------- #
+def _models_identical(old: EventModel, new: EventModel) -> bool:
+    """Bit-identical event models (same class, same parameters)."""
+    return type(old) is type(new) and old == new
+
+
+def _model_dominates(old: EventModel, new: EventModel) -> bool:
+    """Whether ``new.eta_plus >= old.eta_plus`` pointwise.
+
+    Mirrors the segment-level guard of :mod:`repro.core.engine`: periods
+    must be equal, jitter must not shrink, and a burst-limiting minimum
+    distance may only tighten or be dropped.  Models with a custom
+    ``eta_plus`` are only accepted when literally unchanged.
+    """
+    if (type(old).eta_plus is not _BASE_ETA_PLUS
+            or type(new).eta_plus is not _BASE_ETA_PLUS):
+        return _models_identical(old, new)
+    if new.period != old.period or new.jitter < old.jitter:
+        return False
+    if new.min_distance != old.min_distance:
+        if new.min_distance != 0.0 and not (
+                0.0 < new.min_distance <= old.min_distance
+                and old.min_distance > 0.0):
+            return False
+    return True
+
+
+def _error_model_dominates(old: ErrorModel, new: ErrorModel) -> bool:
+    """Whether ``new.overhead >= old.overhead`` pointwise (conservative).
+
+    Unknown combinations return ``False`` and force a cold start, never a
+    wrong warm start.
+    """
+    if old == new:
+        return True
+    if isinstance(old, NoErrors) or type(old) is ErrorModel:
+        return True
+    if isinstance(old, SporadicErrorModel) and isinstance(
+            new, SporadicErrorModel):
+        return new.min_interarrival <= old.min_interarrival
+    if isinstance(old, BurstErrorModel) and isinstance(new, BurstErrorModel):
+        return (new.min_interarrival <= old.min_interarrival
+                and new.burst_length >= old.burst_length
+                and new.intra_burst_gap <= old.intra_burst_gap)
+    if isinstance(old, CompositeErrorModel) and isinstance(
+            new, CompositeErrorModel):
+        if len(old.components) != len(new.components):
+            return False
+        return all(_error_model_dominates(o, n) for o, n in
+                   zip(old.components, new.components))
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# Per-configuration profile (what the planner compares)
+# --------------------------------------------------------------------------- #
+class _Profile:
+    """Analysis-relevant facts of one configuration, indexed for planning."""
+
+    __slots__ = ("names", "ids", "senders", "tx", "best_tx", "models",
+                 "order", "pos", "horizon", "message_set", "bus",
+                 "controllers", "error_model")
+
+    def __init__(self, config: BusConfiguration,
+                 analysis: CanBusAnalysis) -> None:
+        kmatrix = config.kmatrix
+        self.names: tuple[str, ...] = tuple(m.name for m in kmatrix)
+        self.ids: dict[str, int] = {m.name: m.can_id for m in kmatrix}
+        self.senders: dict[str, str] = {m.name: m.sender for m in kmatrix}
+        # The analysis froze these maps at construction; referencing them
+        # keeps profile building O(1) in the per-message dimensions.
+        self.tx: Mapping[str, float] = analysis._transmission_times
+        self.best_tx: Mapping[str, float] = analysis._best_case_times
+        self.models: Mapping[str, EventModel] = analysis._models
+        order = sorted(self.names, key=lambda n: self.ids[n])
+        self.order: tuple[str, ...] = tuple(order)
+        self.pos: dict[str, int] = {n: i for i, n in enumerate(order)}
+        self.horizon: float = _MAX_BUSY_PERIOD_FACTOR * max(
+            (m.period for m in kmatrix), default=1.0)
+        self.message_set: frozenset[str] = frozenset(self.names)
+        self.bus = config.bus
+        self.controllers = dict(config.controllers or {})
+        self.error_model = config.error_model
+
+
+class _Key:
+    """Analysis-key wrapper caching its (expensive, per-message) hash.
+
+    One query performs several cache operations on the same key; hashing the
+    80-message tuple once instead of per operation keeps fingerprinting off
+    the hot path.  The display ``digest`` is a *deterministic* sha1 over the
+    key's repr (process hashes are ``PYTHONHASHSEED``-randomised, and query
+    reports must stay byte-identical across runs and parallel modes); it is
+    computed lazily so pure sweeps never pay for it.
+    """
+
+    __slots__ = ("value", "_hash", "_digest")
+
+    def __init__(self, value: tuple) -> None:
+        self.value = value
+        self._hash = hash(value)
+        self._digest: str | None = None
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, _Key):
+            return NotImplemented
+        return self._hash == other._hash and self.value == other.value
+
+    def __repr__(self) -> str:
+        return f"cfg:{self.digest}"
+
+    @property
+    def digest(self) -> str:
+        if self._digest is None:
+            self._digest = hashlib.sha1(
+                repr(self.value).encode()).hexdigest()[:12]
+        return self._digest
+
+
+class _CacheEntry:
+    """One analysed configuration: kernel, fixed point, planning profile."""
+
+    __slots__ = ("key", "config", "analysis", "profile", "results")
+
+    def __init__(self, key: _Key, config: BusConfiguration,
+                 analysis: CanBusAnalysis, profile: _Profile) -> None:
+        self.key = key
+        self.config = config
+        self.analysis = analysis
+        self.profile = profile
+        self.results: dict[str, MessageResponseTime] = {}
+
+    @property
+    def digest(self) -> str:
+        return self.key.digest
+
+    def blocking_of(self, name: str) -> float:
+        """Blocking term of one message (cached inside the kernel)."""
+        return self.analysis.blocking(self.config.kmatrix.get(name))
+
+
+# --------------------------------------------------------------------------- #
+# Query result objects
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class QueryStats:
+    """How the session obtained one query's results.
+
+    ``basis`` is the cache key of the configuration the incremental plan
+    started from (its deterministic digest renders lazily -- fingerprints
+    are only materialised when someone reads them).
+    """
+
+    total: int
+    reused: int
+    warm_started: int
+    cold: int
+    cache_hit: bool = False
+    basis: Optional[object] = None
+
+    @property
+    def basis_fingerprint(self) -> Optional[str]:
+        """Digest of the basis configuration (``None`` for cold plans)."""
+        if self.basis is None:
+            return None
+        return self.basis.digest if isinstance(self.basis, _Key) \
+            else str(self.basis)
+
+    def describe(self) -> str:
+        if self.cache_hit:
+            return f"cache hit ({self.total} messages)"
+        basis = self.basis_fingerprint
+        return (f"{self.reused} reused, {self.warm_started} warm-started, "
+                f"{self.cold} cold of {self.total} messages"
+                + (f" (basis {basis})" if basis else ""))
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one what-if query against a session.
+
+    ``fingerprint`` identifies the analysed configuration (a deterministic
+    digest, stable across processes and parallel modes); passing the whole
+    result back as ``warm_from=`` of a later query declares it the
+    preferred incremental basis (sweeps chain their points this way).
+    """
+
+    label: Optional[str]
+    deltas: tuple[Delta, ...]
+    results: Mapping[str, MessageResponseTime]
+    report: Optional[SchedulabilityReport]
+    stats: QueryStats
+    key: object = field(repr=False, compare=False, default=None)
+
+    @property
+    def fingerprint(self) -> str:
+        """Digest of the analysed configuration (rendered lazily)."""
+        return self.key.digest if isinstance(self.key, _Key) else ""
+
+    def worst_case(self, name: str) -> float:
+        """Worst-case response time of one message (ms)."""
+        return self.results[name].worst_case
+
+    def describe(self) -> str:
+        """One-line summary used by examples and reports."""
+        label = self.label or ", ".join(
+            d.describe() for d in self.deltas) or "base"
+        summary = self.stats.describe()
+        if self.report is not None:
+            summary += (f"; {len(self.report.missed)}/"
+                        f"{len(self.report.verdicts)} deadline misses")
+        return f"{label}: {summary}"
+
+
+# --------------------------------------------------------------------------- #
+# The session
+# --------------------------------------------------------------------------- #
+class AnalysisSession:
+    """What-if query engine over one base bus configuration.
+
+    Parameters mirror :class:`~repro.analysis.response_time.CanBusAnalysis`
+    plus ``deadline_policy`` (for the reports) and ``max_cached_configs``
+    (LRU bound on cached kernels; the base configuration is never evicted).
+    """
+
+    def __init__(
+        self,
+        kmatrix: KMatrix,
+        bus: CanBus,
+        error_model: ErrorModel | None = None,
+        assumed_jitter_fraction: float = 0.0,
+        controllers: Mapping[str, ControllerModel] | None = None,
+        event_models: Mapping[str, EventModel] | None = None,
+        deadline_policy: str = "period",
+        max_cached_configs: int = 128,
+        name: str | None = None,
+    ) -> None:
+        if max_cached_configs < 2:
+            raise ValueError("max_cached_configs must be at least 2")
+        self.name = name or f"session:{bus.name}"
+        self._base = BusConfiguration(
+            kmatrix=kmatrix,
+            bus=bus,
+            error_model=error_model if error_model is not None else NoErrors(),
+            assumed_jitter_fraction=assumed_jitter_fraction,
+            controllers=dict(controllers) if controllers else None,
+            event_models=dict(event_models) if event_models else None,
+            deadline_policy=deadline_policy,
+        )
+        self._base_key = _Key(self._base.analysis_key())
+        self._max_cached = max_cached_configs
+        self._cache: OrderedDict[_Key, _CacheEntry] = OrderedDict()
+        # Applying a delta sequence rebuilds the K-Matrix; repeated
+        # sequences (a sweep's points, a GA parent looked up per child)
+        # resolve through this memo instead.
+        self._delta_memo: OrderedDict[
+            tuple, tuple[BusConfiguration, _Key]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._last_key: _Key | None = None
+        self.queries = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(cls, config: BusConfiguration,
+                    **kwargs) -> "AnalysisSession":
+        """Session over an explicit :class:`BusConfiguration`."""
+        return cls(
+            kmatrix=config.kmatrix, bus=config.bus,
+            error_model=config.error_model,
+            assumed_jitter_fraction=config.assumed_jitter_fraction,
+            controllers=config.controllers, event_models=config.event_models,
+            deadline_policy=config.deadline_policy, **kwargs)
+
+    @classmethod
+    def from_segment(cls, segment, controllers=None,
+                     **kwargs) -> "AnalysisSession":
+        """Session over one :class:`~repro.core.system.BusSegment`."""
+        return cls(
+            kmatrix=segment.kmatrix, bus=segment.bus,
+            error_model=segment.error_model,
+            assumed_jitter_fraction=segment.assumed_jitter_fraction,
+            controllers=controllers, deadline_policy=segment.deadline_policy,
+            **kwargs)
+
+    @classmethod
+    def from_system(cls, system, bus_name: str, **kwargs) -> "AnalysisSession":
+        """Session over one bus of a :class:`~repro.core.system.SystemModel`."""
+        segment = system.buses[bus_name]
+        return cls.from_segment(
+            segment, controllers=system.controllers or None, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Public queries
+    # ------------------------------------------------------------------ #
+    @property
+    def base_config(self) -> BusConfiguration:
+        """The session's base configuration (deltas apply on top of it)."""
+        return self._base
+
+    def key_for(self, deltas: Sequence[Delta] = ()) -> "_Key":
+        """Opaque cache key of the configuration a delta sequence yields.
+
+        Useful to name a warm-start basis without keeping the whole
+        :class:`QueryResult` around (the GA's parent seeding does this).
+        """
+        return self._resolve(tuple(deltas))[1]
+
+    def _resolve(self, deltas: tuple) -> tuple[BusConfiguration, "_Key"]:
+        """Delta sequence -> (configuration, cache key), memoised."""
+        if not deltas:
+            return self._base, self._base_key
+        entry = self._delta_memo.get(deltas)
+        if entry is None:
+            config = apply_deltas(self._base, deltas)
+            entry = (config, _Key(config.analysis_key()))
+            with self._lock:
+                self._delta_memo[deltas] = entry
+                while len(self._delta_memo) > 4 * self._max_cached:
+                    self._delta_memo.popitem(last=False)
+        return entry
+
+    def analyze(self) -> QueryResult:
+        """Analyse (or fetch) the base configuration."""
+        return self.query(())
+
+    def query(
+        self,
+        deltas: Sequence[Delta] = (),
+        *,
+        warm_from: "QueryResult | tuple | Iterable | None" = None,
+        message_names: Sequence[str] | None = None,
+        deadline_policy: str | None = None,
+        label: str | None = None,
+        with_report: bool = True,
+    ) -> QueryResult:
+        """Run one what-if query.
+
+        Parameters
+        ----------
+        deltas:
+            Typed deltas applied (left to right) to the base configuration.
+        warm_from:
+            Preferred incremental bases: previous :class:`QueryResult`
+            objects or ``key_for`` keys.  The session additionally considers
+            the previous query and the base configuration and picks the
+            basis whose plan does the least work; an unusable basis only
+            costs speed, never exactness.
+        message_names:
+            Restrict the query to these messages (their results depend only
+            on higher-priority *models*, so a subset query returns exactly
+            the full query's values for those names).
+        deadline_policy:
+            Deadline interpretation for the report (default: the
+            configuration's).
+        label:
+            Optional human-readable name carried into the result.
+        with_report:
+            Skip the schedulability report when ``False`` (pure sweeps that
+            only consume response times save the verdict construction).
+        """
+        config, key = self._resolve(tuple(deltas))
+        needed = None if message_names is None else [
+            str(n) for n in message_names]
+        if needed is not None:
+            for n in needed:
+                if n not in config.kmatrix:
+                    raise KeyError(n)
+        policy = deadline_policy or config.deadline_policy
+
+        # Only cache bookkeeping runs under the lock; analyses and report
+        # construction (both pure) happen outside so concurrent queries on
+        # one session genuinely overlap.
+        hit_stats = None
+        with self._lock:
+            self.queries += 1
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                covered = set(entry.results)
+                wanted = set(needed) if needed is not None else set(
+                    entry.profile.names)
+                if wanted <= covered:
+                    self.cache_hits += 1
+                    self._last_key = key
+                    hit_stats = QueryStats(
+                        total=len(wanted), reused=len(wanted),
+                        warm_started=0, cold=0, cache_hit=True,
+                        basis=entry.key)
+            if hit_stats is None:
+                bases = self._basis_candidates(warm_from, key)
+        if hit_stats is not None:
+            return self._finish(entry, config, tuple(deltas), needed, policy,
+                                label, hit_stats, with_report=with_report)
+
+        analysis = entry.analysis if entry is not None \
+            else config.build_analysis()
+        profile = entry.profile if entry is not None \
+            else _Profile(config, analysis)
+
+        plan, basis, adopt_changed = self._choose_plan(
+            profile, analysis, config, bases, needed)
+        stats, results = self._execute(
+            config, analysis, profile, plan, basis, needed,
+            existing=entry.results if entry is not None else None,
+            adopt_changed=adopt_changed)
+
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is None:
+                entry = _CacheEntry(key, config, analysis, profile)
+                self._cache[key] = entry
+                self._evict_locked()
+            entry.results.update(results)
+            self._cache.move_to_end(key)
+            self._last_key = key
+        stats = QueryStats(
+            total=stats.total, reused=stats.reused,
+            warm_started=stats.warm_started, cold=stats.cold,
+            basis=basis.key if basis is not None else None)
+        return self._finish(entry, config, tuple(deltas), needed, policy,
+                            label, stats, with_report=with_report)
+
+    def describe(self) -> str:
+        """One-line session summary (cache occupancy and hit statistics)."""
+        return (f"{self.name}: {len(self._cache)} cached configurations, "
+                f"{self.queries} queries, {self.cache_hits} cache hits")
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _finish(self, entry: _CacheEntry, config: BusConfiguration,
+                deltas: tuple, needed: list[str] | None, policy: str,
+                label: str | None, stats: QueryStats,
+                with_report: bool = True) -> QueryResult:
+        report = None
+        if needed is None:
+            results = {m.name: entry.results[m.name]
+                       for m in config.kmatrix}
+            if with_report:
+                report = report_from_results(
+                    config.kmatrix, entry.analysis, results, policy)
+        else:
+            results = {n: entry.results[n] for n in needed}
+        return QueryResult(
+            label=label, deltas=deltas,
+            results=results, report=report, stats=stats, key=entry.key)
+
+    def _evict_locked(self) -> None:
+        while len(self._cache) > self._max_cached:
+            for key in self._cache:
+                if key != self._base_key and key != self._last_key:
+                    del self._cache[key]
+                    break
+            else:
+                break
+
+    def _basis_candidates(self, warm_from, new_key: "_Key",
+                          ) -> list[_CacheEntry]:
+        """Cached entries to consider as incremental bases (caller-preferred
+        first, then the previous query, then the base configuration)."""
+        keys: list[_Key] = []
+        if warm_from is not None:
+            if isinstance(warm_from, (QueryResult, _Key)):
+                items = [warm_from]
+            elif isinstance(warm_from, tuple) and not any(
+                    isinstance(item, (QueryResult, _Key))
+                    for item in warm_from):
+                # A bare tuple of neither results nor keys is a raw
+                # analysis-key tuple, not a collection of bases.
+                items = [warm_from]
+            else:
+                items = warm_from
+            for item in items:
+                key = item.key if isinstance(item, QueryResult) else item
+                if isinstance(key, tuple):
+                    key = _Key(key)
+                keys.append(key)
+        if self._last_key is not None:
+            keys.append(self._last_key)
+        keys.append(self._base_key)
+        entries: list[_CacheEntry] = []
+        seen: set[int] = set()
+        for key in keys:
+            if key == new_key:
+                continue
+            entry = self._cache.get(key)
+            if entry is not None and id(entry) not in seen:
+                seen.add(id(entry))
+                entries.append(entry)
+        return entries
+
+    def _choose_plan(self, profile: _Profile, analysis: CanBusAnalysis,
+                     config: BusConfiguration,
+                     bases: Sequence[_CacheEntry],
+                     needed: Sequence[str] | None,
+                     ) -> tuple[dict[str, str], _CacheEntry | None,
+                                set[str] | None]:
+        """Plan against each candidate basis; keep the cheapest.
+
+        The third element names the changed event models when the winning
+        basis satisfies the kernel-adoption precondition of
+        :meth:`CanBusAnalysis.adopt_kernels` (``None`` otherwise).
+        """
+        wanted = list(needed) if needed is not None else list(profile.names)
+        best_plan = {name: _COLD for name in wanted}
+        best_basis = None
+        best_changed: set[str] | None = None
+        best_cost = len(wanted) * 10
+        for basis in bases:
+            outcome = self._plan(profile, analysis, config, basis, wanted)
+            if outcome is None:
+                continue
+            plan, adopt_changed = outcome
+            colds = sum(1 for a in plan.values() if a == _COLD)
+            warms = sum(1 for a in plan.values() if a == _WARM)
+            cost = 10 * colds + warms
+            if cost < best_cost:
+                best_plan, best_basis, best_cost = plan, basis, cost
+                best_changed = adopt_changed
+            if colds == 0:
+                # Nothing left to gain from another basis: a different one
+                # could at best turn warm starts into reuses, which a later
+                # exact-fingerprint hit handles anyway.
+                break
+        return best_plan, best_basis, best_changed
+
+    def _plan(self, new: _Profile, analysis: CanBusAnalysis,
+              config: BusConfiguration, basis: _CacheEntry,
+              wanted: Sequence[str],
+              ) -> tuple[dict[str, str], set[str] | None] | None:
+        """Per-message action plan against one basis, or ``None``.
+
+        ``None`` means the basis is structurally unusable (different bus
+        timing, controllers or senders): every comparison below assumes
+        transmission times and blocking groupings carry over.
+        """
+        old = basis.profile
+        if new.bus != old.bus or new.controllers != old.controllers:
+            return None
+        common = new.message_set & old.message_set
+        for name in common:
+            if new.senders[name] != old.senders[name] \
+                    or new.tx[name] != old.tx[name] \
+                    or new.best_tx[name] != old.best_tx[name]:
+                return None
+        # Deltas preserve the relative K-Matrix order of surviving messages;
+        # interference sums run in that order, so reuse requires it.
+        if [n for n in old.names if n in common] != [
+                n for n in new.names if n in common]:
+            return None
+
+        error_same = new.error_model == old.error_model
+        error_dom = error_same or _error_model_dominates(
+            old.error_model, new.error_model)
+        horizon_same = new.horizon == old.horizon
+        changed = {name for name in common
+                   if not _models_identical(old.models[name],
+                                            new.models[name])}
+        all_dominate = error_dom and all(
+            _model_dominates(old.models[name], new.models[name])
+            for name in changed)
+
+        if new.names == old.names and new.ids == old.ids:
+            # Same structure: kernels can be adopted from the basis with
+            # only the changed model entries patched.
+            return (self._plan_same_priorities(
+                new, wanted, changed, error_same, all_dominate, horizon_same),
+                changed)
+        return (self._plan_new_priorities(
+            new, analysis, config, basis, wanted, common, changed, error_same,
+            all_dominate, horizon_same), None)
+
+    def _plan_same_priorities(self, new: _Profile, wanted, changed,
+                              error_same, all_dominate, horizon_same,
+                              ) -> dict[str, str]:
+        """Fast path: identical message set and identifiers.
+
+        Only event models and the error model can differ, so a message is
+        untouched exactly when nothing at or above its priority changed;
+        blocking and interference membership are structurally preserved.
+        """
+        min_changed = min((new.ids[n] for n in changed), default=None)
+        plan: dict[str, str] = {}
+        for name in wanted:
+            affected = (not error_same or name in changed
+                        or (min_changed is not None
+                            and min_changed < new.ids[name]))
+            if not affected:
+                plan[name] = _REUSE if horizon_same else _WARM
+            elif all_dominate:
+                plan[name] = _WARM
+            else:
+                plan[name] = _COLD
+        return plan
+
+    def _plan_new_priorities(self, new: _Profile, analysis: CanBusAnalysis,
+                             config: BusConfiguration, basis: _CacheEntry,
+                             wanted, common, changed, error_same,
+                             all_dominate, horizon_same) -> dict[str, str]:
+        """Slow path: priorities or matrix membership changed.
+
+        Per message the higher-priority *name set* decides everything:
+
+        * unchanged set (and nothing in it re-modelled, same blocking) --
+          the interference sequence is bit-identical, so the cached result
+          is reused;
+        * the old set is a subset of the new one and every shared model only
+          grew -- the old solution lower-bounds the new fixed point, so it
+          warm-starts the iteration (the ``_parent_seeds`` criterion of the
+          optimizer, generalised);
+        * anything else is analysed cold.
+
+        The subset test runs in O(n) overall via a running maximum over the
+        basis priority order mapped into new positions.
+        """
+        old = basis.profile
+        same_set = new.message_set == old.message_set
+        # prefix_changed[k]: any of the k highest-priority basis messages
+        # has a different event model (or left the matrix).
+        prefix_changed = [False] * (len(old.order) + 1)
+        # prefix_max[k]: largest new position among those k messages
+        # (infinite when one of them no longer exists).
+        prefix_max = [-1] * (len(old.order) + 1)
+        infinity = len(new.order) + 1
+        for k, name in enumerate(old.order):
+            position = new.pos.get(name, infinity)
+            prefix_max[k + 1] = max(prefix_max[k], position)
+            prefix_changed[k + 1] = prefix_changed[k] or (
+                name in changed or name not in common)
+
+        plan: dict[str, str] = {}
+        for name in wanted:
+            if name not in common:
+                plan[name] = _COLD
+                continue
+            k_new = new.pos[name]
+            k_old = old.pos[name]
+            subset_ok = prefix_max[k_old] < k_new
+            sets_equal = subset_ok and k_old == k_new
+            blocking_old = None
+            blocking_new = None
+            if not same_set or not sets_equal:
+                # Membership around the message moved: compare the actual
+                # blocking terms (max lower-priority frame + controller).
+                blocking_old = basis.blocking_of(name)
+                blocking_new = analysis.blocking(config.kmatrix.get(name))
+            if (sets_equal and error_same and not prefix_changed[k_old]
+                    and name not in changed
+                    and (same_set or blocking_new == blocking_old)):
+                plan[name] = _REUSE if horizon_same else _WARM
+            elif (subset_ok and all_dominate
+                  and (blocking_new is None
+                       or blocking_new >= blocking_old)):
+                plan[name] = _WARM
+            else:
+                plan[name] = _COLD
+        return plan
+
+    def _execute(self, config: BusConfiguration, analysis: CanBusAnalysis,
+                 profile: _Profile, plan: Mapping[str, str],
+                 basis: _CacheEntry | None,
+                 needed: Sequence[str] | None,
+                 existing: Mapping[str, MessageResponseTime] | None,
+                 adopt_changed: set[str] | None = None,
+                 ) -> tuple[QueryStats, dict[str, MessageResponseTime]]:
+        """Run the plan; every fall-back lands on an exact cold start."""
+        reused = warm = cold = 0
+        results: dict[str, MessageResponseTime] = {}
+        wanted = None if needed is None else set(needed)
+        horizon = profile.horizon
+        if basis is not None and adopt_changed is not None:
+            # Structure-preserving basis: patch its frozen interference
+            # tables instead of rebuilding them (see adopt_kernels).
+            to_solve = [name for name, action in plan.items()
+                        if action != _REUSE
+                        and (existing is None or name not in existing)]
+            analysis.adopt_kernels(
+                basis.analysis,
+                {name: profile.models[name] for name in adopt_changed},
+                names=to_solve)
+        for message in config.kmatrix:
+            name = message.name
+            if wanted is not None and name not in wanted:
+                continue
+            if existing is not None and name in existing:
+                results[name] = existing[name]
+                reused += 1
+                continue
+            action = plan.get(name, _COLD)
+            seed = basis.results.get(name) if basis is not None else None
+            if action == _REUSE and seed is not None:
+                fits = seed.bounded and seed.busy_period <= horizon and all(
+                    w <= horizon for w in seed.queuing_delays)
+                if fits or (not seed.bounded
+                            and basis.profile.horizon == horizon):
+                    results[name] = seed
+                    reused += 1
+                    continue
+                action = _WARM if seed.bounded else _COLD
+            if action == _WARM and seed is not None and seed.bounded:
+                result = analysis.response_time(message, warm_start=seed)
+                if not result.bounded:
+                    # Keep cached divergent values canonical (cold-start).
+                    result = analysis.response_time(message)
+                warm += 1
+            else:
+                result = analysis.response_time(message)
+                cold += 1
+            results[name] = result
+        total = reused + warm + cold
+        return QueryStats(total=total, reused=reused, warm_started=warm,
+                          cold=cold), results

@@ -8,6 +8,7 @@ and parameterised scaling workloads for the ablation benchmarks.
 """
 
 from repro.workloads.figure1 import figure1_network, figure1_traffic_rates
+from repro.workloads.multibus import multibus_system
 from repro.workloads.powertrain import (
     PowertrainConfig,
     powertrain_kmatrix,
@@ -18,6 +19,7 @@ from repro.workloads.scaling import scaled_kmatrix, synthetic_kmatrix
 __all__ = [
     "figure1_network",
     "figure1_traffic_rates",
+    "multibus_system",
     "PowertrainConfig",
     "powertrain_kmatrix",
     "powertrain_system",

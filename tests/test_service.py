@@ -1,0 +1,430 @@
+"""Delta correctness: every session query bit-matches a from-scratch analysis.
+
+The what-if service promises that its reuse / warm-start / cold planning is
+invisible in the results: a query through an
+:class:`~repro.service.session.AnalysisSession` must equal -- ``==`` on the
+full result objects, i.e. bit for bit -- a cold ``analyze_all`` of a fresh
+:class:`~repro.analysis.response_time.CanBusAnalysis` built on the mutated
+K-Matrix.  These tests sweep the same structurally diverse synthetic seed
+corpus as ``tests/test_kernel_equivalence.py`` over every delta type,
+including the invalidation cases (jitter shrinking, priority swaps, message
+add/remove) where stale seeds would be unsound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.response_time import CanBusAnalysis
+from repro.can.bus import CanBus
+from repro.can.kmatrix import KMatrix
+from repro.can.message import CanMessage
+from repro.errors.models import BurstErrorModel, NoErrors, SporadicErrorModel
+from repro.optimize.objectives import (
+    AnalysisScenario,
+    evaluate_configuration_with_context,
+)
+from repro.service import (
+    AddMessageDelta,
+    AnalysisSession,
+    BatchJob,
+    BatchRunner,
+    BusConfiguration,
+    ErrorModelDelta,
+    JitterDelta,
+    PriorityDelta,
+    RemoveMessageDelta,
+    ScenarioCatalog,
+    SessionEvaluator,
+    builtin_catalog,
+    jitter_sweep_scenario,
+    message_jitter_sweep_scenario,
+    priority_swap_scenario,
+    system_jobs,
+)
+from repro.service.deltas import BusDelta, DeadlinePolicyDelta, apply_deltas
+from repro.workloads.multibus import multibus_system
+from repro.workloads.scaling import synthetic_kmatrix
+
+#: Same corpus shape as the kernel-equivalence suite.
+SEEDS = tuple(range(16))
+
+_BUS = CanBus(name="svc", bit_rate_bps=250_000.0)
+
+
+def _matrix(seed: int) -> KMatrix:
+    return synthetic_kmatrix(
+        n_messages=9 + seed % 6,
+        n_ecus=3 + seed % 3,
+        seed=seed,
+        id_policy=("block", "rate-monotonic", "random")[seed % 3],
+        known_jitter_probability=0.3,
+    )
+
+
+def _session(seed: int, **kwargs) -> AnalysisSession:
+    return AnalysisSession(_matrix(seed), _BUS, **kwargs)
+
+
+def _reference(config: BusConfiguration):
+    """Cold from-scratch analysis of a configuration."""
+    return config.build_analysis().analyze_all()
+
+
+def assert_query_exact(session: AnalysisSession, deltas: tuple,
+                       warm_from=None) -> None:
+    """The session result must ``==`` a cold analysis of the mutated matrix."""
+    result = session.query(deltas, warm_from=warm_from)
+    expected = _reference(apply_deltas(session.base_config, deltas))
+    assert result.results == expected
+
+
+class TestDeltaExactness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fraction_sweep_up_and_down(self, seed):
+        """Ascending points warm-start, descending points must not go stale."""
+        session = _session(seed)
+        session.analyze()
+        for fraction in (0.1, 0.3, 0.6, 0.2, 0.0, 0.45):
+            assert_query_exact(session, (JitterDelta(fraction=fraction),))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_single_message_jitter_grow_and_shrink(self, seed):
+        kmatrix = _matrix(seed)
+        session = AnalysisSession(kmatrix, _BUS)
+        session.analyze()
+        for index in (0, len(kmatrix) // 2, len(kmatrix) - 1):
+            name = kmatrix.messages[index].name
+            for jitter in (2.5, 0.5, 7.0, 0.0):
+                assert_query_exact(
+                    session, (JitterDelta(message_name=name, jitter=jitter),))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_error_model_harden_and_relax(self, seed):
+        session = _session(seed)
+        session.analyze()
+        models = (
+            SporadicErrorModel(min_interarrival=100.0),
+            SporadicErrorModel(min_interarrival=10.0),
+            SporadicErrorModel(min_interarrival=400.0),
+            BurstErrorModel(min_interarrival=60.0, burst_length=3,
+                            intra_burst_gap=0.5),
+            NoErrors(),
+        )
+        for model in models:
+            assert_query_exact(session, (ErrorModelDelta(model),))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_priority_swap_invalidates_exactly(self, seed):
+        kmatrix = _matrix(seed)
+        session = AnalysisSession(kmatrix, _BUS)
+        session.analyze()
+        order = [m.name for m in kmatrix.sorted_by_priority()]
+        swaps = [(order[0], order[-1]), (order[0], order[1]),
+                 (order[len(order) // 2], order[-1])]
+        for pair in swaps:
+            assert_query_exact(session, (PriorityDelta(swap=pair),))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_full_reprioritisation(self, seed):
+        kmatrix = _matrix(seed)
+        session = AnalysisSession(kmatrix, _BUS)
+        session.analyze()
+        order = tuple(m.name for m in kmatrix.sorted_by_priority())
+        reversed_order = tuple(reversed(order))
+        rotated = order[1:] + order[:1]
+        for candidate in (reversed_order, rotated):
+            assert_query_exact(session, (PriorityDelta(order=candidate),))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_add_and_remove_message(self, seed):
+        kmatrix = _matrix(seed)
+        session = AnalysisSession(kmatrix, _BUS)
+        session.analyze()
+        ids = {m.can_id for m in kmatrix}
+        highest = CanMessage(name="IntruderHigh", can_id=min(ids) - 1,
+                             dlc=8, period=5.0, sender="ECU1")
+        lowest = CanMessage(name="IntruderLow", can_id=max(ids) + 1,
+                            dlc=8, period=20.0, sender="ECU2")
+        assert_query_exact(session, (AddMessageDelta(highest),))
+        assert_query_exact(session, (AddMessageDelta(lowest),))
+        for victim in (kmatrix.sorted_by_priority()[0].name,
+                       kmatrix.sorted_by_priority()[-1].name):
+            assert_query_exact(session, (RemoveMessageDelta(victim),))
+
+    @pytest.mark.parametrize("seed", (0, 3, 7, 11))
+    def test_stacked_deltas(self, seed):
+        kmatrix = _matrix(seed)
+        session = AnalysisSession(kmatrix, _BUS)
+        session.analyze()
+        order = [m.name for m in kmatrix.sorted_by_priority()]
+        deltas = (
+            JitterDelta(fraction=0.25),
+            ErrorModelDelta(SporadicErrorModel(min_interarrival=50.0)),
+            PriorityDelta(swap=(order[0], order[2])),
+            JitterDelta(message_name=order[1], jitter=4.0),
+            BusDelta(bit_stuffing=False),
+        )
+        for length in range(1, len(deltas) + 1):
+            assert_query_exact(session, deltas[:length])
+
+    def test_chained_sweep_equals_independent_queries(self):
+        """A warm-chained sweep must equal per-point fresh sessions."""
+        kmatrix = _matrix(5)
+        chained = AnalysisSession(kmatrix, _BUS)
+        previous = None
+        for fraction in (0.0, 0.1, 0.2, 0.3, 0.4):
+            previous = chained.query((JitterDelta(fraction=fraction),),
+                                     warm_from=previous)
+            fresh = CanBusAnalysis(
+                kmatrix, _BUS,
+                assumed_jitter_fraction=fraction).analyze_all()
+            assert previous.results == fresh
+
+
+class TestSessionMechanics:
+    def test_repeated_query_hits_cache(self):
+        session = _session(2)
+        first = session.query((JitterDelta(fraction=0.2),))
+        second = session.query((JitterDelta(fraction=0.2),))
+        assert second.stats.cache_hit
+        assert first.results == second.results
+        assert first.fingerprint == second.fingerprint
+
+    def test_deadline_policy_reuses_analysis_cache(self):
+        session = _session(2)
+        period = session.query((JitterDelta(fraction=0.2),))
+        strict = session.query(
+            (JitterDelta(fraction=0.2), DeadlinePolicyDelta("min-rearrival")))
+        assert strict.stats.cache_hit
+        assert strict.report.deadline_policy == "min-rearrival"
+        assert period.report.deadline_policy == "period"
+        assert {v.name: v.worst_case_response
+                for v in strict.report.verdicts} == {
+                    v.name: v.worst_case_response
+                    for v in period.report.verdicts}
+
+    def test_low_priority_whatif_reuses_upstream_results(self):
+        """Bumping the lowest-priority jitter must not re-solve the rest."""
+        kmatrix = _matrix(4)
+        session = AnalysisSession(kmatrix, _BUS)
+        session.analyze()
+        victim = kmatrix.sorted_by_priority()[-1]
+        grown = (victim.jitter or 0.0) + 3.0
+        result = session.query(
+            (JitterDelta(message_name=victim.name, jitter=grown),))
+        assert result.stats.reused == len(kmatrix) - 1
+        assert result.stats.cold == 0
+
+    def test_subset_query_matches_full_query(self):
+        kmatrix = _matrix(6)
+        session = AnalysisSession(kmatrix, _BUS)
+        names = tuple(m.name for m in kmatrix)[:3]
+        subset = session.query((JitterDelta(fraction=0.3),),
+                               message_names=names)
+        assert set(subset.results) == set(names)
+        assert subset.report is None
+        full = session.query((JitterDelta(fraction=0.3),))
+        for name in names:
+            assert subset.results[name] == full.results[name]
+
+    def test_subset_then_full_extends_partial_entry(self):
+        kmatrix = _matrix(6)
+        session = AnalysisSession(kmatrix, _BUS)
+        name = kmatrix.messages[0].name
+        session.query((JitterDelta(fraction=0.1),), message_names=(name,))
+        full = session.query((JitterDelta(fraction=0.1),))
+        expected = CanBusAnalysis(
+            kmatrix, _BUS, assumed_jitter_fraction=0.1).analyze_all()
+        assert full.results == expected
+
+    def test_cache_eviction_keeps_base_and_stays_exact(self):
+        kmatrix = _matrix(3)
+        session = AnalysisSession(kmatrix, _BUS, max_cached_configs=3)
+        session.analyze()
+        for fraction in (0.05, 0.1, 0.15, 0.2, 0.25, 0.3):
+            assert_query_exact(session, (JitterDelta(fraction=fraction),))
+        base_again = session.analyze()
+        assert base_again.results == _reference(session.base_config)
+
+    def test_unknown_message_rejected(self):
+        session = _session(1)
+        with pytest.raises(KeyError):
+            session.query((JitterDelta(message_name="NoSuch", jitter=1.0),))
+        with pytest.raises(KeyError):
+            session.query((), message_names=("NoSuch",))
+
+    def test_warm_from_accepts_tuples_of_results_and_keys(self):
+        session = _session(1)
+        first = session.query((JitterDelta(fraction=0.1),))
+        second = session.query((JitterDelta(fraction=0.2),))
+        chained = session.query((JitterDelta(fraction=0.3),),
+                                warm_from=(first, second))
+        assert chained.results == _reference(
+            apply_deltas(session.base_config, (JitterDelta(fraction=0.3),)))
+        key = session.key_for((JitterDelta(fraction=0.2),))
+        keyed = session.query((JitterDelta(fraction=0.35),), warm_from=(key,))
+        assert keyed.stats.warm_started > 0
+
+    def test_priority_swap_accepts_list(self):
+        kmatrix = _matrix(1)
+        session = AnalysisSession(kmatrix, _BUS)
+        names = [m.name for m in kmatrix.sorted_by_priority()]
+        delta = PriorityDelta(swap=[names[0], names[1]])
+        result = session.query((delta,))
+        assert result.results == _reference(
+            apply_deltas(session.base_config, (delta,)))
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            JitterDelta()
+        with pytest.raises(ValueError):
+            JitterDelta(message_name="X", jitter=1.0, fraction=0.1)
+        with pytest.raises(ValueError):
+            PriorityDelta()
+        with pytest.raises(ValueError):
+            PriorityDelta(swap=("a", "b"), order=("a", "b"))
+        with pytest.raises(ValueError):
+            DeadlinePolicyDelta("bogus")
+
+
+class TestCatalogAndBatch:
+    def test_builtin_catalog_runs_bit_exact(self):
+        catalog = builtin_catalog()
+        assert "paper-jitter-sweep" in catalog
+        session = _session(8)
+        run = catalog.run("paper-error-sweep-sporadic", session)
+        assert len(run.queries) == 8
+        for query in run.queries:
+            expected = _reference(
+                apply_deltas(session.base_config, query.deltas))
+            assert query.results == expected
+        assert "paper-error-sweep-sporadic" in run.to_table()
+
+    def test_catalog_registration_and_errors(self):
+        catalog = ScenarioCatalog()
+        scenario = jitter_sweep_scenario(fractions=(0.0, 0.2))
+        catalog.register(scenario)
+        with pytest.raises(ValueError):
+            catalog.register(scenario)
+        catalog.register(scenario, overwrite=True)
+        with pytest.raises(KeyError):
+            catalog.get("missing")
+        assert catalog.names() == [scenario.name]
+
+    def test_message_jitter_and_swap_families(self):
+        kmatrix = _matrix(9)
+        session = AnalysisSession(kmatrix, _BUS)
+        session.analyze()
+        order = [m.name for m in kmatrix.sorted_by_priority()]
+        for scenario in (
+                message_jitter_sweep_scenario(order[-1], (0.5, 1.0, 2.0)),
+                priority_swap_scenario([(order[0], order[1]),
+                                        (order[1], order[-1])])):
+            run = scenario.run(session)
+            for query in run.queries:
+                expected = _reference(
+                    apply_deltas(session.base_config, query.deltas))
+                assert query.results == expected
+
+    def test_batch_runner_is_deterministic_across_modes(self):
+        scenario = jitter_sweep_scenario(fractions=(0.0, 0.25))
+        jobs = [
+            BatchJob(label=f"seed{seed}",
+                     config=BusConfiguration(kmatrix=_matrix(seed), bus=_BUS),
+                     scenario=scenario)
+            for seed in (1, 2, 3, 4)
+        ]
+        serial = BatchRunner(mode="serial").run(jobs)
+        threaded = BatchRunner(mode="thread").run(jobs)
+        assert [r.scenario for r in serial] == [r.scenario for r in threaded]
+        for left, right in zip(serial, threaded):
+            assert [q.results for q in left.queries] == [
+                q.results for q in right.queries]
+
+    def test_batch_runner_process_mode(self):
+        """Jobs and workers must be picklable end to end."""
+        scenario = jitter_sweep_scenario(fractions=(0.0, 0.3))
+        jobs = [
+            BatchJob(label=f"seed{seed}",
+                     config=BusConfiguration(kmatrix=_matrix(seed), bus=_BUS),
+                     scenario=scenario)
+            for seed in (1, 2)
+        ]
+        processed = BatchRunner(mode="process").run(jobs)
+        serial = BatchRunner(mode="serial").run(jobs)
+        for left, right in zip(processed, serial):
+            assert [q.results for q in left.queries] == [
+                q.results for q in right.queries]
+
+    def test_system_jobs_cover_all_buses(self):
+        system = multibus_system(n_buses=3, messages_per_bus=8, seed=2)
+        scenario = jitter_sweep_scenario(fractions=(0.0, 0.2))
+        results = BatchRunner(mode="serial").run(
+            system_jobs(system, scenario))
+        assert [r.session for r in results] == list(system.buses)
+        for result, segment in zip(results, system.buses.values()):
+            expected = _reference(BusConfiguration(
+                kmatrix=segment.kmatrix, bus=segment.bus,
+                error_model=segment.error_model,
+                assumed_jitter_fraction=0.2,
+                controllers=dict(system.controllers) or None))
+            assert result.queries[-1].results == expected
+
+
+class TestSessionEvaluator:
+    @pytest.mark.parametrize("seed", (0, 4, 9, 13))
+    def test_matches_direct_evaluation(self, seed):
+        kmatrix = _matrix(seed)
+        scenarios = [
+            AnalysisScenario(name="lo", bus=_BUS, assumed_jitter_fraction=0.1),
+            AnalysisScenario(name="hi", bus=_BUS, assumed_jitter_fraction=0.3),
+            AnalysisScenario(
+                name="noisy", bus=_BUS,
+                error_model=SporadicErrorModel(min_interarrival=40.0),
+                assumed_jitter_fraction=0.2,
+                deadline_policy="min-rearrival"),
+        ]
+        evaluator = SessionEvaluator(kmatrix, scenarios)
+        order = tuple(m.name for m in kmatrix.sorted_by_priority())
+        got, context = evaluator.evaluate(order)
+        want, reference_context = evaluate_configuration_with_context(
+            kmatrix, scenarios)
+        assert got == want
+        assert context.priority_order == reference_context.priority_order
+        assert context.scenario_results == reference_context.scenario_results
+        # A mutated child seeded from the parent stays exact.
+        child = order[1:] + order[:1]
+        pool = sorted(m.can_id for m in kmatrix)
+        child_matrix = kmatrix.with_priorities(dict(zip(child, pool)))
+        seeded, _ = evaluator.evaluate(child, warm_start=context)
+        cold, _ = evaluate_configuration_with_context(child_matrix, scenarios)
+        assert seeded == cold
+
+    def test_repeated_candidates_hit_cache(self):
+        kmatrix = _matrix(2)
+        scenarios = [
+            AnalysisScenario(name="a", bus=_BUS, assumed_jitter_fraction=0.1),
+            AnalysisScenario(name="b", bus=_BUS, assumed_jitter_fraction=0.2),
+        ]
+        evaluator = SessionEvaluator(kmatrix, scenarios)
+        order = tuple(m.name for m in kmatrix.sorted_by_priority())
+        first, _ = evaluator.evaluate(order)
+        second, _ = evaluator.evaluate(order)
+        assert first == second
+        sessions = list(evaluator._sessions.values())
+        assert sessions and all(s.cache_hits > 0 for s in sessions)
+
+
+class TestScenarioRunReporting:
+    def test_rows_and_describe(self):
+        session = _session(7)
+        scenario = jitter_sweep_scenario(fractions=(0.0, 0.3))
+        run = scenario.run(session)
+        rows = run.rows()
+        assert len(rows) == 2
+        assert rows[0][0] == "jitter 0%"
+        text = run.describe()
+        assert "paper-jitter-sweep" in text
+        table = run.to_table()
+        assert "reused" in table and "cold" in table
