@@ -31,6 +31,25 @@ cache could use:
 * ``service_cold_session`` -- one cold session construction + base
   analysis, bounding the session overhead on a cache-less query.
 
+A ``server`` section measures the analysis daemon and the engine-on-sessions
+refactor (the PR 4 subsystem); the "seed" columns are again the strongest
+non-cached kernel baselines:
+
+* ``server_whatif_throughput`` -- the same 100-query jitter sweep issued by
+  an :class:`~repro.server.client.InProcessClient` through the daemon's
+  full JSON protocol (encode, queue, session pool, decode) vs 100
+  independent cold kernel ``analyze_all`` runs; gated at >= 2x under
+  ``--check``;
+* ``engine_incremental`` -- the daemon's system-serving pattern on a
+  6-bus gateway chain: one cold compositional fixed point plus two
+  re-analyses after an upstream jitter edit, through one persistent
+  engine whose per-segment sessions answer event-model deltas
+  incrementally, vs the same three fixed points on the
+  rebuild-per-iteration path (``incremental=False``, the pre-refactor
+  engine).  Bit-identical by assertion and gated at >= 2x under
+  ``--check``; the single-cold-run ratio is recorded as
+  ``cold_run_speedup`` for reference.
+
 All workloads are seeded and the analyses are exact, so both paths produce
 **identical results** -- the suite asserts this before trusting any timing.
 
@@ -54,6 +73,7 @@ import os
 import platform
 import sys
 import time
+from dataclasses import replace
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -61,6 +81,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis.reference import ReferenceCanBusAnalysis  # noqa: E402
+from repro.can.kmatrix import KMatrix  # noqa: E402
 from repro.analysis.response_time import CanBusAnalysis  # noqa: E402
 from repro.optimize.genetic import (  # noqa: E402
     GeneticOptimizerConfig,
@@ -77,7 +98,14 @@ from repro.workloads.powertrain import (  # noqa: E402
     powertrain_controllers,
     powertrain_kmatrix,
 )
-from repro.service import AnalysisSession, JitterDelta  # noqa: E402
+from repro.core.engine import CompositionalAnalysis  # noqa: E402
+from repro.server import AnalysisDaemon, InProcessClient  # noqa: E402
+from repro.service import (  # noqa: E402
+    AnalysisSession,
+    BusConfiguration,
+    JitterDelta,
+)
+from repro.workloads.multibus import multibus_system  # noqa: E402
 from repro.workloads.scaling import scaling_benchmark_case  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_timing.json"
@@ -85,6 +113,10 @@ SCALING_SIZES = (50, 100, 200, 400)
 GA_CONFIG = dict(population_size=12, archive_size=6, generations=4, seed=7)
 SERVICE_QUERIES = 100
 SERVICE_MIN_SPEEDUP = 5.0
+SERVER_MIN_SPEEDUP = 2.0
+ENGINE_BUSES = 6
+ENGINE_MESSAGES_PER_BUS = 40
+ENGINE_MIN_SPEEDUP = 2.0
 
 
 def _timed(fn, repeat: int):
@@ -285,6 +317,95 @@ def run_scenarios(repeat: int, skip_seed: bool,
     record("service_cold_session", plain_cold, session_cold,
            check_equal=assert_identical, n_messages=len(kmatrix),
            baseline="plain kernel analyze_all")
+
+    # 6. Daemon throughput: the 100-query jitter sweep again, but through
+    # the full serving stack (JSON protocol both ways, job accounting,
+    # sharded session pool) vs the independent-kernel baseline of (5).
+    def daemon_whatif():
+        daemon = AnalysisDaemon(name="bench-daemon")
+        daemon.add_config("case", BusConfiguration(
+            kmatrix=kmatrix, bus=bus, assumed_jitter_fraction=0.15,
+            controllers=controllers))
+        client = InProcessClient(daemon)
+        results = []
+        for jitter in jitters:
+            response = client.query(
+                "case",
+                (JitterDelta(message_name=victim.name, jitter=jitter),),
+                with_report=False)
+            results.append({name: entry["worst_case"]
+                            for name, entry in response["results"].items()})
+        daemon.close()
+        return results
+
+    def independent_worst_cases():
+        results = []
+        for analysis in independent_whatif():
+            results.append({
+                name: result.worst_case if result.bounded else None
+                for name, result in analysis.items()})
+        return results
+
+    record("server_whatif_throughput", independent_worst_cases,
+           daemon_whatif, check_equal=assert_identical,
+           n_messages=len(kmatrix), queries=SERVICE_QUERIES,
+           victim=victim.name,
+           baseline="independent kernel analyze_all",
+           min_speedup=SERVER_MIN_SPEEDUP)
+
+    # 7. Incremental compositional engine: the daemon's system-serving
+    # pattern -- one cold global fixed point of a gateway chain plus two
+    # re-analyses after an upstream jitter edit, against one persistent
+    # engine whose per-segment sessions answer event-model deltas
+    # incrementally vs rebuilding every bus analysis per iteration.
+    engine_system = multibus_system(
+        n_buses=ENGINE_BUSES, messages_per_bus=ENGINE_MESSAGES_PER_BUS,
+        seed=3)
+    engine_segment = engine_system.buses["CAN-0"]
+    engine_victim = engine_segment.kmatrix.sorted_by_priority()[0]
+    base_matrix = engine_segment.kmatrix
+    kmatrix_variants = [base_matrix]
+    for bump in (0.05, 0.10):
+        kmatrix_variants.append(KMatrix(messages=[
+            replace(m, jitter=(m.jitter or 0.0) + bump * m.period)
+            if m.name == engine_victim.name else m
+            for m in base_matrix.messages]))
+
+    def engine_on_sessions():
+        engine_segment.kmatrix = base_matrix
+        engine = CompositionalAnalysis(engine_system)
+        outcomes = []
+        for variant in kmatrix_variants:
+            engine_segment.kmatrix = variant
+            outcomes.append(engine.run().message_results)
+        engine_segment.kmatrix = base_matrix
+        return outcomes
+
+    def engine_rebuild():
+        outcomes = []
+        for variant in kmatrix_variants:
+            engine_segment.kmatrix = variant
+            outcomes.append(CompositionalAnalysis(
+                engine_system, incremental=False).run().message_results)
+        engine_segment.kmatrix = base_matrix
+        return outcomes
+
+    # Single cold fixed point, sessions vs rebuild (informational).
+    cold_session_seconds, _ = _timed(
+        lambda: CompositionalAnalysis(engine_system).run(), repeat)
+    cold_rebuild_seconds, _ = _timed(
+        lambda: CompositionalAnalysis(
+            engine_system, incremental=False).run(), repeat)
+
+    record("engine_incremental", engine_rebuild, engine_on_sessions,
+           check_equal=assert_identical,
+           n_buses=ENGINE_BUSES,
+           messages_per_bus=ENGINE_MESSAGES_PER_BUS,
+           requests=len(kmatrix_variants),
+           baseline="rebuild-per-iteration engine (incremental=False)",
+           cold_run_speedup=round(
+               cold_rebuild_seconds / cold_session_seconds, 2),
+           min_speedup=ENGINE_MIN_SPEEDUP)
 
     return scenarios
 

@@ -29,6 +29,9 @@ The subpackages group the functionality:
 * :mod:`repro.service` -- the what-if analysis service: cached-kernel
   sessions, typed deltas with incremental re-analysis, scenario catalog and
   batch runner;
+* :mod:`repro.server` -- the long-running analysis daemon: sharded session
+  pool, job queue and worker pool, line-delimited JSON protocol over TCP or
+  in-process, ``python -m repro.server`` CLI;
 * :mod:`repro.parallel` -- deterministic parallel evaluation of independent
   analysis units (bus segments, GA candidates, sweep points);
 * :mod:`repro.sim` -- a discrete-event CAN simulator for cross-validation;
@@ -58,16 +61,28 @@ from repro.events import (
 from repro.optimize import optimize_priorities, paper_scenarios
 from repro.parallel import parallel_map
 from repro.sensitivity import jitter_sensitivity_all, max_tolerable_jitter_fraction
+from repro.server import (
+    AnalysisDaemon,
+    DaemonError,
+    DaemonServer,
+    InProcessClient,
+    SessionPool,
+    TcpClient,
+    start_server,
+)
 from repro.service import (
     AddMessageDelta,
     AnalysisSession,
     BatchRunner,
+    BusConfiguration,
     ErrorModelDelta,
+    EventModelDelta,
     JitterDelta,
     PriorityDelta,
     QueryResult,
     RemoveMessageDelta,
     ScenarioCatalog,
+    SessionStats,
     WhatIfScenario,
     builtin_catalog,
 )
@@ -102,8 +117,11 @@ __all__ = [
     "powertrain_system",
     "AnalysisSession",
     "QueryResult",
+    "SessionStats",
+    "BusConfiguration",
     "JitterDelta",
     "ErrorModelDelta",
+    "EventModelDelta",
     "PriorityDelta",
     "AddMessageDelta",
     "RemoveMessageDelta",
@@ -111,4 +129,11 @@ __all__ = [
     "ScenarioCatalog",
     "BatchRunner",
     "builtin_catalog",
+    "AnalysisDaemon",
+    "SessionPool",
+    "InProcessClient",
+    "TcpClient",
+    "DaemonServer",
+    "DaemonError",
+    "start_server",
 ]

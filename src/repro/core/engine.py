@@ -24,13 +24,22 @@ Two performance levers keep large systems in the "within minutes" envelope:
 * independent bus segments inside one global iteration are analysed through
   :func:`repro.parallel.parallel_map` (results are merged in segment order,
   so parallelism never changes a result);
-* each global iteration's bus analyses are **warm-started** from the
-  previous iteration's response times whenever the propagated event models
-  only grew (jitter non-decreasing, periods unchanged, burst distances not
-  tightened) -- the monotone case that dominates converging systems.  See
-  the warm-start contract in :mod:`repro.analysis.response_time`; when an
-  event model shrank (e.g. an oscillating gateway), the affected segment
-  falls back to a cold start to preserve exactness.
+* successive global iterations are **incremental**: every bus segment is
+  owned by a per-segment
+  :class:`~repro.service.session.AnalysisSession`, and each iteration
+  issues the propagated send models as one
+  :class:`~repro.service.deltas.EventModelDelta` to that session.  The
+  session's planner then decides *per message* whether the cached fixed
+  point can be reused outright (nothing at or above the message's priority
+  changed), warm-started (its inputs only grew -- the monotone case that
+  dominates converging systems; see the warm-start contract in
+  :mod:`repro.analysis.response_time`), or must be re-solved cold (an
+  oscillating gateway shrank a jitter).  All three paths are bit-identical
+  to rebuilding the :class:`~repro.analysis.response_time.CanBusAnalysis`
+  from scratch each iteration, which remains available as
+  ``incremental=False`` (and is what ``REPRO_PARALLEL=process`` uses:
+  sessions are in-process state, so process pools fall back to the
+  picklable explicit-warm-seed jobs).
 """
 
 from __future__ import annotations
@@ -41,12 +50,14 @@ from typing import Mapping
 from repro.analysis.response_time import CanBusAnalysis, MessageResponseTime
 from repro.analysis.schedulability import report_from_results
 from repro.core.results import SystemAnalysisResult
-from repro.core.system import SystemModel
+from repro.core.system import BusSegment, SystemModel
 from repro.ecu.analysis import EcuAnalysis, message_output_models
 from repro.events.model import EventModel
 from repro.events.operations import output_event_model
 from repro.gateway.model import GatewayAnalysis
-from repro.parallel import parallel_map
+from repro.parallel import parallel_map, resolve_mode
+from repro.service.deltas import EventModelDelta
+from repro.service.session import AnalysisSession, QueryResult
 
 
 _MODEL_EPS = 1e-6
@@ -112,6 +123,35 @@ def _warm_seed_valid(previous: Mapping[str, EventModel],
     return True
 
 
+def _segment_arrival_models(
+    kmatrix,
+    models: Mapping[str, EventModel],
+    results: Mapping[str, MessageResponseTime],
+) -> dict[str, EventModel]:
+    """Arrival event models of one analysed segment.
+
+    Shared by the incremental (session) and rebuild sweeps so both derive
+    the propagated models through literally the same arithmetic.
+    """
+    arrival_models: dict[str, EventModel] = {}
+    for message in kmatrix:
+        result = results[message.name]
+        input_model = models[message.name]
+        if not result.bounded:
+            # Represent divergence as a very large jitter so that the
+            # fixed point reports non-convergence instead of hiding it.
+            arrival_models[message.name] = input_model.with_jitter(
+                input_model.jitter + 100.0 * message.period)
+            continue
+        arrival_models[message.name] = output_event_model(
+            input_model=input_model,
+            best_case_response=result.best_case,
+            worst_case_response=result.worst_case,
+            min_output_distance=result.transmission_time,
+        )
+    return arrival_models
+
+
 def _analyze_segment_job(args: tuple) -> tuple:
     """Analyse one bus segment (top-level so ``process`` pools can pickle it).
 
@@ -138,31 +178,48 @@ def _analyze_segment_job(args: tuple) -> tuple:
         if _warm_seed_valid(previous_models, models):
             seeds = previous_results
     results = analysis.analyze_all(warm_start=seeds)
-    arrival_models: dict[str, EventModel] = {}
-    for message in segment.kmatrix:
-        result = results[message.name]
-        input_model = models[message.name]
-        if not result.bounded:
-            # Represent divergence as a very large jitter so that the
-            # fixed point reports non-convergence instead of hiding it.
-            arrival_models[message.name] = input_model.with_jitter(
-                input_model.jitter + 100.0 * message.period)
-            continue
-        arrival_models[message.name] = output_event_model(
-            input_model=input_model,
-            best_case_response=result.best_case,
-            worst_case_response=result.worst_case,
-            min_output_distance=result.transmission_time,
-        )
+    arrival_models = _segment_arrival_models(segment.kmatrix, models, results)
     report = report_from_results(
         segment.kmatrix, analysis, results, segment.deadline_policy)
     return results, arrival_models, report, models
 
 
-class CompositionalAnalysis:
-    """Global analysis of a :class:`~repro.core.system.SystemModel`."""
+#: LRU bound of each engine-owned segment session: successive global
+#: iterations only ever chain off the previous configuration and the base,
+#: so a small cache keeps memory flat on hundreds-of-messages segments.
+_SESSION_CACHE_PER_SEGMENT = 8
 
-    def __init__(self, system: SystemModel, max_iterations: int = 50) -> None:
+
+class CompositionalAnalysis:
+    """Global analysis of a :class:`~repro.core.system.SystemModel`.
+
+    Parameters
+    ----------
+    system:
+        The integration model to analyse.
+    max_iterations:
+        Bound on global fixed-point iterations.
+    sessions:
+        Optional mapping of bus name to an existing
+        :class:`~repro.service.session.AnalysisSession` for that segment
+        (the analysis daemon shares its sharded session pool this way, so
+        repeated system analyses hit warm caches across requests).  Missing
+        segments get a private session on first use.  Each provided session
+        must have been built over exactly the segment's configuration
+        (e.g. via :meth:`AnalysisSession.from_segment` with the system's
+        controllers).
+    incremental:
+        When ``True`` (default), bus sweeps run on the per-segment sessions
+        (reuse / warm-start per message).  ``False`` forces the
+        rebuild-per-iteration path; both produce bit-identical results, and
+        ``REPRO_PARALLEL=process`` implies the rebuild path because
+        sessions are in-process state that cannot follow a job into a
+        worker process.
+    """
+
+    def __init__(self, system: SystemModel, max_iterations: int = 50,
+                 sessions: Mapping[str, AnalysisSession] | None = None,
+                 incremental: bool = True) -> None:
         problems = system.validate()
         if problems:
             raise ValueError(
@@ -171,6 +228,53 @@ class CompositionalAnalysis:
             raise ValueError("max_iterations must be at least 1")
         self.system = system
         self.max_iterations = max_iterations
+        self.incremental = incremental
+        self._sessions: dict[str, AnalysisSession] = dict(sessions or {})
+        unknown = set(self._sessions) - set(system.buses)
+        if unknown:
+            raise ValueError(
+                f"sessions for unknown buses: {sorted(unknown)}")
+
+    # ------------------------------------------------------------------ #
+    # Session pool access
+    # ------------------------------------------------------------------ #
+    def session_for(self, bus_name: str) -> AnalysisSession:
+        """The per-segment session of one bus (created on first use)."""
+        return self._session_for(self.system.buses[bus_name])
+
+    def session_stats(self) -> list:
+        """Statistics of every segment session created so far."""
+        return [self._sessions[name].stats() for name in sorted(self._sessions)]
+
+    def _session_for(self, segment: BusSegment) -> AnalysisSession:
+        session = self._sessions.get(segment.name)
+        if session is not None and not self._session_matches(session, segment):
+            # The segment was reconfigured between runs (the system model is
+            # mutable); a stale base configuration would silently answer for
+            # the old matrix, so the session is rebuilt.  Unchanged segments
+            # keep their warm caches, which is what makes re-analysis after
+            # a local edit incremental.
+            session = None
+        if session is None:
+            session = AnalysisSession.from_segment(
+                segment,
+                controllers=dict(self.system.controllers) or None,
+                max_cached_configs=_SESSION_CACHE_PER_SEGMENT,
+                name=f"engine:{segment.name}")
+            self._sessions[segment.name] = session
+        return session
+
+    def _session_matches(self, session: AnalysisSession,
+                         segment: BusSegment) -> bool:
+        base = session.base_config
+        return (base.kmatrix == segment.kmatrix
+                and base.bus == segment.bus
+                and base.error_model == segment.error_model
+                and base.assumed_jitter_fraction
+                == segment.assumed_jitter_fraction
+                and base.deadline_policy == segment.deadline_policy
+                and dict(base.controllers or {})
+                == dict(self.system.controllers))
 
     # ------------------------------------------------------------------ #
     # Local sweeps
@@ -200,38 +304,94 @@ class CompositionalAnalysis:
                 ecu, min_output_distance=min_distance))
         return send_models, task_results
 
+    def _query_segment_session(
+        self,
+        segment: BusSegment,
+        send_models: Mapping[str, EventModel],
+        previous: object,
+    ) -> tuple:
+        """One incremental segment analysis: issue the propagated send
+        models as an :class:`EventModelDelta` to the segment's session.
+
+        ``previous`` is the segment's ``(query, arrival models)`` pair from
+        the last iteration; when the new query lands on the same
+        configuration fingerprint the arrival models are carried over
+        verbatim (same analysis inputs imply the same outputs), so converged
+        segments cost a cache lookup per iteration, not a propagation pass.
+        """
+        session = self._session_for(segment)
+        overrides = {
+            name: model for name, model in send_models.items()
+            if name in segment.kmatrix}
+        deltas: tuple = ()
+        if overrides:
+            deltas = (EventModelDelta.from_mapping(
+                overrides, replace_all=True),)
+        prev_query = prev_arrivals = None
+        if isinstance(previous, tuple) and len(previous) == 2 \
+                and isinstance(previous[0], QueryResult):
+            prev_query, prev_arrivals = previous
+        query = session.query(deltas, warm_from=prev_query)
+        if prev_query is not None and query.key == prev_query.key:
+            arrivals = prev_arrivals
+        else:
+            models = session.input_models(deltas)
+            arrivals = _segment_arrival_models(
+                segment.kmatrix, models, query.results)
+        return query.results, arrivals, query.report, (query, arrivals)
+
     def _bus_sweep(
         self,
         send_models: Mapping[str, EventModel],
-        previous_sweep: Mapping[str, tuple] | None = None,
+        previous_sweep: Mapping[str, object] | None = None,
     ) -> tuple[dict[str, MessageResponseTime], dict[str, EventModel], dict,
-               dict[str, tuple]]:
+               dict[str, object]]:
         """Analyse all buses with the given send models.
 
-        Independent segments run through :func:`repro.parallel.parallel_map`
-        as picklable job tuples for the top-level
-        :func:`_analyze_segment_job` (so ``REPRO_PARALLEL=process`` works);
-        results are merged in segment order, so the sweep is deterministic.
-        ``previous_sweep`` carries each segment's (event models, results)
-        from the last global iteration for warm starting.
+        On the incremental path every segment's query runs against its
+        cached session (deltas planned per message); independent segments
+        still evaluate through :func:`repro.parallel.parallel_map` and merge
+        in segment order, so the sweep stays deterministic.  Under
+        ``REPRO_PARALLEL=process`` (or ``incremental=False``) the sweep
+        instead submits picklable job tuples to the top-level
+        :func:`_analyze_segment_job`, warm-seeded with each segment's
+        (event models, results) from the previous iteration.
         """
         segments = list(self.system.buses.values())
         previous_sweep = previous_sweep or {}
-        controllers = dict(self.system.controllers)
-        outcomes = parallel_map(
-            _analyze_segment_job,
-            [(segment, controllers, dict(send_models),
-              previous_sweep.get(segment.name)) for segment in segments])
+        mode = resolve_mode("auto", len(segments))
         message_results: dict[str, MessageResponseTime] = {}
         arrival_models: dict[str, EventModel] = {}
         bus_reports = {}
-        sweep_state: dict[str, tuple] = {}
-        for segment, (results, arrivals, report, models) in zip(
-                segments, outcomes):
-            message_results.update(results)
-            arrival_models.update(arrivals)
-            bus_reports[segment.name] = report
-            sweep_state[segment.name] = (models, results)
+        sweep_state: dict[str, object] = {}
+        if self.incremental and mode != "process":
+            def job(segment: BusSegment) -> tuple:
+                return self._query_segment_session(
+                    segment, send_models, previous_sweep.get(segment.name))
+            outcomes = parallel_map(job, segments, mode=mode)
+            for segment, (results, arrivals, report, state) in zip(
+                    segments, outcomes):
+                message_results.update(results)
+                arrival_models.update(arrivals)
+                bus_reports[segment.name] = report
+                sweep_state[segment.name] = state
+        else:
+            controllers = dict(self.system.controllers)
+            jobs = []
+            for segment in segments:
+                previous = previous_sweep.get(segment.name)
+                if not (isinstance(previous, tuple) and len(previous) == 2
+                        and isinstance(previous[0], Mapping)):
+                    previous = None
+                jobs.append((segment, controllers, dict(send_models),
+                             previous))
+            outcomes = parallel_map(_analyze_segment_job, jobs)
+            for segment, (results, arrivals, report, models) in zip(
+                    segments, outcomes):
+                message_results.update(results)
+                arrival_models.update(arrivals)
+                bus_reports[segment.name] = report
+                sweep_state[segment.name] = (models, results)
         return message_results, arrival_models, bus_reports, sweep_state
 
     def _gateway_sweep(
@@ -270,7 +430,7 @@ class CompositionalAnalysis:
         converged = False
         iterations = 0
 
-        previous_sweep: dict[str, tuple] = {}
+        previous_sweep: dict[str, object] = {}
         for iteration in range(1, self.max_iterations + 1):
             iterations = iteration
             (message_results, arrival_models, bus_reports,

@@ -30,8 +30,10 @@ Execution modes
     to ``serial``; ``thread`` otherwise.
 
 ``REPRO_PARALLEL`` overrides the mode globally (``serial`` / ``thread`` /
-``process``), which keeps benchmarks and CI deterministic without plumbing a
-flag through every call site.
+``process``; ``auto`` and unset leave the caller's mode in charge), which
+keeps benchmarks and CI deterministic without plumbing a flag through every
+call site.  Any other value raises a :class:`ValueError` naming the allowed
+modes.
 """
 
 from __future__ import annotations
@@ -53,10 +55,20 @@ def available_workers() -> int:
 
 
 def resolve_mode(mode: str = "auto", n_items: int = 2) -> str:
-    """Resolve an execution mode to ``serial``/``thread``/``process``."""
+    """Resolve an execution mode to ``serial``/``thread``/``process``.
+
+    A set but invalid ``REPRO_PARALLEL`` raises immediately instead of
+    silently falling through to the caller's mode: a typo like
+    ``REPRO_PARALLEL=processes`` in CI would otherwise just quietly
+    benchmark the wrong executor.
+    """
     if mode not in _MODES:
         raise ValueError(f"unknown parallel mode {mode!r}; expected {_MODES}")
     override = os.environ.get("REPRO_PARALLEL", "").strip().lower()
+    if override and override not in _MODES:
+        raise ValueError(
+            f"invalid REPRO_PARALLEL={override!r}; allowed modes are "
+            f"{', '.join(_MODES)} (or unset, which means auto)")
     if override in ("serial", "thread", "process"):
         mode = override
     if mode == "auto":

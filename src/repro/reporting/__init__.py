@@ -9,7 +9,9 @@ EXPERIMENTS.md all look the same.
 from repro.reporting.tables import (
     format_loss_curves,
     format_sensitivity_table,
+    format_session_stats,
     format_table,
+    format_whatif_table,
     series_to_rows,
 )
 
@@ -18,4 +20,6 @@ __all__ = [
     "series_to_rows",
     "format_loss_curves",
     "format_sensitivity_table",
+    "format_session_stats",
+    "format_whatif_table",
 ]

@@ -91,3 +91,20 @@ def format_whatif_table(rows: Iterable[Sequence[object]],
     """
     headers = ["query", "loss %", "worst slack", "reused", "warm", "cold"]
     return format_table(headers, rows, title=title)
+
+
+def format_session_stats(stats: Iterable[object],
+                         title: str | None = "Session statistics") -> str:
+    """Per-session cache statistics table (the daemon's stats endpoint).
+
+    ``stats`` is an iterable of
+    :class:`repro.service.session.SessionStats` (or anything exposing the
+    same ``as_row``); columns are the cached-configuration count, query and
+    cache-hit/miss totals, evictions, and the aggregated per-message plan
+    counts (reused / warm-started / cold).
+    """
+    headers = ["session", "configs", "queries", "hits", "misses",
+               "evicted", "reused", "warm", "cold"]
+    rows = [entry.as_row() if hasattr(entry, "as_row") else list(entry)
+            for entry in stats]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,70 @@
+"""Analysis daemon: a long-running multi-client query server.
+
+The server package turns the what-if service into genuine multi-user
+infrastructure -- the oq-engine pattern (calculation engine behind a
+daemon with a job queue, worker pool and persistent state) applied to the
+PR 3 session/catalog layer:
+
+* :mod:`repro.server.protocol` -- the line-delimited JSON wire format
+  (typed deltas, event/error models, results; floats round-trip exactly);
+* :mod:`repro.server.pool` -- the sharded, fingerprint-keyed
+  :class:`SessionPool` (one session per bus segment, LRU-bounded);
+* :mod:`repro.server.jobs` -- the :class:`JobQueue` worker pool layered on
+  :mod:`repro.parallel`;
+* :mod:`repro.server.daemon` -- :class:`AnalysisDaemon`, the
+  transport-independent request handler (query / scenario / batch /
+  analyze_system / stats / health endpoints);
+* :mod:`repro.server.tcp` -- the threading TCP front end;
+* :mod:`repro.server.client` -- :class:`InProcessClient` and
+  :class:`TcpClient`, one API over both transports.
+
+``python -m repro.server`` starts a daemon serving the case-study
+workloads (see :mod:`repro.server.__main__`).
+"""
+
+from repro.server.client import (
+    BaseClient,
+    DaemonError,
+    InProcessClient,
+    TcpClient,
+)
+from repro.server.daemon import AnalysisDaemon
+from repro.server.jobs import Job, JobQueue
+from repro.server.pool import SessionPool, UnknownTargetError
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    delta_from_json,
+    delta_to_json,
+    deltas_from_json,
+    deltas_to_json,
+    event_model_from_json,
+    event_model_to_json,
+    error_model_from_json,
+    error_model_to_json,
+)
+from repro.server.tcp import DaemonServer, start_server
+
+__all__ = [
+    "AnalysisDaemon",
+    "BaseClient",
+    "DaemonError",
+    "DaemonServer",
+    "InProcessClient",
+    "Job",
+    "JobQueue",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SessionPool",
+    "TcpClient",
+    "UnknownTargetError",
+    "delta_from_json",
+    "delta_to_json",
+    "deltas_from_json",
+    "deltas_to_json",
+    "error_model_from_json",
+    "error_model_to_json",
+    "event_model_from_json",
+    "event_model_to_json",
+    "start_server",
+]

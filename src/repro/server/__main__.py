@@ -1,0 +1,94 @@
+"""CLI entry point: ``python -m repro.server``.
+
+Starts an :class:`~repro.server.daemon.AnalysisDaemon` with the standard
+workloads registered and serves the line-delimited JSON protocol over TCP
+until interrupted (or until a client sends ``shutdown``):
+
+* target ``powertrain`` -- the paper's case-study K-Matrix
+  (``--messages`` controls its size);
+* system ``multibus`` plus per-segment shards ``multibus/CAN-<i>`` -- an
+  ``--buses``-segment gateway chain for system-level requests.
+
+Example session (from another terminal)::
+
+    $ python -m repro.server --port 7677 &
+    $ printf '%s\\n' '{"op": "health"}' | nc 127.0.0.1 7677
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.server.daemon import AnalysisDaemon
+from repro.server.tcp import DEFAULT_HOST, DEFAULT_PORT, DaemonServer
+from repro.service.deltas import BusConfiguration
+from repro.workloads.multibus import multibus_system
+from repro.workloads.powertrain import (
+    PowertrainConfig,
+    powertrain_bus,
+    powertrain_controllers,
+    powertrain_kmatrix,
+)
+
+
+def build_daemon(messages: int = 80, buses: int = 4,
+                 messages_per_bus: int = 15,
+                 workers: int | None = None) -> AnalysisDaemon:
+    """Daemon preloaded with the standard serving targets."""
+    daemon = AnalysisDaemon(workers=workers)
+    config = PowertrainConfig(n_messages=messages)
+    daemon.add_config("powertrain", BusConfiguration(
+        kmatrix=powertrain_kmatrix(config),
+        bus=powertrain_bus(config),
+        assumed_jitter_fraction=0.15,
+        controllers=powertrain_controllers(config)))
+    daemon.add_system("multibus", multibus_system(
+        n_buses=buses, messages_per_bus=messages_per_bus))
+    return daemon
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve the what-if analysis daemon over TCP.")
+    parser.add_argument("--host", default=DEFAULT_HOST,
+                        help=f"bind address (default {DEFAULT_HOST})")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"TCP port, 0 for ephemeral "
+                             f"(default {DEFAULT_PORT})")
+    parser.add_argument("--messages", type=int, default=80,
+                        help="size of the powertrain target (default 80)")
+    parser.add_argument("--buses", type=int, default=4,
+                        help="segments in the multibus system (default 4)")
+    parser.add_argument("--messages-per-bus", type=int, default=15,
+                        help="messages per multibus segment (default 15)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker threads (default: auto)")
+    args = parser.parse_args(argv)
+
+    daemon = build_daemon(messages=args.messages, buses=args.buses,
+                          messages_per_bus=args.messages_per_bus,
+                          workers=args.workers)
+    server = DaemonServer(daemon, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"{daemon.name} serving on {host}:{port} "
+          f"(targets: {', '.join(daemon.pool.targets())}; "
+          f"systems: {', '.join(daemon.pool.systems())})")
+    print(daemon.jobs.describe())
+    sys.stdout.flush()
+    try:
+        server.serve_in_background()
+        # Wait on the daemon's shutdown signal or the operator's Ctrl-C.
+        while not daemon.wait_for_shutdown(timeout=0.5):
+            pass
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        server.stop()
+    print(daemon.describe())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,162 @@
+"""Clients of the analysis daemon.
+
+Two transports, one API:
+
+* :class:`InProcessClient` -- wraps an :class:`AnalysisDaemon` directly but
+  still round-trips every request and response through the JSON codec, so
+  it exercises byte-for-byte the wire protocol (tests and single-process
+  deployments);
+* :class:`TcpClient` -- a blocking socket client for the
+  :mod:`repro.server.tcp` front end; thread-safe (one request in flight at
+  a time per client).
+
+Responses are plain decoded protocol dicts -- floats in them bit-match the
+kernel's local results (see :mod:`repro.server.protocol`).  A failed
+request raises :class:`DaemonError` carrying the daemon's message.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from itertools import count
+from typing import Mapping, Optional, Sequence
+
+from repro.server.daemon import AnalysisDaemon
+from repro.server.protocol import (
+    decode_line,
+    deltas_to_json,
+    encode_line,
+)
+from repro.service.deltas import Delta
+
+
+class DaemonError(RuntimeError):
+    """The daemon answered ``ok: false``."""
+
+
+class BaseClient:
+    """Shared typed helpers over the raw ``request`` primitive."""
+
+    def request(self, op: str, **params) -> dict:
+        """Send one request; return the ``result`` payload or raise."""
+        raise NotImplementedError
+
+    # -- liveness / inventory ------------------------------------------- #
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def health(self) -> dict:
+        return self.request("health")
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def targets(self) -> dict:
+        return self.request("targets")
+
+    def scenarios(self) -> dict:
+        return self.request("scenarios")
+
+    # -- analysis ------------------------------------------------------- #
+    def query(self, target: str, deltas: Sequence[Delta] = (),
+              message_names: Optional[Sequence[str]] = None,
+              label: Optional[str] = None,
+              with_report: bool = True) -> dict:
+        """One what-if query; ``deltas`` are typed Delta objects."""
+        params: dict = {"target": target,
+                        "deltas": deltas_to_json(deltas),
+                        "with_report": with_report}
+        if message_names is not None:
+            params["message_names"] = list(message_names)
+        if label is not None:
+            params["label"] = label
+        return self.request("query", **params)
+
+    def run_scenario(self, target: str, scenario: str) -> dict:
+        """Execute a catalog scenario against a target."""
+        return self.request("scenario", target=target, scenario=scenario)
+
+    def batch(self, target: str,
+              queries: Sequence[Mapping]) -> dict:
+        """Fan independent labelled queries out over the daemon's workers.
+
+        Each entry is ``{"deltas": [Delta, ...], "label": ...}``; deltas
+        given as objects are encoded here.
+        """
+        encoded = []
+        for step in queries:
+            entry = dict(step)
+            deltas = entry.get("deltas", ())
+            if deltas and isinstance(deltas[0], Delta):
+                entry["deltas"] = deltas_to_json(deltas)
+            encoded.append(entry)
+        return self.request("batch", target=target, queries=encoded)
+
+    def analyze_system(self, system: str) -> dict:
+        """Run the compositional fixed point of a registered system."""
+        return self.request("analyze_system", system=system)
+
+    def shutdown_daemon(self) -> dict:
+        """Ask the daemon to stop serving."""
+        return self.request("shutdown")
+
+    # -- convenience ---------------------------------------------------- #
+    @staticmethod
+    def worst_case(result: Mapping, name: str) -> Optional[float]:
+        """Worst-case response time from a ``query`` result payload."""
+        return result["results"][name]["worst_case"]
+
+
+class InProcessClient(BaseClient):
+    """Protocol-faithful client over a daemon in the same process."""
+
+    def __init__(self, daemon: AnalysisDaemon) -> None:
+        self.daemon = daemon
+        self._ids = count(1)
+
+    def request(self, op: str, **params) -> dict:
+        request = {"op": op, "id": next(self._ids), **params}
+        # Encode/decode both directions: what the daemon sees is exactly
+        # the object a TCP peer would deliver, typos and all.
+        wire_request = decode_line(encode_line(request))
+        response = decode_line(encode_line(self.daemon.handle(wire_request)))
+        if not response.get("ok"):
+            raise DaemonError(response.get("error", "unknown daemon error"))
+        return response["result"]
+
+
+class TcpClient(BaseClient):
+    """Blocking line-protocol client for the TCP front end."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: Optional[float] = 30.0) -> None:
+        self._socket = socket.create_connection((host, port),
+                                                timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+        self._lock = threading.Lock()
+        self._ids = count(1)
+
+    def request(self, op: str, **params) -> dict:
+        request = {"op": op, "id": next(self._ids), **params}
+        with self._lock:
+            self._socket.sendall(encode_line(request))
+            line = self._reader.readline()
+        if not line:
+            raise DaemonError("connection closed by daemon")
+        response = decode_line(line)
+        if not response.get("ok"):
+            raise DaemonError(response.get("error", "unknown daemon error"))
+        return response["result"]
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "TcpClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

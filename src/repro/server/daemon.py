@@ -1,0 +1,314 @@
+"""The long-running analysis daemon.
+
+:class:`AnalysisDaemon` is the serving layer over the what-if service: it
+owns a sharded :class:`~repro.server.pool.SessionPool`, a scenario
+catalog, and a :class:`~repro.server.jobs.JobQueue`, and answers protocol
+requests (see :mod:`repro.server.protocol`):
+
+``ping`` / ``health`` / ``stats`` / ``targets`` / ``scenarios``
+    Liveness, inventory and cache statistics (the stats endpoint renders
+    the :func:`repro.reporting.tables.format_session_stats` table).
+``query``
+    Typed deltas against a registered target -- the interactive what-if
+    primitive.  Results are bit-identical to a from-scratch ``analyze_all``
+    of the mutated configuration (the session guarantees it).
+``scenario``
+    A named :class:`~repro.service.catalog.WhatIfScenario` from the catalog
+    executed against a target's session.
+``batch``
+    Many labelled delta queries fanned out across the worker pool and
+    returned in request order.
+``analyze_system``
+    A compositional fixed point of a registered
+    :class:`~repro.core.system.SystemModel`, run **on the pool's
+    per-segment sessions** -- repeated requests (and per-segment what-if
+    queries in between) hit the same warm caches, which is what makes
+    system re-analysis incremental across clients.
+``shutdown``
+    Graceful stop (the TCP front end watches :attr:`shutdown_requested`).
+
+Transport-independent by construction: :meth:`handle` consumes and
+produces plain protocol dicts, so the in-process client, the TCP server
+and tests all exercise literally the same code path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Mapping, Optional
+
+from repro.core.engine import CompositionalAnalysis
+from repro.core.system import SystemModel
+from repro.reporting.tables import format_session_stats
+from repro.server import protocol
+from repro.server.jobs import JobQueue
+from repro.server.pool import SessionPool, UnknownTargetError
+from repro.service.catalog import ScenarioCatalog, builtin_catalog
+from repro.service.deltas import BusConfiguration
+
+
+class AnalysisDaemon:
+    """Multi-client analysis server over a sharded session pool."""
+
+    def __init__(
+        self,
+        catalog: Optional[ScenarioCatalog] = None,
+        pool: Optional[SessionPool] = None,
+        workers: Optional[int] = None,
+        mode: str = "auto",
+        name: str = "repro-daemon",
+    ) -> None:
+        self.name = name
+        self.catalog = catalog if catalog is not None else builtin_catalog()
+        self.pool = pool if pool is not None else SessionPool()
+        self.jobs = JobQueue(workers=workers, mode=mode)
+        self._engines: dict[
+            str, tuple[CompositionalAnalysis, threading.Lock]] = {}
+        self._engine_lock = threading.Lock()
+        self._started = time.monotonic()
+        self._counter_lock = threading.Lock()
+        self.requests_served = 0
+        self.errors = 0
+        self.op_counts: dict[str, int] = {}
+        self._shutdown = threading.Event()
+        self._ops = {
+            "ping": self._op_ping,
+            "health": self._op_health,
+            "stats": self._op_stats,
+            "targets": self._op_targets,
+            "scenarios": self._op_scenarios,
+            "query": self._op_query,
+            "scenario": self._op_scenario,
+            "batch": self._op_batch,
+            "analyze_system": self._op_analyze_system,
+            "shutdown": self._op_shutdown,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Registration (server-side; the protocol itself is read-only)
+    # ------------------------------------------------------------------ #
+    def add_config(self, name: str, config: BusConfiguration) -> None:
+        """Serve a single-bus configuration under ``name``."""
+        self.pool.add_config(name, config)
+
+    def add_system(self, name: str, system: SystemModel) -> list[str]:
+        """Serve a system model; returns the per-segment shard targets.
+
+        Re-registering a name drops any cached engine for it, so later
+        ``analyze_system`` requests analyse the new model, not the old one.
+        """
+        shards = self.pool.add_system(name, system)
+        with self._engine_lock:
+            self._engines.pop(name, None)
+        return shards
+
+    @property
+    def shutdown_requested(self) -> bool:
+        """Whether a client asked the daemon to stop."""
+        return self._shutdown.is_set()
+
+    def wait_for_shutdown(self, timeout: Optional[float] = None) -> bool:
+        """Block until a shutdown request arrives (or the timeout passes)."""
+        return self._shutdown.wait(timeout)
+
+    def close(self) -> None:
+        """Stop the worker pool (idempotent)."""
+        self._shutdown.set()
+        self.jobs.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+    def handle(self, request: Mapping) -> dict:
+        """Serve one protocol request dict; always returns a response dict.
+
+        Never raises: every error is reported as ``{"ok": false, ...}`` so
+        one malformed request cannot take down a connection.
+        """
+        request_id = request.get("id")
+        op = request.get("op")
+        handler = self._ops.get(op)
+        with self._counter_lock:
+            self.requests_served += 1
+            self.op_counts[op or "?"] = self.op_counts.get(op or "?", 0) + 1
+        if handler is None:
+            return self._error(
+                f"unknown op {op!r}; supported: "
+                f"{', '.join(sorted(self._ops))}", request_id)
+        try:
+            return self._reply(handler(request), request_id)
+        except (UnknownTargetError, protocol.ProtocolError, KeyError,
+                ValueError, TypeError, AttributeError) as error:
+            # AttributeError covers type-malformed but valid-JSON params
+            # (e.g. a string where a list of objects belongs): the contract
+            # is an error *response*, never a dead connection.
+            return self._error(str(error) or repr(error), request_id)
+
+    def submit(self, request: Mapping):
+        """Queue a request on the worker pool; returns a Future response."""
+        return self.jobs.submit(lambda: self.handle(request),
+                                label=str(request.get("op")))
+
+    def _reply(self, result: dict, request_id) -> dict:
+        response = {"ok": True, "result": result}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    def _error(self, message: str, request_id) -> dict:
+        with self._counter_lock:
+            self.errors += 1
+        response = {"ok": False, "error": message}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def _op_ping(self, request: Mapping) -> dict:
+        return {"pong": True, "name": self.name}
+
+    def _op_health(self, request: Mapping) -> dict:
+        return {
+            "status": "ok",
+            "name": self.name,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "sessions": len(self.pool),
+            "targets": self.pool.targets(),
+            "systems": self.pool.systems(),
+            "scenarios": self.catalog.names(),
+            "queue": {"mode": self.jobs.mode, "workers": self.jobs.workers,
+                      "pending": self.jobs.pending},
+        }
+
+    def _op_stats(self, request: Mapping) -> dict:
+        stats = self.pool.stats()
+        return {
+            "requests_served": self.requests_served,
+            "errors": self.errors,
+            "ops": dict(sorted(self.op_counts.items())),
+            "sessions": [protocol.session_stats_to_json(s) for s in stats],
+            "evicted_sessions": self.pool.evicted_sessions,
+            "queue": {"mode": self.jobs.mode, "workers": self.jobs.workers,
+                      "submitted": self.jobs.submitted,
+                      "completed": self.jobs.completed},
+            "table": format_session_stats(
+                stats, title=f"{self.name}: session statistics"),
+        }
+
+    def _op_targets(self, request: Mapping) -> dict:
+        return {"targets": self.pool.targets(),
+                "systems": self.pool.systems()}
+
+    def _op_scenarios(self, request: Mapping) -> dict:
+        return {
+            "scenarios": [
+                {"name": scenario.name,
+                 "queries": len(scenario.queries),
+                 "description": scenario.description}
+                for scenario in sorted(self.catalog,
+                                       key=lambda s: s.name)],
+        }
+
+    def _op_query(self, request: Mapping) -> dict:
+        session = self.pool.get(str(request["target"]))
+        deltas = protocol.deltas_from_json(request.get("deltas", ()))
+        message_names = request.get("message_names")
+        if message_names is not None:
+            message_names = [str(n) for n in message_names]
+        result = session.query(
+            deltas,
+            message_names=message_names,
+            label=request.get("label"),
+            with_report=bool(request.get("with_report", True)),
+        )
+        return protocol.query_result_to_json(result)
+
+    def _op_scenario(self, request: Mapping) -> dict:
+        session = self.pool.get(str(request["target"]))
+        run = self.catalog.run(str(request["scenario"]), session)
+        return {
+            "scenario": run.scenario,
+            "session": run.session,
+            "queries": [protocol.query_result_to_json(q)
+                        for q in run.queries],
+            "table": run.to_table(),
+        }
+
+    def _op_batch(self, request: Mapping) -> dict:
+        """Independent labelled delta queries, fanned out over the workers.
+
+        Results come back in request order regardless of completion order
+        (each step resolves its own future), so a batch aggregates exactly
+        like a serial loop -- the :mod:`repro.parallel` guarantee carried
+        to the wire.
+        """
+        target = str(request["target"])
+        session = self.pool.get(target)
+        steps = request.get("queries", ())
+        futures = []
+        for step in steps:
+            deltas = protocol.deltas_from_json(step.get("deltas", ()))
+            label = step.get("label")
+            with_report = bool(step.get("with_report", True))
+            futures.append(self.jobs.submit(
+                lambda d=deltas, lb=label, wr=with_report: session.query(
+                    d, label=lb, with_report=wr),
+                label=f"batch:{target}"))
+        return {
+            "target": target,
+            "results": [protocol.query_result_to_json(f.result())
+                        for f in futures],
+        }
+
+    def _op_analyze_system(self, request: Mapping) -> dict:
+        name = str(request["system"])
+        system, sessions = self.pool.system(name)
+        with self._engine_lock:
+            entry = self._engines.get(name)
+            if entry is None or entry[0].system is not system:
+                # No engine yet, or the name was re-registered to a new
+                # model: never serve a fixed point of a stale system.
+                entry = (CompositionalAnalysis(system, sessions=sessions),
+                         threading.Lock())
+                self._engines[name] = entry
+        engine, run_lock = entry
+        # One fixed point per system at a time: the engine's per-run sweep
+        # state is not meant to interleave (sessions themselves are
+        # thread-safe, so per-segment queries still overlap with clients).
+        with run_lock:
+            result = engine.run()
+        return {
+            "system": name,
+            "converged": result.converged,
+            "iterations": result.iterations,
+            "all_deadlines_met": result.all_deadlines_met,
+            "messages": {msg_name: protocol.result_to_json(value)
+                         for msg_name, value in
+                         result.message_results.items()},
+            "bus_reports": {bus: protocol.report_to_json(report)
+                            for bus, report in result.bus_reports.items()},
+        }
+
+    def _op_shutdown(self, request: Mapping) -> dict:
+        self._shutdown.set()
+        return {"stopping": True}
+
+    # ------------------------------------------------------------------ #
+    # Context manager
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "AnalysisDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        """One-line daemon summary."""
+        return (f"{self.name}: {len(self.pool)} sessions, "
+                f"{len(self.catalog)} scenarios, "
+                f"{self.requests_served} requests served "
+                f"({self.errors} errors); {self.jobs.describe()}")

@@ -1,0 +1,138 @@
+"""Job queue and worker pool of the analysis daemon.
+
+Every request the daemon accepts becomes a :class:`Job` on a FIFO queue; a
+fixed pool of worker threads drains the queue and resolves each job's
+:class:`~concurrent.futures.Future` -- the dbserver/worker split of
+oq-engine scaled down to one process.  Queueing decouples transport from
+computation: a slow analysis never blocks accepting (or answering
+``health``) and a batch request can fan its steps out across all workers.
+
+Sizing and mode come from :mod:`repro.parallel`: ``REPRO_PARALLEL=serial``
+(or a single-core machine) degrades to inline execution -- still through
+the same submit/result path, so behaviour is identical and deterministic.
+``process`` is treated as ``thread`` here: jobs close over the daemon's
+session pool, which is in-process state by design (the kernel caches it
+shards are exactly what must be shared, not copied).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.parallel import available_workers, resolve_mode
+
+#: Default cap on worker threads: analysis is pure Python, so a handful of
+#: workers cover overlap between clients without oversubscribing the GIL.
+DEFAULT_MAX_WORKERS = 8
+
+
+@dataclass
+class Job:
+    """One queued unit of work: a thunk plus the future resolving it."""
+
+    run: Callable[[], object]
+    future: Future = field(default_factory=Future)
+    label: str = ""
+
+    def execute(self) -> None:
+        """Run the thunk and resolve the future (exceptions travel too)."""
+        if not self.future.set_running_or_notify_cancel():
+            return
+        try:
+            self.future.set_result(self.run())
+        except BaseException as error:  # noqa: BLE001 - delivered to caller
+            self.future.set_exception(error)
+
+
+class JobQueue:
+    """FIFO job queue drained by a worker-thread pool.
+
+    ``mode="serial"`` (or an effective serial resolution of ``"auto"`` via
+    ``REPRO_PARALLEL`` / core count) executes jobs inline on ``submit`` --
+    same API, no threads, deterministic order.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 mode: str = "auto") -> None:
+        resolved = resolve_mode(mode, n_items=2)
+        if resolved == "process":
+            resolved = "thread"
+        self.mode = resolved
+        self.workers = 0
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        if resolved == "thread":
+            self.workers = workers or min(available_workers(),
+                                          DEFAULT_MAX_WORKERS)
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._drain, name=f"repro-worker-{index}",
+                    daemon=True)
+                thread.start()
+                self._threads.append(thread)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, run: Callable[[], object],
+               label: str = "") -> "Future":
+        """Queue a thunk; returns the future of its result."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job queue is shut down")
+            self.submitted += 1
+        job = Job(run=run, label=label)
+        if not self._threads:
+            job.execute()
+            with self._lock:
+                self.completed += 1
+            return job.future
+        self._queue.put(job)
+        return job.future
+
+    def _drain(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
+            try:
+                job.execute()
+            finally:
+                with self._lock:
+                    self.completed += 1
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; optionally wait for queued work to finish."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=10.0)
+
+    @property
+    def pending(self) -> int:
+        """Jobs accepted but not yet completed."""
+        with self._lock:
+            return self.submitted - self.completed
+
+    def describe(self) -> str:
+        return (f"job queue: mode={self.mode}, workers={self.workers}, "
+                f"{self.submitted} submitted, {self.completed} completed, "
+                f"{self.pending} pending")

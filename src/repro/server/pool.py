@@ -1,0 +1,226 @@
+"""Sharded session pool: the daemon's unit of state.
+
+A :class:`SessionPool` owns every :class:`~repro.service.session.AnalysisSession`
+the daemon serves queries through.  Sessions are *sharded by bus segment*:
+registering a single-bus target creates one session, registering a
+:class:`~repro.core.system.SystemModel` creates one session per bus segment
+(named ``<target>/<bus>``) plus keeps the system itself so the
+compositional engine can run **on the same sessions** -- a system-level
+analysis request and a per-segment what-if query therefore hit one shared
+cache.
+
+Sessions are additionally keyed by their base-configuration fingerprint:
+two targets registered with identical configurations (two clients exploring
+the same K-Matrix) share a single session, which is what turns N clients
+into one warm cache instead of N cold ones.
+
+The pool is LRU-bounded (``max_sessions``), with a pinning rule: sessions
+whose name is currently registered (the default, ``pin=True``) are immune
+to eviction -- a live serving target never silently loses its cache, so
+the bound is effectively a cap on *unpinned* sessions and can be exceeded
+by pinned ones.  A session becomes unpinned (and LRU-evictable) when
+registered with ``pin=False`` or when every name aliasing it is
+re-registered to a different configuration.  All operations are
+thread-safe -- the TCP front end serves each connection from its own
+thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Iterable, Mapping, Optional
+
+from repro.core.system import SystemModel
+from repro.service.deltas import BusConfiguration
+from repro.service.session import AnalysisSession, SessionStats
+
+
+class UnknownTargetError(KeyError):
+    """A request named a target the pool does not serve."""
+
+    def __init__(self, name: str, known: Iterable[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = sorted(known)
+
+    def __str__(self) -> str:
+        known = ", ".join(self.known) or "none"
+        return f"unknown target {self.name!r}; registered: {known}"
+
+
+class SessionPool:
+    """Fingerprint-keyed, LRU-bounded pool of analysis sessions."""
+
+    def __init__(self, max_sessions: int = 64,
+                 max_cached_configs: int = 64) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        self._max_sessions = max_sessions
+        self._max_cached_configs = max_cached_configs
+        self._lock = threading.RLock()
+        # Fingerprint -> session (LRU order); name -> fingerprint aliases.
+        self._sessions: OrderedDict[object, AnalysisSession] = OrderedDict()
+        self._targets: dict[str, object] = {}
+        self._pinned: set[object] = set()
+        self._systems: dict[str, SystemModel] = {}
+        self._system_shards: dict[str, list[str]] = {}
+        self.evicted_sessions = 0
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def add_config(self, name: str, config: BusConfiguration,
+                   pin: bool = True) -> AnalysisSession:
+        """Register a single-bus target; returns its (possibly shared)
+        session."""
+        with self._lock:
+            return self._register(name, config, pin)
+
+    def add_system(self, name: str, system: SystemModel,
+                   pin: bool = True) -> list[str]:
+        """Register a system: one session shard per bus segment.
+
+        Returns the shard target names (``<name>/<bus>``).  The system
+        model itself is kept so :meth:`system` can hand it (plus its shard
+        sessions) to the compositional engine.
+        """
+        problems = system.validate()
+        if problems:
+            raise ValueError(
+                "inconsistent system model:\n  " + "\n  ".join(problems))
+        shards: list[str] = []
+        with self._lock:
+            for segment in system.buses.values():
+                shard = f"{name}/{segment.name}"
+                config = BusConfiguration(
+                    kmatrix=segment.kmatrix,
+                    bus=segment.bus,
+                    error_model=segment.error_model,
+                    assumed_jitter_fraction=segment.assumed_jitter_fraction,
+                    controllers=dict(system.controllers) or None,
+                    deadline_policy=segment.deadline_policy)
+                self._register(shard, config, pin)
+                shards.append(shard)
+            self._systems[name] = system
+            self._system_shards[name] = shards
+        return shards
+
+    def _register(self, name: str, config: BusConfiguration,
+                  pin: bool) -> AnalysisSession:
+        # The analysis key excludes the deadline policy (it never changes
+        # response times), but sessions default their *reports* to the base
+        # policy -- so it is part of the sharing key here.
+        key = (config.analysis_key(), config.deadline_policy)
+        session = self._sessions.get(key)
+        if session is None:
+            session = AnalysisSession.from_config(
+                config, max_cached_configs=self._max_cached_configs,
+                name=name)
+            self._sessions[key] = session
+        self._sessions.move_to_end(key)
+        previous = self._targets.get(name)
+        self._targets[name] = key
+        if pin:
+            self._pinned.add(key)
+        if previous is not None and previous != key:
+            # Re-registration under a changed configuration: the old
+            # fingerprint loses this alias; once no target references it,
+            # it loses its pin too and becomes ordinary LRU prey instead
+            # of an unreclaimable leak.
+            if previous not in set(self._targets.values()):
+                self._pinned.discard(previous)
+        self._evict_locked()
+        return session
+
+    def _evict_locked(self) -> None:
+        while len(self._sessions) > self._max_sessions:
+            for key in self._sessions:
+                if key not in self._pinned:
+                    del self._sessions[key]
+                    self.evicted_sessions += 1
+                    # Aliases of an evicted session are dropped too: a
+                    # later lookup re-registers from the configuration
+                    # rather than silently answering from a missing shard.
+                    for name in [n for n, k in self._targets.items()
+                                 if k == key]:
+                        del self._targets[name]
+                    break
+            else:
+                break
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> AnalysisSession:
+        """Session of a registered target (LRU-touching)."""
+        with self._lock:
+            key = self._targets.get(name)
+            session = self._sessions.get(key) if key is not None else None
+            if session is None:
+                raise UnknownTargetError(name, self.targets())
+            self._sessions.move_to_end(key)
+            return session
+
+    def system(self, name: str) -> tuple[SystemModel,
+                                         dict[str, AnalysisSession]]:
+        """A registered system and its per-segment shard sessions.
+
+        The returned mapping is keyed by *bus name* (what
+        :class:`~repro.core.engine.CompositionalAnalysis` expects as its
+        ``sessions=``); missing shards (evicted) are simply absent -- the
+        engine recreates private ones.
+        """
+        with self._lock:
+            system = self._systems.get(name)
+            if system is None:
+                raise UnknownTargetError(name, self._systems)
+            sessions: dict[str, AnalysisSession] = {}
+            for shard in self._system_shards.get(name, ()):
+                key = self._targets.get(shard)
+                session = self._sessions.get(key) if key is not None else None
+                if session is not None:
+                    # Strip the "<system name>/" prefix; a plain split would
+                    # mis-parse system names that themselves contain "/".
+                    sessions[shard[len(name) + 1:]] = session
+                    self._sessions.move_to_end(key)
+            return system, sessions
+
+    def targets(self) -> list[str]:
+        """All live target names, sorted."""
+        with self._lock:
+            return sorted(n for n, k in self._targets.items()
+                          if k in self._sessions)
+
+    def systems(self) -> list[str]:
+        """All registered system names, sorted."""
+        with self._lock:
+            return sorted(self._systems)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            key = self._targets.get(name)
+            return key is not None and key in self._sessions
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> list[SessionStats]:
+        """Per-session statistics, in stable (name) order."""
+        with self._lock:
+            sessions = sorted(self._sessions.values(),
+                              key=lambda session: session.name)
+            return [session.stats() for session in sessions]
+
+    def describe(self) -> str:
+        """Multi-line pool summary."""
+        with self._lock:
+            lines = [f"Session pool: {len(self._sessions)} sessions "
+                     f"({len(self._targets)} targets, "
+                     f"{self.evicted_sessions} evicted)"]
+            lines.extend("  " + stats.describe() for stats in self.stats())
+        return "\n".join(lines)

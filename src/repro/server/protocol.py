@@ -1,0 +1,398 @@
+"""Line-delimited JSON protocol of the analysis daemon.
+
+One request or response is one JSON object on one line (``\\n`` terminated,
+UTF-8) -- the framing oq-engine's dbserver and most job-queue daemons use:
+trivially debuggable with ``nc``, trivially proxied, and streamable over any
+byte pipe.  The same codec backs the TCP transport and the in-process
+client, so a request tested in-process is byte-for-byte the request that
+goes over a socket.
+
+Floats survive the protocol **exactly**: ``json`` serialises them via
+``repr``, which round-trips every finite IEEE-754 double, so a response-time
+read from the daemon bit-matches the kernel's local result.  The tests rely
+on this.
+
+Requests are ``{"op": <name>, ...params}``; responses are
+``{"ok": true, "result": ...}`` or ``{"ok": false, "error": <message>}``.
+An optional ``"id"`` field is echoed verbatim so pipelining clients can
+match responses to requests.
+
+Typed values (deltas, event models, error models, CAN messages) are tagged
+objects, e.g. ``{"delta": "jitter", "message_name": "M12", "jitter": 0.4}``.
+Unknown tags raise :class:`ProtocolError` -- the daemon never guesses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Mapping, Optional, Sequence
+
+from repro.can.frame import CanFrameFormat
+from repro.can.message import CanMessage
+from repro.errors.models import (
+    BurstErrorModel,
+    CompositeErrorModel,
+    ErrorModel,
+    NoErrors,
+    SporadicErrorModel,
+)
+from repro.events.model import (
+    EventModel,
+    PeriodicEventModel,
+    PeriodicWithBurst,
+    PeriodicWithJitter,
+    SporadicEventModel,
+)
+from repro.service.deltas import (
+    AddMessageDelta,
+    BusDelta,
+    DeadlinePolicyDelta,
+    Delta,
+    ErrorModelDelta,
+    EventModelDelta,
+    JitterDelta,
+    PriorityDelta,
+    RemoveMessageDelta,
+)
+
+#: Protocol revision, reported by the ``health`` endpoint; bump on any
+#: incompatible wire change.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A malformed or unsupported protocol object."""
+
+
+# --------------------------------------------------------------------------- #
+# Event models
+# --------------------------------------------------------------------------- #
+_EVENT_MODEL_CLASSES = {
+    "event": EventModel,
+    "periodic": PeriodicEventModel,
+    "periodic-jitter": PeriodicWithJitter,
+    "periodic-burst": PeriodicWithBurst,
+    "sporadic": SporadicEventModel,
+}
+_EVENT_MODEL_TAGS = {cls: tag for tag, cls in _EVENT_MODEL_CLASSES.items()}
+
+
+def event_model_to_json(model: EventModel) -> dict:
+    """Tagged JSON object for a standard event model."""
+    tag = _EVENT_MODEL_TAGS.get(type(model))
+    if tag is None:
+        raise ProtocolError(
+            f"cannot serialise event model type {type(model).__name__}")
+    return {"model": tag, "period": model.period, "jitter": model.jitter,
+            "min_distance": model.min_distance}
+
+
+def event_model_from_json(data: Mapping) -> EventModel:
+    """Inverse of :func:`event_model_to_json`."""
+    cls = _EVENT_MODEL_CLASSES.get(data.get("model"))
+    if cls is None:
+        raise ProtocolError(f"unknown event model tag {data.get('model')!r}")
+    return cls(period=float(data["period"]),
+               jitter=float(data.get("jitter", 0.0)),
+               min_distance=float(data.get("min_distance", 0.0)))
+
+
+# --------------------------------------------------------------------------- #
+# Error models
+# --------------------------------------------------------------------------- #
+def error_model_to_json(model: ErrorModel) -> dict:
+    """Tagged JSON object for a bus-error model."""
+    if isinstance(model, NoErrors):
+        return {"errors": "none"}
+    if isinstance(model, SporadicErrorModel):
+        return {"errors": "sporadic",
+                "min_interarrival": model.min_interarrival}
+    if isinstance(model, BurstErrorModel):
+        return {"errors": "burst", "min_interarrival": model.min_interarrival,
+                "burst_length": model.burst_length,
+                "intra_burst_gap": model.intra_burst_gap}
+    if isinstance(model, CompositeErrorModel):
+        return {"errors": "composite",
+                "components": [error_model_to_json(c)
+                               for c in model.components]}
+    if type(model) is ErrorModel:
+        return {"errors": "none"}
+    raise ProtocolError(
+        f"cannot serialise error model type {type(model).__name__}")
+
+
+def error_model_from_json(data: Mapping) -> ErrorModel:
+    """Inverse of :func:`error_model_to_json`."""
+    kind = data.get("errors")
+    if kind == "none":
+        return NoErrors()
+    if kind == "sporadic":
+        return SporadicErrorModel(
+            min_interarrival=float(data["min_interarrival"]))
+    if kind == "burst":
+        return BurstErrorModel(
+            min_interarrival=float(data["min_interarrival"]),
+            burst_length=int(data["burst_length"]),
+            intra_burst_gap=float(data["intra_burst_gap"]))
+    if kind == "composite":
+        return CompositeErrorModel(components=tuple(
+            error_model_from_json(c) for c in data["components"]))
+    raise ProtocolError(f"unknown error model tag {kind!r}")
+
+
+# --------------------------------------------------------------------------- #
+# CAN messages
+# --------------------------------------------------------------------------- #
+def can_message_to_json(message: CanMessage) -> dict:
+    """JSON object for a K-Matrix row (timing-relevant fields only)."""
+    data = {
+        "name": message.name,
+        "can_id": message.can_id,
+        "dlc": message.dlc,
+        "period": message.period,
+        "sender": message.sender,
+        "receivers": list(message.receivers),
+    }
+    if message.jitter is not None:
+        data["jitter"] = message.jitter
+    if message.deadline is not None:
+        data["deadline"] = message.deadline
+    if message.min_distance:
+        data["min_distance"] = message.min_distance
+    if message.frame_format is not CanFrameFormat.STANDARD:
+        data["frame_format"] = message.frame_format.value
+    return data
+
+
+def can_message_from_json(data: Mapping) -> CanMessage:
+    """Inverse of :func:`can_message_to_json`."""
+    try:
+        return CanMessage(
+            name=str(data["name"]),
+            can_id=int(data["can_id"]),
+            dlc=int(data["dlc"]),
+            period=float(data["period"]),
+            sender=str(data["sender"]),
+            receivers=tuple(str(r) for r in data.get("receivers", ())),
+            jitter=(float(data["jitter"]) if "jitter" in data else None),
+            deadline=(float(data["deadline"])
+                      if "deadline" in data else None),
+            min_distance=float(data.get("min_distance", 0.0)),
+            frame_format=CanFrameFormat(
+                data.get("frame_format", CanFrameFormat.STANDARD.value)),
+        )
+    except KeyError as missing:
+        raise ProtocolError(f"CAN message object lacks {missing}") from None
+
+
+# --------------------------------------------------------------------------- #
+# Deltas
+# --------------------------------------------------------------------------- #
+def delta_to_json(delta: Delta) -> dict:
+    """Tagged JSON object for any typed what-if delta."""
+    if isinstance(delta, JitterDelta):
+        data = {"delta": "jitter"}
+        if delta.message_name is not None:
+            data["message_name"] = delta.message_name
+        if delta.jitter is not None:
+            data["jitter"] = delta.jitter
+        if delta.fraction is not None:
+            data["fraction"] = delta.fraction
+        return data
+    if isinstance(delta, ErrorModelDelta):
+        return {"delta": "error-model",
+                "error_model": error_model_to_json(delta.error_model)}
+    if isinstance(delta, PriorityDelta):
+        if delta.swap is not None:
+            return {"delta": "priority", "swap": list(delta.swap)}
+        if delta.order is not None:
+            return {"delta": "priority", "order": list(delta.order)}
+        return {"delta": "priority",
+                "id_by_name": {name: can_id
+                               for name, can_id in delta.id_by_name}}
+    if isinstance(delta, EventModelDelta):
+        return {"delta": "event-models",
+                "models": {name: event_model_to_json(model)
+                           for name, model in delta.models},
+                "replace_all": delta.replace_all}
+    if isinstance(delta, AddMessageDelta):
+        return {"delta": "add-message",
+                "message": can_message_to_json(delta.message)}
+    if isinstance(delta, RemoveMessageDelta):
+        return {"delta": "remove-message",
+                "message_name": delta.message_name}
+    if isinstance(delta, BusDelta):
+        data = {"delta": "bus"}
+        if delta.bit_rate_bps is not None:
+            data["bit_rate_bps"] = delta.bit_rate_bps
+        if delta.bit_stuffing is not None:
+            data["bit_stuffing"] = delta.bit_stuffing
+        return data
+    if isinstance(delta, DeadlinePolicyDelta):
+        return {"delta": "deadline-policy", "policy": delta.policy}
+    raise ProtocolError(
+        f"cannot serialise delta type {type(delta).__name__}")
+
+
+def delta_from_json(data: Mapping) -> Delta:
+    """Inverse of :func:`delta_to_json`."""
+    kind = data.get("delta")
+    if kind == "jitter":
+        return JitterDelta(
+            message_name=data.get("message_name"),
+            jitter=(float(data["jitter"]) if "jitter" in data else None),
+            fraction=(float(data["fraction"])
+                      if "fraction" in data else None))
+    if kind == "error-model":
+        return ErrorModelDelta(error_model_from_json(data["error_model"]))
+    if kind == "priority":
+        if "swap" in data:
+            first, second = data["swap"]
+            return PriorityDelta(swap=(str(first), str(second)))
+        if "order" in data:
+            return PriorityDelta(order=tuple(str(n) for n in data["order"]))
+        if "id_by_name" in data:
+            return PriorityDelta.from_mapping(
+                {str(n): int(i) for n, i in data["id_by_name"].items()})
+        raise ProtocolError("priority delta needs swap=, order= or "
+                            "id_by_name=")
+    if kind == "event-models":
+        return EventModelDelta.from_mapping(
+            {str(name): event_model_from_json(model)
+             for name, model in data.get("models", {}).items()},
+            replace_all=bool(data.get("replace_all", False)))
+    if kind == "add-message":
+        return AddMessageDelta(can_message_from_json(data["message"]))
+    if kind == "remove-message":
+        return RemoveMessageDelta(str(data["message_name"]))
+    if kind == "bus":
+        return BusDelta(
+            bit_rate_bps=(float(data["bit_rate_bps"])
+                          if "bit_rate_bps" in data else None),
+            bit_stuffing=(bool(data["bit_stuffing"])
+                          if "bit_stuffing" in data else None))
+    if kind == "deadline-policy":
+        return DeadlinePolicyDelta(str(data["policy"]))
+    raise ProtocolError(f"unknown delta tag {kind!r}")
+
+
+def deltas_from_json(items: Sequence[Mapping]) -> tuple[Delta, ...]:
+    """Decode a request's delta list."""
+    return tuple(delta_from_json(item) for item in items)
+
+
+def deltas_to_json(deltas: Sequence[Delta]) -> list[dict]:
+    """Encode a delta list for a request."""
+    return [delta_to_json(delta) for delta in deltas]
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+def result_to_json(result) -> dict:
+    """JSON object for one :class:`MessageResponseTime`."""
+    return {
+        "name": result.name,
+        "can_id": result.can_id,
+        "worst_case": result.worst_case if result.bounded else None,
+        "best_case": result.best_case,
+        "transmission_time": result.transmission_time,
+        "blocking": result.blocking,
+        "jitter": result.jitter,
+        "busy_period": result.busy_period,
+        "instances_analyzed": result.instances_analyzed,
+        "bounded": result.bounded,
+    }
+
+
+def _finite(value: float) -> Optional[float]:
+    """Non-finite floats become ``None`` (JSON has no inf/nan)."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return None
+    return value
+
+
+def report_to_json(report) -> Optional[dict]:
+    """JSON summary of a :class:`SchedulabilityReport` (``None`` passthrough)."""
+    if report is None:
+        return None
+    return {
+        "all_deadlines_met": report.all_deadlines_met,
+        "missed": sorted(v.name for v in report.missed),
+        "loss_fraction": report.loss_fraction,
+        "worst_normalized_slack": _finite(report.worst_normalized_slack),
+        "utilization": report.utilization,
+        "deadline_policy": report.deadline_policy,
+    }
+
+
+def query_result_to_json(result) -> dict:
+    """JSON object for a :class:`repro.service.session.QueryResult`."""
+    return {
+        "label": result.label,
+        "fingerprint": result.fingerprint,
+        "results": {name: result_to_json(value)
+                    for name, value in result.results.items()},
+        "report": report_to_json(result.report),
+        "stats": {
+            "total": result.stats.total,
+            "reused": result.stats.reused,
+            "warm_started": result.stats.warm_started,
+            "cold": result.stats.cold,
+            "cache_hit": result.stats.cache_hit,
+        },
+    }
+
+
+def session_stats_to_json(stats) -> dict:
+    """JSON object for a :class:`repro.service.session.SessionStats`."""
+    return {
+        "name": stats.name,
+        "cached_configs": stats.cached_configs,
+        "queries": stats.queries,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "evictions": stats.evictions,
+        "reused": stats.reused,
+        "warm_started": stats.warm_started,
+        "cold": stats.cold,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+def encode_line(obj: Mapping) -> bytes:
+    """One protocol object as one newline-terminated UTF-8 line."""
+    return json.dumps(obj, separators=(",", ":"),
+                      allow_nan=False).encode("utf-8") + b"\n"
+
+
+def decode_line(line: "bytes | str") -> dict:
+    """Inverse of :func:`encode_line` (accepts str for convenience)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty protocol line")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"malformed protocol line: {error}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("protocol line must encode a JSON object")
+    return obj
+
+
+def write_message(stream: IO[bytes], obj: Mapping) -> None:
+    """Write one protocol object to a binary stream and flush."""
+    stream.write(encode_line(obj))
+    stream.flush()
+
+
+def read_message(stream: IO[bytes]) -> Optional[dict]:
+    """Read one protocol object; ``None`` on a cleanly closed stream."""
+    line = stream.readline()
+    if not line:
+        return None
+    return decode_line(line)

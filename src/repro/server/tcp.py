@@ -1,0 +1,114 @@
+"""TCP front end of the analysis daemon.
+
+A :class:`socketserver.ThreadingTCPServer` speaking the line-delimited JSON
+protocol: one connection thread per client, one request per line, one
+response per line, requests answered in order per connection.  All state
+lives in the :class:`~repro.server.daemon.AnalysisDaemon` (whose session
+pool and job queue are thread-safe); the transport layer only frames bytes.
+
+``start_server`` binds and serves in a daemon thread, returning the running
+server -- the pattern examples and tests use::
+
+    daemon = AnalysisDaemon()
+    daemon.add_config("powertrain", config)
+    server = start_server(daemon, port=0)       # port 0: ephemeral
+    with TcpClient(*server.server_address) as client:
+        client.ping()
+    server.stop()
+
+A client sending the ``shutdown`` op stops the server (and the daemon's
+workers) after its response line is written.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Optional
+
+from repro.server.daemon import AnalysisDaemon
+from repro.server.protocol import ProtocolError, decode_line, encode_line
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7677
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One client connection: drain request lines until EOF or shutdown."""
+
+    def handle(self) -> None:
+        server: "DaemonServer" = self.server  # type: ignore[assignment]
+        daemon = server.daemon
+        for line in self.rfile:
+            if not line.strip():
+                continue
+            try:
+                request = decode_line(line)
+            except ProtocolError as error:
+                self.wfile.write(encode_line(
+                    {"ok": False, "error": str(error)}))
+                continue
+            response = daemon.handle(request)
+            self.wfile.write(encode_line(response))
+            self.wfile.flush()
+            if daemon.shutdown_requested:
+                server.stop_async()
+                return
+
+
+class DaemonServer(socketserver.ThreadingTCPServer):
+    """Threading TCP server bound to one :class:`AnalysisDaemon`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, daemon: AnalysisDaemon,
+                 host: str = DEFAULT_HOST,
+                 port: int = DEFAULT_PORT) -> None:
+        super().__init__((host, port), _RequestHandler)
+        self.daemon = daemon
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually bound (host, port) -- resolves ``port=0``."""
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+    def serve_in_background(self) -> "DaemonServer":
+        """Start ``serve_forever`` on a daemon thread; returns self."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-daemon-tcp", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, close_daemon: bool = True) -> None:
+        """Stop serving, join the serve thread, optionally close the daemon."""
+        if not self._stopped.is_set():
+            self._stopped.set()
+            self.shutdown()
+            self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if close_daemon:
+            self.daemon.close()
+
+    def stop_async(self) -> None:
+        """Stop from inside a handler thread (shutdown op)."""
+        threading.Thread(target=self.stop, daemon=True).start()
+
+    def __enter__(self) -> "DaemonServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_server(daemon: AnalysisDaemon, host: str = DEFAULT_HOST,
+                 port: int = DEFAULT_PORT) -> DaemonServer:
+    """Bind a :class:`DaemonServer` and serve it in a background thread."""
+    return DaemonServer(daemon, host=host, port=port).serve_in_background()

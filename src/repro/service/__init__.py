@@ -43,13 +43,19 @@ from repro.service.deltas import (
     DeadlinePolicyDelta,
     Delta,
     ErrorModelDelta,
+    EventModelDelta,
     JitterDelta,
     PriorityDelta,
     RemoveMessageDelta,
     apply_deltas,
 )
 from repro.service.evaluation import SessionEvaluator
-from repro.service.session import AnalysisSession, QueryResult, QueryStats
+from repro.service.session import (
+    AnalysisSession,
+    QueryResult,
+    QueryStats,
+    SessionStats,
+)
 
 __all__ = [
     "AddMessageDelta",
@@ -61,11 +67,13 @@ __all__ = [
     "DeadlinePolicyDelta",
     "Delta",
     "ErrorModelDelta",
+    "EventModelDelta",
     "JitterDelta",
     "PriorityDelta",
     "QueryResult",
     "QueryStats",
     "RemoveMessageDelta",
+    "SessionStats",
     "ScenarioCatalog",
     "ScenarioQuery",
     "ScenarioRunResult",

@@ -258,6 +258,62 @@ class RemoveMessageDelta(Delta):
 
 
 @dataclass(frozen=True)
+class EventModelDelta(Delta):
+    """Replace or merge externally supplied activation models.
+
+    This is the compositional engine's delta: every global iteration turns
+    the propagated send models of one bus segment into an
+    ``EventModelDelta`` and issues it to the segment's session, so the next
+    iteration's bus analysis starts from cached kernels instead of being
+    rebuilt.  ``models`` holds ``(message_name, event_model)`` pairs (kept
+    sorted by name, so equal override maps hash equally); with
+    ``replace=True`` the pairs *become* the configuration's override map,
+    otherwise they are merged into the existing overrides.
+
+    Event models are frozen dataclasses, so the delta stays hashable and
+    picklable like every other delta.
+    """
+
+    models: tuple[tuple[str, EventModel], ...] = ()
+    replace_all: bool = False
+
+    def __post_init__(self) -> None:
+        pairs = tuple(sorted(
+            (str(name), model) for name, model in dict(self.models).items()))
+        for _, model in pairs:
+            if not isinstance(model, EventModel):
+                raise ValueError(
+                    f"EventModelDelta needs EventModel values, got {model!r}")
+        object.__setattr__(self, "models", pairs)
+
+    @classmethod
+    def from_mapping(cls, models: Mapping[str, EventModel],
+                     replace_all: bool = False) -> "EventModelDelta":
+        """Delta from a plain ``name -> event model`` mapping."""
+        return cls(models=tuple(sorted(models.items())),
+                   replace_all=replace_all)
+
+    def apply(self, config: BusConfiguration) -> BusConfiguration:
+        for name, _ in self.models:
+            if name not in config.kmatrix:
+                raise KeyError(name)
+        if self.replace_all:
+            merged = dict(self.models)
+        else:
+            merged = dict(config.event_models or {})
+            merged.update(self.models)
+        return replace(config, event_models=merged or None)
+
+    def describe(self) -> str:
+        if not self.models:
+            return "clear event-model overrides" if self.replace_all \
+                else "event models unchanged"
+        names = ", ".join(name for name, _ in self.models[:3])
+        suffix = ", ..." if len(self.models) > 3 else ""
+        return f"inject event models for {names}{suffix}"
+
+
+@dataclass(frozen=True)
 class BusDelta(Delta):
     """Change physical bus parameters (bit rate, stuffing assumption)."""
 

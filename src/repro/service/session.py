@@ -39,6 +39,7 @@ path is deterministic.
 from __future__ import annotations
 
 import hashlib
+import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -63,7 +64,8 @@ from repro.errors.models import (
     NoErrors,
     SporadicErrorModel,
 )
-from repro.events.model import EventModel
+from repro.events.model import EventModel, _ceil_div
+from repro.events.model import _EPSILON as _SNAP_EPS
 from repro.service.deltas import BusConfiguration, Delta, apply_deltas
 
 _BASE_ETA_PLUS = EventModel.eta_plus
@@ -84,10 +86,21 @@ def _models_identical(old: EventModel, new: EventModel) -> bool:
 def _model_dominates(old: EventModel, new: EventModel) -> bool:
     """Whether ``new.eta_plus >= old.eta_plus`` pointwise.
 
-    Mirrors the segment-level guard of :mod:`repro.core.engine`: periods
-    must be equal, jitter must not shrink, and a burst-limiting minimum
-    distance may only tighten or be dropped.  Models with a custom
-    ``eta_plus`` are only accepted when literally unchanged.
+    Sharper than the segment-level guard of :mod:`repro.core.engine`:
+    periods must be equal, jitter must not shrink, and a burst-limiting
+    minimum distance may tighten, be dropped -- or **appear**, provided the
+    cap curve ``ceil(dt/d) + 1`` never dips below the old jitter curve
+    ``ceil((dt + J_old) / T)``.  Writing ``x_k = (k-1)*T - J_old`` for the
+    infimum window at which the old curve reaches ``k`` events, the cap
+    right after ``x_k`` is ``floor(x_k/d) + 2``, so dominance needs
+    ``floor(x_k/d) >= k - 2`` for every ``k >= 3``; the deficit shrinks by
+    at least ``T/d - 1`` per step, so with ``d <= T`` the ``k = 3`` check
+    ``2*T - J_old >= d`` settles all of them (and implies ``J_old < 2*T``,
+    which covers ``k <= 2``).  This is exactly the compositional engine's
+    iteration-2 shape: a gateway output model gains a transmission-time
+    minimum distance far below the period, which caps bursts without ever
+    lowering the curve.  Models with a custom ``eta_plus`` are only
+    accepted when literally unchanged.
     """
     if (type(old).eta_plus is not _BASE_ETA_PLUS
             or type(new).eta_plus is not _BASE_ETA_PLUS):
@@ -95,10 +108,78 @@ def _model_dominates(old: EventModel, new: EventModel) -> bool:
     if new.period != old.period or new.jitter < old.jitter:
         return False
     if new.min_distance != old.min_distance:
-        if new.min_distance != 0.0 and not (
-                0.0 < new.min_distance <= old.min_distance
-                and old.min_distance > 0.0):
+        if new.min_distance == 0.0:
+            pass  # dropping the cap only raises eta_plus
+        elif 0.0 < old.min_distance and \
+                new.min_distance <= old.min_distance:
+            pass  # tightening the cap only raises eta_plus
+        elif old.min_distance == 0.0 and (
+                new.min_distance <= old.period
+                and 2.0 * old.period - old.jitter >= new.min_distance):
+            pass  # a cap appeared, entirely above the old jitter curve
+        else:
             return False
+    return True
+
+
+def _flat_activations(dt: float, period: float, jitter: float,
+                      min_distance: float) -> int:
+    """Activation count of one flat model entry at window ``dt``.
+
+    Replicates the inlined arithmetic of
+    :meth:`CanBusAnalysis._interference_of` operation for operation, so a
+    count compared equal here guarantees the interference *sum* is
+    bit-identical (same values, same summation order).
+    """
+    if dt <= 0:
+        return 0
+    value = (dt + jitter) / period
+    nearest = round(value)
+    if abs(value - nearest) <= _SNAP_EPS * (
+            nearest if nearest > 1.0 else 1.0):
+        activations = nearest
+    else:
+        activations = math.ceil(value)
+    if min_distance > 0.0:
+        capped = _ceil_div(dt, min_distance) + 1
+        if capped < activations:
+            activations = capped
+    return activations
+
+
+def _seed_unaffected(changed_hp: Sequence[tuple], own_id: int,
+                     seed: MessageResponseTime, bit_time: float) -> bool:
+    """Whether a converged seed is *provably still the exact fixed point*.
+
+    ``changed_hp`` lists ``(can_id, old_params, new_params)`` for every
+    re-modelled message (params are ``(period, jitter, min_distance)``).
+    The seed's busy period and per-instance queuing delays are exact fixed
+    points of the old right-hand side (the kernel iterates to exact float
+    equality); the new right-hand side differs only in the changed entries'
+    activation counts.  If every changed higher-priority count is unchanged
+    at every seed window, the new RHS reproduces the seed bit-for-bit, and
+    a reproduced seed is a fixed point that the dominance precondition
+    (seed <= new least fixed point) pins to *the* least fixed point -- so
+    the cached result can be returned without touching the other
+    ``|hp| - |changed|`` interference terms at all.
+
+    Only sound for messages whose **own** model is unchanged (jitter and
+    arrival offsets enter the response assembly directly) under a plan
+    whose basis shares structure, blocking, error model and horizon -- the
+    caller guarantees all of that.
+    """
+    for can_id, old_params, new_params in changed_hp:
+        if can_id >= own_id:
+            continue
+        dt = seed.busy_period + bit_time
+        if _flat_activations(dt, *old_params) != _flat_activations(
+                dt, *new_params):
+            return False
+        for window in seed.queuing_delays:
+            dt = window + bit_time
+            if _flat_activations(dt, *old_params) != _flat_activations(
+                    dt, *new_params):
+                return False
     return True
 
 
@@ -225,6 +306,44 @@ class _CacheEntry:
 # Query result objects
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
+class SessionStats:
+    """Lifetime counters of one :class:`AnalysisSession`.
+
+    ``cache_hits`` counts queries answered entirely from a cached
+    fingerprint; ``cache_misses`` is the remainder.  The plan counters
+    (``reused`` / ``warm_started`` / ``cold``) aggregate the per-message
+    actions of every *computed* query (cache-hit queries never plan), so
+    they describe how much incremental structure the session exploited.
+    """
+
+    name: str
+    cached_configs: int
+    queries: int
+    cache_hits: int
+    evictions: int
+    reused: int
+    warm_started: int
+    cold: int
+
+    @property
+    def cache_misses(self) -> int:
+        """Queries that required at least a plan (not a pure cache hit)."""
+        return self.queries - self.cache_hits
+
+    def as_row(self) -> list[object]:
+        """Row for :func:`repro.reporting.tables.format_session_stats`."""
+        return [self.name, self.cached_configs, self.queries,
+                self.cache_hits, self.cache_misses, self.evictions,
+                self.reused, self.warm_started, self.cold]
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.cached_configs} cached configs, "
+                f"{self.queries} queries ({self.cache_hits} hits), "
+                f"{self.evictions} evictions; plans: {self.reused} reused, "
+                f"{self.warm_started} warm, {self.cold} cold")
+
+
+@dataclass(frozen=True)
 class QueryStats:
     """How the session obtained one query's results.
 
@@ -341,6 +460,10 @@ class AnalysisSession:
         self._last_key: _Key | None = None
         self.queries = 0
         self.cache_hits = 0
+        self.evictions = 0
+        self.plan_reused = 0
+        self.plan_warm = 0
+        self.plan_cold = 0
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -482,22 +605,25 @@ class AnalysisSession:
         profile = entry.profile if entry is not None \
             else _Profile(config, analysis)
 
-        plan, basis, adopt_changed = self._choose_plan(
+        plan, basis, adopt_changed, fast_ok = self._choose_plan(
             profile, analysis, config, bases, needed)
         stats, results = self._execute(
             config, analysis, profile, plan, basis, needed,
             existing=entry.results if entry is not None else None,
-            adopt_changed=adopt_changed)
+            adopt_changed=adopt_changed, fast_ok=fast_ok)
 
         with self._lock:
             entry = self._cache.get(key)
             if entry is None:
                 entry = _CacheEntry(key, config, analysis, profile)
                 self._cache[key] = entry
-                self._evict_locked()
+                self._evict_locked(protect=key)
             entry.results.update(results)
             self._cache.move_to_end(key)
             self._last_key = key
+            self.plan_reused += stats.reused
+            self.plan_warm += stats.warm_started
+            self.plan_cold += stats.cold
         stats = QueryStats(
             total=stats.total, reused=stats.reused,
             warm_started=stats.warm_started, cold=stats.cold,
@@ -509,6 +635,44 @@ class AnalysisSession:
         """One-line session summary (cache occupancy and hit statistics)."""
         return (f"{self.name}: {len(self._cache)} cached configurations, "
                 f"{self.queries} queries, {self.cache_hits} cache hits")
+
+    def stats(self) -> SessionStats:
+        """Snapshot of the session's lifetime counters (thread-safe)."""
+        with self._lock:
+            return SessionStats(
+                name=self.name,
+                cached_configs=len(self._cache),
+                queries=self.queries,
+                cache_hits=self.cache_hits,
+                evictions=self.evictions,
+                reused=self.plan_reused,
+                warm_started=self.plan_warm,
+                cold=self.plan_cold,
+            )
+
+    def input_models(self, deltas: Sequence[Delta] = (),
+                     ) -> dict[str, EventModel]:
+        """Per-message activation models of the configuration ``deltas`` yield.
+
+        Exactly the models a fresh
+        :class:`~repro.analysis.response_time.CanBusAnalysis` of that
+        configuration would report via ``event_model`` -- the compositional
+        engine derives output (arrival) event models from them.  Served from
+        the cached kernel when the configuration was already analysed.
+        """
+        config, key = self._resolve(tuple(deltas))
+        with self._lock:
+            entry = self._cache.get(key)
+        if entry is not None:
+            return dict(entry.profile.models)
+        overrides = dict(config.event_models or {})
+        models: dict[str, EventModel] = {}
+        for message in config.kmatrix:
+            model = overrides.get(message.name)
+            if model is None:
+                model = message.event_model(config.assumed_jitter_fraction)
+            models[message.name] = model
+        return models
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -530,11 +694,19 @@ class AnalysisSession:
             label=label, deltas=deltas,
             results=results, report=report, stats=stats, key=entry.key)
 
-    def _evict_locked(self) -> None:
+    def _evict_locked(self, protect: "_Key | None" = None) -> None:
+        """Drop LRU entries beyond the bound.
+
+        ``protect`` names the entry being inserted right now: without it,
+        a full cache would evict the newcomer itself (base and last are
+        already immune) and the subsequent bookkeeping would KeyError.
+        """
         while len(self._cache) > self._max_cached:
             for key in self._cache:
-                if key != self._base_key and key != self._last_key:
+                if key != self._base_key and key != self._last_key \
+                        and key != protect:
                     del self._cache[key]
+                    self.evictions += 1
                     break
             else:
                 break
@@ -579,40 +751,45 @@ class AnalysisSession:
                      bases: Sequence[_CacheEntry],
                      needed: Sequence[str] | None,
                      ) -> tuple[dict[str, str], _CacheEntry | None,
-                                set[str] | None]:
+                                set[str] | None, bool]:
         """Plan against each candidate basis; keep the cheapest.
 
         The third element names the changed event models when the winning
         basis satisfies the kernel-adoption precondition of
-        :meth:`CanBusAnalysis.adopt_kernels` (``None`` otherwise).
+        :meth:`CanBusAnalysis.adopt_kernels` (``None`` otherwise); the
+        fourth flags whether warm seeds may additionally go through the
+        :func:`_seed_unaffected` re-verification shortcut (structure,
+        blocking, error model and horizon all carried over).
         """
         wanted = list(needed) if needed is not None else list(profile.names)
         best_plan = {name: _COLD for name in wanted}
         best_basis = None
         best_changed: set[str] | None = None
+        best_fast = False
         best_cost = len(wanted) * 10
         for basis in bases:
             outcome = self._plan(profile, analysis, config, basis, wanted)
             if outcome is None:
                 continue
-            plan, adopt_changed = outcome
+            plan, adopt_changed, fast_ok = outcome
             colds = sum(1 for a in plan.values() if a == _COLD)
             warms = sum(1 for a in plan.values() if a == _WARM)
             cost = 10 * colds + warms
             if cost < best_cost:
                 best_plan, best_basis, best_cost = plan, basis, cost
                 best_changed = adopt_changed
+                best_fast = fast_ok
             if colds == 0:
                 # Nothing left to gain from another basis: a different one
                 # could at best turn warm starts into reuses, which a later
                 # exact-fingerprint hit handles anyway.
                 break
-        return best_plan, best_basis, best_changed
+        return best_plan, best_basis, best_changed, best_fast
 
     def _plan(self, new: _Profile, analysis: CanBusAnalysis,
               config: BusConfiguration, basis: _CacheEntry,
               wanted: Sequence[str],
-              ) -> tuple[dict[str, str], set[str] | None] | None:
+              ) -> tuple[dict[str, str], set[str] | None, bool] | None:
         """Per-message action plan against one basis, or ``None``.
 
         ``None`` means the basis is structurally unusable (different bus
@@ -647,13 +824,16 @@ class AnalysisSession:
 
         if new.names == old.names and new.ids == old.ids:
             # Same structure: kernels can be adopted from the basis with
-            # only the changed model entries patched.
+            # only the changed model entries patched, and warm seeds may be
+            # re-verified through the O(|changed|) count check (sound only
+            # when the error model and the divergence horizon also carried
+            # over -- _seed_unaffected assumes both).
             return (self._plan_same_priorities(
                 new, wanted, changed, error_same, all_dominate, horizon_same),
-                changed)
+                changed, error_same and horizon_same)
         return (self._plan_new_priorities(
             new, analysis, config, basis, wanted, common, changed, error_same,
-            all_dominate, horizon_same), None)
+            all_dominate, horizon_same), None, False)
 
     def _plan_same_priorities(self, new: _Profile, wanted, changed,
                               error_same, all_dominate, horizon_same,
@@ -747,12 +927,15 @@ class AnalysisSession:
                  needed: Sequence[str] | None,
                  existing: Mapping[str, MessageResponseTime] | None,
                  adopt_changed: set[str] | None = None,
+                 fast_ok: bool = False,
                  ) -> tuple[QueryStats, dict[str, MessageResponseTime]]:
         """Run the plan; every fall-back lands on an exact cold start."""
         reused = warm = cold = 0
         results: dict[str, MessageResponseTime] = {}
         wanted = None if needed is None else set(needed)
         horizon = profile.horizon
+        changed_hp: list[tuple] | None = None
+        bit_time = 0.0
         if basis is not None and adopt_changed is not None:
             # Structure-preserving basis: patch its frozen interference
             # tables instead of rebuilding them (see adopt_kernels).
@@ -763,6 +946,20 @@ class AnalysisSession:
                 basis.analysis,
                 {name: profile.models[name] for name in adopt_changed},
                 names=to_solve)
+            if fast_ok and adopt_changed:
+                # Warm seeds of messages whose own model is untouched can
+                # be re-verified in O(|changed|) per seed window instead of
+                # re-solved (see _seed_unaffected); all changed models are
+                # flat-parameter ones here (all_dominate vetted them).
+                old_models = basis.profile.models
+                changed_hp = sorted(
+                    (profile.ids[name],
+                     (old_models[name].period, old_models[name].jitter,
+                      old_models[name].min_distance),
+                     (profile.models[name].period, profile.models[name].jitter,
+                      profile.models[name].min_distance))
+                    for name in adopt_changed)
+                bit_time = profile.bus.bit_time_ms
         for message in config.kmatrix:
             name = message.name
             if wanted is not None and name not in wanted:
@@ -773,6 +970,14 @@ class AnalysisSession:
                 continue
             action = plan.get(name, _COLD)
             seed = basis.results.get(name) if basis is not None else None
+            if (action == _WARM and changed_hp is not None
+                    and seed is not None and seed.bounded
+                    and name not in adopt_changed
+                    and _seed_unaffected(changed_hp, profile.ids[name],
+                                         seed, bit_time)):
+                results[name] = seed
+                reused += 1
+                continue
             if action == _REUSE and seed is not None:
                 fits = seed.bounded and seed.busy_period <= horizon and all(
                     w <= horizon for w in seed.queuing_delays)

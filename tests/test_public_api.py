@@ -32,3 +32,27 @@ class TestPublicApi:
         message = kmatrix.sorted_by_priority()[0]
         result = repro.worst_case_response_time(message, kmatrix, bus)
         assert result.worst_case >= result.transmission_time
+
+    def test_service_and_server_types_are_exported(self):
+        for name in ("AnalysisSession", "SessionStats", "BusConfiguration",
+                     "EventModelDelta", "AnalysisDaemon", "SessionPool",
+                     "InProcessClient", "TcpClient", "DaemonServer",
+                     "DaemonError", "start_server"):
+            assert name in repro.__all__, f"{name} missing from __all__"
+            assert hasattr(repro, name)
+
+    def test_daemon_quickstart_via_public_api(self):
+        kmatrix, bus, controllers = repro.powertrain_system()
+        daemon = repro.AnalysisDaemon(name="api-smoke")
+        daemon.add_config("case-study", repro.BusConfiguration(
+            kmatrix=kmatrix, bus=bus, assumed_jitter_fraction=0.15,
+            controllers=controllers))
+        client = repro.InProcessClient(daemon)
+        response = client.query("case-study",
+                                (repro.JitterDelta(fraction=0.2),))
+        direct = repro.CanBusAnalysis(
+            kmatrix, bus, assumed_jitter_fraction=0.2,
+            controllers=controllers).analyze_all()
+        for name, entry in response["results"].items():
+            assert entry["worst_case"] == direct[name].worst_case
+        daemon.close()

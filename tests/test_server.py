@@ -1,0 +1,593 @@
+"""Tests of the analysis daemon: protocol, pool, queue, clients, TCP.
+
+The core exactness property throughout: every response-time float a client
+reads from the daemon -- through the JSON protocol, possibly over a real
+socket, possibly interleaved with other clients' mutating queries -- must
+**bit-match** a from-scratch ``CanBusAnalysis.analyze_all`` of the mutated
+configuration.  JSON round-trips finite doubles exactly (``repr`` codec),
+so ``==`` is the right comparison.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.response_time import CanBusAnalysis
+from repro.can.message import CanMessage
+from repro.errors.models import (
+    BurstErrorModel,
+    CompositeErrorModel,
+    NoErrors,
+    SporadicErrorModel,
+)
+from repro.events.model import (
+    PeriodicEventModel,
+    PeriodicWithBurst,
+    PeriodicWithJitter,
+    SporadicEventModel,
+)
+from repro.server import (
+    AnalysisDaemon,
+    DaemonError,
+    InProcessClient,
+    JobQueue,
+    ProtocolError,
+    SessionPool,
+    TcpClient,
+    UnknownTargetError,
+    start_server,
+)
+from repro.server.protocol import (
+    decode_line,
+    delta_from_json,
+    delta_to_json,
+    encode_line,
+    error_model_from_json,
+    error_model_to_json,
+    event_model_from_json,
+    event_model_to_json,
+)
+from repro.service.deltas import (
+    AddMessageDelta,
+    BusConfiguration,
+    BusDelta,
+    DeadlinePolicyDelta,
+    ErrorModelDelta,
+    EventModelDelta,
+    JitterDelta,
+    PriorityDelta,
+    RemoveMessageDelta,
+    apply_deltas,
+)
+from repro.workloads.multibus import multibus_system
+from repro.workloads.powertrain import (
+    PowertrainConfig,
+    powertrain_bus,
+    powertrain_controllers,
+    powertrain_kmatrix,
+)
+
+
+def _powertrain_config(n_messages: int = 30) -> BusConfiguration:
+    config = PowertrainConfig(n_messages=n_messages)
+    return BusConfiguration(
+        kmatrix=powertrain_kmatrix(config),
+        bus=powertrain_bus(config),
+        assumed_jitter_fraction=0.15,
+        controllers=powertrain_controllers(config))
+
+
+def _reference_worst_cases(config: BusConfiguration, deltas=()) -> dict:
+    """From-scratch analyze_all of the delta'd configuration."""
+    mutated = apply_deltas(config, deltas)
+    analysis = mutated.build_analysis()
+    return {name: result.worst_case if result.bounded else None
+            for name, result in analysis.analyze_all().items()}
+
+
+@pytest.fixture(scope="module")
+def daemon() -> AnalysisDaemon:
+    d = AnalysisDaemon(name="test-daemon")
+    d.add_config("powertrain", _powertrain_config())
+    d.add_system("multibus", multibus_system(
+        n_buses=3, messages_per_bus=8, seed=5))
+    yield d
+    d.close()
+
+
+@pytest.fixture(scope="module")
+def client(daemon) -> InProcessClient:
+    return InProcessClient(daemon)
+
+
+# --------------------------------------------------------------------------- #
+# Protocol codec
+# --------------------------------------------------------------------------- #
+class TestProtocolRoundtrips:
+    EVENT_MODELS = [
+        PeriodicEventModel(period=10.0),
+        PeriodicWithJitter(period=10.0, jitter=2.5),
+        PeriodicWithBurst(period=10.0, jitter=15.0, min_distance=0.5),
+        SporadicEventModel(period=7.5, jitter=1.25),
+    ]
+
+    ERROR_MODELS = [
+        NoErrors(),
+        SporadicErrorModel(min_interarrival=31.25),
+        BurstErrorModel(min_interarrival=50.0, burst_length=3,
+                        intra_burst_gap=1.5),
+        CompositeErrorModel(components=(
+            SporadicErrorModel(min_interarrival=100.0),
+            BurstErrorModel(min_interarrival=500.0, burst_length=2,
+                            intra_burst_gap=0.25))),
+    ]
+
+    def test_event_models_roundtrip(self):
+        for model in self.EVENT_MODELS:
+            data = decode_line(encode_line(event_model_to_json(model)))
+            assert event_model_from_json(data) == model
+            assert type(event_model_from_json(data)) is type(model)
+
+    def test_error_models_roundtrip(self):
+        for model in self.ERROR_MODELS:
+            data = decode_line(encode_line(error_model_to_json(model)))
+            assert error_model_from_json(data) == model
+
+    def test_deltas_roundtrip(self):
+        deltas = [
+            JitterDelta(fraction=0.35),
+            JitterDelta(message_name="M1", jitter=0.625),
+            JitterDelta(message_name="M1", fraction=0.1),
+            ErrorModelDelta(SporadicErrorModel(min_interarrival=12.5)),
+            PriorityDelta(swap=("A", "B")),
+            PriorityDelta(order=("C", "A", "B")),
+            PriorityDelta.from_mapping({"A": 0x10, "B": 0x20}),
+            EventModelDelta.from_mapping(
+                {"A": PeriodicWithJitter(period=5.0, jitter=1.0)},
+                replace_all=True),
+            AddMessageDelta(CanMessage(
+                name="New", can_id=0x77, dlc=4, period=12.5,
+                sender="ECU_X", receivers=("ECU_Y",), jitter=0.5)),
+            RemoveMessageDelta("Old"),
+            BusDelta(bit_rate_bps=250_000.0, bit_stuffing=False),
+            DeadlinePolicyDelta("min-rearrival"),
+        ]
+        for delta in deltas:
+            data = decode_line(encode_line(delta_to_json(delta)))
+            assert delta_from_json(data) == delta
+
+    def test_unknown_tags_raise(self):
+        with pytest.raises(ProtocolError):
+            delta_from_json({"delta": "quantum"})
+        with pytest.raises(ProtocolError):
+            event_model_from_json({"model": "chaotic", "period": 1.0})
+        with pytest.raises(ProtocolError):
+            error_model_from_json({"errors": "gremlins"})
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2, 3]\n")
+        with pytest.raises(ProtocolError):
+            decode_line(b"\n")
+
+
+# --------------------------------------------------------------------------- #
+# Session pool
+# --------------------------------------------------------------------------- #
+class TestSessionPool:
+    def test_identical_configs_share_a_session(self):
+        pool = SessionPool()
+        first = pool.add_config("alpha", _powertrain_config(20))
+        second = pool.add_config("beta", _powertrain_config(20))
+        assert first is second
+        assert len(pool) == 1
+        assert pool.get("alpha") is pool.get("beta")
+
+    def test_deadline_policy_separates_sessions(self):
+        pool = SessionPool()
+        base = _powertrain_config(20)
+        strict = BusConfiguration(
+            kmatrix=base.kmatrix, bus=base.bus,
+            error_model=base.error_model,
+            assumed_jitter_fraction=base.assumed_jitter_fraction,
+            controllers=base.controllers,
+            deadline_policy="min-rearrival")
+        assert pool.add_config("a", base) is not pool.add_config("b", strict)
+
+    def test_unknown_target_raises_with_inventory(self):
+        pool = SessionPool()
+        pool.add_config("only", _powertrain_config(20))
+        with pytest.raises(UnknownTargetError) as error:
+            pool.get("missing")
+        assert "only" in str(error.value)
+
+    def test_lru_eviction_of_unpinned_sessions(self):
+        pool = SessionPool(max_sessions=2)
+        for index, size in enumerate((16, 20, 24)):
+            pool.add_config(f"t{index}", _powertrain_config(size), pin=False)
+        assert len(pool) == 2
+        assert pool.evicted_sessions == 1
+        assert "t0" not in pool
+        assert "t2" in pool
+
+    def test_system_sharding(self):
+        pool = SessionPool()
+        system = multibus_system(n_buses=3, messages_per_bus=6, seed=2)
+        shards = pool.add_system("chain", system)
+        assert shards == ["chain/CAN-0", "chain/CAN-1", "chain/CAN-2"]
+        got_system, sessions = pool.system("chain")
+        assert got_system is system
+        assert sorted(sessions) == ["CAN-0", "CAN-1", "CAN-2"]
+        assert sessions["CAN-1"] is pool.get("chain/CAN-1")
+
+    def test_system_name_containing_slash(self):
+        pool = SessionPool()
+        system = multibus_system(n_buses=2, messages_per_bus=6, seed=2)
+        pool.add_system("plant/line1", system)
+        _, sessions = pool.system("plant/line1")
+        assert sorted(sessions) == ["CAN-0", "CAN-1"]
+
+    def test_reregistration_unpins_the_orphaned_session(self):
+        pool = SessionPool(max_sessions=1)
+        pool.add_config("target", _powertrain_config(16))
+        # Same name, new configuration: the old fingerprint loses its
+        # alias and its pin, so the bound can reclaim it.
+        pool.add_config("target", _powertrain_config(20))
+        assert len(pool) == 1
+        assert pool.evicted_sessions == 1
+        assert pool.get("target").base_config.kmatrix is not None
+
+
+# --------------------------------------------------------------------------- #
+# Job queue
+# --------------------------------------------------------------------------- #
+class TestJobQueue:
+    def test_serial_mode_runs_inline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "serial")
+        queue = JobQueue()
+        assert queue.mode == "serial"
+        assert queue.submit(lambda: 21 * 2).result(timeout=1) == 42
+        queue.shutdown()
+
+    def test_threaded_queue_resolves_futures_in_submit_order(self,
+                                                             monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "thread")
+        queue = JobQueue(workers=4)
+        assert queue.mode == "thread"
+        futures = [queue.submit(lambda i=i: i * i) for i in range(32)]
+        assert [f.result(timeout=5) for f in futures] == [
+            i * i for i in range(32)]
+        assert queue.pending == 0
+        queue.shutdown()
+
+    def test_exceptions_travel_through_futures(self):
+        queue = JobQueue()
+
+        def boom():
+            raise RuntimeError("bang")
+
+        future = queue.submit(boom)
+        with pytest.raises(RuntimeError, match="bang"):
+            future.result(timeout=5)
+        queue.shutdown()
+
+    def test_submit_after_shutdown_raises(self):
+        queue = JobQueue()
+        queue.shutdown()
+        with pytest.raises(RuntimeError):
+            queue.submit(lambda: None)
+
+    def test_process_mode_degrades_to_thread(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "process")
+        queue = JobQueue()
+        assert queue.mode == "thread"
+        queue.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# REPRO_PARALLEL validation (satellite)
+# --------------------------------------------------------------------------- #
+class TestReproParallelValidation:
+    def test_invalid_override_raises_naming_modes(self, monkeypatch):
+        from repro.parallel import resolve_mode
+        monkeypatch.setenv("REPRO_PARALLEL", "processes")
+        with pytest.raises(ValueError) as error:
+            resolve_mode("auto", 4)
+        message = str(error.value)
+        for mode in ("serial", "thread", "process", "auto"):
+            assert mode in message
+
+    def test_auto_and_empty_overrides_are_accepted(self, monkeypatch):
+        from repro.parallel import resolve_mode
+        monkeypatch.setenv("REPRO_PARALLEL", "auto")
+        assert resolve_mode("serial", 4) == "serial"
+        monkeypatch.setenv("REPRO_PARALLEL", "  ")
+        assert resolve_mode("serial", 4) == "serial"
+
+
+# --------------------------------------------------------------------------- #
+# Daemon endpoints (in-process client, full protocol path)
+# --------------------------------------------------------------------------- #
+class TestDaemonEndpoints:
+    def test_ping_health_targets_scenarios(self, client):
+        assert client.ping()["pong"] is True
+        health = client.health()
+        assert health["status"] == "ok"
+        assert "powertrain" in health["targets"]
+        assert "multibus" in health["systems"]
+        assert "paper-jitter-sweep" in health["scenarios"]
+        names = [s["name"] for s in client.scenarios()["scenarios"]]
+        assert names == sorted(names)
+
+    def test_query_bit_matches_from_scratch(self, client):
+        config = _powertrain_config()
+        victim = config.kmatrix.sorted_by_priority()[5].name
+        deltas = (JitterDelta(message_name=victim, jitter=1.75),)
+        response = client.query("powertrain", deltas)
+        expected = _reference_worst_cases(config, deltas)
+        got = {name: entry["worst_case"]
+               for name, entry in response["results"].items()}
+        assert got == expected
+
+    def test_query_subset_and_no_report(self, client):
+        config = _powertrain_config()
+        names = [m.name for m in config.kmatrix.sorted_by_priority()[:3]]
+        response = client.query(
+            "powertrain", (JitterDelta(fraction=0.3),),
+            message_names=names, with_report=False)
+        assert sorted(response["results"]) == sorted(names)
+        assert response["report"] is None
+
+    def test_query_unknown_target_is_clean_error(self, client):
+        with pytest.raises(DaemonError, match="unknown target"):
+            client.query("nope", ())
+
+    def test_unknown_op_is_clean_error(self, client):
+        with pytest.raises(DaemonError, match="unknown op"):
+            client.request("frobnicate")
+
+    def test_malformed_delta_is_clean_error(self, client):
+        with pytest.raises(DaemonError):
+            client.request("query", target="powertrain",
+                           deltas=[{"delta": "quantum"}])
+
+    def test_type_malformed_params_are_clean_errors(self, client):
+        """Valid JSON of the wrong shape must yield an error response,
+        never an unhandled exception (which would kill a TCP connection)."""
+        with pytest.raises(DaemonError):
+            client.request("query", target="powertrain", deltas="abc")
+        with pytest.raises(DaemonError):
+            client.request("batch", target="powertrain", queries=["x"])
+        with pytest.raises(DaemonError):
+            client.request("query", target="powertrain",
+                           deltas=[{"delta": "jitter", "fraction": "many"}])
+        # The daemon is still alive afterwards.
+        assert client.ping()["pong"] is True
+
+    def test_reregistered_system_is_not_served_stale(self):
+        daemon = AnalysisDaemon(name="rereg")
+        daemon.add_system("sys", multibus_system(
+            n_buses=2, messages_per_bus=6, seed=1))
+        client = InProcessClient(daemon)
+        first = client.analyze_system("sys")
+        replacement = multibus_system(n_buses=3, messages_per_bus=8, seed=2)
+        daemon.add_system("sys", replacement)
+        second = client.analyze_system("sys")
+        assert len(second["messages"]) > len(first["messages"])
+        from repro.core.engine import CompositionalAnalysis
+        direct = CompositionalAnalysis(replacement,
+                                       incremental=False).run()
+        got = {name: entry["worst_case"]
+               for name, entry in second["messages"].items()}
+        assert got == {
+            name: result.worst_case if result.bounded else None
+            for name, result in direct.message_results.items()}
+        daemon.close()
+
+    def test_scenario_run(self, client):
+        response = client.run_scenario("powertrain", "paper-jitter-sweep")
+        assert response["scenario"] == "paper-jitter-sweep"
+        assert len(response["queries"]) == 13
+        assert "query" in response["table"]
+        config = _powertrain_config()
+        last = response["queries"][-1]
+        expected = _reference_worst_cases(
+            config, (JitterDelta(fraction=0.6),))
+        got = {name: entry["worst_case"]
+               for name, entry in last["results"].items()}
+        assert got == expected
+
+    def test_batch_preserves_request_order(self, client):
+        config = _powertrain_config()
+        fractions = [0.05 * i for i in range(8)]
+        response = client.batch("powertrain", [
+            {"deltas": (JitterDelta(fraction=f),), "label": f"f{index}"}
+            for index, f in enumerate(fractions)])
+        assert [q["label"] for q in response["results"]] == [
+            f"f{i}" for i in range(len(fractions))]
+        for fraction, entry in zip(fractions, response["results"]):
+            expected = _reference_worst_cases(
+                config, (JitterDelta(fraction=fraction),))
+            got = {name: value["worst_case"]
+                   for name, value in entry["results"].items()}
+            assert got == expected
+
+    def test_analyze_system_matches_direct_engine(self, client):
+        from repro.core.engine import CompositionalAnalysis
+        system = multibus_system(n_buses=3, messages_per_bus=8, seed=5)
+        direct = CompositionalAnalysis(system, incremental=False).run()
+        response = client.analyze_system("multibus")
+        assert response["converged"] == direct.converged
+        assert response["iterations"] == direct.iterations
+        got = {name: entry["worst_case"]
+               for name, entry in response["messages"].items()}
+        expected = {name: result.worst_case if result.bounded else None
+                    for name, result in direct.message_results.items()}
+        assert got == expected
+        # A second request reuses the pool sessions and stays identical.
+        assert client.analyze_system("multibus")["messages"] == \
+            response["messages"]
+
+    def test_stats_endpoint_exposes_sessions_and_table(self, client):
+        client.query("powertrain", (JitterDelta(fraction=0.25),))
+        stats = client.stats()
+        assert stats["requests_served"] > 0
+        names = [s["name"] for s in stats["sessions"]]
+        assert "powertrain" in names
+        table = stats["table"]
+        for header in ("session", "queries", "hits", "reused", "warm",
+                       "cold"):
+            assert header in table
+        assert "powertrain" in table
+
+
+# --------------------------------------------------------------------------- #
+# Concurrent clients (the multi-user property)
+# --------------------------------------------------------------------------- #
+class TestConcurrentClients:
+    N_THREADS = 6
+    QUERIES_PER_THREAD = 8
+
+    def test_interleaved_mutating_queries_all_bit_match(self):
+        """N threads issue interleaved jitter/priority deltas against one
+        daemon; every response must bit-match a from-scratch analysis of
+        exactly that delta sequence (no cross-client bleed)."""
+        config = _powertrain_config(24)
+        daemon = AnalysisDaemon(name="concurrent")
+        daemon.add_config("shared", config)
+        priorities = config.kmatrix.sorted_by_priority()
+        pairs = [(priorities[i].name, priorities[i + 1].name)
+                 for i in range(0, 8, 2)]
+        failures: list[str] = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def run_client(thread_index: int) -> None:
+            client = InProcessClient(daemon)
+            barrier.wait(timeout=10)
+            for step in range(self.QUERIES_PER_THREAD):
+                if (thread_index + step) % 2 == 0:
+                    victim = priorities[3 + thread_index].name
+                    deltas = (JitterDelta(
+                        message_name=victim,
+                        jitter=0.25 * (step + 1) * (thread_index + 1)),)
+                else:
+                    deltas = (PriorityDelta(
+                        swap=pairs[(thread_index + step) % len(pairs)]),)
+                response = client.query("shared", deltas, with_report=False)
+                got = {name: entry["worst_case"]
+                       for name, entry in response["results"].items()}
+                expected = _reference_worst_cases(config, deltas)
+                if got != expected:
+                    failures.append(
+                        f"thread {thread_index} step {step}: mismatch")
+
+        threads = [threading.Thread(target=run_client, args=(index,))
+                   for index in range(self.N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        daemon.close()
+        assert not failures, failures
+        stats = daemon.pool.stats()[0]
+        assert stats.queries == self.N_THREADS * self.QUERIES_PER_THREAD
+
+
+# --------------------------------------------------------------------------- #
+# TCP transport
+# --------------------------------------------------------------------------- #
+class TestTcpTransport:
+    def test_tcp_end_to_end_bit_matches_in_process(self):
+        config = _powertrain_config(24)
+        daemon = AnalysisDaemon(name="tcp-test")
+        daemon.add_config("powertrain", config)
+        server = start_server(daemon, port=0)
+        host, port = server.address
+        try:
+            deltas = (JitterDelta(fraction=0.4),)
+            local = InProcessClient(daemon).query("powertrain", deltas)
+            with TcpClient(host, port) as tcp:
+                assert tcp.ping()["pong"] is True
+                remote = tcp.query("powertrain", deltas)
+                assert remote["results"] == local["results"]
+                assert remote["fingerprint"] == local["fingerprint"]
+                scenario = tcp.run_scenario("powertrain",
+                                            "paper-error-sweep-sporadic")
+                assert len(scenario["queries"]) == 8
+        finally:
+            server.stop()
+
+    def test_shutdown_op_stops_the_server(self):
+        daemon = AnalysisDaemon(name="tcp-shutdown")
+        daemon.add_config("powertrain", _powertrain_config(16))
+        server = start_server(daemon, port=0)
+        host, port = server.address
+        with TcpClient(host, port) as tcp:
+            assert tcp.shutdown_daemon()["stopping"] is True
+        assert daemon.shutdown_requested
+        server.stop()
+        with pytest.raises(OSError):
+            TcpClient(host, port, timeout=0.5)
+
+    def test_concurrent_tcp_clients(self):
+        config = _powertrain_config(20)
+        daemon = AnalysisDaemon(name="tcp-multi")
+        daemon.add_config("powertrain", config)
+        server = start_server(daemon, port=0)
+        host, port = server.address
+        failures: list[str] = []
+
+        def run_client(index: int) -> None:
+            try:
+                with TcpClient(host, port) as tcp:
+                    for step in range(4):
+                        fraction = 0.05 * ((index + step) % 6)
+                        deltas = (JitterDelta(fraction=fraction),)
+                        response = tcp.query("powertrain", deltas,
+                                             with_report=False)
+                        got = {name: entry["worst_case"] for name, entry
+                               in response["results"].items()}
+                        if got != _reference_worst_cases(config, deltas):
+                            failures.append(f"client {index} step {step}")
+            except Exception as error:  # noqa: BLE001 - collected for assert
+                failures.append(f"client {index}: {error!r}")
+
+        threads = [threading.Thread(target=run_client, args=(index,))
+                   for index in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        try:
+            assert not failures, failures
+        finally:
+            server.stop()
+
+
+# --------------------------------------------------------------------------- #
+# Session stats (satellite)
+# --------------------------------------------------------------------------- #
+class TestSessionStats:
+    def test_stats_counters_and_table(self):
+        from repro.reporting.tables import format_session_stats
+        from repro.service.session import AnalysisSession
+        config = _powertrain_config(16)
+        session = AnalysisSession.from_config(config, name="stats-test",
+                                              max_cached_configs=2)
+        session.analyze()
+        session.analyze()  # exact cache hit
+        for fraction in (0.2, 0.3, 0.4):  # forces evictions (bound is 2)
+            session.query((JitterDelta(fraction=fraction),))
+        stats = session.stats()
+        assert stats.queries == 5
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 4
+        assert stats.evictions >= 1
+        assert stats.reused + stats.warm_started + stats.cold > 0
+        table = format_session_stats([stats])
+        assert "stats-test" in table
+        assert "evicted" in table

@@ -31,6 +31,7 @@ from repro.service import (
     BatchRunner,
     BusConfiguration,
     ErrorModelDelta,
+    EventModelDelta,
     JitterDelta,
     PriorityDelta,
     RemoveMessageDelta,
@@ -180,6 +181,100 @@ class TestDeltaExactness:
                 kmatrix, _BUS,
                 assumed_jitter_fraction=fraction).analyze_all()
             assert previous.results == fresh
+
+
+class TestEventModelDeltaExactness:
+    """The engine's delta: externally injected activation models.
+
+    Chained injections with growing jitter and an appearing minimum
+    distance reproduce exactly the shape the compositional engine issues
+    every global iteration -- including the sharpened cap-appearance
+    dominance rule and the O(|changed|) seed re-verification, both of
+    which must never cost a bit of exactness.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_chained_injections_exact(self, seed):
+        from repro.events.model import (
+            PeriodicWithBurst,
+            PeriodicWithJitter,
+        )
+        session = _session(seed)
+        kmatrix = session.base_config.kmatrix
+        targets = kmatrix.sorted_by_priority()[:2]
+        previous = None
+        for step in range(4):
+            models = {}
+            for index, message in enumerate(targets):
+                jitter = (0.1 + 0.35 * step) * message.period * (index + 1)
+                if step == 0:
+                    models[message.name] = PeriodicWithJitter(
+                        period=message.period, jitter=jitter)
+                else:
+                    # From step 1 on a transmission-time-scale minimum
+                    # distance appears: the engine's iteration-2 shape.
+                    models[message.name] = PeriodicWithBurst(
+                        period=message.period,
+                        jitter=max(jitter, message.period * 1.01),
+                        min_distance=0.25)
+            deltas = (EventModelDelta.from_mapping(models, replace_all=True),)
+            result = session.query(deltas, warm_from=previous)
+            expected = _reference(apply_deltas(session.base_config, deltas))
+            assert result.results == expected
+            previous = result
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shrinking_injections_stay_exact(self, seed):
+        """Jitter shrinking between injections forces cold paths -- the
+        planner must notice, not warm-start from a too-high seed."""
+        from repro.events.model import PeriodicWithJitter
+        session = _session(seed)
+        kmatrix = session.base_config.kmatrix
+        victim = kmatrix.sorted_by_priority()[0]
+        previous = None
+        for jitter_factor in (2.0, 0.4, 1.2, 0.1):
+            models = {victim.name: PeriodicWithJitter(
+                period=victim.period, jitter=jitter_factor * victim.period)}
+            deltas = (EventModelDelta.from_mapping(models, replace_all=True),)
+            result = session.query(deltas, warm_from=previous)
+            expected = _reference(apply_deltas(session.base_config, deltas))
+            assert result.results == expected
+            previous = result
+
+    def test_merge_vs_replace_semantics(self):
+        from repro.events.model import PeriodicWithJitter
+        session = _session(3)
+        kmatrix = session.base_config.kmatrix
+        first, second = kmatrix.sorted_by_priority()[:2]
+        inject_first = EventModelDelta.from_mapping(
+            {first.name: PeriodicWithJitter(period=first.period, jitter=1.0)})
+        inject_second = EventModelDelta.from_mapping(
+            {second.name: PeriodicWithJitter(period=second.period,
+                                             jitter=2.0)})
+        merged = apply_deltas(session.base_config,
+                              (inject_first, inject_second))
+        assert set(merged.event_models) == {first.name, second.name}
+        replaced = apply_deltas(
+            session.base_config,
+            (inject_first,
+             EventModelDelta.from_mapping(
+                 {second.name: PeriodicWithJitter(period=second.period,
+                                                  jitter=2.0)},
+                 replace_all=True)))
+        assert set(replaced.event_models) == {second.name}
+        assert_query_exact(session, (inject_first, inject_second))
+
+    def test_unknown_message_rejected(self):
+        from repro.events.model import PeriodicWithJitter
+        session = _session(1)
+        delta = EventModelDelta.from_mapping(
+            {"NoSuchMessage": PeriodicWithJitter(period=5.0, jitter=1.0)})
+        with pytest.raises(KeyError):
+            session.query((delta,))
+
+    def test_non_event_model_value_rejected(self):
+        with pytest.raises(ValueError):
+            EventModelDelta(models=(("M", 5.0),))
 
 
 class TestSessionMechanics:
