@@ -49,6 +49,14 @@ non-cached kernel baselines:
   engine).  Bit-identical by assertion and gated at >= 2x under
   ``--check``; the single-cold-run ratio is recorded as
   ``cold_run_speedup`` for reference.
+* ``system_whatif`` -- the system-level what-if layer (PR 5): a sweep of
+  typed topology deltas (bus-speed degradation, gateway config edits,
+  per-segment jitter edits, a gateway failover, a message re-map) plus
+  end-to-end path latencies per step, answered by one
+  :class:`~repro.whatif.session.SystemSession` with shared per-segment
+  sessions, vs one from-scratch ``incremental=False`` engine run per
+  delta on the equivalently edited model.  Per-message results and path
+  latencies are asserted bit-identical; gated at >= 2x under ``--check``.
 
 All workloads are seeded and the analyses are exact, so both paths produce
 **identical results** -- the suite asserts this before trusting any timing.
@@ -105,7 +113,21 @@ from repro.service import (  # noqa: E402
     BusConfiguration,
     JitterDelta,
 )
-from repro.workloads.multibus import multibus_system  # noqa: E402
+from repro.core.paths import path_latency_all  # noqa: E402
+from repro.whatif import (  # noqa: E402
+    AddGatewayRouteDelta,
+    BusSpeedDelta,
+    GatewayConfigDelta,
+    MoveMessageDelta,
+    RemoveGatewayRouteDelta,
+    SegmentConfigDelta,
+    SystemSession,
+    apply_system_deltas,
+)
+from repro.workloads.multibus import (  # noqa: E402
+    multibus_paths,
+    multibus_system,
+)
 from repro.workloads.scaling import scaling_benchmark_case  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_timing.json"
@@ -117,6 +139,9 @@ SERVER_MIN_SPEEDUP = 2.0
 ENGINE_BUSES = 6
 ENGINE_MESSAGES_PER_BUS = 40
 ENGINE_MIN_SPEEDUP = 2.0
+WHATIF_BUSES = 5
+WHATIF_MESSAGES_PER_BUS = 30
+WHATIF_MIN_SPEEDUP = 2.0
 
 
 def _timed(fn, repeat: int):
@@ -406,6 +431,71 @@ def run_scenarios(repeat: int, skip_seed: bool,
            cold_run_speedup=round(
                cold_rebuild_seconds / cold_session_seconds, 2),
            min_speedup=ENGINE_MIN_SPEEDUP)
+
+    # 8. System-level what-if: a topology exploration sweep (bus-speed
+    # degradation, gateway edits, per-segment jitter edits, a failover, a
+    # message re-map) with per-step end-to-end path latencies, through one
+    # SystemSession vs one from-scratch rebuild engine run per delta.
+    whatif_system = multibus_system(
+        n_buses=WHATIF_BUSES, messages_per_bus=WHATIF_MESSAGES_PER_BUS,
+        seed=5)
+    whatif_paths = multibus_paths(whatif_system)
+    gw_route = whatif_system.gateways["GW2"].routes[0]
+    leaf_bus = f"CAN-{WHATIF_BUSES - 1}"
+    movable = whatif_system.buses[leaf_bus].kmatrix.sorted_by_priority()[-1]
+    free_id = max(
+        m.can_id for m in whatif_system.buses["CAN-1"].kmatrix) + 21
+    base_rate = whatif_system.buses["CAN-1"].bus.bit_rate_bps
+    whatif_queries = [()]
+    whatif_queries.extend(
+        (BusSpeedDelta("CAN-1", base_rate * factor),)
+        for factor in (0.9, 0.8, 0.7, 0.6))
+    whatif_queries.extend(
+        (GatewayConfigDelta("GW1", polling_period=2.5 * factor),)
+        for factor in (2.0, 3.0))
+    whatif_queries.extend(
+        (SegmentConfigDelta("CAN-0", (JitterDelta(fraction=fraction),)),)
+        for fraction in (0.2, 0.3))
+    # Leaf-bus edits: nothing downstream, so four of the five shards are
+    # provably cache-served -- the sweet spot of per-segment sharding.
+    whatif_queries.extend(
+        (SegmentConfigDelta(leaf_bus, (JitterDelta(fraction=fraction),)),)
+        for fraction in (0.15, 0.25, 0.35))
+    whatif_queries.append(
+        (BusSpeedDelta(leaf_bus, base_rate * 0.85),))
+    whatif_queries.append((
+        RemoveGatewayRouteDelta("GW2", gw_route.destination_message),
+        AddGatewayRouteDelta("GW2-backup", gw_route, polling_period=5.0)))
+    whatif_queries.append(
+        (MoveMessageDelta(movable.name, "CAN-1", new_can_id=free_id),))
+
+    def whatif_session_sweep():
+        session = SystemSession(whatif_system)
+        outcomes = []
+        for deltas in whatif_queries:
+            outcome = session.query(deltas)
+            latencies = session.path_latency(whatif_paths, deltas)
+            outcomes.append((outcome.result.message_results, latencies))
+        return outcomes
+
+    def whatif_rebuild_sweep():
+        outcomes = []
+        for deltas in whatif_queries:
+            edited = apply_system_deltas(whatif_system, deltas)
+            result = CompositionalAnalysis(
+                edited, incremental=False).run()
+            outcomes.append((result.message_results,
+                             path_latency_all(whatif_paths, edited, result)))
+        return outcomes
+
+    record("system_whatif", whatif_rebuild_sweep, whatif_session_sweep,
+           check_equal=assert_identical,
+           n_buses=WHATIF_BUSES,
+           messages_per_bus=WHATIF_MESSAGES_PER_BUS,
+           queries=len(whatif_queries),
+           paths=len(whatif_paths),
+           baseline="from-scratch engine run per delta (incremental=False)",
+           min_speedup=WHATIF_MIN_SPEEDUP)
 
     return scenarios
 

@@ -51,7 +51,8 @@ def build_daemon() -> AnalysisDaemon:
         controllers=powertrain_controllers(config)))
     shards = daemon.add_system(
         "multibus", multibus_system(n_buses=4, messages_per_bus=10))
-    print(f"registered system 'multibus' with shards: {', '.join(shards)}")
+    print("registered system 'multibus' with shards: "
+          + ", ".join(shards.values()))
     return daemon
 
 

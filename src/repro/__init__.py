@@ -32,6 +32,10 @@ The subpackages group the functionality:
 * :mod:`repro.server` -- the long-running analysis daemon: sharded session
   pool, job queue and worker pool, line-delimited JSON protocol over TCP or
   in-process, ``python -m repro.server`` CLI;
+* :mod:`repro.whatif` -- system-level what-if analysis: typed topology
+  deltas (move message, bus speed, gateway routes, ECU budgets),
+  :class:`SystemSession` with incremental end-to-end path latency, and the
+  topology scenario catalog;
 * :mod:`repro.parallel` -- deterministic parallel evaluation of independent
   analysis units (bus segments, GA candidates, sweep points);
 * :mod:`repro.sim` -- a discrete-event CAN simulator for cross-validation;
@@ -86,9 +90,25 @@ from repro.service import (
     WhatIfScenario,
     builtin_catalog,
 )
+from repro.whatif import (
+    AddGatewayRouteDelta,
+    BusSpeedDelta,
+    EcuTaskDelta,
+    GatewayConfigDelta,
+    MoveMessageDelta,
+    RemoveGatewayRouteDelta,
+    SegmentConfigDelta,
+    SystemQueryResult,
+    SystemScenario,
+    SystemScenarioCatalog,
+    SystemSession,
+    apply_system_deltas,
+    builtin_system_catalog,
+)
+from repro.core import EndToEndPath, PathLatency, path_latency
 from repro.workloads import powertrain_kmatrix, powertrain_system
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -136,4 +156,20 @@ __all__ = [
     "DaemonServer",
     "DaemonError",
     "start_server",
+    "AddGatewayRouteDelta",
+    "BusSpeedDelta",
+    "EcuTaskDelta",
+    "EndToEndPath",
+    "GatewayConfigDelta",
+    "MoveMessageDelta",
+    "PathLatency",
+    "RemoveGatewayRouteDelta",
+    "SegmentConfigDelta",
+    "SystemQueryResult",
+    "SystemScenario",
+    "SystemScenarioCatalog",
+    "SystemSession",
+    "apply_system_deltas",
+    "builtin_system_catalog",
+    "path_latency",
 ]

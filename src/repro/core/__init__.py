@@ -21,7 +21,12 @@ a global model.
 from repro.core.system import BusSegment, SystemModel
 from repro.core.engine import CompositionalAnalysis
 from repro.core.results import SystemAnalysisResult
-from repro.core.paths import EndToEndPath, PathLatency, path_latency
+from repro.core.paths import (
+    EndToEndPath,
+    PathLatency,
+    path_latency,
+    path_latency_all,
+)
 
 __all__ = [
     "SystemModel",
@@ -31,4 +36,5 @@ __all__ = [
     "EndToEndPath",
     "PathLatency",
     "path_latency",
+    "path_latency_all",
 ]

@@ -229,6 +229,15 @@ class CompositionalAnalysis:
         self.system = system
         self.max_iterations = max_iterations
         self.incremental = incremental
+        # Per-segment sweep state of the *last* run, retained across runs:
+        # every reuse it enables is fingerprint-guarded (the incremental
+        # path carries arrival models over only on an exact query-key
+        # match; the rebuild path keys each retained seed on the segment's
+        # full configuration and additionally vets the event models via
+        # _warm_seed_valid), so a persistent engine re-analysing after an
+        # in-place segment, ECU or gateway edit stays bit-identical -- the
+        # memo invalidates by fingerprint, never by object identity.
+        self._sweep_state: dict[str, object] = {}
         self._sessions: dict[str, AnalysisSession] = dict(sessions or {})
         unknown = set(self._sessions) - set(system.buses)
         if unknown:
@@ -377,11 +386,27 @@ class CompositionalAnalysis:
                 sweep_state[segment.name] = state
         else:
             controllers = dict(self.system.controllers)
+            controller_key = tuple(sorted(controllers.items()))
             jobs = []
+            keys: dict[str, tuple] = {}
             for segment in segments:
+                # Everything a warm seed's validity depends on *besides*
+                # the event models (_warm_seed_valid checks those):
+                # structure/priorities, bus timing, error model,
+                # assumed jitter, controllers.  A retained seed whose
+                # configuration key no longer matches -- an in-place
+                # bit-rate edit, priority swap or error-model change
+                # between runs -- could overshoot the new least fixed
+                # point, so it is discarded instead of reused.
+                key = (tuple(segment.kmatrix.messages), segment.bus,
+                       segment.error_model,
+                       segment.assumed_jitter_fraction, controller_key)
+                keys[segment.name] = key
                 previous = previous_sweep.get(segment.name)
-                if not (isinstance(previous, tuple) and len(previous) == 2
-                        and isinstance(previous[0], Mapping)):
+                if isinstance(previous, tuple) and len(previous) == 3 \
+                        and previous[0] == key:
+                    previous = previous[1:]
+                else:
                     previous = None
                 jobs.append((segment, controllers, dict(send_models),
                              previous))
@@ -391,7 +416,8 @@ class CompositionalAnalysis:
                 message_results.update(results)
                 arrival_models.update(arrivals)
                 bus_reports[segment.name] = report
-                sweep_state[segment.name] = (models, results)
+                sweep_state[segment.name] = (keys[segment.name], models,
+                                             results)
         return message_results, arrival_models, bus_reports, sweep_state
 
     def _gateway_sweep(
@@ -430,11 +456,12 @@ class CompositionalAnalysis:
         converged = False
         iterations = 0
 
-        previous_sweep: dict[str, object] = {}
+        previous_sweep = self._sweep_state
         for iteration in range(1, self.max_iterations + 1):
             iterations = iteration
             (message_results, arrival_models, bus_reports,
              previous_sweep) = self._bus_sweep(send_models, previous_sweep)
+            self._sweep_state = previous_sweep
             forwarded = self._gateway_sweep(arrival_models)
             new_send = dict(ecu_send_models)
             new_send.update(forwarded)

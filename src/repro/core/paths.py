@@ -64,6 +64,40 @@ class PathLatency:
         wc = "unbounded" if math.isinf(self.worst_case) else f"{self.worst_case:.3f} ms"
         return f"path {self.path.name}: worst {wc}, best {self.best_case:.3f} ms"
 
+    def as_row(self) -> list[object]:
+        """Row for :func:`repro.reporting.tables.format_path_latency_table`."""
+        worst = "unbounded" if math.isinf(self.worst_case) else self.worst_case
+        jitter = "unbounded" if math.isinf(self.jitter) else self.jitter
+        return [self.path.name, worst, self.best_case, jitter,
+                len(self.per_segment)]
+
+
+def _resolve_gateway_segment(system: SystemModel, reference: str):
+    """Resolve ``"GatewayName:DestinationMessage"`` to (gateway, route).
+
+    The named gateway is preferred, but when it does not (or no longer)
+    hosts the route, every other gateway is searched (in name order) for a
+    route producing the destination message.  Paths therefore survive
+    topology edits that migrate a route between gateways -- the failover
+    scenario's whole point is comparing the *same* chain before and after
+    the migration.  ``"*:DestinationMessage"`` skips the preference.
+    """
+    gateway_name, _, destination = reference.partition(":")
+    preferred = system.gateways.get(gateway_name)
+    if preferred is None and gateway_name != "*":
+        raise KeyError(f"unknown gateway {gateway_name!r}")
+    candidates = [preferred] if preferred is not None else []
+    candidates.extend(
+        system.gateways[name] for name in sorted(system.gateways)
+        if system.gateways[name] is not preferred)
+    for gateway in candidates:
+        try:
+            return gateway, gateway.route_for_destination(destination)
+        except KeyError:
+            continue
+    raise KeyError(
+        f"no gateway forwards {destination!r} (path segment {reference!r})")
+
 
 def path_latency(
     path: EndToEndPath,
@@ -98,12 +132,8 @@ def path_latency(
             segment_worst = message_result.worst_case
             segment_best = message_result.best_case
         else:  # gateway segment: "GatewayName:DestinationMessage"
-            gateway_name, _, destination = reference.partition(":")
-            gateway = system.gateways.get(gateway_name)
-            if gateway is None:
-                raise KeyError(f"unknown gateway {gateway_name!r}")
+            gateway, route = _resolve_gateway_segment(system, reference)
             analysis = GatewayAnalysis(gateway)
-            route = gateway.route_for_destination(destination)
             latency = analysis.route_latency(route, result.arrival_models)
             segment_worst = latency.worst_case
             segment_best = latency.best_case
@@ -112,3 +142,18 @@ def path_latency(
         per_segment.append((f"{kind}:{reference}", segment_worst))
     return PathLatency(path=path, worst_case=worst, best_case=best,
                        per_segment=tuple(per_segment))
+
+
+def path_latency_all(
+    paths: Sequence[EndToEndPath],
+    system: SystemModel,
+    result: SystemAnalysisResult,
+) -> tuple[PathLatency, ...]:
+    """Latencies of several paths over one analysis, in input order.
+
+    The system-level what-if layer serves
+    :meth:`repro.whatif.session.SystemSession.path_latency` through this,
+    so one cached :class:`SystemAnalysisResult` answers a whole path
+    portfolio without re-running anything.
+    """
+    return tuple(path_latency(path, system, result) for path in paths)

@@ -84,6 +84,54 @@ class SystemModel:
         self.gateways[gateway.name] = gateway
 
     # ------------------------------------------------------------------ #
+    # Copy-on-write derivation (the system-delta layer edits through these)
+    # ------------------------------------------------------------------ #
+    def shallow_copy(self) -> "SystemModel":
+        """New system sharing every bus, ECU, gateway and controller object.
+
+        The typed system deltas of :mod:`repro.whatif` never mutate a model
+        in place: they copy the container dicts, replace only the edited
+        entries, and share everything untouched with the parent -- the same
+        structural sharing :class:`~repro.service.deltas.BusConfiguration`
+        uses one level down.
+        """
+        return SystemModel(
+            name=self.name,
+            buses=dict(self.buses),
+            ecus=dict(self.ecus),
+            gateways=dict(self.gateways),
+            controllers=dict(self.controllers),
+        )
+
+    def fingerprint(self) -> tuple:
+        """Hashable fingerprint of every analysis-relevant system input.
+
+        Two systems with equal fingerprints produce bit-identical
+        :class:`~repro.core.engine.CompositionalAnalysis` results.  The
+        fingerprint deliberately covers the *values* of buses, gateways,
+        ECUs and controllers -- gateway and ECU containers are mutable, so
+        any cache over whole-system results must invalidate on this value,
+        never on object identity (see
+        :meth:`~repro.gateway.model.GatewayModel.analysis_key`).  The
+        system name is excluded: renaming changes no analysis input.
+        """
+        buses = tuple(
+            (name,
+             tuple(segment.kmatrix.messages),
+             segment.bus,
+             segment.error_model,
+             segment.assumed_jitter_fraction,
+             segment.deadline_policy)
+            for name, segment in sorted(self.buses.items()))
+        gateways = tuple(
+            gateway.analysis_key()
+            for _, gateway in sorted(self.gateways.items()))
+        ecus = tuple(
+            ecu.analysis_key() for _, ecu in sorted(self.ecus.items()))
+        controllers = tuple(sorted(self.controllers.items()))
+        return (buses, gateways, ecus, controllers)
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def bus_of_message(self, message_name: str) -> BusSegment:

@@ -218,6 +218,15 @@ class EcuModel:
                         f"task {task.name!r} on ECU {self.name!r} has neither "
                         "an activation event model nor a TimeTable entry")
 
+    def analysis_key(self) -> tuple:
+        """Hashable fingerprint of every analysis-relevant input.
+
+        Two ECU models with equal keys produce bit-identical task analyses
+        and send models; like :meth:`GatewayModel.analysis_key` this is the
+        value caches must key on, because the container itself is mutable.
+        """
+        return (self.name, tuple(self.tasks), self.overheads, self.timetable)
+
     def task(self, name: str) -> Task:
         """Return the task with the given name."""
         for task in self.tasks:

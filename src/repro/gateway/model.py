@@ -123,6 +123,23 @@ class GatewayModel:
             self.routes.pop()
             raise
 
+    def analysis_key(self) -> tuple:
+        """Hashable fingerprint of every forwarding-relevant input.
+
+        Two gateways with equal keys forward identically.  The model itself
+        is mutable (``routes`` is a list, ``add_route`` edits in place), so
+        any cache over gateway behaviour must key on this fingerprint --
+        never on object identity, which survives in-place route edits.
+        """
+        return (
+            self.name,
+            tuple(self.routes),
+            self.policy,
+            self.polling_period,
+            self.copy_time,
+            tuple(sorted(self.queue_capacities.items())),
+        )
+
 
 class GatewayAnalysis:
     """Worst-case forwarding latency, jitter and queue bounds of a gateway."""

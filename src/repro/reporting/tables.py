@@ -93,6 +93,22 @@ def format_whatif_table(rows: Iterable[Sequence[object]],
     return format_table(headers, rows, title=title)
 
 
+def format_path_latency_table(latencies: Iterable[object],
+                              title: str | None = "End-to-end path latency",
+                              ) -> str:
+    """Per-path latency table (the system what-if layer's path queries).
+
+    ``latencies`` is an iterable of :class:`repro.core.paths.PathLatency`
+    (or anything exposing the same ``as_row``); columns are the worst and
+    best case, the end-to-end jitter bound, and the hop count.  Unbounded
+    paths render as ``unbounded`` rather than ``inf``.
+    """
+    headers = ["path", "worst [ms]", "best [ms]", "jitter [ms]", "hops"]
+    rows = [entry.as_row() if hasattr(entry, "as_row") else list(entry)
+            for entry in latencies]
+    return format_table(headers, rows, title=title)
+
+
 def format_session_stats(stats: Iterable[object],
                          title: str | None = "Session statistics") -> str:
     """Per-session cache statistics table (the daemon's stats endpoint).

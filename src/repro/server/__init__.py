@@ -34,6 +34,8 @@ from repro.server.pool import SessionPool, UnknownTargetError
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    config_from_json,
+    config_to_json,
     delta_from_json,
     delta_to_json,
     deltas_from_json,
@@ -42,6 +44,12 @@ from repro.server.protocol import (
     event_model_to_json,
     error_model_from_json,
     error_model_to_json,
+    path_from_json,
+    path_to_json,
+    system_delta_from_json,
+    system_delta_to_json,
+    system_from_json,
+    system_to_json,
 )
 from repro.server.tcp import DaemonServer, start_server
 
@@ -58,6 +66,8 @@ __all__ = [
     "SessionPool",
     "TcpClient",
     "UnknownTargetError",
+    "config_from_json",
+    "config_to_json",
     "delta_from_json",
     "delta_to_json",
     "deltas_from_json",
@@ -66,5 +76,11 @@ __all__ = [
     "error_model_to_json",
     "event_model_from_json",
     "event_model_to_json",
+    "path_from_json",
+    "path_to_json",
     "start_server",
+    "system_delta_from_json",
+    "system_delta_to_json",
+    "system_from_json",
+    "system_to_json",
 ]

@@ -24,11 +24,16 @@ from typing import Mapping, Optional, Sequence
 
 from repro.server.daemon import AnalysisDaemon
 from repro.server.protocol import (
+    config_to_json,
     decode_line,
     deltas_to_json,
     encode_line,
+    paths_to_json,
+    system_deltas_to_json,
+    system_to_json,
 )
-from repro.service.deltas import Delta
+from repro.service.deltas import BusConfiguration, Delta
+from repro.whatif.system_deltas import SystemDelta
 
 
 class DaemonError(RuntimeError):
@@ -93,9 +98,64 @@ class BaseClient:
             encoded.append(entry)
         return self.request("batch", target=target, queries=encoded)
 
-    def analyze_system(self, system: str) -> dict:
-        """Run the compositional fixed point of a registered system."""
-        return self.request("analyze_system", system=system)
+    def analyze_system(self, system: str,
+                       shards: Optional[Mapping[str, str]] = None) -> dict:
+        """Run the compositional fixed point of a registered system.
+
+        ``shards`` optionally re-keys the per-bus report sections (pass
+        the map a ``register`` call returned, or any aliasing you prefer).
+        """
+        params: dict = {"system": system}
+        if shards is not None:
+            params["shards"] = dict(shards)
+        return self.request("analyze_system", **params)
+
+    # -- system-level what-if ------------------------------------------- #
+    def register_config(self, name: str, config: BusConfiguration) -> dict:
+        """Register a single-bus serving target over the wire."""
+        return self.request("register", name=name,
+                            config=config_to_json(config))
+
+    def register_system(self, name: str, system) -> dict:
+        """Register a system model; the response carries the shard map."""
+        return self.request("register", name=name,
+                            system=system_to_json(system))
+
+    def system_query(self, system: str,
+                     deltas: Sequence[SystemDelta] = (),
+                     paths: Sequence = (),
+                     shards: Optional[Mapping[str, str]] = None,
+                     label: Optional[str] = None) -> dict:
+        """One topology what-if query; ``deltas`` are typed SystemDeltas.
+
+        ``paths`` (typed :class:`~repro.core.paths.EndToEndPath` objects)
+        are evaluated against the edited topology's fixed point in the
+        same request; ``shards`` re-keys the per-bus report sections.
+        """
+        params: dict = {"system": system,
+                        "deltas": system_deltas_to_json(deltas)}
+        if paths:
+            params["paths"] = paths_to_json(paths)
+        if shards is not None:
+            params["shards"] = dict(shards)
+        if label is not None:
+            params["label"] = label
+        return self.request("system_query", **params)
+
+    def system_scenario(self, system: str, scenario: str) -> dict:
+        """Execute a topology catalog scenario against a system."""
+        return self.request("system_scenario", system=system,
+                            scenario=scenario)
+
+    def path_latency(self, system: str, paths: Sequence,
+                     deltas: Sequence[SystemDelta] = (),
+                     label: Optional[str] = None) -> dict:
+        """End-to-end path latencies under an optional delta sequence."""
+        params: dict = {"system": system, "paths": paths_to_json(paths),
+                        "deltas": system_deltas_to_json(deltas)}
+        if label is not None:
+            params["label"] = label
+        return self.request("path_latency", **params)
 
     def shutdown_daemon(self) -> dict:
         """Ask the daemon to stop serving."""

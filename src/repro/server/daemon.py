@@ -18,12 +18,35 @@ requests (see :mod:`repro.server.protocol`):
 ``batch``
     Many labelled delta queries fanned out across the worker pool and
     returned in request order.
+``register``
+    Server-side workload registration over the wire: a serialized
+    single-bus configuration or a whole
+    :class:`~repro.core.system.SystemModel`.  System registrations answer
+    with the shard-name map (bus -> ``<name>/<bus>``), so clients address
+    per-segment sessions without re-deriving shard names after a
+    (re-)registration.
 ``analyze_system``
     A compositional fixed point of a registered
-    :class:`~repro.core.system.SystemModel`, run **on the pool's
-    per-segment sessions** -- repeated requests (and per-segment what-if
+    :class:`~repro.core.system.SystemModel`, served through the system's
+    :class:`~repro.whatif.session.SystemSession` over the pool's
+    per-segment sessions -- repeated requests (and per-segment what-if
     queries in between) hit the same warm caches, which is what makes
-    system re-analysis incremental across clients.
+    system re-analysis incremental across clients.  The response includes
+    the shard map.
+``system_query``
+    Typed :class:`~repro.whatif.system_deltas.SystemDelta` edits against a
+    registered system -- the topology what-if primitive.  Bit-identical to
+    a from-scratch engine run on the equivalently edited model; optionally
+    evaluates end-to-end paths in the same request and re-keys per-bus
+    sections by a client-supplied shard map.
+``system_scenario``
+    A named :class:`~repro.whatif.catalog.SystemScenario` (message
+    re-mapping sweep, bus-speed degradation, gateway failover) from the
+    per-system topology catalog.
+``path_latency``
+    End-to-end latencies of a path portfolio under an optional delta
+    sequence, rendered with
+    :func:`repro.reporting.tables.format_path_latency_table`.
 ``shutdown``
     Graceful stop (the TCP front end watches :attr:`shutdown_requested`).
 
@@ -38,14 +61,22 @@ import threading
 import time
 from typing import Mapping, Optional
 
-from repro.core.engine import CompositionalAnalysis
+from repro.core.paths import path_latency_all
 from repro.core.system import SystemModel
-from repro.reporting.tables import format_session_stats
+from repro.reporting.tables import (
+    format_path_latency_table,
+    format_session_stats,
+)
 from repro.server import protocol
 from repro.server.jobs import JobQueue
 from repro.server.pool import SessionPool, UnknownTargetError
 from repro.service.catalog import ScenarioCatalog, builtin_catalog
 from repro.service.deltas import BusConfiguration
+from repro.whatif.catalog import (
+    SystemScenarioCatalog,
+    builtin_system_catalog,
+)
+from repro.whatif.session import SystemSession
 
 
 class AnalysisDaemon:
@@ -63,8 +94,8 @@ class AnalysisDaemon:
         self.catalog = catalog if catalog is not None else builtin_catalog()
         self.pool = pool if pool is not None else SessionPool()
         self.jobs = JobQueue(workers=workers, mode=mode)
-        self._engines: dict[
-            str, tuple[CompositionalAnalysis, threading.Lock]] = {}
+        self._system_sessions: dict[str, SystemSession] = {}
+        self._system_catalogs: dict[str, SystemScenarioCatalog] = {}
         self._engine_lock = threading.Lock()
         self._started = time.monotonic()
         self._counter_lock = threading.Lock()
@@ -81,7 +112,11 @@ class AnalysisDaemon:
             "query": self._op_query,
             "scenario": self._op_scenario,
             "batch": self._op_batch,
+            "register": self._op_register,
             "analyze_system": self._op_analyze_system,
+            "system_query": self._op_system_query,
+            "system_scenario": self._op_system_scenario,
+            "path_latency": self._op_path_latency,
             "shutdown": self._op_shutdown,
         }
 
@@ -92,16 +127,47 @@ class AnalysisDaemon:
         """Serve a single-bus configuration under ``name``."""
         self.pool.add_config(name, config)
 
-    def add_system(self, name: str, system: SystemModel) -> list[str]:
-        """Serve a system model; returns the per-segment shard targets.
+    def add_system(self, name: str, system: SystemModel) -> dict[str, str]:
+        """Serve a system model; returns its shard-name map.
 
-        Re-registering a name drops any cached engine for it, so later
-        ``analyze_system`` requests analyse the new model, not the old one.
+        The map (bus name -> ``<name>/<bus>`` shard target) is what the
+        ``register`` response forwards to clients.  Re-registering a name
+        drops any cached system session and topology catalog for it, so
+        later system requests analyse the new model, not the old one.
         """
         shards = self.pool.add_system(name, system)
         with self._engine_lock:
-            self._engines.pop(name, None)
+            self._system_sessions.pop(name, None)
+            self._system_catalogs.pop(name, None)
         return shards
+
+    def _system_session(self, name: str) -> SystemSession:
+        """The (lazily created) system session of a registered system.
+
+        Built over the pool's shard sessions, so per-shard ``query``
+        requests and system-level requests share one warm cache; the
+        session itself re-fingerprints the registered model per query, so
+        even in-place gateway or ECU edits between requests can never
+        serve a stale fixed point.
+        """
+        system, sessions = self.pool.system(name)
+        with self._engine_lock:
+            session = self._system_sessions.get(name)
+            if session is None or session.base_system is not system:
+                session = SystemSession(
+                    system, sessions=sessions, name=f"{self.name}:{name}")
+                self._system_sessions[name] = session
+            return session
+
+    def _system_catalog(self, name: str) -> SystemScenarioCatalog:
+        """The (lazily derived) topology scenario catalog of one system."""
+        system, _ = self.pool.system(name)
+        with self._engine_lock:
+            catalog = self._system_catalogs.get(name)
+            if catalog is None:
+                catalog = builtin_system_catalog(system)
+                self._system_catalogs[name] = catalog
+            return catalog
 
     @property
     def shutdown_requested(self) -> bool:
@@ -211,6 +277,9 @@ class AnalysisDaemon:
                  "description": scenario.description}
                 for scenario in sorted(self.catalog,
                                        key=lambda s: s.name)],
+            "system_scenarios": {
+                system: self._system_catalog(system).names()
+                for system in self.pool.systems()},
         }
 
     def _op_query(self, request: Mapping) -> dict:
@@ -264,33 +333,120 @@ class AnalysisDaemon:
                         for f in futures],
         }
 
+    def _op_register(self, request: Mapping) -> dict:
+        """Server-side workload registration over the wire.
+
+        ``{"name": ..., "system": {...}}`` registers a system (response
+        carries the shard-name map); ``{"name": ..., "config": {...}}``
+        registers a single-bus target.
+        """
+        name = str(request["name"])
+        if "system" in request:
+            system = protocol.system_from_json(request["system"])
+            shards = self.add_system(name, system)
+            return {"system": name, "shards": shards,
+                    "scenarios": self._system_catalog(name).names()}
+        if "config" in request:
+            config = protocol.config_from_json(request["config"])
+            self.add_config(name, config)
+            return {"target": name}
+        raise protocol.ProtocolError(
+            "register needs a 'system' or 'config' payload")
+
+    def _shard_names(self, name: str,
+                     override: "Mapping | None") -> dict[str, str]:
+        """Bus -> reported-name map of one system (client override wins).
+
+        ``override`` is the shard map a client got back from ``register``
+        (or any aliasing it prefers); unknown buses in it are an error so
+        typos fail loudly instead of silently dropping a segment.
+        """
+        shards = self.pool.shard_map(name)
+        if override:
+            unknown = set(override) - set(shards)
+            if unknown:
+                raise protocol.ProtocolError(
+                    f"shard map names unknown buses: {sorted(unknown)}")
+            shards.update({str(bus): str(alias)
+                           for bus, alias in override.items()})
+        return shards
+
     def _op_analyze_system(self, request: Mapping) -> dict:
         name = str(request["system"])
-        system, sessions = self.pool.system(name)
-        with self._engine_lock:
-            entry = self._engines.get(name)
-            if entry is None or entry[0].system is not system:
-                # No engine yet, or the name was re-registered to a new
-                # model: never serve a fixed point of a stale system.
-                entry = (CompositionalAnalysis(system, sessions=sessions),
-                         threading.Lock())
-                self._engines[name] = entry
-        engine, run_lock = entry
-        # One fixed point per system at a time: the engine's per-run sweep
-        # state is not meant to interleave (sessions themselves are
-        # thread-safe, so per-segment queries still overlap with clients).
-        with run_lock:
-            result = engine.run()
+        # Validate the client's shard map first: a typo'd bus name should
+        # cost an error response, not a discarded fixed-point computation.
+        shards = self._shard_names(name, request.get("shards"))
+        outcome = self._system_session(name).query(())
+        result = outcome.result
         return {
             "system": name,
+            "shards": shards,
+            "fingerprint": outcome.fingerprint,
             "converged": result.converged,
             "iterations": result.iterations,
             "all_deadlines_met": result.all_deadlines_met,
             "messages": {msg_name: protocol.result_to_json(value)
                          for msg_name, value in
                          result.message_results.items()},
-            "bus_reports": {bus: protocol.report_to_json(report)
+            "bus_reports": {shards.get(bus, bus):
+                            protocol.report_to_json(report)
                             for bus, report in result.bus_reports.items()},
+        }
+
+    def _op_system_query(self, request: Mapping) -> dict:
+        """Typed topology deltas against a registered system."""
+        name = str(request["system"])
+        session = self._system_session(name)
+        deltas = protocol.system_deltas_from_json(request.get("deltas", ()))
+        shards = self._shard_names(name, request.get("shards"))
+        outcome = session.query(deltas, label=request.get("label"))
+        response = protocol.system_query_result_to_json(outcome)
+        response["system"] = name
+        response["shards"] = shards
+        response["bus_reports"] = {
+            shards.get(bus, bus): report
+            for bus, report in response["bus_reports"].items()}
+        if "paths" in request:
+            paths = protocol.paths_from_json(request["paths"])
+            response["paths"] = [
+                protocol.path_latency_to_json(latency)
+                for latency in path_latency_all(
+                    paths, outcome.system, outcome.result)]
+        return response
+
+    def _op_system_scenario(self, request: Mapping) -> dict:
+        """A named topology scenario from the per-system catalog."""
+        name = str(request["system"])
+        session = self._system_session(name)
+        catalog = self._system_catalog(name)
+        run = catalog.run(str(request["scenario"]), session)
+        return {
+            "system": name,
+            "scenario": run.scenario,
+            "session": run.session,
+            "queries": [protocol.system_query_result_to_json(q)
+                        for q in run.queries],
+            "table": run.to_table(),
+        }
+
+    def _op_path_latency(self, request: Mapping) -> dict:
+        """End-to-end path latencies under an optional delta sequence."""
+        name = str(request["system"])
+        session = self._system_session(name)
+        paths = protocol.paths_from_json(request.get("paths", ()))
+        if not paths:
+            raise protocol.ProtocolError("path_latency needs paths")
+        deltas = protocol.system_deltas_from_json(request.get("deltas", ()))
+        outcome = session.query(deltas, label=request.get("label"))
+        latencies = path_latency_all(paths, outcome.system, outcome.result)
+        return {
+            "system": name,
+            "fingerprint": outcome.fingerprint,
+            "paths": [protocol.path_latency_to_json(latency)
+                      for latency in latencies],
+            "table": format_path_latency_table(
+                latencies,
+                title=f"{name}: end-to-end path latency"),
         }
 
     def _op_shutdown(self, request: Mapping) -> dict:

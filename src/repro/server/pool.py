@@ -78,33 +78,39 @@ class SessionPool:
             return self._register(name, config, pin)
 
     def add_system(self, name: str, system: SystemModel,
-                   pin: bool = True) -> list[str]:
+                   pin: bool = True) -> dict[str, str]:
         """Register a system: one session shard per bus segment.
 
-        Returns the shard target names (``<name>/<bus>``).  The system
-        model itself is kept so :meth:`system` can hand it (plus its shard
-        sessions) to the compositional engine.
+        Returns the shard-name map (bus name -> ``<name>/<bus>`` target),
+        which is what the daemon's ``register`` response hands to clients
+        so they never have to re-derive shard names after a
+        (re-)registration.  The system model itself is kept so
+        :meth:`system` can hand it (plus its shard sessions) to the
+        compositional engine.
         """
         problems = system.validate()
         if problems:
             raise ValueError(
                 "inconsistent system model:\n  " + "\n  ".join(problems))
-        shards: list[str] = []
+        shards: dict[str, str] = {}
         with self._lock:
             for segment in system.buses.values():
                 shard = f"{name}/{segment.name}"
-                config = BusConfiguration(
-                    kmatrix=segment.kmatrix,
-                    bus=segment.bus,
-                    error_model=segment.error_model,
-                    assumed_jitter_fraction=segment.assumed_jitter_fraction,
-                    controllers=dict(system.controllers) or None,
-                    deadline_policy=segment.deadline_policy)
+                config = BusConfiguration.from_segment(
+                    segment, controllers=dict(system.controllers) or None)
                 self._register(shard, config, pin)
-                shards.append(shard)
+                shards[segment.name] = shard
             self._systems[name] = system
-            self._system_shards[name] = shards
+            self._system_shards[name] = list(shards.values())
         return shards
+
+    def shard_map(self, name: str) -> dict[str, str]:
+        """Bus name -> shard target map of one registered system."""
+        with self._lock:
+            if name not in self._systems:
+                raise UnknownTargetError(name, self._systems)
+            return {shard[len(name) + 1:]: shard
+                    for shard in self._system_shards.get(name, ())}
 
     def _register(self, name: str, config: BusConfiguration,
                   pin: bool) -> AnalysisSession:

@@ -27,8 +27,22 @@ from __future__ import annotations
 import json
 from typing import IO, Mapping, Optional, Sequence
 
+from repro.can.bus import CanBus
+from repro.can.controller import CanControllerType, ControllerModel
 from repro.can.frame import CanFrameFormat
+from repro.can.kmatrix import KMatrix
 from repro.can.message import CanMessage
+from repro.core.paths import EndToEndPath, PathLatency
+from repro.core.system import BusSegment, SystemModel
+from repro.ecu.task import (
+    EcuModel,
+    OsekOverheads,
+    Task,
+    TaskKind,
+    TimeTable,
+    TimeTableEntry,
+)
+from repro.gateway.model import ForwardingPolicy, GatewayModel, GatewayRoute
 from repro.errors.models import (
     BurstErrorModel,
     CompositeErrorModel,
@@ -45,6 +59,7 @@ from repro.events.model import (
 )
 from repro.service.deltas import (
     AddMessageDelta,
+    BusConfiguration,
     BusDelta,
     DeadlinePolicyDelta,
     Delta,
@@ -54,10 +69,23 @@ from repro.service.deltas import (
     PriorityDelta,
     RemoveMessageDelta,
 )
+from repro.whatif.system_deltas import (
+    AddGatewayRouteDelta,
+    BusSpeedDelta,
+    EcuTaskDelta,
+    GatewayConfigDelta,
+    MoveMessageDelta,
+    RemoveGatewayRouteDelta,
+    SegmentConfigDelta,
+    SystemDelta,
+)
 
 #: Protocol revision, reported by the ``health`` endpoint; bump on any
-#: incompatible wire change.
-PROTOCOL_VERSION = 1
+#: incompatible wire change.  Version 2 added the system-level layer:
+#: ``register``, ``system_query``, ``system_scenario`` and ``path_latency``
+#: requests, with full topology (system model), system-delta and
+#: end-to-end-path codecs.
+PROTOCOL_VERSION = 2
 
 
 class ProtocolError(ValueError):
@@ -356,6 +384,457 @@ def session_stats_to_json(stats) -> dict:
         "reused": stats.reused,
         "warm_started": stats.warm_started,
         "cold": stats.cold,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Topologies (buses, segments, gateways, ECUs, whole systems)
+# --------------------------------------------------------------------------- #
+def bus_to_json(bus: CanBus) -> dict:
+    """JSON object for one physical bus."""
+    return {"name": bus.name, "bit_rate_bps": bus.bit_rate_bps,
+            "bit_stuffing": bus.bit_stuffing}
+
+
+def bus_from_json(data: Mapping) -> CanBus:
+    """Inverse of :func:`bus_to_json`."""
+    try:
+        return CanBus(name=str(data["name"]),
+                      bit_rate_bps=float(data["bit_rate_bps"]),
+                      bit_stuffing=bool(data.get("bit_stuffing", True)))
+    except KeyError as missing:
+        raise ProtocolError(f"bus object lacks {missing}") from None
+
+
+def controller_to_json(controller: ControllerModel) -> dict:
+    """JSON object for one CAN controller model."""
+    return {
+        "controller_type": controller.controller_type.value,
+        "tx_buffers": controller.tx_buffers,
+        "abort_on_higher_priority": controller.abort_on_higher_priority,
+    }
+
+
+def controller_from_json(data: Mapping) -> ControllerModel:
+    """Inverse of :func:`controller_to_json`."""
+    try:
+        return ControllerModel(
+            controller_type=CanControllerType(data["controller_type"]),
+            tx_buffers=int(data.get("tx_buffers", 3)),
+            abort_on_higher_priority=bool(
+                data.get("abort_on_higher_priority", False)))
+    except (KeyError, ValueError) as error:
+        raise ProtocolError(f"bad controller object: {error}") from None
+
+
+def segment_to_json(segment: BusSegment) -> dict:
+    """JSON object for one bus segment (bus + K-Matrix + local models)."""
+    return {
+        "bus": bus_to_json(segment.bus),
+        "messages": [can_message_to_json(m) for m in segment.kmatrix],
+        "error_model": error_model_to_json(segment.error_model),
+        "deadline_policy": segment.deadline_policy,
+        "assumed_jitter_fraction": segment.assumed_jitter_fraction,
+    }
+
+
+def segment_from_json(data: Mapping) -> BusSegment:
+    """Inverse of :func:`segment_to_json`."""
+    try:
+        return BusSegment(
+            bus=bus_from_json(data["bus"]),
+            kmatrix=KMatrix(messages=[
+                can_message_from_json(m) for m in data.get("messages", ())]),
+            error_model=error_model_from_json(
+                data.get("error_model", {"errors": "none"})),
+            deadline_policy=str(data.get("deadline_policy", "period")),
+            assumed_jitter_fraction=float(
+                data.get("assumed_jitter_fraction", 0.0)))
+    except KeyError as missing:
+        raise ProtocolError(f"segment object lacks {missing}") from None
+
+
+def config_to_json(config: BusConfiguration) -> dict:
+    """JSON object for a single-bus :class:`BusConfiguration`."""
+    data = {
+        "bus": bus_to_json(config.bus),
+        "messages": [can_message_to_json(m) for m in config.kmatrix],
+        "error_model": error_model_to_json(config.error_model),
+        "assumed_jitter_fraction": config.assumed_jitter_fraction,
+        "deadline_policy": config.deadline_policy,
+    }
+    if config.controllers:
+        data["controllers"] = {name: controller_to_json(c)
+                               for name, c in config.controllers.items()}
+    if config.event_models:
+        data["event_models"] = {name: event_model_to_json(model)
+                                for name, model in
+                                config.event_models.items()}
+    return data
+
+
+def config_from_json(data: Mapping) -> BusConfiguration:
+    """Inverse of :func:`config_to_json`."""
+    try:
+        controllers = {str(name): controller_from_json(c)
+                       for name, c in data.get("controllers", {}).items()}
+        event_models = {str(name): event_model_from_json(m)
+                        for name, m in data.get("event_models", {}).items()}
+        return BusConfiguration(
+            kmatrix=KMatrix(messages=[
+                can_message_from_json(m) for m in data.get("messages", ())]),
+            bus=bus_from_json(data["bus"]),
+            error_model=error_model_from_json(
+                data.get("error_model", {"errors": "none"})),
+            assumed_jitter_fraction=float(
+                data.get("assumed_jitter_fraction", 0.0)),
+            controllers=controllers or None,
+            event_models=event_models or None,
+            deadline_policy=str(data.get("deadline_policy", "period")))
+    except KeyError as missing:
+        raise ProtocolError(f"config object lacks {missing}") from None
+
+
+def gateway_route_to_json(route: GatewayRoute) -> dict:
+    """JSON object for one gateway forwarding relation."""
+    return {
+        "source_message": route.source_message,
+        "destination_message": route.destination_message,
+        "source_bus": route.source_bus,
+        "destination_bus": route.destination_bus,
+        "queue": route.queue,
+    }
+
+
+def gateway_route_from_json(data: Mapping) -> GatewayRoute:
+    """Inverse of :func:`gateway_route_to_json`."""
+    try:
+        return GatewayRoute(
+            source_message=str(data["source_message"]),
+            destination_message=str(data["destination_message"]),
+            source_bus=str(data["source_bus"]),
+            destination_bus=str(data["destination_bus"]),
+            queue=str(data.get("queue", "default")))
+    except KeyError as missing:
+        raise ProtocolError(f"gateway route lacks {missing}") from None
+
+
+def gateway_to_json(gateway: GatewayModel) -> dict:
+    """JSON object for one gateway model."""
+    return {
+        "name": gateway.name,
+        "routes": [gateway_route_to_json(r) for r in gateway.routes],
+        "policy": gateway.policy.value,
+        "polling_period": gateway.polling_period,
+        "copy_time": gateway.copy_time,
+        "queue_capacities": dict(gateway.queue_capacities),
+    }
+
+
+def gateway_from_json(data: Mapping) -> GatewayModel:
+    """Inverse of :func:`gateway_to_json`."""
+    try:
+        return GatewayModel(
+            name=str(data["name"]),
+            routes=[gateway_route_from_json(r)
+                    for r in data.get("routes", ())],
+            policy=ForwardingPolicy(
+                data.get("policy", ForwardingPolicy.PERIODIC_POLLING.value)),
+            polling_period=float(data.get("polling_period", 5.0)),
+            copy_time=float(data.get("copy_time", 0.05)),
+            queue_capacities={str(q): int(c) for q, c in
+                              data.get("queue_capacities", {}).items()})
+    except (KeyError, ValueError) as error:
+        raise ProtocolError(f"bad gateway object: {error}") from None
+
+
+def task_to_json(task: Task) -> dict:
+    """JSON object for one ECU task."""
+    data = {
+        "name": task.name,
+        "priority": task.priority,
+        "wcet": task.wcet,
+        "bcet": task.bcet,
+        "kind": task.kind.value,
+        "sends_messages": list(task.sends_messages),
+        "non_preemptable_region": task.non_preemptable_region,
+    }
+    if task.activation is not None:
+        data["activation"] = event_model_to_json(task.activation)
+    return data
+
+
+def task_from_json(data: Mapping) -> Task:
+    """Inverse of :func:`task_to_json`."""
+    try:
+        return Task(
+            name=str(data["name"]),
+            priority=int(data["priority"]),
+            wcet=float(data["wcet"]),
+            bcet=float(data.get("bcet", 0.0)),
+            kind=TaskKind(data.get("kind", TaskKind.PREEMPTIVE.value)),
+            activation=(event_model_from_json(data["activation"])
+                        if "activation" in data else None),
+            sends_messages=tuple(
+                str(m) for m in data.get("sends_messages", ())),
+            non_preemptable_region=float(
+                data.get("non_preemptable_region", 0.0)))
+    except (KeyError, ValueError) as error:
+        raise ProtocolError(f"bad task object: {error}") from None
+
+
+def ecu_to_json(ecu: EcuModel) -> dict:
+    """JSON object for one detailed ECU model."""
+    overheads = ecu.overheads
+    data = {
+        "name": ecu.name,
+        "tasks": [task_to_json(t) for t in ecu.tasks],
+        "overheads": {
+            "activation": overheads.activation,
+            "termination": overheads.termination,
+            "isr_entry": overheads.isr_entry,
+            "schedule_point": overheads.schedule_point,
+        },
+    }
+    if ecu.timetable is not None:
+        data["timetable"] = {
+            "period": ecu.timetable.period,
+            "entries": [{"task_name": e.task_name, "offset": e.offset}
+                        for e in ecu.timetable.entries],
+        }
+    return data
+
+
+def ecu_from_json(data: Mapping) -> EcuModel:
+    """Inverse of :func:`ecu_to_json`."""
+    try:
+        overheads = data.get("overheads", {})
+        timetable = None
+        if "timetable" in data:
+            table = data["timetable"]
+            timetable = TimeTable(
+                period=float(table["period"]),
+                entries=tuple(
+                    TimeTableEntry(task_name=str(e["task_name"]),
+                                   offset=float(e["offset"]))
+                    for e in table.get("entries", ())))
+        return EcuModel(
+            name=str(data["name"]),
+            tasks=[task_from_json(t) for t in data.get("tasks", ())],
+            overheads=OsekOverheads(
+                activation=float(overheads.get("activation", 0.004)),
+                termination=float(overheads.get("termination", 0.003)),
+                isr_entry=float(overheads.get("isr_entry", 0.002)),
+                schedule_point=float(
+                    overheads.get("schedule_point", 0.002))),
+            timetable=timetable)
+    except (KeyError, ValueError) as error:
+        raise ProtocolError(f"bad ECU object: {error}") from None
+
+
+def system_to_json(system: SystemModel) -> dict:
+    """JSON object for a whole :class:`SystemModel` (the register payload)."""
+    return {
+        "name": system.name,
+        "buses": [segment_to_json(s) for s in system.buses.values()],
+        "gateways": [gateway_to_json(g) for g in system.gateways.values()],
+        "ecus": [ecu_to_json(e) for e in system.ecus.values()],
+        "controllers": {name: controller_to_json(c)
+                        for name, c in system.controllers.items()},
+    }
+
+
+def system_from_json(data: Mapping) -> SystemModel:
+    """Inverse of :func:`system_to_json`."""
+    try:
+        system = SystemModel(name=str(data.get("name", "system")))
+        for segment in data.get("buses", ()):
+            system.add_bus(segment_from_json(segment))
+        for gateway in data.get("gateways", ()):
+            system.add_gateway(gateway_from_json(gateway))
+        for ecu in data.get("ecus", ()):
+            system.add_ecu(ecu_from_json(ecu))
+        system.controllers.update(
+            {str(name): controller_from_json(c)
+             for name, c in data.get("controllers", {}).items()})
+    except ValueError as error:
+        raise ProtocolError(f"bad system object: {error}") from None
+    return system
+
+
+# --------------------------------------------------------------------------- #
+# System deltas
+# --------------------------------------------------------------------------- #
+def system_delta_to_json(delta: SystemDelta) -> dict:
+    """Tagged JSON object for any typed system-level delta."""
+    if isinstance(delta, MoveMessageDelta):
+        data = {"sysdelta": "move-message",
+                "message_name": delta.message_name, "to_bus": delta.to_bus}
+        if delta.new_can_id is not None:
+            data["new_can_id"] = delta.new_can_id
+        return data
+    if isinstance(delta, BusSpeedDelta):
+        return {"sysdelta": "bus-speed", "bus": delta.bus_name,
+                "bit_rate_bps": delta.bit_rate_bps}
+    if isinstance(delta, AddGatewayRouteDelta):
+        data = {"sysdelta": "add-gateway-route",
+                "gateway": delta.gateway_name,
+                "route": gateway_route_to_json(delta.route)}
+        if delta.polling_period is not None:
+            data["polling_period"] = delta.polling_period
+        return data
+    if isinstance(delta, RemoveGatewayRouteDelta):
+        return {"sysdelta": "remove-gateway-route",
+                "gateway": delta.gateway_name,
+                "destination_message": delta.destination_message}
+    if isinstance(delta, GatewayConfigDelta):
+        data = {"sysdelta": "gateway-config", "gateway": delta.gateway_name}
+        if delta.polling_period is not None:
+            data["polling_period"] = delta.polling_period
+        if delta.copy_time is not None:
+            data["copy_time"] = delta.copy_time
+        if delta.policy is not None:
+            data["policy"] = ForwardingPolicy(delta.policy).value
+        return data
+    if isinstance(delta, EcuTaskDelta):
+        data = {"sysdelta": "ecu-task", "ecu": delta.ecu_name,
+                "task": delta.task_name}
+        if delta.wcet is not None:
+            data["wcet"] = delta.wcet
+        if delta.bcet is not None:
+            data["bcet"] = delta.bcet
+        if delta.activation is not None:
+            data["activation"] = event_model_to_json(delta.activation)
+        return data
+    if isinstance(delta, SegmentConfigDelta):
+        return {"sysdelta": "segment-config", "bus": delta.bus_name,
+                "deltas": deltas_to_json(delta.deltas)}
+    raise ProtocolError(
+        f"cannot serialise system delta type {type(delta).__name__}")
+
+
+def system_delta_from_json(data: Mapping) -> SystemDelta:
+    """Inverse of :func:`system_delta_to_json`."""
+    kind = data.get("sysdelta")
+    if kind == "move-message":
+        return MoveMessageDelta(
+            message_name=str(data["message_name"]),
+            to_bus=str(data["to_bus"]),
+            new_can_id=(int(data["new_can_id"])
+                        if "new_can_id" in data else None))
+    if kind == "bus-speed":
+        return BusSpeedDelta(bus_name=str(data["bus"]),
+                             bit_rate_bps=float(data["bit_rate_bps"]))
+    if kind == "add-gateway-route":
+        return AddGatewayRouteDelta(
+            gateway_name=str(data["gateway"]),
+            route=gateway_route_from_json(data["route"]),
+            polling_period=(float(data["polling_period"])
+                            if "polling_period" in data else None))
+    if kind == "remove-gateway-route":
+        return RemoveGatewayRouteDelta(
+            gateway_name=str(data["gateway"]),
+            destination_message=str(data["destination_message"]))
+    if kind == "gateway-config":
+        return GatewayConfigDelta(
+            gateway_name=str(data["gateway"]),
+            polling_period=(float(data["polling_period"])
+                            if "polling_period" in data else None),
+            copy_time=(float(data["copy_time"])
+                       if "copy_time" in data else None),
+            policy=(ForwardingPolicy(data["policy"])
+                    if "policy" in data else None))
+    if kind == "ecu-task":
+        return EcuTaskDelta(
+            ecu_name=str(data["ecu"]),
+            task_name=str(data["task"]),
+            wcet=(float(data["wcet"]) if "wcet" in data else None),
+            bcet=(float(data["bcet"]) if "bcet" in data else None),
+            activation=(event_model_from_json(data["activation"])
+                        if "activation" in data else None))
+    if kind == "segment-config":
+        return SegmentConfigDelta(
+            bus_name=str(data["bus"]),
+            deltas=deltas_from_json(data.get("deltas", ())))
+    raise ProtocolError(f"unknown system delta tag {kind!r}")
+
+
+def system_deltas_from_json(items: Sequence[Mapping],
+                            ) -> tuple[SystemDelta, ...]:
+    """Decode a request's system-delta list."""
+    return tuple(system_delta_from_json(item) for item in items)
+
+
+def system_deltas_to_json(deltas: Sequence[SystemDelta]) -> list[dict]:
+    """Encode a system-delta list for a request."""
+    return [system_delta_to_json(delta) for delta in deltas]
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end paths
+# --------------------------------------------------------------------------- #
+def path_to_json(path: EndToEndPath) -> dict:
+    """JSON object for one cause-effect chain."""
+    return {"name": path.name,
+            "segments": [[kind, reference]
+                         for kind, reference in path.segments]}
+
+
+def path_from_json(data: Mapping) -> EndToEndPath:
+    """Inverse of :func:`path_to_json`."""
+    try:
+        segments = tuple(
+            (str(kind), str(reference))
+            for kind, reference in data.get("segments", ()))
+        return EndToEndPath(name=str(data["name"]), segments=segments)
+    except (KeyError, ValueError) as error:
+        raise ProtocolError(f"bad path object: {error}") from None
+
+
+def paths_from_json(items: Sequence[Mapping]) -> tuple[EndToEndPath, ...]:
+    """Decode a request's path list."""
+    return tuple(path_from_json(item) for item in items)
+
+
+def paths_to_json(paths: Sequence[EndToEndPath]) -> list[dict]:
+    """Encode a path list for a request."""
+    return [path_to_json(path) for path in paths]
+
+
+def path_latency_to_json(latency: PathLatency) -> dict:
+    """JSON object for one :class:`PathLatency` (inf encodes as null)."""
+    return {
+        "path": latency.path.name,
+        "worst_case": _finite(latency.worst_case),
+        "best_case": latency.best_case,
+        "jitter": _finite(latency.jitter),
+        "per_segment": [[reference, _finite(worst)]
+                        for reference, worst in latency.per_segment],
+    }
+
+
+def system_query_result_to_json(outcome) -> dict:
+    """JSON object for a :class:`repro.whatif.session.SystemQueryResult`."""
+    result = outcome.result
+    return {
+        "label": outcome.label,
+        "fingerprint": outcome.fingerprint,
+        "converged": result.converged,
+        "iterations": result.iterations,
+        "all_deadlines_met": result.all_deadlines_met,
+        "messages": {name: result_to_json(value)
+                     for name, value in result.message_results.items()},
+        "tasks": {name: {"worst_case": _finite(value.worst_case),
+                         "best_case": value.best_case,
+                         "bounded": value.bounded}
+                  for name, value in result.task_results.items()},
+        "bus_reports": {bus: report_to_json(report)
+                        for bus, report in result.bus_reports.items()},
+        "stats": {
+            "invalidated": list(outcome.stats.invalidated),
+            "segments": outcome.stats.segments,
+            "cache_hit": outcome.stats.cache_hit,
+        },
     }
 
 

@@ -48,6 +48,25 @@ class BusConfiguration:
     event_models: Optional[Mapping[str, EventModel]] = None
     deadline_policy: str = "period"
 
+    @classmethod
+    def from_segment(cls, segment,
+                     controllers: Optional[Mapping[str, ControllerModel]]
+                     = None) -> "BusConfiguration":
+        """Configuration of one :class:`~repro.core.system.BusSegment`.
+
+        (Duck-typed to avoid a ``service -> core`` import cycle; anything
+        with the segment attributes works.)  The session pool and the
+        system-level what-if layer both shard systems through this.
+        """
+        return cls(
+            kmatrix=segment.kmatrix,
+            bus=segment.bus,
+            error_model=segment.error_model,
+            assumed_jitter_fraction=segment.assumed_jitter_fraction,
+            controllers=dict(controllers) if controllers else None,
+            deadline_policy=segment.deadline_policy,
+        )
+
     def build_analysis(self) -> CanBusAnalysis:
         """Fresh analysis kernel for this configuration."""
         return CanBusAnalysis(

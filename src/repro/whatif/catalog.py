@@ -1,0 +1,348 @@
+"""Named system-level what-if scenarios and their catalog.
+
+The per-bus :class:`~repro.service.catalog.ScenarioCatalog` registers the
+paper's *parameter* families (jitter, errors, priorities); the catalog here
+registers its *topology* families -- the architecture moves Figure 3's
+integration view is actually about:
+
+* **message re-mapping sweeps** -- one message tried on every other bus;
+* **bus-speed degradation** -- one segment stepped down through the
+  standard CAN bit rates;
+* **gateway failover** -- a gateway's routes migrated, one by one, onto a
+  backup gateway.
+
+Scenarios are frozen values over typed
+:class:`~repro.whatif.system_deltas.SystemDelta` sequences, so a registered
+scenario replays exactly -- through a local
+:class:`~repro.whatif.session.SystemSession` or the daemon's
+``system_scenario`` endpoint.  Unlike the per-bus families, topology
+scenarios depend on the topology: :func:`builtin_system_catalog` derives
+the standard families *from* a concrete system (which message, which bus,
+which gateway) deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.core.paths import EndToEndPath, PathLatency
+from repro.core.system import SystemModel
+from repro.whatif.session import SystemQueryResult, SystemSession
+from repro.whatif.system_deltas import (
+    AddGatewayRouteDelta,
+    BusSpeedDelta,
+    GatewayConfigDelta,
+    MoveMessageDelta,
+    RemoveGatewayRouteDelta,
+    SystemDelta,
+)
+
+#: Standard CAN bit rates (bit/s), fastest first -- the degradation ladder.
+STANDARD_BIT_RATES_BPS: tuple[float, ...] = (
+    1_000_000.0, 500_000.0, 250_000.0, 125_000.0)
+
+
+@dataclass(frozen=True)
+class SystemScenarioQuery:
+    """One step of a system scenario: a labelled system-delta list."""
+
+    label: str
+    deltas: tuple[SystemDelta, ...] = ()
+
+
+@dataclass(frozen=True)
+class SystemScenarioRunResult:
+    """Deterministically ordered results of one system-scenario run."""
+
+    scenario: str
+    session: str
+    queries: tuple[SystemQueryResult, ...]
+    path_latencies: tuple[tuple[PathLatency, ...], ...] = ()
+
+    def rows(self) -> list[list[object]]:
+        """(query, converged, misses, worst path, invalidated) rows."""
+        rows: list[list[object]] = []
+        for index, query in enumerate(self.queries):
+            result = query.result
+            missed = sum(len(report.missed)
+                         for report in result.bus_reports.values())
+            worst_path = ""
+            if self.path_latencies:
+                latencies = self.path_latencies[index]
+                if latencies:
+                    worst_path = max(
+                        latency.worst_case for latency in latencies)
+            rows.append([
+                query.label or query.fingerprint,
+                "yes" if result.converged else "NO",
+                missed,
+                worst_path,
+                len(query.stats.invalidated),
+            ])
+        return rows
+
+    def to_table(self, title: Optional[str] = None) -> str:
+        """Render via :func:`repro.reporting.tables.format_table`."""
+        from repro.reporting.tables import format_table
+        headers = ["query", "converged", "missed", "worst path [ms]",
+                   "invalidated"]
+        return format_table(
+            headers, self.rows(),
+            title=title or f"System scenario {self.scenario!r} "
+                           f"on {self.session}")
+
+    def describe(self) -> str:
+        """Multi-line summary, one line per query."""
+        lines = [f"System scenario {self.scenario!r} on {self.session}:"]
+        lines.extend("  " + query.describe() for query in self.queries)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SystemScenario:
+    """A named, reproducible sequence of topology what-if queries.
+
+    ``paths`` optionally names end-to-end chains whose latencies are
+    tracked per step (the run result carries one latency tuple per query).
+    """
+
+    name: str
+    queries: tuple[SystemScenarioQuery, ...]
+    description: str = ""
+    paths: tuple[EndToEndPath, ...] = ()
+
+    def run(self, session: SystemSession) -> SystemScenarioRunResult:
+        """Execute every query against ``session`` in definition order."""
+        outcomes: list[SystemQueryResult] = []
+        latencies: list[tuple[PathLatency, ...]] = []
+        for query in self.queries:
+            outcome = session.query(query.deltas, label=query.label)
+            outcomes.append(outcome)
+            if self.paths:
+                latencies.append(session.path_latency(
+                    self.paths, query.deltas, label=query.label))
+        return SystemScenarioRunResult(
+            scenario=self.name, session=session.name,
+            queries=tuple(outcomes),
+            path_latencies=tuple(latencies))
+
+    def describe(self) -> str:
+        return (f"{self.name}: {len(self.queries)} queries"
+                + (f", {len(self.paths)} tracked paths" if self.paths else "")
+                + (f" -- {self.description}" if self.description else ""))
+
+
+class SystemScenarioCatalog:
+    """Registry of named system-level what-if scenarios."""
+
+    def __init__(self) -> None:
+        self._scenarios: dict[str, SystemScenario] = {}
+
+    def register(self, scenario: SystemScenario,
+                 overwrite: bool = False) -> SystemScenario:
+        """Register a scenario under its name; returns it for chaining."""
+        if not overwrite and scenario.name in self._scenarios:
+            raise ValueError(f"scenario {scenario.name!r} already registered")
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> SystemScenario:
+        """Look up a scenario by name."""
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown system scenario {name!r}; registered: "
+                f"{', '.join(sorted(self._scenarios)) or 'none'}") from None
+
+    def names(self) -> list[str]:
+        """All registered scenario names, sorted."""
+        return sorted(self._scenarios)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __iter__(self) -> Iterator[SystemScenario]:
+        return iter(self._scenarios.values())
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def run(self, name: str,
+            session: SystemSession) -> SystemScenarioRunResult:
+        """Execute a registered scenario against a session."""
+        return self.get(name).run(session)
+
+    def describe(self) -> str:
+        """Multi-line inventory of the catalog."""
+        lines = [f"System scenario catalog ({len(self)} scenarios):"]
+        lines.extend("  " + self._scenarios[name].describe()
+                     for name in self.names())
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Scenario families
+# --------------------------------------------------------------------------- #
+def message_remap_sweep_scenario(
+    system: SystemModel,
+    message_name: str,
+    target_buses: Sequence[str] | None = None,
+    name: str | None = None,
+    paths: Sequence[EndToEndPath] = (),
+) -> SystemScenario:
+    """Try one message on every (other) bus -- "where should this frame go".
+
+    Each step is independent (applied to the base topology); the first step
+    is the unchanged baseline.  Messages that are gateway route endpoints
+    are legal targets: the routes follow the message.
+    """
+    home = system.bus_of_message(message_name).name
+    message = system.buses[home].kmatrix.get(message_name)
+    if target_buses is None:
+        target_buses = [bus for bus in sorted(system.buses) if bus != home]
+    queries = [SystemScenarioQuery(label=f"{message_name}@{home} (base)")]
+    from repro.can.frame import CanFrameFormat
+    max_id = 0x7FF if message.frame_format == CanFrameFormat.STANDARD \
+        else 0x1FFFFFFF
+    for bus in target_buses:
+        if bus == home:
+            continue
+        # Segments may share identifier ranges; when the message's id is
+        # taken on the target bus, assign the highest free one within the
+        # frame format's range (lowest priority, so the sweep perturbs
+        # the target bus as little as possible).  A bus with no free
+        # identifier left is skipped rather than made invalid.
+        used = {m.can_id for m in system.buses[bus].kmatrix}
+        new_can_id = None
+        if message.can_id in used:
+            new_can_id = next(
+                (can_id for can_id in range(max_id, -1, -1)
+                 if can_id not in used), None)
+            if new_can_id is None:
+                continue
+        queries.append(SystemScenarioQuery(
+            label=f"{message_name}@{bus}",
+            deltas=(MoveMessageDelta(message_name=message_name,
+                                     to_bus=bus, new_can_id=new_can_id),)))
+    return SystemScenario(
+        name=name or f"remap-{message_name}",
+        queries=tuple(queries),
+        description=f"{message_name} re-mapped across bus segments",
+        paths=tuple(paths))
+
+
+def bus_speed_degradation_scenario(
+    system: SystemModel,
+    bus_name: str,
+    bit_rates_bps: Sequence[float] | None = None,
+    name: str | None = None,
+    paths: Sequence[EndToEndPath] = (),
+) -> SystemScenario:
+    """Step one segment down the standard CAN bit-rate ladder."""
+    if bus_name not in system.buses:
+        raise KeyError(bus_name)
+    base_rate = system.buses[bus_name].bus.bit_rate_bps
+    if bit_rates_bps is None:
+        bit_rates_bps = [rate for rate in STANDARD_BIT_RATES_BPS
+                         if rate < base_rate]
+    queries = [SystemScenarioQuery(
+        label=f"{bus_name}@{base_rate / 1000:g}kbit/s (base)")]
+    for rate in bit_rates_bps:
+        queries.append(SystemScenarioQuery(
+            label=f"{bus_name}@{rate / 1000:g}kbit/s",
+            deltas=(BusSpeedDelta(bus_name=bus_name, bit_rate_bps=rate),)))
+    return SystemScenario(
+        name=name or f"degrade-{bus_name}",
+        queries=tuple(queries),
+        description=f"{bus_name} bit rate degraded step by step",
+        paths=tuple(paths))
+
+
+def gateway_failover_scenario(
+    system: SystemModel,
+    gateway_name: str,
+    backup_name: str | None = None,
+    backup_polling_period: float | None = None,
+    name: str | None = None,
+    paths: Sequence[EndToEndPath] = (),
+) -> SystemScenario:
+    """Migrate a gateway's routes onto a backup, one route at a time.
+
+    Step 0 is the healthy baseline, step 1 degrades the primary (doubled
+    polling period -- the overload precursor), and each following step
+    cumulatively moves one more route to the backup gateway until the
+    primary forwards nothing.  The backup defaults to ``<name>-backup``
+    with twice the primary's polling period (a cold standby is slower).
+    """
+    gateway = system.gateways.get(gateway_name)
+    if gateway is None:
+        raise KeyError(gateway_name)
+    if not gateway.routes:
+        raise ValueError(f"gateway {gateway_name!r} has no routes to fail over")
+    backup = backup_name or f"{gateway_name}-backup"
+    backup_period = (backup_polling_period
+                     if backup_polling_period is not None
+                     else 2.0 * gateway.polling_period)
+    queries = [
+        SystemScenarioQuery(label=f"{gateway_name} healthy"),
+        SystemScenarioQuery(
+            label=f"{gateway_name} degraded",
+            deltas=(GatewayConfigDelta(
+                gateway_name=gateway_name,
+                polling_period=2.0 * gateway.polling_period),)),
+    ]
+    moved: list[SystemDelta] = []
+    for route in gateway.routes:
+        moved.append(RemoveGatewayRouteDelta(
+            gateway_name=gateway_name,
+            destination_message=route.destination_message))
+        moved.append(AddGatewayRouteDelta(
+            gateway_name=backup, route=route,
+            polling_period=backup_period))
+        queries.append(SystemScenarioQuery(
+            label=f"failover {route.destination_message} -> {backup}",
+            deltas=tuple(moved)))
+    return SystemScenario(
+        name=name or f"failover-{gateway_name}",
+        queries=tuple(queries),
+        description=(f"routes of {gateway_name} migrated to {backup}"),
+        paths=tuple(paths))
+
+
+def builtin_system_catalog(system: SystemModel) -> SystemScenarioCatalog:
+    """The standard topology families derived from one concrete system.
+
+    Deterministic: the degraded bus is the busiest segment, the re-mapped
+    message is the highest-priority message of that segment that is not a
+    gateway route endpoint (falling back to the highest-priority one), and
+    the failover scenario targets the first gateway in name order.
+    Systems without gateways simply get fewer scenarios.
+    """
+    catalog = SystemScenarioCatalog()
+    if not system.buses:
+        return catalog
+    busiest = max(sorted(system.buses),
+                  key=lambda bus: len(system.buses[bus].kmatrix))
+    catalog.register(bus_speed_degradation_scenario(
+        system, busiest, name="bus-speed-degradation"))
+    if len(system.buses) > 1:
+        endpoints = {
+            route.source_message
+            for gateway in system.gateways.values()
+            for route in gateway.routes}
+        endpoints.update(
+            route.destination_message
+            for gateway in system.gateways.values()
+            for route in gateway.routes)
+        ordered = system.buses[busiest].kmatrix.sorted_by_priority()
+        movable = [m for m in ordered if m.name not in endpoints] or ordered
+        catalog.register(message_remap_sweep_scenario(
+            system, movable[0].name, name="message-remap-sweep"))
+    for gateway_name in sorted(system.gateways):
+        if system.gateways[gateway_name].routes:
+            catalog.register(gateway_failover_scenario(
+                system, gateway_name, name="gateway-failover"))
+            break
+    return catalog

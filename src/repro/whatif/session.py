@@ -1,0 +1,450 @@
+"""System-level what-if sessions: incremental topology exploration.
+
+A :class:`SystemSession` is to a :class:`~repro.core.system.SystemModel`
+what an :class:`~repro.service.session.AnalysisSession` is to one bus: it
+holds a base topology, answers typed
+:class:`~repro.whatif.system_deltas.SystemDelta` queries, and makes
+repeated exploration incremental -- while staying **bit-identical** to a
+from-scratch :class:`~repro.core.engine.CompositionalAnalysis` run on the
+equivalently edited system.  Three mechanisms provide the incrementality:
+
+* **shared per-segment sessions** -- the session owns one
+  :class:`AnalysisSession` per (bus, configuration fingerprint) and injects
+  them into every engine run, so segments a delta does not touch answer
+  their per-iteration queries from warm caches (the PR 4
+  engine-on-sessions machinery); sessions for edited segment variants are
+  LRU-cached too, so sweeps revisiting a configuration reuse its kernels;
+* **a whole-result cache** keyed by the edited system's *fingerprint*
+  (:meth:`~repro.core.system.SystemModel.fingerprint`): repeating a query
+  -- or asking for path latencies after it -- costs a dictionary lookup.
+  Gateway and ECU containers are mutable, so the fingerprint covers their
+  values; an in-place edit of the base system (e.g.
+  :meth:`GatewayModel.add_route`) is detected on the next query and
+  invalidates every cached result rather than serving a stale fixed point;
+* **gateway-aware invalidation accounting** -- each query reports which
+  shards its deltas invalidate: the directly touched buses closed under
+  the gateway influence graph (:func:`~repro.whatif.system_deltas.
+  influence_edges`).  Segments outside that set are provably served from
+  cache at every global iteration.
+
+End-to-end path latency is a first-class query here:
+:meth:`SystemSession.path_latency` evaluates
+:class:`~repro.core.paths.EndToEndPath` portfolios against the (cached)
+fixed point of any delta sequence, which is what turns the daemon into the
+design-exploration server of the paper's system-level claim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional, Sequence
+
+from repro.core.engine import CompositionalAnalysis
+from repro.core.paths import EndToEndPath, PathLatency, path_latency_all
+from repro.core.results import SystemAnalysisResult
+from repro.core.system import BusSegment, SystemModel
+from repro.service.deltas import BusConfiguration
+from repro.service.session import AnalysisSession, SessionStats
+from repro.whatif.system_deltas import (
+    SystemDelta,
+    apply_system_deltas,
+    downstream_closure,
+    influence_edges,
+)
+
+
+class SystemKey:
+    """System-fingerprint wrapper caching its hash and display digest.
+
+    Mirrors the per-bus session's key object: process hashes are
+    ``PYTHONHASHSEED``-randomised, so the rendered ``digest`` is a
+    deterministic sha1 over the fingerprint's repr, computed lazily.
+    """
+
+    __slots__ = ("value", "_hash", "_digest")
+
+    def __init__(self, value: tuple) -> None:
+        self.value = value
+        self._hash = hash(value)
+        self._digest: str | None = None
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, SystemKey):
+            return NotImplemented
+        return self._hash == other._hash and self.value == other.value
+
+    def __repr__(self) -> str:
+        return f"sys:{self.digest}"
+
+    @property
+    def digest(self) -> str:
+        if self._digest is None:
+            self._digest = hashlib.sha1(
+                repr(self.value).encode()).hexdigest()[:12]
+        return self._digest
+
+
+@dataclass(frozen=True)
+class SystemQueryStats:
+    """How one system query was obtained."""
+
+    invalidated: tuple[str, ...]
+    segments: int
+    cache_hit: bool = False
+
+    def describe(self) -> str:
+        if self.cache_hit:
+            return f"cache hit ({self.segments} segments)"
+        scope = ", ".join(self.invalidated) or "none"
+        return (f"{len(self.invalidated)}/{self.segments} segments "
+                f"invalidated ({scope})")
+
+
+@dataclass(frozen=True)
+class SystemQueryResult:
+    """Outcome of one system-level what-if query."""
+
+    label: Optional[str]
+    deltas: tuple[SystemDelta, ...]
+    result: SystemAnalysisResult
+    stats: SystemQueryStats
+    system: SystemModel = field(repr=False, compare=False, default=None)
+    key: object = field(repr=False, compare=False, default=None)
+
+    @property
+    def fingerprint(self) -> str:
+        """Deterministic digest of the analysed topology."""
+        return self.key.digest if isinstance(self.key, SystemKey) else ""
+
+    def worst_case(self, message_name: str) -> float:
+        """Worst-case response time of one message (ms)."""
+        return self.result.message_results[message_name].worst_case
+
+    def path_latency(self, path: EndToEndPath) -> PathLatency:
+        """End-to-end latency of one path over this query's fixed point."""
+        return path_latency_all((path,), self.system, self.result)[0]
+
+    def describe(self) -> str:
+        label = self.label or ", ".join(
+            d.describe() for d in self.deltas) or "base topology"
+        verdict = ("converged" if self.result.converged
+                   else "DID NOT CONVERGE")
+        return f"{label}: {verdict}, {self.stats.describe()}"
+
+
+@dataclass(frozen=True)
+class SystemSessionStats:
+    """Lifetime counters of one :class:`SystemSession`."""
+
+    name: str
+    queries: int
+    cache_hits: int
+    cached_results: int
+    segment_sessions: int
+    base_invalidations: int
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.queries} queries "
+                f"({self.cache_hits} hits), {self.cached_results} cached "
+                f"results, {self.segment_sessions} segment sessions, "
+                f"{self.base_invalidations} base invalidations")
+
+
+class SystemSession:
+    """What-if query engine over one base :class:`SystemModel`.
+
+    Parameters
+    ----------
+    system:
+        The base topology; deltas apply on top of it.  The session detects
+        in-place edits of this model between queries by re-fingerprinting
+        it (the base is then treated as a new topology and every cached
+        result is dropped).
+    max_cached_results:
+        LRU bound on cached whole-system fixed points (the base topology's
+        result is never evicted).
+    max_sessions:
+        LRU bound on per-segment analysis sessions across all topology
+        variants (the base topology's sessions are never evicted).
+    max_iterations:
+        Global iteration bound handed to every engine run.
+    sessions:
+        Optional pre-existing per-segment sessions of the *base* topology,
+        keyed by bus name -- the daemon injects its pool shards here so
+        system queries and per-shard what-if queries share one warm cache.
+    """
+
+    def __init__(
+        self,
+        system: SystemModel,
+        max_cached_results: int = 128,
+        max_sessions: int = 64,
+        max_iterations: int = 50,
+        name: str | None = None,
+        sessions: Mapping[str, AnalysisSession] | None = None,
+    ) -> None:
+        problems = system.validate()
+        if problems:
+            raise ValueError(
+                "inconsistent system model:\n  " + "\n  ".join(problems))
+        if max_cached_results < 1:
+            raise ValueError("max_cached_results must be at least 1")
+        if max_sessions < len(system.buses):
+            raise ValueError(
+                "max_sessions must cover at least the base topology")
+        self.name = name or f"system:{system.name}"
+        self.max_iterations = max_iterations
+        self._base = system
+        self._max_cached_results = max_cached_results
+        self._max_sessions = max_sessions
+        self._lock = threading.RLock()
+        self._base_key = SystemKey(system.fingerprint())
+        self._results: OrderedDict[SystemKey, SystemQueryResult] = \
+            OrderedDict()
+        self._delta_memo: OrderedDict[
+            tuple, tuple[SystemModel, SystemKey, frozenset[str]]] = \
+            OrderedDict()
+        self._sessions: OrderedDict[tuple, AnalysisSession] = OrderedDict()
+        self._pinned: set[tuple] = set()
+        self.queries = 0
+        self.cache_hits = 0
+        self.base_invalidations = 0
+        unknown = set(sessions or {}) - set(system.buses)
+        if unknown:
+            raise ValueError(f"sessions for unknown buses: {sorted(unknown)}")
+        for bus_name, session in (sessions or {}).items():
+            key = self._segment_key(bus_name, session.base_config)
+            self._sessions[key] = session
+        self._pin_base_locked()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def base_system(self) -> SystemModel:
+        """The session's base topology (deltas apply on top of it)."""
+        return self._base
+
+    @property
+    def base_fingerprint(self) -> str:
+        """Deterministic digest of the base topology."""
+        return self._base_key.digest
+
+    def analyze(self) -> SystemQueryResult:
+        """Analyse (or fetch) the base topology."""
+        return self.query(())
+
+    def query(
+        self,
+        deltas: "SystemDelta | Sequence[SystemDelta]" = (),
+        *,
+        label: str | None = None,
+    ) -> SystemQueryResult:
+        """Run one system-level what-if query.
+
+        ``deltas`` (a single delta or a sequence, applied left to right)
+        describe the hypothetical topology; the returned fixed point is
+        bit-identical to ``CompositionalAnalysis(edited, incremental=False)
+        .run()`` on the equivalently edited model.
+        """
+        deltas = self._normalize(deltas)
+        with self._lock:
+            self._refresh_base_locked()
+            system, key, invalidated = self._resolve_locked(deltas)
+            self.queries += 1
+            cached = self._results.get(key)
+            if cached is not None:
+                self._results.move_to_end(key)
+                self.cache_hits += 1
+                return replace(
+                    cached, label=label, deltas=deltas,
+                    stats=replace(cached.stats, cache_hit=True))
+            sessions = self._sessions_for_locked(system)
+        # The engine run is pure and deterministic; it happens outside the
+        # lock so concurrent queries genuinely overlap (a duplicated
+        # computation is harmless -- both produce the same value).
+        engine = CompositionalAnalysis(
+            system, max_iterations=self.max_iterations, sessions=sessions)
+        result = engine.run()
+        stats = SystemQueryStats(
+            invalidated=tuple(sorted(invalidated)),
+            segments=len(system.buses))
+        outcome = SystemQueryResult(
+            label=label, deltas=deltas, result=result, stats=stats,
+            system=system, key=key)
+        with self._lock:
+            if key not in self._results:
+                self._results[key] = outcome
+            self._results.move_to_end(key)
+            while len(self._results) > self._max_cached_results:
+                for candidate in self._results:
+                    if candidate != self._base_key and candidate != key:
+                        del self._results[candidate]
+                        break
+                else:
+                    break
+        return outcome
+
+    def path_latency(
+        self,
+        paths: "EndToEndPath | Sequence[EndToEndPath]",
+        deltas: "SystemDelta | Sequence[SystemDelta]" = (),
+        *,
+        label: str | None = None,
+    ) -> tuple[PathLatency, ...]:
+        """End-to-end latencies of the given paths under a delta sequence.
+
+        Served from the cached fixed point whenever the topology was
+        already analysed, so per-delta path tracking costs one engine run
+        per *distinct* topology, not per path.
+        """
+        if isinstance(paths, EndToEndPath):
+            paths = (paths,)
+        outcome = self.query(deltas, label=label)
+        return path_latency_all(tuple(paths), outcome.system, outcome.result)
+
+    def invalidated_by(
+        self,
+        deltas: "SystemDelta | Sequence[SystemDelta]",
+    ) -> frozenset[str]:
+        """Buses a delta sequence invalidates, gateway-reachability aware.
+
+        The directly edited buses plus every bus reachable from them along
+        the gateway influence graph of the base *and* the edited topology
+        (a removed route's former influence still invalidates its old
+        downstream segments).
+        """
+        deltas = self._normalize(deltas)
+        with self._lock:
+            self._refresh_base_locked()
+            return self._resolve_locked(deltas)[2]
+
+    def stats(self) -> SystemSessionStats:
+        """Snapshot of the session's lifetime counters (thread-safe)."""
+        with self._lock:
+            return SystemSessionStats(
+                name=self.name,
+                queries=self.queries,
+                cache_hits=self.cache_hits,
+                cached_results=len(self._results),
+                segment_sessions=len(self._sessions),
+                base_invalidations=self.base_invalidations,
+            )
+
+    def session_stats(self) -> list[SessionStats]:
+        """Statistics of every per-segment session, in stable name order."""
+        with self._lock:
+            sessions = sorted(self._sessions.values(),
+                              key=lambda session: session.name)
+        return [session.stats() for session in sessions]
+
+    def describe(self) -> str:
+        """One-line session summary."""
+        return self.stats().describe()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _normalize(deltas) -> tuple[SystemDelta, ...]:
+        if isinstance(deltas, SystemDelta):
+            return (deltas,)
+        deltas = tuple(deltas)
+        for delta in deltas:
+            if not isinstance(delta, SystemDelta):
+                raise ValueError(
+                    f"expected SystemDelta instances, got {delta!r} -- "
+                    "wrap per-bus deltas in SegmentConfigDelta")
+        return deltas
+
+    @staticmethod
+    def _segment_key(bus_name: str, config: BusConfiguration) -> tuple:
+        return (bus_name, config.analysis_key(), config.deadline_policy)
+
+    def _pin_base_locked(self) -> None:
+        """(Re)compute the always-resident base segment-session keys."""
+        self._pinned = set()
+        for segment in self._base.buses.values():
+            config = BusConfiguration.from_segment(
+                segment, controllers=self._base.controllers or None)
+            self._pinned.add(self._segment_key(segment.name, config))
+
+    def _refresh_base_locked(self) -> None:
+        """Detect in-place edits of the base system between queries.
+
+        Gateway and ECU models are mutable; if the base topology's
+        fingerprint changed since the last query, every cached result and
+        resolved delta is potentially stale and is dropped.  Per-segment
+        sessions are keyed by configuration value, so the surviving ones
+        stay exact and keep their warm caches.
+        """
+        key = SystemKey(self._base.fingerprint())
+        if key == self._base_key:
+            return
+        self._base_key = key
+        self._results.clear()
+        self._delta_memo.clear()
+        self._pin_base_locked()
+        self.base_invalidations += 1
+
+    def _resolve_locked(self, deltas: tuple[SystemDelta, ...],
+                        ) -> tuple[SystemModel, SystemKey, frozenset[str]]:
+        """Delta sequence -> (edited system, key, invalidated buses)."""
+        if not deltas:
+            return self._base, self._base_key, frozenset()
+        memo = self._delta_memo.get(deltas)
+        if memo is None:
+            touched: set[str] = set()
+            edges = set(influence_edges(self._base))
+            system = self._base
+            for delta in deltas:
+                touched |= delta.touched_buses(system)
+                system = delta.apply(system)
+            edges |= influence_edges(system)
+            invalidated = downstream_closure(
+                frozenset(touched), frozenset(edges))
+            memo = (system, SystemKey(system.fingerprint()), invalidated)
+            self._delta_memo[deltas] = memo
+            while len(self._delta_memo) > 4 * self._max_cached_results:
+                self._delta_memo.popitem(last=False)
+        return memo
+
+    def _sessions_for_locked(self, system: SystemModel,
+                             ) -> dict[str, AnalysisSession]:
+        """Per-segment sessions of one topology, shared across queries.
+
+        Unchanged segments resolve to the *same* session objects every
+        query (that is where the incrementality lives); edited variants
+        get their own LRU-cached sessions so a sweep revisiting a
+        configuration finds its kernels warm.
+        """
+        controllers = dict(system.controllers) or None
+        sessions: dict[str, AnalysisSession] = {}
+        for segment in system.buses.values():
+            config = BusConfiguration.from_segment(
+                segment, controllers=controllers)
+            key = self._segment_key(segment.name, config)
+            session = self._sessions.get(key)
+            if session is None:
+                session = AnalysisSession.from_config(
+                    config, name=f"{self.name}:{segment.name}")
+                self._sessions[key] = session
+            self._sessions.move_to_end(key)
+            sessions[segment.name] = session
+        while len(self._sessions) > self._max_sessions:
+            for candidate in self._sessions:
+                if candidate not in self._pinned and \
+                        self._sessions[candidate] not in sessions.values():
+                    del self._sessions[candidate]
+                    break
+            else:
+                break
+        return sessions

@@ -17,6 +17,7 @@ from dataclasses import replace
 from repro.can.bus import CanBus
 from repro.can.kmatrix import KMatrix
 from repro.can.message import CanMessage
+from repro.core.paths import EndToEndPath
 from repro.core.system import BusSegment, SystemModel
 from repro.errors.models import SporadicErrorModel
 from repro.gateway.model import ForwardingPolicy, GatewayModel, GatewayRoute
@@ -121,3 +122,27 @@ def multibus_system(
             "multibus_system produced an inconsistent model:\n  "
             + "\n  ".join(problems))
     return system
+
+
+def multibus_paths(system: SystemModel,
+                   per_gateway: int = 1) -> tuple[EndToEndPath, ...]:
+    """Cause-effect chains through a multibus system's gateways.
+
+    For each gateway (in name order) the ``per_gateway`` first routes yield
+    one path ``source message -> gateway forwarding -> forwarded message``
+    -- the end-to-end latencies the system-level what-if queries and the
+    ``system_whatif`` benchmark track across topology edits.
+    """
+    paths: list[EndToEndPath] = []
+    for gateway_name in sorted(system.gateways):
+        gateway = system.gateways[gateway_name]
+        for route in gateway.routes[:per_gateway]:
+            paths.append(EndToEndPath(
+                name=f"{route.source_message}->{route.destination_message}",
+                segments=(
+                    ("message", route.source_message),
+                    ("gateway",
+                     f"{gateway_name}:{route.destination_message}"),
+                    ("message", route.destination_message),
+                )))
+    return tuple(paths)

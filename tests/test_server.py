@@ -218,7 +218,9 @@ class TestSessionPool:
         pool = SessionPool()
         system = multibus_system(n_buses=3, messages_per_bus=6, seed=2)
         shards = pool.add_system("chain", system)
-        assert shards == ["chain/CAN-0", "chain/CAN-1", "chain/CAN-2"]
+        assert shards == {"CAN-0": "chain/CAN-0", "CAN-1": "chain/CAN-1",
+                          "CAN-2": "chain/CAN-2"}
+        assert pool.shard_map("chain") == shards
         got_system, sessions = pool.system("chain")
         assert got_system is system
         assert sorted(sessions) == ["CAN-0", "CAN-1", "CAN-2"]

@@ -1,0 +1,309 @@
+"""Daemon system endpoints: register, system_query, scenarios, paths.
+
+The wire contract under test: a system registered over the JSON protocol
+answers ``system_query`` / ``path_latency`` / ``system_scenario`` requests
+with floats that **bit-match** a local from-scratch
+``CompositionalAnalysis`` run on the equivalently edited model (the
+protocol round-trips every finite double exactly), the ``register``
+response carries the shard-name map so clients never re-derive shard
+names, and ``python -m repro.server`` starts and shuts down cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import CompositionalAnalysis
+from repro.core.paths import path_latency_all
+from repro.server import (
+    AnalysisDaemon,
+    DaemonError,
+    InProcessClient,
+    TcpClient,
+    protocol,
+    start_server,
+)
+from repro.service.deltas import BusConfiguration, JitterDelta
+from repro.whatif import (
+    BusSpeedDelta,
+    GatewayConfigDelta,
+    SegmentConfigDelta,
+    apply_system_deltas,
+)
+from repro.workloads.multibus import multibus_paths, multibus_system
+from repro.workloads.powertrain import (
+    PowertrainConfig,
+    powertrain_bus,
+    powertrain_controllers,
+    powertrain_kmatrix,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _expected_wire_results(system, deltas=()):
+    """Worst cases of a from-scratch run, in wire encoding (None = inf)."""
+    result = CompositionalAnalysis(
+        apply_system_deltas(system, deltas), incremental=False).run()
+    return {name: value.worst_case if value.bounded else None
+            for name, value in result.message_results.items()}
+
+
+class TestProtocolSystemCodecs:
+    def test_system_roundtrip_preserves_fingerprint(self):
+        system = multibus_system(n_buses=3, messages_per_bus=8, seed=21)
+        encoded = protocol.encode_line(protocol.system_to_json(system))
+        decoded = protocol.system_from_json(protocol.decode_line(encoded))
+        assert decoded.fingerprint() == system.fingerprint()
+        assert decoded.validate() == []
+
+    def test_ecu_system_roundtrip(self):
+        from test_core import _two_bus_system
+
+        system = _two_bus_system()
+        decoded = protocol.system_from_json(protocol.system_to_json(system))
+        assert decoded.fingerprint() == system.fingerprint()
+
+    def test_config_roundtrip(self):
+        config = BusConfiguration(
+            kmatrix=powertrain_kmatrix(PowertrainConfig(n_messages=16)),
+            bus=powertrain_bus(PowertrainConfig(n_messages=16)),
+            assumed_jitter_fraction=0.15,
+            controllers=powertrain_controllers(
+                PowertrainConfig(n_messages=16)))
+        decoded = protocol.config_from_json(protocol.config_to_json(config))
+        assert decoded.analysis_key() == config.analysis_key()
+
+    def test_system_delta_roundtrips(self):
+        system = multibus_system(n_buses=2, messages_per_bus=6, seed=1)
+        route = system.gateways["GW0"].routes[0]
+        from repro.whatif import (
+            AddGatewayRouteDelta,
+            EcuTaskDelta,
+            MoveMessageDelta,
+            RemoveGatewayRouteDelta,
+        )
+        deltas = (
+            MoveMessageDelta("B1_Msg002_ECU0", "CAN-0", new_can_id=0x300),
+            BusSpeedDelta("CAN-1", 125_000.0),
+            AddGatewayRouteDelta("GWX", route, polling_period=4.0),
+            RemoveGatewayRouteDelta("GW0", route.destination_message),
+            GatewayConfigDelta("GW0", polling_period=8.0, copy_time=0.1),
+            EcuTaskDelta("ECU1", "T1", wcet=0.5, bcet=0.1),
+            SegmentConfigDelta("CAN-0", (JitterDelta(fraction=0.2),)),
+        )
+        encoded = protocol.system_deltas_to_json(deltas)
+        assert protocol.system_deltas_from_json(encoded) == deltas
+
+    def test_unknown_system_delta_tag_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown system"):
+            protocol.system_delta_from_json({"sysdelta": "teleport"})
+
+    def test_path_roundtrip(self):
+        paths = multibus_paths(
+            multibus_system(n_buses=3, messages_per_bus=6, seed=2))
+        assert protocol.paths_from_json(
+            protocol.paths_to_json(paths)) == paths
+
+
+class TestSystemEndpointsInProcess:
+    @pytest.fixture()
+    def served(self):
+        daemon = AnalysisDaemon(name="sys-test")
+        system = multibus_system(n_buses=3, messages_per_bus=8, seed=23)
+        client = InProcessClient(daemon)
+        registration = client.register_system("plant", system)
+        yield daemon, client, system, registration
+        daemon.close()
+
+    def test_register_returns_shard_map_and_scenarios(self, served):
+        _, _, _, registration = served
+        assert registration["shards"] == {
+            "CAN-0": "plant/CAN-0", "CAN-1": "plant/CAN-1",
+            "CAN-2": "plant/CAN-2"}
+        assert "gateway-failover" in registration["scenarios"]
+
+    def test_reregistration_returns_fresh_shard_map(self, served):
+        _, client, _, _ = served
+        replacement = multibus_system(n_buses=2, messages_per_bus=6, seed=3)
+        registration = client.register_system("plant", replacement)
+        assert sorted(registration["shards"].values()) == [
+            "plant/CAN-0", "plant/CAN-1"]
+        response = client.analyze_system("plant")
+        assert set(response["shards"]) == {"CAN-0", "CAN-1"}
+        assert response["messages"] == {
+            name: protocol.result_to_json(value) for name, value in
+            CompositionalAnalysis(replacement, incremental=False)
+            .run().message_results.items()}
+
+    def test_system_query_bit_matches_fresh_run(self, served):
+        _, client, system, _ = served
+        deltas = (BusSpeedDelta("CAN-1", 250_000.0),)
+        response = client.system_query("plant", deltas, label="degrade")
+        expected = _expected_wire_results(system, deltas)
+        got = {name: entry["worst_case"]
+               for name, entry in response["messages"].items()}
+        assert got == expected
+        assert response["stats"]["invalidated"] == ["CAN-1", "CAN-2"]
+        assert response["label"] == "degrade"
+
+    def test_system_query_accepts_shard_map(self, served):
+        _, client, _, registration = served
+        response = client.system_query(
+            "plant", (), shards=registration["shards"])
+        assert sorted(response["bus_reports"]) == [
+            "plant/CAN-0", "plant/CAN-1", "plant/CAN-2"]
+        with pytest.raises(DaemonError, match="unknown buses"):
+            client.system_query("plant", (), shards={"CAN-9": "x"})
+
+    def test_system_query_with_paths(self, served):
+        _, client, system, _ = served
+        paths = multibus_paths(system)
+        deltas = (GatewayConfigDelta("GW0", polling_period=7.5),)
+        response = client.system_query("plant", deltas, paths=paths)
+        edited = apply_system_deltas(system, deltas)
+        expected = path_latency_all(
+            paths, edited,
+            CompositionalAnalysis(edited, incremental=False).run())
+        got = {entry["path"]: entry["worst_case"]
+               for entry in response["paths"]}
+        assert got == {latency.path.name: latency.worst_case
+                       for latency in expected}
+
+    def test_path_latency_endpoint(self, served):
+        _, client, system, _ = served
+        paths = multibus_paths(system)
+        response = client.path_latency("plant", paths)
+        expected = path_latency_all(
+            paths, system,
+            CompositionalAnalysis(system, incremental=False).run())
+        assert [entry["worst_case"] for entry in response["paths"]] == [
+            latency.worst_case for latency in expected]
+        assert "end-to-end path latency" in response["table"]
+
+    def test_system_scenario_endpoint(self, served):
+        _, client, system, _ = served
+        response = client.system_scenario("plant", "bus-speed-degradation")
+        assert response["scenario"] == "bus-speed-degradation"
+        assert len(response["queries"]) >= 2
+        assert "converged" in response["table"]
+        with pytest.raises(DaemonError, match="unknown system scenario"):
+            client.system_scenario("plant", "no-such-scenario")
+
+    def test_repeated_system_queries_hit_the_cache(self, served):
+        _, client, _, _ = served
+        deltas = (BusSpeedDelta("CAN-2", 125_000.0),)
+        first = client.system_query("plant", deltas)
+        second = client.system_query("plant", deltas)
+        assert not first["stats"]["cache_hit"]
+        assert second["stats"]["cache_hit"]
+        assert first["messages"] == second["messages"]
+
+    def test_analyze_system_detects_inplace_gateway_edit(self, served):
+        """The satellite-fix contract at the wire level: an in-place route
+        edit of a *registered* system (object identity unchanged) must
+        invalidate the daemon's memoized system results by fingerprint."""
+        daemon, client, _, _ = served
+        before = client.analyze_system("plant")
+        # ``register`` decoded a server-side copy; edit *that* model in
+        # place, exactly as server-side code holding the registered object
+        # would (object identity unchanged, fingerprint changed).
+        registered, _ = daemon.pool.system("plant")
+        registered.gateways["GW0"].polling_period = 12.0
+        after = client.analyze_system("plant")
+        expected = _expected_wire_results(registered)
+        got = {name: entry["worst_case"]
+               for name, entry in after["messages"].items()}
+        assert got == expected
+        assert after["fingerprint"] != before["fingerprint"]
+
+    def test_register_config_over_the_wire(self, served):
+        _, client, _, _ = served
+        config = BusConfiguration(
+            kmatrix=powertrain_kmatrix(PowertrainConfig(n_messages=16)),
+            bus=powertrain_bus(PowertrainConfig(n_messages=16)),
+            assumed_jitter_fraction=0.15)
+        registration = client.register_config("pt16", config)
+        assert registration == {"target": "pt16"}
+        response = client.query("pt16", (JitterDelta(fraction=0.3),))
+        expected = config.build_analysis()
+        from repro.service.session import AnalysisSession
+        session = AnalysisSession.from_config(config)
+        local = session.query((JitterDelta(fraction=0.3),))
+        assert {name: entry["worst_case"]
+                for name, entry in response["results"].items()} == {
+            name: value.worst_case if value.bounded else None
+            for name, value in local.results.items()}
+
+    def test_register_without_payload_is_an_error(self, served):
+        _, client, _, _ = served
+        with pytest.raises(DaemonError, match="register needs"):
+            client.request("register", name="x")
+
+
+class TestSystemEndpointsOverTcp:
+    def test_full_system_workflow_over_a_socket(self):
+        daemon = AnalysisDaemon(name="tcp-sys")
+        system = multibus_system(n_buses=3, messages_per_bus=6, seed=29)
+        server = start_server(daemon, port=0)
+        try:
+            host, port = server.address
+            with TcpClient(host, port) as client:
+                registration = client.register_system("plant", system)
+                assert registration["shards"]["CAN-0"] == "plant/CAN-0"
+                deltas = (BusSpeedDelta("CAN-1", 250_000.0),)
+                response = client.system_query(
+                    "plant", deltas, paths=multibus_paths(system))
+                expected = _expected_wire_results(system, deltas)
+                got = {name: entry["worst_case"]
+                       for name, entry in response["messages"].items()}
+                assert got == expected
+                health = client.health()
+                assert health["protocol"] == protocol.PROTOCOL_VERSION
+                assert "plant" in health["systems"]
+        finally:
+            server.stop()
+
+
+class TestServerCliSmoke:
+    def test_module_starts_serves_and_shuts_down(self):
+        """``python -m repro.server`` must come up, answer, and exit 0."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.server", "--port", "0",
+             "--messages", "16", "--buses", "2", "--messages-per-bus", "5"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            banner: list[str] = []
+
+            def read_banner():
+                banner.append(process.stdout.readline())
+
+            reader = threading.Thread(target=read_banner, daemon=True)
+            reader.start()
+            reader.join(timeout=60.0)
+            assert banner and "serving on" in banner[0], banner
+            address = banner[0].split("serving on ", 1)[1].split()[0]
+            host, port_text = address.rsplit(":", 1)
+            with TcpClient(host, int(port_text)) as client:
+                assert client.ping()["pong"] is True
+                health = client.health()
+                assert "powertrain" in health["targets"]
+                assert "multibus" in health["systems"]
+                client.shutdown_daemon()
+            stdout, stderr = process.communicate(timeout=30.0)
+            assert process.returncode == 0, stderr
+            assert "requests served" in stdout
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()

@@ -1,0 +1,485 @@
+"""System-level what-if layer: bit-identity, invalidation, catalogs.
+
+Every :class:`SystemDelta` query answered by a :class:`SystemSession` must
+be **bit-identical** to a from-scratch ``CompositionalAnalysis(...,
+incremental=False).run()`` on an *independently hand-edited*
+:class:`SystemModel` -- the expected topologies here are built by mutating
+fresh systems directly, never through ``delta.apply``, so the delta
+semantics themselves are under test.  The suite also covers the
+fingerprint-based invalidation of in-place gateway/ECU edits (mutable
+containers, stable identities) and the ``REPRO_PARALLEL`` modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.can.kmatrix import KMatrix
+from repro.core.engine import CompositionalAnalysis
+from repro.core.paths import path_latency_all
+from repro.core.system import SystemModel
+from repro.errors.models import SporadicErrorModel
+from repro.gateway.model import GatewayRoute
+from repro.service.deltas import (
+    ErrorModelDelta,
+    EventModelDelta,
+    JitterDelta,
+    PriorityDelta,
+)
+from repro.whatif import (
+    AddGatewayRouteDelta,
+    BusSpeedDelta,
+    EcuTaskDelta,
+    GatewayConfigDelta,
+    MoveMessageDelta,
+    RemoveGatewayRouteDelta,
+    SegmentConfigDelta,
+    SystemSession,
+    apply_system_deltas,
+    builtin_system_catalog,
+    influence_edges,
+)
+from repro.workloads.multibus import multibus_paths, multibus_system
+
+
+def _assert_identical(first, second) -> None:
+    assert first.converged == second.converged
+    assert first.iterations == second.iterations
+    assert first.message_results == second.message_results
+    assert first.send_models == second.send_models
+    assert first.arrival_models == second.arrival_models
+    assert first.task_results == second.task_results
+    assert first.bus_reports == second.bus_reports
+
+
+def _fresh_run(system: SystemModel):
+    return CompositionalAnalysis(system, incremental=False).run()
+
+
+def _check(session: SystemSession, deltas, expected_system: SystemModel,
+           paths=()) -> None:
+    """One query vs the from-scratch run on the hand-edited system."""
+    outcome = session.query(deltas)
+    expected = _fresh_run(expected_system)
+    _assert_identical(outcome.result, expected)
+    if paths:
+        got = session.path_latency(paths, deltas)
+        want = path_latency_all(paths, expected_system, expected)
+        assert got == want
+
+
+PARAMS = [
+    dict(n_buses=2, messages_per_bus=6, seed=0),
+    dict(n_buses=3, messages_per_bus=10, seed=1),
+    dict(n_buses=4, messages_per_bus=8, seed=2),
+]
+
+
+class TestSystemDeltaBitIdentity:
+    @pytest.mark.parametrize("params", PARAMS)
+    def test_bus_speed_delta(self, params):
+        base = multibus_system(**params)
+        session = SystemSession(base)
+        edited = multibus_system(**params)
+        segment = edited.buses["CAN-1"]
+        segment.bus = segment.bus.with_bit_rate(250_000.0)
+        _check(session, BusSpeedDelta("CAN-1", 250_000.0), edited,
+               paths=multibus_paths(base))
+
+    @pytest.mark.parametrize("params", PARAMS)
+    def test_move_message_delta(self, params):
+        base = multibus_system(**params)
+        session = SystemSession(base)
+        last_bus = f"CAN-{params['n_buses'] - 1}"
+        victim = base.buses[last_bus].kmatrix.sorted_by_priority()[-1]
+        free_id = max(m.can_id for m in base.buses["CAN-0"].kmatrix) + 7
+        edited = multibus_system(**params)
+        moved = edited.buses[last_bus].kmatrix.remove(victim.name)
+        edited.buses["CAN-0"].kmatrix.add(moved.with_can_id(free_id))
+        _check(session,
+               MoveMessageDelta(victim.name, "CAN-0", new_can_id=free_id),
+               edited)
+
+    @pytest.mark.parametrize("params", PARAMS)
+    def test_move_message_rewrites_routes(self, params):
+        """Moving a route endpoint drags its gateway routes along."""
+        base = multibus_system(**params)
+        session = SystemSession(base)
+        gateway = base.gateways["GW0"]
+        route = gateway.routes[0]
+        victim = route.destination_message  # lives on CAN-1
+        home = base.bus_of_message(victim).name
+        target = "CAN-0"
+        free_id = max(m.can_id for m in base.buses[target].kmatrix) + 9
+        edited = multibus_system(**params)
+        moved = edited.buses[home].kmatrix.remove(victim)
+        edited.buses[target].kmatrix.add(moved.with_can_id(free_id))
+        for gw_edit in edited.gateways.values():
+            gw_edit.routes = [
+                replace(r,
+                        source_bus=(target if r.source_message == victim
+                                    else r.source_bus),
+                        destination_bus=(target
+                                         if r.destination_message == victim
+                                         else r.destination_bus))
+                for r in gw_edit.routes]
+        assert edited.validate() == []
+        _check(session,
+               MoveMessageDelta(victim, target, new_can_id=free_id), edited)
+
+    @pytest.mark.parametrize("params", PARAMS)
+    def test_gateway_config_delta(self, params):
+        base = multibus_system(**params)
+        session = SystemSession(base)
+        edited = multibus_system(**params)
+        edited.gateways["GW0"].polling_period = 9.5
+        _check(session, GatewayConfigDelta("GW0", polling_period=9.5),
+               edited, paths=multibus_paths(base))
+
+    @pytest.mark.parametrize("params", PARAMS)
+    def test_remove_gateway_route_delta(self, params):
+        base = multibus_system(**params)
+        session = SystemSession(base)
+        destination = base.gateways["GW0"].routes[0].destination_message
+        edited = multibus_system(**params)
+        gw_edit = edited.gateways["GW0"]
+        gw_edit.routes = [r for r in gw_edit.routes
+                          if r.destination_message != destination]
+        _check(session, RemoveGatewayRouteDelta("GW0", destination), edited)
+
+    @pytest.mark.parametrize("params", PARAMS)
+    def test_add_gateway_route_failover(self, params):
+        """Remove a route from the primary, re-add it on a backup."""
+        base = multibus_system(**params)
+        session = SystemSession(base)
+        route = base.gateways["GW0"].routes[0]
+        deltas = (
+            RemoveGatewayRouteDelta("GW0", route.destination_message),
+            AddGatewayRouteDelta("GW0-backup", route, polling_period=5.0),
+        )
+        edited = multibus_system(**params)
+        gw_edit = edited.gateways["GW0"]
+        gw_edit.routes = [r for r in gw_edit.routes
+                          if r.destination_message
+                          != route.destination_message]
+        from repro.gateway.model import GatewayModel
+        edited.add_gateway(GatewayModel(
+            name="GW0-backup", routes=[route], polling_period=5.0))
+        _check(session, deltas, edited)
+
+    @pytest.mark.parametrize("params", PARAMS)
+    def test_segment_config_delta_wraps_bus_deltas(self, params):
+        base = multibus_system(**params)
+        session = SystemSession(base)
+        victim = base.buses["CAN-0"].kmatrix.sorted_by_priority()[0]
+        deltas = SegmentConfigDelta("CAN-0", (
+            JitterDelta(message_name=victim.name, jitter=0.8),
+            ErrorModelDelta(SporadicErrorModel(min_interarrival=50.0)),
+        ))
+        edited = multibus_system(**params)
+        segment = edited.buses["CAN-0"]
+        segment.kmatrix = KMatrix(messages=[
+            m.with_jitter(0.8) if m.name == victim.name else m
+            for m in segment.kmatrix.messages])
+        segment.error_model = SporadicErrorModel(min_interarrival=50.0)
+        _check(session, deltas, edited)
+
+    @pytest.mark.parametrize("params", PARAMS)
+    def test_segment_priority_swap(self, params):
+        base = multibus_system(**params)
+        session = SystemSession(base)
+        ordered = base.buses["CAN-0"].kmatrix.sorted_by_priority()
+        first, second = ordered[0], ordered[1]
+        deltas = SegmentConfigDelta(
+            "CAN-0", (PriorityDelta(swap=(first.name, second.name)),))
+        edited = multibus_system(**params)
+        segment = edited.buses["CAN-0"]
+        segment.kmatrix = segment.kmatrix.with_priorities(
+            {first.name: second.can_id, second.name: first.can_id})
+        _check(session, deltas, edited)
+
+    def test_ecu_task_delta(self):
+        from test_core import _two_bus_system
+
+        base = _two_bus_system()
+        session = SystemSession(base)
+        ecu_name = sorted(base.ecus)[0]
+        task = base.ecus[ecu_name].tasks[0]
+        edited = _two_bus_system()
+        ecu_edit = edited.ecus[ecu_name]
+        edited.ecus[ecu_name] = replace(ecu_edit, tasks=[
+            replace(t, wcet=t.wcet * 1.8) if t.name == task.name else t
+            for t in ecu_edit.tasks])
+        _check(session,
+               EcuTaskDelta(ecu_name, task.name, wcet=task.wcet * 1.8),
+               edited)
+
+    def test_delta_sequences_compose(self):
+        params = dict(n_buses=3, messages_per_bus=8, seed=4)
+        base = multibus_system(**params)
+        session = SystemSession(base)
+        deltas = (
+            BusSpeedDelta("CAN-2", 250_000.0),
+            GatewayConfigDelta("GW1", polling_period=6.0),
+            SegmentConfigDelta("CAN-0", (JitterDelta(fraction=0.3),)),
+        )
+        edited = multibus_system(**params)
+        segment = edited.buses["CAN-2"]
+        segment.bus = segment.bus.with_bit_rate(250_000.0)
+        edited.gateways["GW1"].polling_period = 6.0
+        edited.buses["CAN-0"].assumed_jitter_fraction = 0.3
+        _check(session, deltas, edited, paths=multibus_paths(base))
+
+
+class TestSystemSessionBehaviour:
+    def test_chained_sweep_is_incremental_and_exact(self):
+        params = dict(n_buses=3, messages_per_bus=10, seed=6)
+        base = multibus_system(**params)
+        session = SystemSession(base)
+        for rate in (500_000.0, 400_000.0, 250_000.0, 125_000.0):
+            edited = multibus_system(**params)
+            segment = edited.buses["CAN-1"]
+            segment.bus = segment.bus.with_bit_rate(rate)
+            _check(session, BusSpeedDelta("CAN-1", rate), edited)
+        # Revisiting an already-analysed topology is a pure cache hit.
+        before = session.stats()
+        again = session.query(BusSpeedDelta("CAN-1", 250_000.0))
+        assert again.stats.cache_hit
+        assert session.stats().cache_hits == before.cache_hits + 1
+
+    def test_base_query_and_repeat(self):
+        base = multibus_system(n_buses=2, messages_per_bus=6, seed=3)
+        session = SystemSession(base)
+        first = session.analyze()
+        _assert_identical(first.result, _fresh_run(base))
+        assert session.query(()).stats.cache_hit
+
+    def test_unchanged_segments_hit_their_session_caches(self):
+        base = multibus_system(n_buses=4, messages_per_bus=8, seed=8)
+        session = SystemSession(base)
+        session.analyze()
+        session.query(BusSpeedDelta("CAN-3", 250_000.0))
+        # The last bus has no downstream: CAN-0..2 answered from cache.
+        stats = {s.name: s for s in session.session_stats()}
+        untouched = [s for name, s in stats.items()
+                     if name.endswith(("CAN-0", "CAN-1", "CAN-2"))]
+        assert untouched and all(s.cache_hits > 0 for s in untouched)
+
+    def test_invalidation_closes_over_gateway_reachability(self):
+        base = multibus_system(n_buses=4, messages_per_bus=6, seed=9)
+        session = SystemSession(base)
+        # An upstream edit invalidates every downstream segment...
+        assert session.invalidated_by(
+            BusSpeedDelta("CAN-0", 250_000.0)) == frozenset(
+            {"CAN-0", "CAN-1", "CAN-2", "CAN-3"})
+        # ...a leaf edit only itself.
+        assert session.invalidated_by(
+            BusSpeedDelta("CAN-3", 250_000.0)) == frozenset({"CAN-3"})
+
+    def test_invalidation_covers_actual_changes(self):
+        params = dict(n_buses=3, messages_per_bus=8, seed=10)
+        base = multibus_system(**params)
+        session = SystemSession(base)
+        baseline = session.analyze().result
+        delta = SegmentConfigDelta("CAN-0", (JitterDelta(fraction=0.5),))
+        outcome = session.query(delta)
+        changed_buses = {
+            base.bus_of_message(name).name
+            for name, result in outcome.result.message_results.items()
+            if result != baseline.message_results[name]}
+        assert changed_buses <= set(outcome.stats.invalidated)
+
+    def test_rejects_bare_service_deltas(self):
+        base = multibus_system(n_buses=2, messages_per_bus=6, seed=0)
+        session = SystemSession(base)
+        with pytest.raises(ValueError, match="SegmentConfigDelta"):
+            session.query((JitterDelta(fraction=0.2),))
+
+    def test_segment_config_rejects_event_model_delta(self):
+        with pytest.raises(ValueError, match="EventModelDelta"):
+            SegmentConfigDelta("CAN-0", (EventModelDelta(),))
+
+    def test_unknown_references_fail_loudly(self):
+        base = multibus_system(n_buses=2, messages_per_bus=6, seed=0)
+        session = SystemSession(base)
+        with pytest.raises(KeyError, match="unknown bus"):
+            session.query(BusSpeedDelta("CAN-9", 250_000.0))
+        with pytest.raises(KeyError, match="unknown gateway"):
+            session.query(GatewayConfigDelta("GW9", polling_period=1.0))
+        with pytest.raises(KeyError):
+            session.query(MoveMessageDelta("NoSuchMessage", "CAN-0"))
+
+
+class TestParallelModes:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_modes_bit_identical(self, mode, monkeypatch):
+        params = dict(n_buses=3, messages_per_bus=6, seed=12)
+        base = multibus_system(**params)
+        deltas = (BusSpeedDelta("CAN-1", 250_000.0),
+                  GatewayConfigDelta("GW0", polling_period=7.0))
+        monkeypatch.setenv("REPRO_PARALLEL", "serial")
+        reference = SystemSession(multibus_system(**params)).query(deltas)
+        monkeypatch.setenv("REPRO_PARALLEL", mode)
+        outcome = SystemSession(base).query(deltas)
+        _assert_identical(outcome.result, reference.result)
+        expected = _fresh_run(apply_system_deltas(base, deltas))
+        _assert_identical(outcome.result, expected)
+
+
+class TestFingerprintInvalidation:
+    """Mutable gateway/ECU containers must invalidate by fingerprint."""
+
+    def test_persistent_engine_survives_inplace_gateway_edits(self):
+        """The engine's retained sweep memo is fingerprint-guarded: an
+        in-place route edit (same object identities everywhere) between
+        runs must produce exactly the from-scratch fixed point."""
+        system = multibus_system(n_buses=3, messages_per_bus=8, seed=13)
+        engine = CompositionalAnalysis(system)
+        engine.run()
+        gateway = system.gateways["GW0"]
+        gateway.polling_period = 11.0
+        _assert_identical(_fresh_run(system), engine.run())
+        gateway.routes.pop()
+        _assert_identical(_fresh_run(system), engine.run())
+
+    def test_persistent_rebuild_engine_discards_stale_seeds(self):
+        """The rebuild path's retained seeds are keyed on the segment's
+        full configuration: in-place edits that leave every *event model*
+        unchanged (bit rate, priority swap, error model) must not warm
+        the next run from the old -- possibly overshooting -- results."""
+        params = dict(n_buses=3, messages_per_bus=8, seed=13)
+        edits = [
+            lambda seg: setattr(
+                seg, "bus", seg.bus.with_bit_rate(
+                    seg.bus.bit_rate_bps * 2.0)),
+            lambda seg: setattr(
+                seg, "kmatrix", seg.kmatrix.with_priorities({
+                    seg.kmatrix.sorted_by_priority()[0].name:
+                        seg.kmatrix.sorted_by_priority()[1].can_id,
+                    seg.kmatrix.sorted_by_priority()[1].name:
+                        seg.kmatrix.sorted_by_priority()[0].can_id})),
+            lambda seg: setattr(seg, "error_model",
+                                SporadicErrorModel(min_interarrival=500.0)),
+        ]
+        for edit in edits:
+            system = multibus_system(**params)
+            engine = CompositionalAnalysis(system, incremental=False)
+            engine.run()
+            edit(system.buses["CAN-0"])
+            _assert_identical(
+                CompositionalAnalysis(system, incremental=False).run(),
+                engine.run())
+
+    def test_session_detects_inplace_gateway_edit(self):
+        system = multibus_system(n_buses=3, messages_per_bus=8, seed=14)
+        session = SystemSession(system)
+        session.analyze()
+        fingerprint = session.base_fingerprint
+        system.gateways["GW0"].polling_period = 12.5
+        outcome = session.analyze()
+        assert not outcome.stats.cache_hit
+        assert session.base_fingerprint != fingerprint
+        assert session.stats().base_invalidations == 1
+        _assert_identical(outcome.result, _fresh_run(system))
+
+    def test_session_detects_inplace_route_addition(self):
+        system = multibus_system(n_buses=3, messages_per_bus=8, seed=15)
+        session = SystemSession(system)
+        session.analyze()
+        source = system.buses["CAN-1"].kmatrix.sorted_by_priority()[1]
+        destination = system.buses["CAN-2"].kmatrix.sorted_by_priority()[-1]
+        system.gateways["GW1"].add_route(GatewayRoute(
+            source_message=source.name,
+            destination_message=destination.name,
+            source_bus="CAN-1", destination_bus="CAN-2"))
+        outcome = session.analyze()
+        assert not outcome.stats.cache_hit
+        _assert_identical(outcome.result, _fresh_run(system))
+
+    def test_session_detects_inplace_ecu_edit(self):
+        from test_core import _two_bus_system
+
+        system = _two_bus_system()
+        session = SystemSession(system)
+        session.analyze()
+        ecu_name = sorted(system.ecus)[0]
+        ecu = system.ecus[ecu_name]
+        system.ecus[ecu_name] = replace(ecu, tasks=[
+            replace(task, wcet=task.wcet * 2.0) for task in ecu.tasks])
+        outcome = session.analyze()
+        assert not outcome.stats.cache_hit
+        _assert_identical(outcome.result, _fresh_run(system))
+
+    def test_gateway_analysis_key_tracks_route_edits(self):
+        system = multibus_system(n_buses=2, messages_per_bus=6, seed=1)
+        gateway = system.gateways["GW0"]
+        key = gateway.analysis_key()
+        assert key == gateway.analysis_key()
+        gateway.polling_period *= 2.0
+        assert key != gateway.analysis_key()
+        restored = key[:3] + (gateway.polling_period,) + key[4:]
+        assert restored == gateway.analysis_key()
+
+
+class TestSystemScenarioCatalog:
+    def test_builtin_catalog_families_run(self):
+        system = multibus_system(n_buses=3, messages_per_bus=8, seed=16)
+        catalog = builtin_system_catalog(system)
+        assert set(catalog.names()) == {
+            "bus-speed-degradation", "gateway-failover",
+            "message-remap-sweep"}
+        session = SystemSession(system)
+        for name in catalog.names():
+            run = catalog.run(name, session)
+            assert len(run.queries) >= 2
+            table = run.to_table()
+            assert name in table or run.scenario in table
+            for query in run.queries:
+                expected = _fresh_run(
+                    apply_system_deltas(system, query.deltas))
+                _assert_identical(query.result, expected)
+
+    def test_failover_final_step_empties_the_primary(self):
+        system = multibus_system(n_buses=3, messages_per_bus=8, seed=17)
+        catalog = builtin_system_catalog(system)
+        scenario = catalog.get("gateway-failover")
+        final = apply_system_deltas(system, scenario.queries[-1].deltas)
+        assert final.gateways["GW0"].routes == []
+        assert len(final.gateways["GW0-backup"].routes) == \
+            len(system.gateways["GW0"].routes)
+
+    def test_remap_sweep_respects_the_identifier_range(self):
+        """A target bus already using the top standard id must get a free
+        in-range identifier, never 0x7FF + 1 (reproduces the review
+        finding: the scenario used max-used + 1 and crashed at run time)."""
+        from repro.whatif import message_remap_sweep_scenario
+
+        system = multibus_system(n_buses=2, messages_per_bus=6, seed=20)
+        segment = system.buses["CAN-1"]
+        top = segment.kmatrix.sorted_by_priority()[-1]
+        segment.kmatrix = KMatrix(messages=[
+            replace(m, can_id=0x7FF) if m.name == top.name else m
+            for m in segment.kmatrix.messages])
+        victim = system.buses["CAN-0"].kmatrix.sorted_by_priority()[0]
+        scenario = message_remap_sweep_scenario(system, victim.name)
+        run = scenario.run(SystemSession(system))
+        assert len(run.queries) == 2  # base + CAN-1
+        assert run.queries[-1].result.converged
+
+    def test_scenarios_are_deterministic(self):
+        system = multibus_system(n_buses=3, messages_per_bus=8, seed=18)
+        first = builtin_system_catalog(system)
+        second = builtin_system_catalog(system)
+        for name in first.names():
+            assert first.get(name) == second.get(name)
+
+
+class TestInfluenceGraph:
+    def test_chain_edges(self):
+        system = multibus_system(n_buses=3, messages_per_bus=6, seed=19)
+        edges = influence_edges(system)
+        assert ("CAN-0", "CAN-1") in edges
+        assert ("CAN-1", "CAN-2") in edges
+        assert ("CAN-2", "CAN-1") not in edges
