@@ -65,12 +65,17 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_bench.py            # rewrite baseline
     PYTHONPATH=src python benchmarks/perf/run_bench.py --check    # CI regression gate
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --check --quick  # CI budget
 
 ``--check`` compares fresh kernel timings against the committed baseline and
 exits non-zero when any scenario is more than ``--threshold`` (default 2.0)
 times slower; the gate is skipped (exit 0) when no baseline exists yet.
 ``--skip-seed`` reuses the baseline's seed timings instead of re-running the
-slow reference path (useful for quick iteration).
+slow reference path (useful for quick iteration).  ``--quick`` is the CI
+preset: best-of-2 timings, ``--skip-seed`` implied (except for scenarios
+carrying a ``min_speedup`` floor, whose seed-vs-kernel ratio is only fair
+when both sides are timed in the same run) and ``ga_run`` skipped, with
+every remaining workload byte-identical so the gate stays comparable.
 """
 
 from __future__ import annotations
@@ -164,15 +169,29 @@ def _case_study():
 
 
 def run_scenarios(repeat: int, skip_seed: bool,
-                  baseline: dict | None) -> dict[str, dict]:
-    """Run every scenario; returns name -> timing record."""
+                  baseline: dict | None,
+                  quick: bool = False) -> dict[str, dict]:
+    """Run every scenario; returns name -> timing record.
+
+    ``quick`` drops ``ga_run`` (the slowest kernel-side scenario); every
+    other workload is kept byte-identical so kernel timings stay comparable
+    against the committed baseline, and the regression gate simply skips
+    scenarios missing from the fresh run.
+    """
     kmatrix, bus, controllers = _case_study()
     scenarios: dict[str, dict] = {}
 
     def record(name: str, seed_fn, kernel_fn, check_equal=None, **extra):
         kernel_seconds, kernel_result = _timed(kernel_fn, repeat)
         baseline_entry = (baseline or {}).get("scenarios", {}).get(name, {})
-        if skip_seed and "seed_seconds" in baseline_entry:
+        # min_speedup scenarios gate on the seed/kernel *ratio*, so both
+        # sides must come from the same run: mixing a reused quiet-machine
+        # seed timing with a fresh kernel timing makes the ratio track
+        # runner noise instead of the code.  Their seed side is cheap
+        # (it is the kernel itself, run query-by-query), so always time it.
+        reuse_seed = (skip_seed and "min_speedup" not in extra
+                      and "seed_seconds" in baseline_entry)
+        if reuse_seed:
             seed_seconds = baseline_entry["seed_seconds"]
         else:
             # Same best-of policy as the kernel path, so the reported
@@ -247,24 +266,29 @@ def run_scenarios(repeat: int, skip_seed: bool,
         )
 
     # 4. One small GA run (objective values are asserted identical).
-    ga_scenarios = paper_scenarios(bus, controllers)
+    if quick:
+        print("  ga_run                   skipped (--quick)")
+    else:
+        ga_scenarios = paper_scenarios(bus, controllers)
 
-    def seed_ga():
-        return optimize_priorities(kmatrix, ga_scenarios, GeneticOptimizerConfig(
-            **GA_CONFIG, analysis_backend="reference"))
+        def seed_ga():
+            return optimize_priorities(
+                kmatrix, ga_scenarios,
+                GeneticOptimizerConfig(**GA_CONFIG,
+                                       analysis_backend="reference"))
 
-    def kernel_ga():
-        return optimize_priorities(kmatrix, ga_scenarios,
-                                   GeneticOptimizerConfig(**GA_CONFIG))
+        def kernel_ga():
+            return optimize_priorities(kmatrix, ga_scenarios,
+                                       GeneticOptimizerConfig(**GA_CONFIG))
 
-    def check_ga(seed_result, kernel_result):
-        if (seed_result.best_evaluation != kernel_result.best_evaluation
-                or seed_result.history != kernel_result.history
-                or seed_result.evaluations != kernel_result.evaluations):
-            raise AssertionError("GA backends disagree -- timing aborted")
+        def check_ga(seed_result, kernel_result):
+            if (seed_result.best_evaluation != kernel_result.best_evaluation
+                    or seed_result.history != kernel_result.history
+                    or seed_result.evaluations != kernel_result.evaluations):
+                raise AssertionError("GA backends disagree -- timing aborted")
 
-    record("ga_run", seed_ga, kernel_ga, check_equal=check_ga,
-           n_messages=len(kmatrix), **GA_CONFIG)
+        record("ga_run", seed_ga, kernel_ga, check_equal=check_ga,
+               n_messages=len(kmatrix), **GA_CONFIG)
 
     # 5. Service layer: cached-delta what-if queries vs INDEPENDENT kernel
     # analyses (the "seed" column is the kernel itself here, not the naive
@@ -501,10 +525,18 @@ def run_scenarios(repeat: int, skip_seed: bool,
 
 
 def check_regression(fresh: dict[str, dict], baseline: dict,
-                     threshold: float) -> list[str]:
+                     threshold: float,
+                     speedup_margin: float = 1.0) -> list[str]:
     """Scenario names whose kernel time regressed beyond the threshold,
     plus scenarios that fell below their declared minimum speedup (the
-    service layer's >= 5x cached-query target)."""
+    service layer's >= 5x cached-query target).
+
+    ``speedup_margin`` scales the min_speedup floors before comparing
+    (``--quick`` passes 0.9): both sides of a gated ratio are timed in
+    the same run (see ``run_scenarios``), so machine speed cancels, but
+    a CPU-steal spike can still land on one side of a sub-second
+    scenario.  A real regression lands far below the scaled floor.
+    """
     failures = []
     for name, entry in baseline.get("scenarios", {}).items():
         old = entry.get("kernel_seconds")
@@ -517,10 +549,11 @@ def check_regression(fresh: dict[str, dict], baseline: dict,
                 f"(> {threshold:.1f}x)")
     for name, entry in fresh.items():
         minimum = entry.get("min_speedup")
-        if minimum and entry.get("speedup", 0.0) < minimum:
+        if minimum and entry.get("speedup", 0.0) < minimum * speedup_margin:
             failures.append(
                 f"{name}: speedup {entry.get('speedup', 0.0):.1f}x below "
-                f"the required {minimum:.1f}x")
+                f"the required {minimum * speedup_margin:.1f}x "
+                f"({minimum:.1f}x floor, {speedup_margin:.0%} margin)")
     return failures
 
 
@@ -536,7 +569,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="best-of repetitions for kernel timings")
     parser.add_argument("--skip-seed", action="store_true",
                         help="reuse baseline seed timings (skip slow path)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI mode: best-of-2 timings, baseline seed "
+                             "timings reused for the reference-path "
+                             "scenarios (min_speedup scenarios time both "
+                             "sides), ga_run skipped; combine with --check")
     args = parser.parse_args(argv)
+    if args.quick:
+        # Best-of-2, not best-of-1: the min_speedup floors leave ~20%
+        # headroom and a single noisy timing on a shared runner blows
+        # through that.  Seed timings (the slow side) stay reused.
+        args.repeat = 2
+        args.skip_seed = True
 
     baseline = None
     if args.output.exists():
@@ -544,13 +588,16 @@ def main(argv: list[str] | None = None) -> int:
 
     print("Running seed-vs-kernel timing suite "
           "(REPRO_PARALLEL=%s)..." % (os.environ.get("REPRO_PARALLEL", "auto")))
-    scenarios = run_scenarios(args.repeat, args.skip_seed, baseline)
+    scenarios = run_scenarios(args.repeat, args.skip_seed, baseline,
+                              quick=args.quick)
 
     if args.check:
         if baseline is None:
             print("no committed baseline -- regression gate skipped")
             return 0
-        failures = check_regression(scenarios, baseline, args.threshold)
+        failures = check_regression(
+            scenarios, baseline, args.threshold,
+            speedup_margin=0.9 if args.quick else 1.0)
         if failures:
             print("PERF REGRESSION:")
             for failure in failures:

@@ -47,7 +47,7 @@ def test_fig3_information_model(benchmark, case_study, capsys):
         print(f"  controller types known          : {len(system.controllers)}")
         print(f"  error model                     : "
               f"{segment.error_model.describe()}")
-        print(f"  diagnosis / flashing messages   : 4")
+        print("  diagnosis / flashing messages   : 4")
         print(f"  consistency problems            : {len(problems)}")
 
     assert problems == []

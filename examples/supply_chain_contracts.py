@@ -84,7 +84,7 @@ def main() -> None:
     slow_sheet = derive_supplier_datasheet(slow_ecu, kmatrix, bus)
     fast_sheet = derive_supplier_datasheet(fast_ecu, kmatrix, bus)
 
-    print(f"\nSupplier data sheet (initial implementation):")
+    print("\nSupplier data sheet (initial implementation):")
     for clause in slow_sheet.clauses:
         print(f"  {clause.message:<28} guaranteed J <= {clause.max_jitter:.2f} ms")
 

@@ -1,0 +1,72 @@
+"""Analysis-backend selection (scalar inner loops vs the numpy batch kernel).
+
+The fixed-point analysis has two interchangeable, **bit-identical** execution
+backends:
+
+``scalar``
+    The pure-Python arithmetic loops of
+    :class:`~repro.analysis.response_time.CanBusAnalysis` (the PR 2 kernel).
+    Always available.
+``numpy``
+    The vectorized batch kernel of :mod:`repro.analysis.vector`: per-message
+    interference tables are compiled into flat numpy record arrays and the
+    busy-period / queuing-delay fixed points of *all* messages iterate in
+    lockstep, evaluating every higher-priority activation count of every
+    candidate window as array operations.  Summation order and every
+    rounding decision replicate the scalar loops operation for operation,
+    so results stay bit-identical to :mod:`repro.analysis.reference`.
+
+``auto`` (the default) resolves to ``numpy`` when numpy is importable and
+falls back to ``scalar`` otherwise -- environments without numpy lose speed,
+never correctness.  The resolved default can be pinned per process with the
+``REPRO_ANALYSIS_BACKEND`` environment variable, and per analysis object via
+the ``backend=`` constructor argument threaded through
+:class:`~repro.service.session.AnalysisSession`,
+:class:`~repro.core.engine.CompositionalAnalysis` and the optimizer's
+``analysis_backend`` seam.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy ships in the CI image
+    HAVE_NUMPY = False
+
+#: Environment variable pinning the process-wide default backend.
+BACKEND_ENV = "REPRO_ANALYSIS_BACKEND"
+
+#: Names accepted by :func:`resolve_backend`.
+BACKENDS = ("auto", "numpy", "scalar")
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends that can actually execute in this interpreter."""
+    return ("numpy", "scalar") if HAVE_NUMPY else ("scalar",)
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a backend request to an executable backend name.
+
+    ``None`` and ``"auto"`` consult :data:`BACKEND_ENV` and then prefer
+    ``numpy`` when available.  An explicit ``"numpy"`` request degrades to
+    ``"scalar"`` when numpy is absent (automatic fallback -- both backends
+    return bit-identical results, so the substitution is invisible apart
+    from speed).  Unknown names raise ``ValueError``.
+    """
+    if name is None or name == "auto":
+        name = os.environ.get(BACKEND_ENV, "auto").strip().lower() or "auto"
+        if name == "auto":
+            return "numpy" if HAVE_NUMPY else "scalar"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown analysis backend {name!r}; expected one of {BACKENDS}")
+    if name == "auto":
+        return "numpy" if HAVE_NUMPY else "scalar"
+    if name == "numpy" and not HAVE_NUMPY:
+        return "scalar"
+    return name

@@ -11,7 +11,7 @@ Figure 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.can.bus import CanBus

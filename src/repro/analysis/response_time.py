@@ -67,9 +67,11 @@ land on a larger fixed point and silently lose exactness.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
+from repro.analysis import vector as _vector
+from repro.analysis.backend import resolve_backend
 from repro.can.bus import CanBus
 from repro.can.controller import ControllerModel
 from repro.can.kmatrix import KMatrix
@@ -145,12 +147,16 @@ class _MessageKernel:
     """
 
     __slots__ = ("own_c", "best_c", "model", "own_params", "blocking",
-                 "retransmit", "hp_flat", "hp_models", "hp_names", "jitter")
+                 "retransmit", "hp_flat", "hp_models", "hp_names", "jitter",
+                 "hp_array")
 
     def __init__(self) -> None:
         self.hp_flat: Optional[list[tuple[float, float, float, float]]] = None
         self.hp_models: list[tuple[float, EventModel]] = []
         self.hp_names: list[str] = []
+        # Lazily materialised (n, 4) float64 view of ``hp_flat`` used by the
+        # numpy batch kernel; treated as immutable once built.
+        self.hp_array = None
 
 
 class CanBusAnalysis:
@@ -175,6 +181,11 @@ class CanBusAnalysis:
         Optional externally supplied activation models (used by the
         compositional engine to inject gateway output models); by default
         each message's own K-Matrix event model is used.
+    backend:
+        Execution backend for the fixed-point loops (``"auto"``/``None``,
+        ``"numpy"`` or ``"scalar"``; see :mod:`repro.analysis.backend`).
+        Both backends return bit-identical results; ``"numpy"`` silently
+        degrades to ``"scalar"`` when numpy is not importable.
     """
 
     def __init__(
@@ -185,9 +196,11 @@ class CanBusAnalysis:
         assumed_jitter_fraction: float = 0.0,
         controllers: Mapping[str, ControllerModel] | None = None,
         event_models: Mapping[str, EventModel] | None = None,
+        backend: str | None = None,
     ) -> None:
         self.kmatrix = kmatrix
         self.bus = bus
+        self.backend = resolve_backend(backend)
         self.error_model = error_model if error_model is not None else NoErrors()
         self.assumed_jitter_fraction = assumed_jitter_fraction
         self.controllers = dict(controllers or {})
@@ -383,9 +396,17 @@ class CanBusAnalysis:
                     hp_models[index] = (c, model)
                 kernel.hp_flat = hp_flat
                 kernel.hp_models = hp_models
+                if old.hp_array is not None:
+                    # Patch the numpy row table alongside the tuple list so
+                    # the batch kernel keeps skipping the table rebuild too.
+                    hp_array = old.hp_array.copy()
+                    for index in positions:
+                        hp_array[index] = hp_flat[index]
+                    kernel.hp_array = hp_array
             else:
                 kernel.hp_flat = old.hp_flat
                 kernel.hp_models = old.hp_models
+                kernel.hp_array = old.hp_array
             if own_changed:
                 model = changed_models[name]
                 kernel.model = model
@@ -573,6 +594,124 @@ class CanBusAnalysis:
             queuing_delays=tuple(delays),
         )
 
+    def response_times_batch(
+        self,
+        items: Sequence[tuple[CanMessage, MessageResponseTime | None]],
+    ) -> dict[str, MessageResponseTime]:
+        """Response times of many ``(message, warm_start)`` pairs at once.
+
+        Under the ``numpy`` backend all messages with a flat interference
+        table are solved in lockstep by :class:`repro.analysis.vector.
+        BatchSolver`: one busy-period pass over all messages, then one
+        queuing-delay pass over all analysed instances, each evaluating
+        every higher-priority activation count as array operations.  Warm
+        seeds follow the same lower-bound contract as
+        :meth:`response_time` and are applied in the same batch (this is
+        what makes a warm what-if re-verification a couple of numpy passes
+        instead of O(n) scalar fixed points).  Messages whose kernels have
+        no flat table (custom ``eta_plus``) fall back to the scalar loops.
+
+        Results are bit-identical to per-message :meth:`response_time`
+        calls; the returned dict preserves ``items`` order.
+        """
+        if self.backend != "numpy":
+            return {
+                message.name: self.response_time(message, warm_start=warm)
+                for message, warm in items
+            }
+        batch: list[tuple[CanMessage, _MessageKernel,
+                          MessageResponseTime | None]] = []
+        for message, warm in items:
+            kernel = self._kernel(message)
+            if kernel.hp_flat is not None:
+                batch.append((message, kernel, warm))
+        solved: dict[str, MessageResponseTime] = {}
+        if batch:
+            solver = _vector.BatchSolver(
+                [kernel for _, kernel, _ in batch],
+                self._bit_time, self._recovery, self._horizon,
+                None if self._no_errors else self.error_model)
+            busy_seeds = [
+                warm.busy_period if warm is not None and warm.bounded
+                else None
+                for _, _, warm in batch]
+            busy, busy_ok = solver.busy_periods(busy_seeds)
+            instance_counts = solver.own_instances(busy)
+            item_kernel: list[int] = []
+            item_instance: list[float] = []
+            item_seeds: list[float | None] = []
+            counts: list[int] = []
+            busy_ok_list = busy_ok.tolist()
+            for index, (message, kernel, warm) in enumerate(batch):
+                if not busy_ok_list[index]:
+                    counts.append(0)
+                    continue
+                instances = int(instance_counts[index])
+                counts.append(instances)
+                delay_seeds: Sequence[float] = ()
+                if warm is not None and warm.bounded:
+                    delay_seeds = warm.queuing_delays
+                for q in range(instances):
+                    item_kernel.append(index)
+                    item_instance.append(float(q))
+                    item_seeds.append(
+                        delay_seeds[q] if q < len(delay_seeds) else None)
+            delays_w, delays_ok = solver.queuing_delays(
+                item_kernel, item_instance, item_seeds)
+            busy_list = busy.tolist()
+            w_list = delays_w.tolist()
+            ok_list = delays_ok.tolist()
+            position = 0
+            for index, (message, kernel, warm) in enumerate(batch):
+                own_c = kernel.own_c
+                jitter = kernel.jitter
+                blocking = kernel.blocking
+                if not busy_ok_list[index]:
+                    solved[message.name] = MessageResponseTime(
+                        name=message.name, can_id=message.can_id,
+                        transmission_time=own_c, blocking=blocking,
+                        jitter=jitter, worst_case=math.inf,
+                        best_case=kernel.best_c,
+                        busy_period=busy_list[index],
+                        instances_analyzed=0, bounded=False)
+                    continue
+                instances = counts[index]
+                worst = 0.0
+                bounded = True
+                delays: list[float] = []
+                own_model = kernel.model
+                for q in range(instances):
+                    if not ok_list[position + q]:
+                        bounded = False
+                        worst = math.inf
+                        break
+                    w = w_list[position + q]
+                    delays.append(w)
+                    arrival_offset = own_model.delta_minus(q + 1)
+                    response = jitter + w + own_c - arrival_offset
+                    worst = max(worst, response)
+                position += instances
+                solved[message.name] = MessageResponseTime(
+                    name=message.name,
+                    can_id=message.can_id,
+                    transmission_time=own_c,
+                    blocking=blocking,
+                    jitter=jitter,
+                    worst_case=worst,
+                    best_case=kernel.best_c,
+                    busy_period=busy_list[index],
+                    instances_analyzed=instances,
+                    bounded=bounded,
+                    queuing_delays=tuple(delays),
+                )
+        results: dict[str, MessageResponseTime] = {}
+        for message, warm in items:
+            result = solved.get(message.name)
+            if result is None:
+                result = self.response_time(message, warm_start=warm)
+            results[message.name] = result
+        return results
+
     def analyze_all(
         self,
         warm_start: Mapping[str, MessageResponseTime] | None = None,
@@ -582,7 +721,15 @@ class CanBusAnalysis:
         ``warm_start`` maps message names to previous results used as
         fixed-point seeds (missing names are analysed cold); the seeds must
         satisfy the lower-bound contract described in the module docstring.
+        Under the ``numpy`` backend the whole bus is solved in one
+        vectorized batch (:meth:`response_times_batch`).
         """
+        if self.backend == "numpy":
+            if warm_start is None:
+                return self.response_times_batch(
+                    [(m, None) for m in self.kmatrix])
+            return self.response_times_batch(
+                [(m, warm_start.get(m.name)) for m in self.kmatrix])
         if warm_start is None:
             return {m.name: self.response_time(m) for m in self.kmatrix}
         return {

@@ -1,0 +1,369 @@
+"""Vectorized batch kernel for the response-time fixed points (numpy).
+
+This module is the ``numpy`` backend behind
+:class:`~repro.analysis.response_time.CanBusAnalysis` (see
+:mod:`repro.analysis.backend` for selection).  It compiles the frozen
+per-message interference tables (``_MessageKernel.hp_flat``) into flat numpy
+record arrays -- one row of ``(transmission_time, period, jitter,
+min_distance)`` per higher-priority message, concatenated bus-wide in
+K-Matrix order with per-message offsets -- and then runs the busy-period and
+queuing-delay fixed points of *many* messages in lockstep:
+
+* every higher-priority activation count of every candidate window is
+  evaluated as one array operation over the row table (instead of one
+  Python-level ``ceil`` per message per iteration);
+* the ~2 warm-start right-hand-side evaluations per message of a what-if
+  query are batched *across* messages, so re-verifying a whole bus costs a
+  couple of numpy passes instead of O(n) scalar loops;
+* messages converge (or diverge past the horizon) individually and drop out
+  of the active set, so the lockstep sweep does the same total row work as
+  the scalar loops, at array speed.
+
+Bit-identity
+------------
+Results must stay bit-identical to the scalar loops (and hence to
+:mod:`repro.analysis.reference`, the executable spec).  Two rules make that
+hold:
+
+* every element-wise operation replicates the scalar arithmetic IEEE
+  operation for IEEE operation on float64 (``np.rint`` is round-half-even,
+  exactly like Python's ``round``; the snap tolerances are the same
+  expressions; activation counts are integer-valued doubles well below
+  2**53, so products and comparisons are exact);
+* the per-message interference *sum* runs left-to-right over the row table
+  (``sum`` over a list slice accumulates in the same order as the scalar
+  ``total += ...`` loop) -- numpy's pairwise ``np.sum`` would regroup the
+  additions and change low-order bits, so it is deliberately not used.
+
+The error-model overhead is vectorized for the standard
+:class:`~repro.errors.models.SporadicErrorModel` and
+:class:`~repro.errors.models.BurstErrorModel` parameter shapes; any other
+model is evaluated per message through its own ``overhead`` method on Python
+floats, which is the scalar arithmetic by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships in the CI image
+    np = None
+
+from repro.errors.models import BurstErrorModel, SporadicErrorModel
+from repro.events.model import _EPSILON
+
+HAVE_NUMPY = np is not None
+
+_MAX_ITERATIONS = 100_000
+
+
+def hp_table(kernel) -> "np.ndarray":
+    """The (n, 4) float64 row table of one frozen kernel, built lazily.
+
+    Cached on the kernel (``hp_array``); treated as immutable --
+    ``adopt_kernels`` copies before patching rows.
+    """
+    table = kernel.hp_array
+    if table is None:
+        flat = kernel.hp_flat
+        if flat:
+            table = np.array(flat, dtype=np.float64)
+        else:
+            table = np.empty((0, 4), dtype=np.float64)
+        kernel.hp_array = table
+    return table
+
+
+def _segment_indices(starts: "np.ndarray", counts: "np.ndarray",
+                     ) -> "np.ndarray":
+    """Row indices of the concatenation of ``[start, start+count)`` ranges."""
+    keep = counts > 0
+    starts = starts[keep]
+    counts = counts[keep]
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    total = int(counts.sum())
+    idx = np.ones(total, dtype=np.int64)
+    idx[0] = starts[0]
+    if starts.size > 1:
+        jumps = np.cumsum(counts[:-1])
+        idx[jumps] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(idx)
+
+
+def _segment_sums(products: "np.ndarray",
+                  counts_list: Sequence[int]) -> "np.ndarray":
+    """Left-to-right per-segment sums (the scalar accumulation order)."""
+    values = products.tolist()
+    out = np.empty(len(counts_list), dtype=np.float64)
+    pos = 0
+    for index, count in enumerate(counts_list):
+        if count:
+            end = pos + count
+            out[index] = sum(values[pos:end])
+            pos = end
+        else:
+            out[index] = 0.0
+    return out
+
+
+def _ceil_div_vec(numerator: "np.ndarray", denominator) -> "np.ndarray":
+    """Vector replica of :func:`repro.events.model._ceil_div`."""
+    value = numerator / denominator
+    nearest = np.rint(value)
+    snap = np.abs(value - nearest) <= _EPSILON * np.maximum(
+        np.abs(nearest), 1.0)
+    return np.where(snap, nearest, np.ceil(value))
+
+
+def _arrivals_vec(t: "np.ndarray", period: float) -> "np.ndarray":
+    """Vector replica of :func:`repro.errors.models._count_arrivals`."""
+    value = t / period
+    nearest = np.rint(value)
+    value = np.where(np.abs(value - nearest) < 1e-9, nearest, value)
+    counts = 1.0 + np.floor(value)
+    return np.where(t <= 0.0, 0.0, counts)
+
+
+class BatchSolver:
+    """Lockstep fixed-point solver over a set of frozen message kernels.
+
+    All kernels must have a flat interference table (``hp_flat is not
+    None``); messages whose *own* event model overrides ``eta_plus`` are
+    still accepted -- their own-activation term falls back to the model's
+    scalar method per iteration.
+
+    ``error_model`` is ``None`` for an error-free bus; otherwise overheads
+    are evaluated vectorized (standard models) or per message (exotic
+    models), always reproducing the scalar arithmetic.
+    """
+
+    def __init__(self, kernels: Sequence, bit_time: float, recovery: float,
+                 horizon: float, error_model=None) -> None:
+        self.kernels = list(kernels)
+        self.bit_time = bit_time
+        self.recovery = recovery
+        self.horizon = horizon
+        self.error_model = error_model
+        n = len(self.kernels)
+        self.own_c = np.array([k.own_c for k in self.kernels],
+                              dtype=np.float64)
+        self.blocking = np.array([k.blocking for k in self.kernels],
+                                 dtype=np.float64)
+        self.retransmit = np.array([k.retransmit for k in self.kernels],
+                                   dtype=np.float64)
+        self.own_flat = np.array(
+            [k.own_params is not None for k in self.kernels], dtype=bool)
+        params = [k.own_params if k.own_params is not None else
+                  (1.0, 0.0, 0.0) for k in self.kernels]
+        self.own_period = np.array([p[0] for p in params], dtype=np.float64)
+        self.own_jitter = np.array([p[1] for p in params], dtype=np.float64)
+        self.own_dmin = np.array([p[2] for p in params], dtype=np.float64)
+        tables = [hp_table(k) for k in self.kernels]
+        self.counts = np.array([t.shape[0] for t in tables], dtype=np.int64)
+        self.starts = np.zeros(n, dtype=np.int64)
+        if n > 1:
+            np.cumsum(self.counts[:-1], out=self.starts[1:])
+        rows = (np.concatenate(tables, axis=0) if tables
+                else np.empty((0, 4), dtype=np.float64))
+        self.hp_c = np.ascontiguousarray(rows[:, 0])
+        self.hp_period = np.ascontiguousarray(rows[:, 1])
+        self.hp_jitter = np.ascontiguousarray(rows[:, 2])
+        self.hp_dmin = np.ascontiguousarray(rows[:, 3])
+
+    # ------------------------------------------------------------------ #
+    # Element-wise replicas of the scalar hot loops
+    # ------------------------------------------------------------------ #
+    def _products(self, dt, c, period, jitter, dmin, has_d, dmin_safe):
+        """Per-row ``activations * c`` (the flat ``_interference_of`` body)."""
+        value = (dt + jitter) / period
+        nearest = np.rint(value)
+        snap = np.abs(value - nearest) <= _EPSILON * np.maximum(nearest, 1.0)
+        activations = np.where(snap, nearest, np.ceil(value))
+        if has_d is not None:
+            capped = _ceil_div_vec(dt, dmin_safe) + 1.0
+            activations = np.where(has_d & (capped < activations),
+                                   capped, activations)
+        products = activations * c
+        if (dt <= 0.0).any():
+            products = np.where(dt <= 0.0, 0.0, products)
+        return products
+
+    def _own_eta(self, w, period, jitter, dmin, flat_mask, kidx):
+        """Vector replica of ``_own_eta_plus`` (scalar for exotic models)."""
+        activations = _ceil_div_vec(w + jitter, period)
+        has_d = dmin > 0.0
+        if has_d.any():
+            capped = _ceil_div_vec(w, np.where(has_d, dmin, 1.0)) + 1.0
+            activations = np.where(has_d & (capped < activations),
+                                   capped, activations)
+        activations = np.where(w <= 0.0, 0.0, activations)
+        if not flat_mask.all():
+            kernels = self.kernels
+            for index in np.flatnonzero(~flat_mask):
+                activations[index] = kernels[int(kidx[index])].model.eta_plus(
+                    float(w[index]))
+        return activations
+
+    def _error(self, windows, retransmit):
+        """Error overhead per item (vectorized standard models)."""
+        model = self.error_model
+        if model is None:
+            return 0.0
+        if type(model) is SporadicErrorModel:
+            counts = _arrivals_vec(windows, model.min_interarrival)
+            return counts * (self.recovery + retransmit)
+        if type(model) is BurstErrorModel:
+            bursts = _arrivals_vec(windows, model.min_interarrival)
+            if model.intra_burst_gap > 0:
+                partial = np.minimum(
+                    float(model.burst_length),
+                    1.0 + np.floor_divide(windows, model.intra_burst_gap))
+            else:
+                partial = float(model.burst_length)
+            counts = (np.maximum(bursts - 1.0, 0.0) * model.burst_length
+                      + partial)
+            counts = np.where(windows <= 0.0, 0.0, counts)
+            return counts * (self.recovery + retransmit)
+        recovery = self.recovery
+        return np.array(
+            [model.overhead(w, recovery, r)
+             for w, r in zip(windows.tolist(), retransmit.tolist())],
+            dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Lockstep fixed-point driver
+    # ------------------------------------------------------------------ #
+    def _iterate(self, kidx, w0, base, busy: bool):
+        """Iterate all items to their individual fixed points.
+
+        ``kidx`` maps items to kernels (repeatable: the queuing-delay phase
+        has one item per analysed instance).  ``base`` is the additive term
+        of the queuing-delay right-hand side (``None`` for the busy-period
+        phase, whose RHS carries the own-instances term instead).  Returns
+        ``(values, bounded)`` in item order, replicating the scalar loops'
+        horizon/equality checks and iteration cap exactly.
+        """
+        n_items = int(kidx.size)
+        out_w = np.empty(n_items, dtype=np.float64)
+        out_ok = np.zeros(n_items, dtype=bool)
+        if n_items == 0:
+            return out_w, out_ok
+        counts = self.counts[kidx]
+        seg = _segment_indices(self.starts[kidx], counts)
+        c = self.hp_c[seg]
+        period = self.hp_period[seg]
+        jitter = self.hp_jitter[seg]
+        dmin = self.hp_dmin[seg]
+        has_d = dmin > 0.0
+        if has_d.any():
+            dmin_safe = np.where(has_d, dmin, 1.0)
+        else:
+            has_d = dmin_safe = None
+        own_c = self.own_c[kidx]
+        retransmit = self.retransmit[kidx]
+        if busy:
+            blocking = self.blocking[kidx]
+            own_period = self.own_period[kidx]
+            own_jitter = self.own_jitter[kidx]
+            own_dmin = self.own_dmin[kidx]
+            own_flat = self.own_flat[kidx]
+        active_kidx = kidx
+        position = np.arange(n_items)
+        counts_list = counts.tolist()
+        w = w0
+        horizon = self.horizon
+        iterations = 0
+        while position.size:
+            iterations += 1
+            dt_rows = np.repeat(w + self.bit_time, counts)
+            interference = _segment_sums(
+                self._products(dt_rows, c, period, jitter, dmin,
+                               has_d, dmin_safe),
+                counts_list)
+            if busy:
+                own_eta = self._own_eta(w, own_period, own_jitter, own_dmin,
+                                        own_flat, active_kidx)
+                own_instances = np.maximum(own_eta, 1.0)
+                error = self._error(w, retransmit)
+                new_w = blocking + own_instances * own_c + interference + error
+            else:
+                error = self._error(w + own_c, retransmit)
+                new_w = base + interference + error
+            unbounded = new_w > horizon
+            converged = ~unbounded & (new_w == w)
+            if iterations >= _MAX_ITERATIONS:
+                out_w[position] = new_w
+                out_ok[position[converged]] = True
+                break
+            done = unbounded | converged
+            if not done.any():
+                w = new_w
+                continue
+            out_w[position[done]] = new_w[done]
+            out_ok[position[converged]] = True
+            keep = ~done
+            if not keep.any():
+                break
+            row_keep = np.repeat(keep, counts)
+            w = new_w[keep]
+            position = position[keep]
+            counts = counts[keep]
+            counts_list = counts.tolist()
+            c = c[row_keep]
+            period = period[row_keep]
+            jitter = jitter[row_keep]
+            dmin = dmin[row_keep]
+            if has_d is not None:
+                has_d = has_d[row_keep]
+                dmin_safe = dmin_safe[row_keep]
+            own_c = own_c[keep]
+            retransmit = retransmit[keep]
+            active_kidx = active_kidx[keep]
+            if busy:
+                blocking = blocking[keep]
+                own_period = own_period[keep]
+                own_jitter = own_jitter[keep]
+                own_dmin = own_dmin[keep]
+                own_flat = own_flat[keep]
+            else:
+                base = base[keep]
+        return out_w, out_ok
+
+    # ------------------------------------------------------------------ #
+    # Phases
+    # ------------------------------------------------------------------ #
+    def busy_periods(self, seeds: Sequence[Optional[float]] | None,
+                     ) -> tuple["np.ndarray", "np.ndarray"]:
+        """Busy periods of all kernels, warm-started where seeded."""
+        t0 = self.own_c + self.blocking
+        if seeds is not None:
+            seed = np.array([-math.inf if s is None else s for s in seeds],
+                            dtype=np.float64)
+            t0 = np.where(seed > t0, seed, t0)
+        kidx = np.arange(len(self.kernels), dtype=np.int64)
+        return self._iterate(kidx, t0, None, busy=True)
+
+    def own_instances(self, busy: "np.ndarray") -> "np.ndarray":
+        """Instances inside each (bounded) busy period, ``max(eta, 1)``."""
+        kidx = np.arange(len(self.kernels), dtype=np.int64)
+        eta = self._own_eta(busy, self.own_period, self.own_jitter,
+                            self.own_dmin, self.own_flat, kidx)
+        return np.maximum(eta, 1.0)
+
+    def queuing_delays(self, kidx, instance,
+                       seeds: Sequence[Optional[float]] | None,
+                       ) -> tuple["np.ndarray", "np.ndarray"]:
+        """Queuing delays for ``(kernel, instance)`` items, warm-seeded."""
+        kidx = np.asarray(kidx, dtype=np.int64)
+        instance = np.asarray(instance, dtype=np.float64)
+        base = self.blocking[kidx] + instance * self.own_c[kidx]
+        w0 = base
+        if seeds is not None:
+            seed = np.array([-math.inf if s is None else s for s in seeds],
+                            dtype=np.float64)
+            w0 = np.where(seed > base, seed, base)
+        return self._iterate(kidx, w0, base, busy=False)

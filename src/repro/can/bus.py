@@ -8,12 +8,10 @@ response-time analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.can.frame import (
-    CanFrameFormat,
-    best_case_transmission_time,
-    error_recovery_overhead,
+    best_case_transmission_time, error_recovery_overhead,
     worst_case_transmission_time,
 )
 from repro.can.message import CanMessage

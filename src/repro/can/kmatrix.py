@@ -14,7 +14,7 @@ import csv
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.can.frame import CanFrameFormat
 from repro.can.message import CanMessage

@@ -8,7 +8,7 @@ knows (period) or assumes (jitter, deadline).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Optional
 

@@ -10,7 +10,6 @@ couple the buses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
 
 from repro.can.bus import CanBus
 from repro.can.controller import ControllerModel

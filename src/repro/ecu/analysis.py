@@ -22,7 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.ecu.task import EcuModel, Task, TaskKind
+from repro.ecu.task import EcuModel, Task
 from repro.events.model import EventModel
 from repro.events.operations import output_event_model
 

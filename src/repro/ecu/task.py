@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Iterable, Optional, Sequence
+from typing import Optional
 
 from repro.events.model import EventModel, PeriodicEventModel, event_model_from_parameters
 

@@ -17,7 +17,7 @@ over the jitter axis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.analysis.schedulability import SchedulabilityReport, analyze_schedulability

@@ -17,7 +17,6 @@ TimeTable discussion of the paper alludes to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
 
 from repro.analysis.response_time import CanBusAnalysis
 from repro.can.bus import CanBus

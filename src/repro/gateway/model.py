@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping
 
 from repro.events.model import EventModel
 from repro.events.operations import add_jitter, output_event_model

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.can.kmatrix import KMatrix
 from repro.optimize.assignment import (
@@ -60,10 +60,12 @@ def _evaluate_order_job(job: tuple) -> tuple[ConfigurationEvaluation,
 class GeneticOptimizerConfig:
     """Hyper-parameters of the SPEA2-style search.
 
-    ``analysis_backend`` selects the optimised analysis kernel (default) or
-    the retained naive path (``"reference"``); the latter exists for the
-    equivalence tests and the seed-vs-kernel benchmark, which assert that
-    both backends return identical objective values.
+    ``analysis_backend`` selects the optimised analysis kernel (default,
+    picking its ``"numpy"``/``"scalar"`` fixed-point backend automatically;
+    name either explicitly to pin it) or the retained naive path
+    (``"reference"``); the latter exists for the equivalence tests and the
+    seed-vs-kernel benchmark, which assert that all backends return
+    identical objective values.
     """
 
     population_size: int = 24
@@ -88,7 +90,8 @@ class GeneticOptimizerConfig:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1]")
-        if self.analysis_backend not in ("kernel", "reference"):
+        if self.analysis_backend not in ("kernel", "reference",
+                                         "numpy", "scalar"):
             raise ValueError(
                 f"unknown analysis backend {self.analysis_backend!r}")
 
@@ -167,11 +170,13 @@ def optimize_priorities(
     # incremental per-candidate re-analysis, bit-identical to the direct
     # path (the reference backend keeps using it for the equivalence tests).
     evaluator = None
-    if config.analysis_backend == "kernel":
+    if config.analysis_backend != "reference":
         from repro.service.evaluation import SessionEvaluator
         evaluator = SessionEvaluator(
             kmatrix, scenarios,
-            sensitivity_threshold=config.sensitivity_threshold)
+            sensitivity_threshold=config.sensitivity_threshold,
+            backend=(None if config.analysis_backend == "kernel"
+                     else config.analysis_backend))
 
     def matrix_for(order: Sequence[str]) -> KMatrix:
         mapping = {name: can_id for name, can_id in zip(order, id_pool)}

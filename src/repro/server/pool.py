@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Iterable, Mapping, Optional
+from typing import Iterable
 
 from repro.core.system import SystemModel
 from repro.service.deltas import BusConfiguration

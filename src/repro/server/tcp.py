@@ -68,7 +68,8 @@ class DaemonServer(socketserver.ThreadingTCPServer):
         super().__init__((host, port), _RequestHandler)
         self.daemon = daemon
         self._thread: Optional[threading.Thread] = None
-        self._stopped = threading.Event()
+        self._stop_lock = threading.Lock()
+        self._stopped = False
 
     @property
     def address(self) -> tuple[str, int]:
@@ -86,14 +87,22 @@ class DaemonServer(socketserver.ThreadingTCPServer):
         return self
 
     def stop(self, close_daemon: bool = True) -> None:
-        """Stop serving, join the serve thread, optionally close the daemon."""
-        if not self._stopped.is_set():
-            self._stopped.set()
-            self.shutdown()
-            self.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
-            self._thread = None
+        """Stop serving, join the serve thread, optionally close the daemon.
+
+        Safe against concurrent calls (the shutdown op stops the server from
+        a background thread while the owner may call ``stop()`` too): the
+        lock makes the second caller wait until the listening socket is
+        actually closed, so no caller returns while the port still accepts
+        connections.
+        """
+        with self._stop_lock:
+            if not self._stopped:
+                self._stopped = True
+                self.shutdown()
+                self.server_close()
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=10.0)
         if close_daemon:
             self.daemon.close()
 

@@ -67,8 +67,13 @@ class BusConfiguration:
             deadline_policy=segment.deadline_policy,
         )
 
-    def build_analysis(self) -> CanBusAnalysis:
-        """Fresh analysis kernel for this configuration."""
+    def build_analysis(self, backend: str | None = None) -> CanBusAnalysis:
+        """Fresh analysis kernel for this configuration.
+
+        ``backend`` selects the fixed-point execution backend (see
+        :mod:`repro.analysis.backend`); it does not enter
+        :meth:`analysis_key` because both backends are bit-identical.
+        """
         return CanBusAnalysis(
             kmatrix=self.kmatrix,
             bus=self.bus,
@@ -76,6 +81,7 @@ class BusConfiguration:
             assumed_jitter_fraction=self.assumed_jitter_fraction,
             controllers=self.controllers,
             event_models=self.event_models,
+            backend=backend,
         )
 
     def analysis_key(self) -> tuple:

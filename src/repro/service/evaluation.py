@@ -56,6 +56,7 @@ class SessionEvaluator:
         scenarios: Sequence[AnalysisScenario],
         sensitivity_threshold: float = 0.10,
         max_cached_configs: int = 128,
+        backend: str | None = None,
     ) -> None:
         self.kmatrix = kmatrix
         self.scenarios = tuple(scenarios)
@@ -79,6 +80,7 @@ class SessionEvaluator:
                     controllers=scenario.controllers,
                     max_cached_configs=max_cached_configs,
                     name=f"ga:{scenario.bus.name}",
+                    backend=backend,
                 )
             self._session_of.append(self._sessions[key])
         # Ascending-jitter schedule, mirroring the direct evaluation path.

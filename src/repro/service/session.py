@@ -45,6 +45,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
+from repro.analysis.backend import resolve_backend
 from repro.analysis.response_time import (
     _MAX_BUSY_PERIOD_FACTOR,
     CanBusAnalysis,
@@ -435,10 +436,14 @@ class AnalysisSession:
         deadline_policy: str = "period",
         max_cached_configs: int = 128,
         name: str | None = None,
+        backend: str | None = None,
     ) -> None:
         if max_cached_configs < 2:
             raise ValueError("max_cached_configs must be at least 2")
         self.name = name or f"session:{bus.name}"
+        # Resolved once so every kernel this session builds uses the same
+        # fixed-point backend (results are backend-independent bit for bit).
+        self.backend = resolve_backend(backend)
         self._base = BusConfiguration(
             kmatrix=kmatrix,
             bus=bus,
@@ -601,7 +606,7 @@ class AnalysisSession:
                                 label, hit_stats, with_report=with_report)
 
         analysis = entry.analysis if entry is not None \
-            else config.build_analysis()
+            else config.build_analysis(backend=self.backend)
         profile = entry.profile if entry is not None \
             else _Profile(config, analysis)
 
@@ -960,6 +965,14 @@ class AnalysisSession:
                       profile.models[name].min_distance))
                     for name in adopt_changed)
                 bit_time = profile.bus.bit_time_ms
+        # First pass: settle every reuse decision and collect the messages
+        # that actually need a fixed point, with their warm seeds.  The
+        # solves then run as ONE batched pass (`response_times_batch`): under
+        # the numpy backend the whole what-if query becomes a couple of
+        # vectorized RHS evaluations across all messages instead of O(n)
+        # scalar fixed-point loops.
+        solve: list = []
+        warm_seeded: set[str] = set()
         for message in config.kmatrix:
             name = message.name
             if wanted is not None and name not in wanted:
@@ -987,16 +1000,26 @@ class AnalysisSession:
                     reused += 1
                     continue
                 action = _WARM if seed.bounded else _COLD
+            results[name] = None  # placeholder keeps K-Matrix order
             if action == _WARM and seed is not None and seed.bounded:
-                result = analysis.response_time(message, warm_start=seed)
-                if not result.bounded:
-                    # Keep cached divergent values canonical (cold-start).
-                    result = analysis.response_time(message)
+                solve.append((message, seed))
+                warm_seeded.add(name)
                 warm += 1
             else:
-                result = analysis.response_time(message)
+                solve.append((message, None))
                 cold += 1
-            results[name] = result
+        if solve:
+            solved = analysis.response_times_batch(solve)
+            # Keep cached divergent values canonical (cold-start): re-run
+            # warm-seeded messages that diverged, again as one batch.
+            retry = [message for message, _ in solve
+                     if message.name in warm_seeded
+                     and not solved[message.name].bounded]
+            if retry:
+                solved.update(analysis.response_times_batch(
+                    [(message, None) for message in retry]))
+            for message, _ in solve:
+                results[message.name] = solved[message.name]
         total = reused + warm + cold
         return QueryStats(total=total, reused=reused, warm_started=warm,
                           cold=cold), results

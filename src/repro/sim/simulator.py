@@ -23,8 +23,8 @@ the analysis produces upper bounds.  Tests assert the containment.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
+from dataclasses import dataclass
+from typing import Mapping
 
 from repro.can.bus import CanBus
 from repro.can.controller import CanControllerType, ControllerModel

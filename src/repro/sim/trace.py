@@ -8,7 +8,6 @@ times, per-message statistics and Gantt-style rows for textual rendering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from repro.events.curves import EmpiricalEventTrace
 
@@ -113,7 +112,8 @@ class SimulationTrace:
         """Empirical event trace of one message's queuing instants."""
         queued = [t.queued_at for t in self.transmissions if t.message == message
                   and t.attempt == 1]
-        queued.extend(l.queued_at for l in self.losses if l.message == message)
+        queued.extend(loss.queued_at for loss in self.losses
+                      if loss.message == message)
         return EmpiricalEventTrace(timestamps=queued)
 
     # ------------------------------------------------------------------ #

@@ -10,9 +10,9 @@ stay private.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Mapping, Optional
+from typing import Optional
 
 from repro.events.model import EventModel, event_model_from_parameters
 from repro.events.operations import is_refinement

@@ -14,7 +14,7 @@ Three pieces of the methodology:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.analysis.response_time import CanBusAnalysis

@@ -45,14 +45,11 @@ from typing import Mapping, Optional, Sequence
 from repro.core.engine import CompositionalAnalysis
 from repro.core.paths import EndToEndPath, PathLatency, path_latency_all
 from repro.core.results import SystemAnalysisResult
-from repro.core.system import BusSegment, SystemModel
+from repro.core.system import SystemModel
 from repro.service.deltas import BusConfiguration
 from repro.service.session import AnalysisSession, SessionStats
 from repro.whatif.system_deltas import (
-    SystemDelta,
-    apply_system_deltas,
-    downstream_closure,
-    influence_edges,
+    SystemDelta, downstream_closure, influence_edges,
 )
 
 

@@ -21,7 +21,7 @@ benchmarks all reproduce the same network.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.can.bus import CanBus

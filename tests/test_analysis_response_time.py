@@ -11,7 +11,6 @@ from repro.analysis.response_time import (
     best_case_response_time,
     worst_case_response_time,
 )
-from repro.can.bus import CanBus
 from repro.can.kmatrix import KMatrix
 from repro.can.message import CanMessage
 from repro.errors.models import BurstErrorModel, SporadicErrorModel

@@ -1,0 +1,208 @@
+"""Unit tests for the perf harness itself (``benchmarks/perf/run_bench.py``).
+
+The harness is CI infrastructure: its regression gate
+(:func:`run_bench.check_regression`) decides whether a PR fails, so the
+gating logic, the ``BENCH_timing.json`` schema and the CLI wiring (``--check``
+failing on an injected regression, ``--quick`` reducing work without changing
+workloads) get the same test coverage as library code.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "benchmarks" / "perf" / "run_bench.py"
+BASELINE_PATH = REPO_ROOT / "BENCH_timing.json"
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    spec = importlib.util.spec_from_file_location("_run_bench_under_test",
+                                                  BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _entry(seed=1.0, kernel=0.1, speedup=None, **extra):
+    record = {"seed_seconds": seed, "kernel_seconds": kernel,
+              "speedup": round(seed / kernel, 2) if speedup is None
+              else speedup}
+    record.update(extra)
+    return record
+
+
+# --------------------------------------------------------------------------- #
+# Committed baseline schema
+# --------------------------------------------------------------------------- #
+class TestCommittedBaselineSchema:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+
+    def test_top_level_schema(self, baseline):
+        assert baseline["schema"] == 1
+        assert set(baseline) >= {"schema", "created_utc", "machine",
+                                 "scenarios"}
+        assert set(baseline["machine"]) >= {"python", "platform", "cpus"}
+
+    def test_scenario_records_are_complete(self, baseline):
+        scenarios = baseline["scenarios"]
+        assert scenarios, "baseline must not be empty"
+        for name, entry in scenarios.items():
+            assert entry["seed_seconds"] > 0, name
+            assert entry["kernel_seconds"] > 0, name
+            assert entry["speedup"] == pytest.approx(
+                entry["seed_seconds"] / entry["kernel_seconds"], rel=0.02)
+
+    def test_gated_scenarios_present(self, baseline):
+        scenarios = baseline["scenarios"]
+        for name in ("analyze_all_powertrain80", "scaling_n400",
+                     "service_jitter_whatif_100q", "server_whatif_throughput",
+                     "engine_incremental", "system_whatif"):
+            assert name in scenarios, name
+        gated = [entry for entry in scenarios.values()
+                 if entry.get("min_speedup")]
+        assert gated, "at least one scenario must carry a min_speedup gate"
+        for entry in gated:
+            assert entry["speedup"] >= entry["min_speedup"]
+
+
+# --------------------------------------------------------------------------- #
+# Gating logic
+# --------------------------------------------------------------------------- #
+class TestCheckRegression:
+    def test_clean_run_passes(self, run_bench):
+        baseline = {"scenarios": {"a": _entry(kernel=0.10),
+                                  "b": _entry(kernel=0.50)}}
+        fresh = {"a": _entry(kernel=0.11), "b": _entry(kernel=0.45)}
+        assert run_bench.check_regression(fresh, baseline, 2.0) == []
+
+    def test_kernel_slowdown_fails(self, run_bench):
+        baseline = {"scenarios": {"a": _entry(kernel=0.10)}}
+        fresh = {"a": _entry(kernel=0.30)}
+        failures = run_bench.check_regression(fresh, baseline, 2.0)
+        assert len(failures) == 1 and "a:" in failures[0]
+
+    def test_threshold_is_respected(self, run_bench):
+        baseline = {"scenarios": {"a": _entry(kernel=0.10)}}
+        fresh = {"a": _entry(kernel=0.30)}
+        assert run_bench.check_regression(fresh, baseline, 4.0) == []
+
+    def test_min_speedup_gate(self, run_bench):
+        baseline = {"scenarios": {}}
+        fresh = {"svc": _entry(seed=1.0, kernel=0.5, min_speedup=5.0)}
+        failures = run_bench.check_regression(fresh, baseline, 2.0)
+        assert len(failures) == 1 and "below" in failures[0]
+        fresh = {"svc": _entry(seed=10.0, kernel=0.5, min_speedup=5.0)}
+        assert run_bench.check_regression(fresh, baseline, 2.0) == []
+
+    def test_speedup_margin_scales_the_floor(self, run_bench):
+        baseline = {"scenarios": {}}
+        fresh = {"svc": _entry(seed=1.8, kernel=1.0, min_speedup=2.0)}
+        assert run_bench.check_regression(fresh, baseline, 2.0,
+                                          speedup_margin=0.75) == []
+        failures = run_bench.check_regression(fresh, baseline, 2.0)
+        assert len(failures) == 1 and "below" in failures[0]
+
+    def test_scenarios_missing_from_fresh_run_are_skipped(self, run_bench):
+        """--quick drops ga_run; the gate must not fail on its absence."""
+        baseline = {"scenarios": {"ga_run": _entry(kernel=2.0),
+                                  "a": _entry(kernel=0.1)}}
+        fresh = {"a": _entry(kernel=0.1)}
+        assert run_bench.check_regression(fresh, baseline, 2.0) == []
+
+
+# --------------------------------------------------------------------------- #
+# CLI wiring
+# --------------------------------------------------------------------------- #
+class TestMain:
+    def test_check_fails_on_injected_regression(self, run_bench, tmp_path,
+                                                monkeypatch, capsys):
+        output = tmp_path / "bench.json"
+        output.write_text(json.dumps(
+            {"schema": 1, "scenarios": {"a": _entry(kernel=0.01)}}))
+        monkeypatch.setattr(
+            run_bench, "run_scenarios",
+            lambda repeat, skip_seed, baseline, quick=False:
+                {"a": _entry(kernel=0.05)})
+        assert run_bench.main(["--check", "--output", str(output)]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_check_passes_without_regression(self, run_bench, tmp_path,
+                                             monkeypatch):
+        output = tmp_path / "bench.json"
+        output.write_text(json.dumps(
+            {"schema": 1, "scenarios": {"a": _entry(kernel=0.01)}}))
+        monkeypatch.setattr(
+            run_bench, "run_scenarios",
+            lambda repeat, skip_seed, baseline, quick=False:
+                {"a": _entry(kernel=0.01)})
+        assert run_bench.main(["--check", "--output", str(output)]) == 0
+
+    def test_check_without_baseline_is_skipped(self, run_bench, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setattr(
+            run_bench, "run_scenarios",
+            lambda repeat, skip_seed, baseline, quick=False: {})
+        missing = tmp_path / "does-not-exist.json"
+        assert run_bench.main(["--check", "--output", str(missing)]) == 0
+        assert not missing.exists()
+
+    def test_quick_implies_best_of_two_and_skip_seed(self, run_bench,
+                                                     tmp_path, monkeypatch):
+        captured = {}
+
+        def fake(repeat, skip_seed, baseline, quick=False):
+            captured.update(repeat=repeat, skip_seed=skip_seed, quick=quick)
+            return {}
+
+        monkeypatch.setattr(run_bench, "run_scenarios", fake)
+        rc = run_bench.main(["--quick", "--check",
+                             "--output", str(tmp_path / "none.json")])
+        assert rc == 0
+        assert captured == {"repeat": 2, "skip_seed": True, "quick": True}
+
+    def test_quick_applies_speedup_margin(self, run_bench, tmp_path,
+                                          monkeypatch):
+        output = tmp_path / "bench.json"
+        output.write_text(json.dumps({"schema": 1, "scenarios": {}}))
+        monkeypatch.setattr(
+            run_bench, "run_scenarios",
+            lambda repeat, skip_seed, baseline, quick=False:
+                {"svc": _entry(seed=1.9, kernel=1.0, min_speedup=2.0)})
+        assert run_bench.main(["--check", "--output", str(output)]) == 1
+        assert run_bench.main(["--quick", "--check",
+                               "--output", str(output)]) == 0
+
+    def test_baseline_rewrite_has_schema(self, run_bench, tmp_path,
+                                         monkeypatch):
+        output = tmp_path / "bench.json"
+        monkeypatch.setattr(
+            run_bench, "run_scenarios",
+            lambda repeat, skip_seed, baseline, quick=False:
+                {"a": _entry(kernel=0.2)})
+        assert run_bench.main(["--output", str(output)]) == 0
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["schema"] == 1
+        assert payload["scenarios"]["a"]["kernel_seconds"] == 0.2
+        assert set(payload["machine"]) >= {"python", "platform", "cpus"}
+
+    def test_timed_returns_best_and_result(self, run_bench):
+        calls = []
+
+        def workload():
+            calls.append(None)
+            return "result"
+
+        seconds, result = run_bench._timed(workload, repeat=3)
+        assert result == "result"
+        assert len(calls) == 3
+        assert seconds >= 0.0

@@ -11,7 +11,6 @@ from repro.can.controller import (
     default_controllers,
     mixed_controllers,
 )
-from repro.can.message import CanMessage
 
 
 class TestCanBus:

@@ -5,11 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors.models import (
-    BurstErrorModel,
-    CompositeErrorModel,
-    ErrorModel,
-    NoErrors,
-    SporadicErrorModel,
+    BurstErrorModel, CompositeErrorModel, NoErrors, SporadicErrorModel,
     composite,
 )
 

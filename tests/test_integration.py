@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.load import bus_load
 from repro.analysis.response_time import CanBusAnalysis

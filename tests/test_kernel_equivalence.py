@@ -14,6 +14,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis.backend import (
+    BACKEND_ENV,
+    HAVE_NUMPY,
+    available_backends,
+    resolve_backend,
+)
 from repro.analysis.reference import ReferenceCanBusAnalysis
 from repro.analysis.response_time import CanBusAnalysis
 from repro.can.bus import CanBus
@@ -82,6 +88,135 @@ class TestAnalyzeAllEquivalence:
         kmatrix, bus = scaling_benchmark_case(100)
         assert (CanBusAnalysis(kmatrix, bus).analyze_all()
                 == ReferenceCanBusAnalysis(kmatrix, bus).analyze_all())
+
+
+class TestBackendEquivalence:
+    """The numpy batch kernel vs the scalar loops vs the reference spec."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_backends_bit_identical(self, seed):
+        kmatrix = _matrix(seed)
+        kwargs = dict(error_model=_error_model(seed),
+                      assumed_jitter_fraction=(seed % 5) * 0.1)
+        per_backend = {
+            backend: CanBusAnalysis(
+                kmatrix, _BUS, backend=backend, **kwargs).analyze_all()
+            for backend in available_backends()
+        }
+        reference = ReferenceCanBusAnalysis(
+            kmatrix, _BUS, **kwargs).analyze_all()
+        for backend, results in per_backend.items():
+            assert results == reference, backend
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batched_warm_start_identical(self, seed):
+        """Ascending-jitter seeds through the batched pass stay exact."""
+        kmatrix = _matrix(seed)
+        previous = None
+        for fraction in (0.0, 0.2, 0.45):
+            analysis = CanBusAnalysis(
+                kmatrix, _BUS, assumed_jitter_fraction=fraction,
+                backend="numpy")
+            warm = analysis.response_times_batch(
+                [(m, previous.get(m.name) if previous is not None else None)
+                 for m in kmatrix])
+            cold = CanBusAnalysis(
+                kmatrix, _BUS, assumed_jitter_fraction=fraction,
+                backend="scalar").analyze_all()
+            assert warm == cold
+            previous = warm
+
+    @pytest.mark.parametrize("seed", (0, 7, 14))
+    def test_batch_matches_single_message_calls(self, seed):
+        kmatrix = _matrix(seed)
+        kwargs = dict(error_model=_error_model(seed + 1),
+                      assumed_jitter_fraction=0.2)
+        batch_analysis = CanBusAnalysis(
+            kmatrix, _BUS, backend="numpy", **kwargs)
+        single_analysis = CanBusAnalysis(
+            kmatrix, _BUS, backend="scalar", **kwargs)
+        singles = {m.name: single_analysis.response_time(m) for m in kmatrix}
+        batched = batch_analysis.response_times_batch(
+            [(m, None) for m in kmatrix])
+        assert batched == singles
+        # Seeding every message from its own converged result must
+        # reproduce it (the fixed point is already reached).
+        reseeded = batch_analysis.response_times_batch(
+            [(m, singles[m.name]) for m in kmatrix])
+        assert reseeded == singles
+
+    def test_unbounded_results_identical(self):
+        """An overloaded bus diverges identically on every backend."""
+        kmatrix = _matrix(4)
+        slow_bus = CanBus(name="overload", bit_rate_bps=9_600.0)
+        outcomes = {
+            backend: CanBusAnalysis(
+                kmatrix, slow_bus, backend=backend).analyze_all()
+            for backend in available_backends()
+        }
+        reference = ReferenceCanBusAnalysis(kmatrix, slow_bus).analyze_all()
+        assert any(not r.bounded for r in reference.values())
+        for backend, results in outcomes.items():
+            assert results == reference, backend
+
+    def test_subset_batch_preserves_item_order(self):
+        kmatrix = _matrix(6)
+        subset = list(kmatrix)[::-2]
+        analysis = CanBusAnalysis(kmatrix, _BUS)
+        results = analysis.response_times_batch(
+            [(m, None) for m in subset])
+        assert list(results) == [m.name for m in subset]
+        full = CanBusAnalysis(kmatrix, _BUS, backend="scalar").analyze_all()
+        for message in subset:
+            assert results[message.name] == full[message.name]
+
+    def test_resolution_rules(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        expected_auto = "numpy" if HAVE_NUMPY else "scalar"
+        assert resolve_backend(None) == expected_auto
+        assert resolve_backend("auto") == expected_auto
+        assert resolve_backend("scalar") == "scalar"
+        monkeypatch.setenv(BACKEND_ENV, "scalar")
+        assert resolve_backend(None) == "scalar"
+        assert CanBusAnalysis(_matrix(0), _BUS).backend == "scalar"
+        with pytest.raises(ValueError):
+            resolve_backend("warp")
+
+    def test_env_pinned_backend_still_identical(self, monkeypatch):
+        kmatrix = _matrix(9)
+        monkeypatch.setenv(BACKEND_ENV, "scalar")
+        pinned = CanBusAnalysis(kmatrix, _BUS).analyze_all()
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert pinned == CanBusAnalysis(kmatrix, _BUS).analyze_all()
+
+    def test_session_backend_pinning_identical(self):
+        """What-if sessions return the same bits on every backend."""
+        from repro.service import AnalysisSession, JitterDelta
+
+        kmatrix = _matrix(11)
+        deltas = (JitterDelta(fraction=0.3),)
+        outcomes = []
+        for backend in available_backends():
+            session = AnalysisSession(kmatrix, _BUS, backend=backend)
+            base = session.analyze().results
+            warm = session.query(deltas).results
+            outcomes.append((base, warm))
+        assert all(outcome == outcomes[0] for outcome in outcomes)
+
+    @pytest.mark.parametrize("backend", ("numpy", "scalar"))
+    def test_ga_backend_seam_identical(self, backend):
+        kmatrix = _matrix(13)
+        scenarios = _scenarios(13)
+        config = dict(population_size=4, archive_size=2, generations=1,
+                      seed=13)
+        pinned = optimize_priorities(
+            kmatrix, scenarios,
+            GeneticOptimizerConfig(**config, analysis_backend=backend))
+        default = optimize_priorities(kmatrix, scenarios,
+                                      GeneticOptimizerConfig(**config))
+        assert pinned.best_evaluation == default.best_evaluation
+        assert pinned.history == default.history
+        assert pinned.evaluations == default.evaluations
 
 
 class TestSensitivityEquivalence:
@@ -197,7 +332,8 @@ class TestParallelHelper:
         with pytest.raises(ValueError):
             parallel_map(boom, [1, 2, 3, 4], mode="thread")
 
-    def test_resolve_mode(self):
+    def test_resolve_mode(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
         assert resolve_mode("serial", 10) == "serial"
         assert resolve_mode("thread", 1) == "serial"
         with pytest.raises(ValueError):

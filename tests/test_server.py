@@ -14,7 +14,6 @@ import threading
 
 import pytest
 
-from repro.analysis.response_time import CanBusAnalysis
 from repro.can.message import CanMessage
 from repro.errors.models import (
     BurstErrorModel,

@@ -232,7 +232,6 @@ class TestSystemEndpointsInProcess:
         registration = client.register_config("pt16", config)
         assert registration == {"target": "pt16"}
         response = client.query("pt16", (JitterDelta(fraction=0.3),))
-        expected = config.build_analysis()
         from repro.service.session import AnalysisSession
         session = AnalysisSession.from_config(config)
         local = session.query((JitterDelta(fraction=0.3),))

@@ -5,12 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.response_time import CanBusAnalysis
-from repro.can.controller import CanControllerType, ControllerModel
 from repro.can.kmatrix import KMatrix
 from repro.can.message import CanMessage
 from repro.errors.models import BurstErrorModel, SporadicErrorModel
 from repro.sim.simulator import CanBusSimulator, SimulationConfig
-from repro.sim.trace import SimulationTrace, TransmissionRecord
+from repro.sim.trace import SimulationTrace
 
 
 class TestSimulatorBasics:

@@ -4,9 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.can.bus import CanBus
-from repro.can.kmatrix import KMatrix
-from repro.can.message import CanMessage
 from repro.ecu.task import EcuModel, OsekOverheads, Task
 from repro.events.model import PeriodicEventModel
 from repro.supplychain.contracts import (

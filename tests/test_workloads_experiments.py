@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.load import bus_load
-from repro.can.bus import CanBus
 from repro.experiments import (
     ALL_INTERPRETATIONS,
     BEST_CASE,
@@ -21,10 +20,7 @@ from repro.reporting.tables import (
 )
 from repro.workloads.figure1 import figure1_network
 from repro.workloads.powertrain import (
-    PowertrainConfig,
-    powertrain_controllers,
-    powertrain_kmatrix,
-    powertrain_system,
+    PowertrainConfig, powertrain_controllers, powertrain_kmatrix,
 )
 from repro.workloads.scaling import scaled_kmatrix, synthetic_kmatrix
 
