@@ -28,6 +28,7 @@ from repro import (
     ErrorModelDelta,
     JitterDelta,
     PriorityDelta,
+    RetryPolicy,
     SporadicErrorModel,
     TcpClient,
     start_server,
@@ -42,7 +43,11 @@ from repro.workloads.powertrain import (
 
 
 def build_daemon() -> AnalysisDaemon:
-    daemon = AnalysisDaemon(name="example-daemon")
+    # max_inflight/max_pending bound concurrent work (beyond them clients
+    # get typed 'overloaded' errors with a retry hint and back off);
+    # grace is the drain window of a shutdown.
+    daemon = AnalysisDaemon(name="example-daemon", max_inflight=8,
+                            max_pending=64, grace=5.0)
     config = PowertrainConfig(n_messages=50)
     daemon.add_config("powertrain", BusConfiguration(
         kmatrix=powertrain_kmatrix(config),
@@ -62,11 +67,25 @@ def main() -> None:
     host, port = server.address
     print(f"daemon serving on {host}:{port}\n")
 
-    with TcpClient(host, port) as client:
+    # The client retries idempotent requests through overload and dropped
+    # connections with exponential backoff + jitter, and verifies every
+    # response echoes its request id.
+    with TcpClient(host, port, retry=RetryPolicy(attempts=4)) as client:
         health = client.health()
         print(f"health: {health['status']}, protocol v{health['protocol']}, "
               f"{health['sessions']} sessions, "
-              f"{len(health['scenarios'])} catalog scenarios")
+              f"{len(health['scenarios'])} catalog scenarios; "
+              f"queue {health['queue']['pending']} pending / "
+              f"{health['queue']['workers']} workers")
+
+        # A deadline bounds the daemon-side analysis: a divergent or
+        # oversized query answers a typed 'timeout' error instead of
+        # spinning to the iteration cap.  This one is generous, so the
+        # result is bit-identical to the unbounded query.
+        bounded = client.query("powertrain", deadline_ms=60_000,
+                               label="bounded")
+        print(f"deadline-bounded query answered "
+              f"{len(bounded['results'])} messages")
 
         # A named catalog scenario, exactly as a dashboard would run it.
         sweep = client.run_scenario("powertrain", "paper-jitter-sweep")

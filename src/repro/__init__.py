@@ -55,6 +55,7 @@ from repro.analysis import (
     worst_case_response_time,
 )
 from repro.can import CanBus, CanMessage, KMatrix
+from repro.cancel import Cancelled, CancelToken, DeadlineExceeded
 from repro.errors import BurstErrorModel, NoErrors, SporadicErrorModel
 from repro.events import (
     EventModel,
@@ -67,9 +68,12 @@ from repro.parallel import parallel_map
 from repro.sensitivity import jitter_sensitivity_all, max_tolerable_jitter_fraction
 from repro.server import (
     AnalysisDaemon,
+    ConnectionLost,
     DaemonError,
     DaemonServer,
+    FaultInjector,
     InProcessClient,
+    RetryPolicy,
     SessionPool,
     TcpClient,
     start_server,
@@ -155,6 +159,12 @@ __all__ = [
     "TcpClient",
     "DaemonServer",
     "DaemonError",
+    "ConnectionLost",
+    "RetryPolicy",
+    "FaultInjector",
+    "CancelToken",
+    "Cancelled",
+    "DeadlineExceeded",
     "start_server",
     "AddGatewayRouteDelta",
     "BusSpeedDelta",

@@ -72,6 +72,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro.analysis import vector as _vector
 from repro.analysis.backend import resolve_backend
+from repro.cancel import CancelToken
 from repro.can.bus import CanBus
 from repro.can.controller import ControllerModel
 from repro.can.kmatrix import KMatrix
@@ -478,11 +479,13 @@ class CanBusAnalysis:
     # Busy-period machinery
     # ------------------------------------------------------------------ #
     def _busy_period(self, kernel: _MessageKernel,
-                     seed: float | None = None) -> tuple[float, bool]:
+                     seed: float | None = None,
+                     cancel: CancelToken | None = None) -> tuple[float, bool]:
         """Length of the priority-level busy period (includes own instances).
 
         ``seed`` warm-starts the fixed point; it must respect the lower-bound
-        contract of the module docstring.
+        contract of the module docstring.  ``cancel`` is checked once per
+        iteration (see :mod:`repro.cancel`).
         """
         own_c = kernel.own_c
         blocking = kernel.blocking
@@ -491,6 +494,8 @@ class CanBusAnalysis:
         if seed is not None and seed > t:
             t = seed
         for _ in range(_MAX_ITERATIONS):
+            if cancel is not None:
+                cancel.check()
             own_instances = self._own_eta_plus(kernel, t)
             if own_instances < 1:
                 own_instances = 1
@@ -506,7 +511,8 @@ class CanBusAnalysis:
         return t, False
 
     def _queuing_delay(self, kernel: _MessageKernel, instance: int,
-                       seed: float | None = None) -> tuple[float, bool]:
+                       seed: float | None = None,
+                       cancel: CancelToken | None = None) -> tuple[float, bool]:
         """Fixed point for the queuing delay of the given instance (0-based)."""
         own_c = kernel.own_c
         blocking = kernel.blocking
@@ -516,6 +522,8 @@ class CanBusAnalysis:
         if seed is not None and seed > w:
             w = seed
         for _ in range(_MAX_ITERATIONS):
+            if cancel is not None:
+                cancel.check()
             new_w = (base
                      + self._interference_of(kernel, w)
                      + self._error_overhead_of(kernel, w + own_c))
@@ -533,12 +541,15 @@ class CanBusAnalysis:
         self,
         message: CanMessage,
         warm_start: MessageResponseTime | None = None,
+        cancel: CancelToken | None = None,
     ) -> MessageResponseTime:
         """Worst-case (and best-case) response time of one message.
 
         ``warm_start`` seeds the busy-period and per-instance queuing-delay
         fixed points from a previous result; see the module docstring for the
         monotonicity contract that keeps the seeded analysis exact.
+        ``cancel`` (see :mod:`repro.cancel`) is checked between fixed-point
+        iterations; a fired token raises instead of running to the cap.
         """
         kernel = self._kernel(message)
         own_c = kernel.own_c
@@ -551,7 +562,8 @@ class CanBusAnalysis:
             busy_seed = warm_start.busy_period
             delay_seeds = warm_start.queuing_delays
 
-        busy, busy_bounded = self._busy_period(kernel, seed=busy_seed)
+        busy, busy_bounded = self._busy_period(
+            kernel, seed=busy_seed, cancel=cancel)
         if not busy_bounded:
             return MessageResponseTime(
                 name=message.name, can_id=message.can_id,
@@ -567,7 +579,7 @@ class CanBusAnalysis:
         own_model = kernel.model
         for q in range(instances):
             seed = delay_seeds[q] if q < len(delay_seeds) else None
-            w, ok = self._queuing_delay(kernel, q, seed=seed)
+            w, ok = self._queuing_delay(kernel, q, seed=seed, cancel=cancel)
             if not ok:
                 bounded = False
                 worst = math.inf
@@ -597,6 +609,7 @@ class CanBusAnalysis:
     def response_times_batch(
         self,
         items: Sequence[tuple[CanMessage, MessageResponseTime | None]],
+        cancel: CancelToken | None = None,
     ) -> dict[str, MessageResponseTime]:
         """Response times of many ``(message, warm_start)`` pairs at once.
 
@@ -616,7 +629,8 @@ class CanBusAnalysis:
         """
         if self.backend != "numpy":
             return {
-                message.name: self.response_time(message, warm_start=warm)
+                message.name: self.response_time(
+                    message, warm_start=warm, cancel=cancel)
                 for message, warm in items
             }
         batch: list[tuple[CanMessage, _MessageKernel,
@@ -630,7 +644,8 @@ class CanBusAnalysis:
             solver = _vector.BatchSolver(
                 [kernel for _, kernel, _ in batch],
                 self._bit_time, self._recovery, self._horizon,
-                None if self._no_errors else self.error_model)
+                None if self._no_errors else self.error_model,
+                cancel=cancel)
             busy_seeds = [
                 warm.busy_period if warm is not None and warm.bounded
                 else None
@@ -708,13 +723,15 @@ class CanBusAnalysis:
         for message, warm in items:
             result = solved.get(message.name)
             if result is None:
-                result = self.response_time(message, warm_start=warm)
+                result = self.response_time(
+                    message, warm_start=warm, cancel=cancel)
             results[message.name] = result
         return results
 
     def analyze_all(
         self,
         warm_start: Mapping[str, MessageResponseTime] | None = None,
+        cancel: CancelToken | None = None,
     ) -> dict[str, MessageResponseTime]:
         """Response times of every message in the K-Matrix, keyed by name.
 
@@ -727,13 +744,16 @@ class CanBusAnalysis:
         if self.backend == "numpy":
             if warm_start is None:
                 return self.response_times_batch(
-                    [(m, None) for m in self.kmatrix])
+                    [(m, None) for m in self.kmatrix], cancel=cancel)
             return self.response_times_batch(
-                [(m, warm_start.get(m.name)) for m in self.kmatrix])
+                [(m, warm_start.get(m.name)) for m in self.kmatrix],
+                cancel=cancel)
         if warm_start is None:
-            return {m.name: self.response_time(m) for m in self.kmatrix}
+            return {m.name: self.response_time(m, cancel=cancel)
+                    for m in self.kmatrix}
         return {
-            m.name: self.response_time(m, warm_start=warm_start.get(m.name))
+            m.name: self.response_time(
+                m, warm_start=warm_start.get(m.name), cancel=cancel)
             for m in self.kmatrix
         }
 

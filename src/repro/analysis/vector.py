@@ -139,15 +139,20 @@ class BatchSolver:
     ``error_model`` is ``None`` for an error-free bus; otherwise overheads
     are evaluated vectorized (standard models) or per message (exotic
     models), always reproducing the scalar arithmetic.
+
+    ``cancel`` is an optional :class:`repro.cancel.CancelToken` checked once
+    per lockstep iteration; a fired token raises out of the sweep instead of
+    running the remaining active set to the iteration cap.
     """
 
     def __init__(self, kernels: Sequence, bit_time: float, recovery: float,
-                 horizon: float, error_model=None) -> None:
+                 horizon: float, error_model=None, cancel=None) -> None:
         self.kernels = list(kernels)
         self.bit_time = bit_time
         self.recovery = recovery
         self.horizon = horizon
         self.error_model = error_model
+        self.cancel = cancel
         n = len(self.kernels)
         self.own_c = np.array([k.own_c for k in self.kernels],
                               dtype=np.float64)
@@ -276,9 +281,12 @@ class BatchSolver:
         counts_list = counts.tolist()
         w = w0
         horizon = self.horizon
+        cancel = self.cancel
         iterations = 0
         while position.size:
             iterations += 1
+            if cancel is not None:
+                cancel.check()
             dt_rows = np.repeat(w + self.bit_time, counts)
             interference = _segment_sums(
                 self._products(dt_rows, c, period, jitter, dmin,

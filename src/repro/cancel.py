@@ -1,0 +1,123 @@
+"""Cooperative cancellation and deadlines for long-running analyses.
+
+A :class:`CancelToken` is a small, thread-safe object shared between the
+party that *requests* a computation (the daemon's request handler, a
+client-supplied ``deadline_ms``) and the code that *performs* it (the
+fixed-point loops of :mod:`repro.analysis.response_time` and the lockstep
+sweep of :mod:`repro.analysis.vector`).  The performing side calls
+:meth:`CancelToken.check` between fixed-point iterations; the requesting
+side either arms a deadline at construction time or calls
+:meth:`CancelToken.cancel` later (the daemon's graceful drain does).  When
+either fires, the computation raises a typed :class:`Cancelled` (or its
+deadline subclass :class:`DeadlineExceeded`) instead of pinning a worker
+until the iteration cap.
+
+Cancellation never leaves corrupted state behind: every cancellable loop
+in the analysis stack is pure (it produces a value or raises), and session
+caches are only updated from *completed* results, so a cancelled query
+simply never happened as far as the caches are concerned.
+
+The checks are designed to be free when unused: every call site is guarded
+by ``if cancel is not None``, so code paths without a deadline pay one
+pointer comparison per fixed-point iteration -- far below the cost of the
+iteration itself (benchmarks gate this).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+
+class Cancelled(RuntimeError):
+    """A computation was cooperatively cancelled.
+
+    ``reason`` is a short machine-readable tag: ``"cancelled"`` for an
+    explicit :meth:`CancelToken.cancel`, ``"deadline"`` for an expired
+    deadline (raised as :class:`DeadlineExceeded`), ``"draining"`` when a
+    shutting-down daemon revoked in-flight work.
+    """
+
+    def __init__(self, message: str = "cancelled",
+                 reason: str = "cancelled") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceeded(Cancelled):
+    """The computation ran past its caller-supplied deadline."""
+
+    def __init__(self, message: str = "deadline exceeded") -> None:
+        super().__init__(message, reason="deadline")
+
+
+class CancelToken:
+    """Cooperative cancellation handle with an optional monotonic deadline.
+
+    Thread-safe by construction: the explicit-cancel path is an
+    :class:`threading.Event`, the deadline is an immutable float compared
+    against :func:`time.monotonic`.  Tokens are cheap enough to create one
+    per request.
+    """
+
+    __slots__ = ("_event", "_deadline", "_reason")
+
+    def __init__(self, deadline: Optional[float] = None) -> None:
+        self._event = threading.Event()
+        self._deadline = deadline
+        self._reason = "cancelled"
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def after(cls, seconds: float) -> "CancelToken":
+        """Token whose deadline is ``seconds`` from now."""
+        return cls(deadline=time.monotonic() + seconds)
+
+    @classmethod
+    def after_ms(cls, milliseconds: float) -> "CancelToken":
+        """Token whose deadline is ``milliseconds`` from now (the protocol's
+        ``deadline_ms`` unit)."""
+        return cls.after(milliseconds / 1000.0)
+
+    # ------------------------------------------------------------------ #
+    # Requesting side
+    # ------------------------------------------------------------------ #
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation (idempotent; the first reason wins)."""
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    # ------------------------------------------------------------------ #
+    # Performing side
+    # ------------------------------------------------------------------ #
+    @property
+    def deadline(self) -> Optional[float]:
+        """The monotonic deadline, or ``None`` for cancel-only tokens."""
+        return self._deadline
+
+    def expired(self) -> bool:
+        """Whether the deadline (if any) has passed."""
+        return (self._deadline is not None
+                and time.monotonic() >= self._deadline)
+
+    def cancelled(self) -> bool:
+        """Whether the token has fired (explicitly or by deadline)."""
+        return self._event.is_set() or self.expired()
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` without one; floored at 0)."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    def check(self) -> None:
+        """Raise :class:`Cancelled`/:class:`DeadlineExceeded` if fired."""
+        if self._event.is_set():
+            raise Cancelled(f"computation {self._reason}",
+                            reason=self._reason)
+        if self.expired():
+            raise DeadlineExceeded()

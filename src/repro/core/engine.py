@@ -49,6 +49,7 @@ from typing import Mapping
 from repro.analysis.backend import resolve_backend
 from repro.analysis.response_time import CanBusAnalysis, MessageResponseTime
 from repro.analysis.schedulability import report_from_results
+from repro.cancel import CancelToken
 from repro.core.results import SystemAnalysisResult
 from repro.core.system import BusSegment, SystemModel
 from repro.ecu.analysis import EcuAnalysis, message_output_models
@@ -329,6 +330,7 @@ class CompositionalAnalysis:
         segment: BusSegment,
         send_models: Mapping[str, EventModel],
         previous: object,
+        cancel: CancelToken | None = None,
     ) -> tuple:
         """One incremental segment analysis: issue the propagated send
         models as an :class:`EventModelDelta` to the segment's session.
@@ -351,7 +353,7 @@ class CompositionalAnalysis:
         if isinstance(previous, tuple) and len(previous) == 2 \
                 and isinstance(previous[0], QueryResult):
             prev_query, prev_arrivals = previous
-        query = session.query(deltas, warm_from=prev_query)
+        query = session.query(deltas, warm_from=prev_query, cancel=cancel)
         if prev_query is not None and query.key == prev_query.key:
             arrivals = prev_arrivals
         else:
@@ -364,6 +366,7 @@ class CompositionalAnalysis:
         self,
         send_models: Mapping[str, EventModel],
         previous_sweep: Mapping[str, object] | None = None,
+        cancel: CancelToken | None = None,
     ) -> tuple[dict[str, MessageResponseTime], dict[str, EventModel], dict,
                dict[str, object]]:
         """Analyse all buses with the given send models.
@@ -387,7 +390,8 @@ class CompositionalAnalysis:
         if self.incremental and mode != "process":
             def job(segment: BusSegment) -> tuple:
                 return self._query_segment_session(
-                    segment, send_models, previous_sweep.get(segment.name))
+                    segment, send_models, previous_sweep.get(segment.name),
+                    cancel=cancel)
             outcomes = parallel_map(job, segments, mode=mode)
             for segment, (results, arrivals, report, state) in zip(
                     segments, outcomes):
@@ -455,8 +459,18 @@ class CompositionalAnalysis:
     # ------------------------------------------------------------------ #
     # Fixed point
     # ------------------------------------------------------------------ #
-    def run(self) -> SystemAnalysisResult:
-        """Iterate local analyses and propagation until a global fixed point."""
+    def run(self, cancel: CancelToken | None = None) -> SystemAnalysisResult:
+        """Iterate local analyses and propagation until a global fixed point.
+
+        ``cancel`` (see :mod:`repro.cancel`) is threaded into every
+        incremental segment query's fixed-point loops and additionally
+        checked between global iterations, which also bounds the
+        ``REPRO_PARALLEL=process`` rebuild path (tokens cannot follow a job
+        into a worker process, so there each *global* iteration is the
+        cancellation granule).  A fired token raises out of ``run`` without
+        corrupting the retained sweep state: it is only replaced by
+        completed sweeps.
+        """
         ecu_send_models, task_results = self._ecu_sweep()
         send_models: dict[str, EventModel] = dict(ecu_send_models)
 
@@ -470,8 +484,11 @@ class CompositionalAnalysis:
         previous_sweep = self._sweep_state
         for iteration in range(1, self.max_iterations + 1):
             iterations = iteration
+            if cancel is not None:
+                cancel.check()
             (message_results, arrival_models, bus_reports,
-             previous_sweep) = self._bus_sweep(send_models, previous_sweep)
+             previous_sweep) = self._bus_sweep(send_models, previous_sweep,
+                                               cancel=cancel)
             self._sweep_state = previous_sweep
             forwarded = self._gateway_sweep(arrival_models)
             new_send = dict(ecu_send_models)

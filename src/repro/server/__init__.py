@@ -16,7 +16,11 @@ PR 3 session/catalog layer:
   analyze_system / stats / health endpoints);
 * :mod:`repro.server.tcp` -- the threading TCP front end;
 * :mod:`repro.server.client` -- :class:`InProcessClient` and
-  :class:`TcpClient`, one API over both transports.
+  :class:`TcpClient`, one API over both transports, with shared
+  retry/backoff (:class:`RetryPolicy`) and typed error codes;
+* :mod:`repro.server.faults` -- deterministic fault injection
+  (``REPRO_FAULTS``) and :mod:`repro.server.harness` -- the restartable
+  test harness built on it.
 
 ``python -m repro.server`` starts a daemon serving the case-study
 workloads (see :mod:`repro.server.__main__`).
@@ -24,12 +28,16 @@ workloads (see :mod:`repro.server.__main__`).
 
 from repro.server.client import (
     BaseClient,
+    ConnectionLost,
     DaemonError,
     InProcessClient,
+    RetryPolicy,
     TcpClient,
 )
 from repro.server.daemon import AnalysisDaemon
-from repro.server.jobs import Job, JobQueue
+from repro.server.faults import FaultInjector, FaultSpecError
+from repro.server.harness import ServerHarness
+from repro.server.jobs import Job, JobQueue, QueueFullError
 from repro.server.pool import SessionPool, UnknownTargetError
 from repro.server.protocol import (
     PROTOCOL_VERSION,
@@ -56,13 +64,19 @@ from repro.server.tcp import DaemonServer, start_server
 __all__ = [
     "AnalysisDaemon",
     "BaseClient",
+    "ConnectionLost",
     "DaemonError",
     "DaemonServer",
+    "FaultInjector",
+    "FaultSpecError",
     "InProcessClient",
     "Job",
     "JobQueue",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "QueueFullError",
+    "RetryPolicy",
+    "ServerHarness",
     "SessionPool",
     "TcpClient",
     "UnknownTargetError",

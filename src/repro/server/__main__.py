@@ -21,6 +21,7 @@ import argparse
 import sys
 
 from repro.server.daemon import AnalysisDaemon
+from repro.server.jobs import DEFAULT_GRACE
 from repro.server.tcp import DEFAULT_HOST, DEFAULT_PORT, DaemonServer
 from repro.service.deltas import BusConfiguration
 from repro.workloads.multibus import multibus_system
@@ -34,9 +35,13 @@ from repro.workloads.powertrain import (
 
 def build_daemon(messages: int = 80, buses: int = 4,
                  messages_per_bus: int = 15,
-                 workers: int | None = None) -> AnalysisDaemon:
+                 workers: int | None = None,
+                 max_inflight: int | None = None,
+                 max_pending: int | None = None,
+                 grace: float = DEFAULT_GRACE) -> AnalysisDaemon:
     """Daemon preloaded with the standard serving targets."""
-    daemon = AnalysisDaemon(workers=workers)
+    daemon = AnalysisDaemon(workers=workers, max_inflight=max_inflight,
+                            max_pending=max_pending, grace=grace)
     config = PowertrainConfig(n_messages=messages)
     daemon.add_config("powertrain", BusConfiguration(
         kmatrix=powertrain_kmatrix(config),
@@ -65,11 +70,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="messages per multibus segment (default 15)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker threads (default: auto)")
+    parser.add_argument("--max-inflight", type=int, default=None,
+                        help="cap on concurrently executing work requests; "
+                             "beyond it clients get a typed 'overloaded' "
+                             "error with a retry hint (default: unbounded)")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="cap on queued jobs before submissions are "
+                             "rejected as 'overloaded' (default: unbounded)")
+    parser.add_argument("--grace", type=float, default=DEFAULT_GRACE,
+                        help="seconds a shutdown drains in-flight work "
+                             f"before cancelling it (default {DEFAULT_GRACE})")
     args = parser.parse_args(argv)
 
     daemon = build_daemon(messages=args.messages, buses=args.buses,
                           messages_per_bus=args.messages_per_bus,
-                          workers=args.workers)
+                          workers=args.workers,
+                          max_inflight=args.max_inflight,
+                          max_pending=args.max_pending,
+                          grace=args.grace)
     server = DaemonServer(daemon, host=args.host, port=args.port)
     host, port = server.address
     print(f"{daemon.name} serving on {host}:{port} "

@@ -8,22 +8,52 @@ Two transports, one API:
   deployments);
 * :class:`TcpClient` -- a blocking socket client for the
   :mod:`repro.server.tcp` front end; thread-safe (one request in flight at
-  a time per client).
+  a time per client) and self-healing: a dropped connection is re-dialled
+  transparently on the next attempt.
 
 Responses are plain decoded protocol dicts -- floats in them bit-match the
 kernel's local results (see :mod:`repro.server.protocol`).  A failed
-request raises :class:`DaemonError` carrying the daemon's message.
+request raises :class:`DaemonError` carrying the daemon's message and
+typed error ``code``; a lost connection raises :class:`ConnectionLost`
+(a ``DaemonError`` with code ``"transport"``).
+
+Retries
+-------
+Both clients share one :class:`RetryPolicy` (exponential backoff with
+jitter).  What may be retried follows the protocol's error taxonomy:
+
+* ``overloaded`` responses are always retryable -- the daemon rejected
+  the request before running it -- and the server's ``retry_after_ms``
+  hint floors the backoff delay;
+* transport failures are retried for idempotent ops.  Every query op is
+  idempotent (analyses are pure; repeating one returns a bit-identical
+  result), so all of them retry.  ``register`` is retried only when the
+  failure happened *connecting* -- once bytes may have reached the
+  daemon, the client surfaces the error instead of re-sending;
+* ``timeout``, ``draining`` and the request-fault codes (``invalid``,
+  ``protocol``, ``unknown_target``) are never retried: the outcome would
+  not improve, or the caller's deadline is already spent.
+
+Each attempt sends a fresh request ``id``, and both clients verify the
+daemon echoed it back: a mismatched reply (e.g. a stale response left in
+the stream by an earlier half-read) raises
+:class:`~repro.server.protocol.ProtocolError` and, on TCP, poisons the
+connection so the next attempt re-dials instead of desynchronising.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+import time
+from dataclasses import dataclass
 from itertools import count
 from typing import Mapping, Optional, Sequence
 
 from repro.server.daemon import AnalysisDaemon
 from repro.server.protocol import (
+    ProtocolError,
     config_to_json,
     decode_line,
     deltas_to_json,
@@ -37,15 +67,135 @@ from repro.whatif.system_deltas import SystemDelta
 
 
 class DaemonError(RuntimeError):
-    """The daemon answered ``ok: false``."""
+    """The daemon answered ``ok: false`` (or the transport failed).
+
+    ``code`` is the protocol's typed error code (see
+    :mod:`repro.server.protocol`), plus the client-side pseudo-code
+    ``"transport"`` for connection failures.  ``retry_after_ms`` carries
+    the backoff hint of ``overloaded`` responses.
+    """
+
+    def __init__(self, message: str, code: str = "internal",
+                 retry_after_ms: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after_ms = retry_after_ms
+
+    @property
+    def retryable(self) -> bool:
+        """Whether retrying the same request can succeed (never executed)."""
+        return self.code in ("overloaded", "transport")
+
+
+class ConnectionLost(DaemonError):
+    """The TCP connection failed; ``sent`` tells whether bytes went out."""
+
+    def __init__(self, message: str, sent: bool) -> None:
+        super().__init__(message, code="transport")
+        self.sent = sent
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for retryable daemon requests.
+
+    ``attempts`` bounds total tries (1 = no retries).  The n-th retry
+    sleeps ``base_delay * multiplier**(n-1)`` seconds, capped at
+    ``max_delay``, spread by ``jitter`` (a fraction: 0.5 means the delay
+    is drawn uniformly from [75 %, 125 %] of nominal) so a burst of
+    rejected clients does not re-arrive in lockstep.  A server-supplied
+    ``retry_after_ms`` hint floors the delay.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random,
+              retry_after_ms: Optional[int] = None) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        nominal = min(self.max_delay,
+                      self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            nominal *= 1.0 + self.jitter * (rng.random() - 0.5)
+        if retry_after_ms is not None:
+            nominal = max(nominal, retry_after_ms / 1000.0)
+        return nominal
+
+
+#: No retry at all: fire-and-forget semantics would re-stop a daemon.
+_NO_RETRY_OPS = frozenset({"shutdown"})
+#: Retried only when the connection failed before any bytes were sent.
+_CONNECT_RETRY_ONLY_OPS = frozenset({"register"})
 
 
 class BaseClient:
-    """Shared typed helpers over the raw ``request`` primitive."""
+    """Shared typed helpers and retry loop over the raw transport."""
+
+    retry: RetryPolicy
+
+    def __init__(self, retry: Optional[RetryPolicy] = None) -> None:
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._ids = count(1)
+        # Deterministic per-client jitter: tests that count sleeps can
+        # pin it with RetryPolicy(jitter=0).
+        self._rng = random.Random(0x5EED)
+        self.retries = 0
+
+    def _roundtrip(self, request: dict) -> dict:
+        """Send one encoded request; return the decoded response dict."""
+        raise NotImplementedError
 
     def request(self, op: str, **params) -> dict:
-        """Send one request; return the ``result`` payload or raise."""
-        raise NotImplementedError
+        """Send one request; return the ``result`` payload or raise.
+
+        Transparently retries per the module docstring's rules; every
+        attempt uses a fresh request ``id`` and verifies the echo.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            request = {"op": op, "id": next(self._ids), **params}
+            try:
+                response = self._roundtrip(request)
+            except ConnectionLost as error:
+                may_retry = op not in _NO_RETRY_OPS and (
+                    op not in _CONNECT_RETRY_ONLY_OPS or not error.sent)
+                if not may_retry or attempt >= self.retry.attempts:
+                    raise
+                self.retries += 1
+                time.sleep(self.retry.delay(attempt, self._rng))
+                continue
+            echoed = response.get("id")
+            if echoed is not None and echoed != request["id"]:
+                self._poison()
+                raise ProtocolError(
+                    f"response id {echoed!r} does not match request id "
+                    f"{request['id']!r}; connection desynchronised")
+            if response.get("ok"):
+                return response["result"]
+            code = str(response.get("code", "internal"))
+            retry_after_ms = response.get("retry_after_ms")
+            if code == "overloaded" and op not in _NO_RETRY_OPS \
+                    and attempt < self.retry.attempts:
+                self.retries += 1
+                time.sleep(self.retry.delay(
+                    attempt, self._rng, retry_after_ms=retry_after_ms))
+                continue
+            raise DaemonError(
+                response.get("error", "unknown daemon error"),
+                code=code, retry_after_ms=retry_after_ms)
+
+    def _poison(self) -> None:
+        """Invalidate transport state after a desynchronised reply."""
 
     # -- liveness / inventory ------------------------------------------- #
     def ping(self) -> dict:
@@ -67,8 +217,14 @@ class BaseClient:
     def query(self, target: str, deltas: Sequence[Delta] = (),
               message_names: Optional[Sequence[str]] = None,
               label: Optional[str] = None,
-              with_report: bool = True) -> dict:
-        """One what-if query; ``deltas`` are typed Delta objects."""
+              with_report: bool = True,
+              deadline_ms: Optional[float] = None) -> dict:
+        """One what-if query; ``deltas`` are typed Delta objects.
+
+        ``deadline_ms`` bounds the daemon-side analysis: past it the
+        request fails with a typed ``timeout`` error instead of running
+        to the iteration cap.
+        """
         params: dict = {"target": target,
                         "deltas": deltas_to_json(deltas),
                         "with_report": with_report}
@@ -76,18 +232,26 @@ class BaseClient:
             params["message_names"] = list(message_names)
         if label is not None:
             params["label"] = label
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
         return self.request("query", **params)
 
-    def run_scenario(self, target: str, scenario: str) -> dict:
+    def run_scenario(self, target: str, scenario: str,
+                     deadline_ms: Optional[float] = None) -> dict:
         """Execute a catalog scenario against a target."""
-        return self.request("scenario", target=target, scenario=scenario)
+        params: dict = {"target": target, "scenario": scenario}
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        return self.request("scenario", **params)
 
-    def batch(self, target: str,
-              queries: Sequence[Mapping]) -> dict:
+    def batch(self, target: str, queries: Sequence[Mapping],
+              deadline_ms: Optional[float] = None) -> dict:
         """Fan independent labelled queries out over the daemon's workers.
 
         Each entry is ``{"deltas": [Delta, ...], "label": ...}``; deltas
-        given as objects are encoded here.
+        given as objects are encoded here.  A ``deadline_ms`` bounds the
+        whole batch; steps that miss it come back as per-step
+        ``{"error": ..., "code": ...}`` entries.
         """
         encoded = []
         for step in queries:
@@ -96,10 +260,14 @@ class BaseClient:
             if deltas and isinstance(deltas[0], Delta):
                 entry["deltas"] = deltas_to_json(deltas)
             encoded.append(entry)
-        return self.request("batch", target=target, queries=encoded)
+        params: dict = {"target": target, "queries": encoded}
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        return self.request("batch", **params)
 
     def analyze_system(self, system: str,
-                       shards: Optional[Mapping[str, str]] = None) -> dict:
+                       shards: Optional[Mapping[str, str]] = None,
+                       deadline_ms: Optional[float] = None) -> dict:
         """Run the compositional fixed point of a registered system.
 
         ``shards`` optionally re-keys the per-bus report sections (pass
@@ -108,6 +276,8 @@ class BaseClient:
         params: dict = {"system": system}
         if shards is not None:
             params["shards"] = dict(shards)
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
         return self.request("analyze_system", **params)
 
     # -- system-level what-if ------------------------------------------- #
@@ -125,7 +295,8 @@ class BaseClient:
                      deltas: Sequence[SystemDelta] = (),
                      paths: Sequence = (),
                      shards: Optional[Mapping[str, str]] = None,
-                     label: Optional[str] = None) -> dict:
+                     label: Optional[str] = None,
+                     deadline_ms: Optional[float] = None) -> dict:
         """One topology what-if query; ``deltas`` are typed SystemDeltas.
 
         ``paths`` (typed :class:`~repro.core.paths.EndToEndPath` objects)
@@ -140,25 +311,33 @@ class BaseClient:
             params["shards"] = dict(shards)
         if label is not None:
             params["label"] = label
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
         return self.request("system_query", **params)
 
-    def system_scenario(self, system: str, scenario: str) -> dict:
+    def system_scenario(self, system: str, scenario: str,
+                        deadline_ms: Optional[float] = None) -> dict:
         """Execute a topology catalog scenario against a system."""
-        return self.request("system_scenario", system=system,
-                            scenario=scenario)
+        params: dict = {"system": system, "scenario": scenario}
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        return self.request("system_scenario", **params)
 
     def path_latency(self, system: str, paths: Sequence,
                      deltas: Sequence[SystemDelta] = (),
-                     label: Optional[str] = None) -> dict:
+                     label: Optional[str] = None,
+                     deadline_ms: Optional[float] = None) -> dict:
         """End-to-end path latencies under an optional delta sequence."""
         params: dict = {"system": system, "paths": paths_to_json(paths),
                         "deltas": system_deltas_to_json(deltas)}
         if label is not None:
             params["label"] = label
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
         return self.request("path_latency", **params)
 
     def shutdown_daemon(self) -> dict:
-        """Ask the daemon to stop serving."""
+        """Ask the daemon to stop serving (never retried)."""
         return self.request("shutdown")
 
     # -- convenience ---------------------------------------------------- #
@@ -171,49 +350,88 @@ class BaseClient:
 class InProcessClient(BaseClient):
     """Protocol-faithful client over a daemon in the same process."""
 
-    def __init__(self, daemon: AnalysisDaemon) -> None:
+    def __init__(self, daemon: AnalysisDaemon,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        super().__init__(retry=retry)
         self.daemon = daemon
-        self._ids = count(1)
 
-    def request(self, op: str, **params) -> dict:
-        request = {"op": op, "id": next(self._ids), **params}
+    def _roundtrip(self, request: dict) -> dict:
         # Encode/decode both directions: what the daemon sees is exactly
         # the object a TCP peer would deliver, typos and all.
         wire_request = decode_line(encode_line(request))
-        response = decode_line(encode_line(self.daemon.handle(wire_request)))
-        if not response.get("ok"):
-            raise DaemonError(response.get("error", "unknown daemon error"))
-        return response["result"]
+        return decode_line(encode_line(self.daemon.handle(wire_request)))
 
 
 class TcpClient(BaseClient):
-    """Blocking line-protocol client for the TCP front end."""
+    """Blocking line-protocol client for the TCP front end.
+
+    Connects lazily and reconnects transparently: a request that finds
+    the connection dead (daemon restarted, injected drop, ...) re-dials
+    before sending, and the retry loop in :class:`BaseClient` turns a
+    mid-request drop into a fresh attempt for idempotent ops.
+    """
 
     def __init__(self, host: str, port: int,
-                 timeout: Optional[float] = 30.0) -> None:
-        self._socket = socket.create_connection((host, port),
-                                                timeout=timeout)
-        self._reader = self._socket.makefile("rb")
+                 timeout: Optional[float] = 30.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        super().__init__(retry=retry)
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._socket: Optional[socket.socket] = None
+        self._reader = None
         self._lock = threading.Lock()
-        self._ids = count(1)
+        self.reconnects = 0
+        self._connect()  # fail fast on a wrong address
 
-    def request(self, op: str, **params) -> dict:
-        request = {"op": op, "id": next(self._ids), **params}
+    def _connect(self) -> None:
+        self._socket = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout)
+        self._reader = self._socket.makefile("rb")
+
+    def _drop_connection(self) -> None:
+        sock, reader = self._socket, self._reader
+        self._socket = None
+        self._reader = None
+        try:
+            if reader is not None:
+                reader.close()
+        except OSError:
+            pass
+        try:
+            if sock is not None:
+                sock.close()
+        except OSError:
+            pass
+
+    def _poison(self) -> None:
         with self._lock:
-            self._socket.sendall(encode_line(request))
-            line = self._reader.readline()
-        if not line:
-            raise DaemonError("connection closed by daemon")
-        response = decode_line(line)
-        if not response.get("ok"):
-            raise DaemonError(response.get("error", "unknown daemon error"))
-        return response["result"]
+            self._drop_connection()
+
+    def _roundtrip(self, request: dict) -> dict:
+        with self._lock:
+            sent = False
+            try:
+                if self._socket is None:
+                    self.reconnects += 1
+                    self._connect()
+                self._socket.sendall(encode_line(request))
+                sent = True
+                line = self._reader.readline()
+            except (OSError, ValueError) as error:
+                self._drop_connection()
+                raise ConnectionLost(
+                    f"connection to {self._host}:{self._port} failed: "
+                    f"{error}", sent=sent) from error
+            if not line:
+                self._drop_connection()
+                raise ConnectionLost("connection closed by daemon",
+                                     sent=True)
+        return decode_line(line)
 
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._socket.close()
+        with self._lock:
+            self._drop_connection()
 
     def __enter__(self) -> "TcpClient":
         return self

@@ -53,22 +53,45 @@ requests (see :mod:`repro.server.protocol`):
 Transport-independent by construction: :meth:`handle` consumes and
 produces plain protocol dicts, so the in-process client, the TCP server
 and tests all exercise literally the same code path.
+
+Fault tolerance
+---------------
+Every request may carry ``deadline_ms``; the daemon arms a
+:class:`~repro.cancel.CancelToken` from it and threads the token into the
+request's fixed-point loops, so a divergent or oversized analysis returns
+a typed ``timeout`` error instead of pinning a worker to the iteration
+cap.  Admission control bounds concurrently executing work requests
+(``max_inflight``) and the job queue's backlog (``max_pending``); beyond
+either, the daemon answers a typed ``overloaded`` error carrying a
+``retry_after_ms`` backoff hint -- the request never ran, so clients can
+always retry it.  Control ops (``ping``/``health``/``stats``/``targets``/
+``scenarios``/``shutdown``) bypass admission control and keep answering
+during overload and drain.  :meth:`close` drains gracefully: new work is
+rejected with a typed ``draining`` error, in-flight requests get a grace
+window to finish, and whatever remains is cooperatively cancelled --
+every in-flight client gets an error *response*, never a dead socket.
+See :mod:`repro.server.protocol` for the full error taxonomy and
+:mod:`repro.server.faults` for the deterministic fault-injection seam
+(``REPRO_FAULTS``).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import CancelledError as _FutureCancelled
 from typing import Mapping, Optional
 
+from repro.cancel import Cancelled, CancelToken, DeadlineExceeded
 from repro.core.paths import path_latency_all
 from repro.core.system import SystemModel
 from repro.reporting.tables import (
     format_path_latency_table,
     format_session_stats,
 )
+from repro.server import faults as faults_mod
 from repro.server import protocol
-from repro.server.jobs import JobQueue
+from repro.server.jobs import DEFAULT_GRACE, JobQueue, QueueFullError
 from repro.server.pool import SessionPool, UnknownTargetError
 from repro.service.catalog import ScenarioCatalog, builtin_catalog
 from repro.service.deltas import BusConfiguration
@@ -79,8 +102,23 @@ from repro.whatif.catalog import (
 from repro.whatif.session import SystemSession
 
 
+#: Ops that answer from in-memory state: they bypass admission control and
+#: keep being served while the daemon is overloaded or draining, so
+#: monitoring (and the shutdown request itself) always gets through.
+_CONTROL_OPS = frozenset(
+    {"ping", "health", "stats", "targets", "scenarios", "shutdown"})
+
+
 class AnalysisDaemon:
-    """Multi-client analysis server over a sharded session pool."""
+    """Multi-client analysis server over a sharded session pool.
+
+    ``max_inflight`` bounds concurrently executing *work* requests
+    (control ops are exempt); ``max_pending`` bounds the job queue's
+    backlog (batch steps).  ``grace`` is the drain window of
+    :meth:`close` in seconds.  ``faults`` injects deterministic failures
+    for tests (default: whatever ``REPRO_FAULTS`` specifies; see
+    :mod:`repro.server.faults`).
+    """
 
     def __init__(
         self,
@@ -89,11 +127,21 @@ class AnalysisDaemon:
         workers: Optional[int] = None,
         mode: str = "auto",
         name: str = "repro-daemon",
+        max_inflight: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        grace: float = DEFAULT_GRACE,
+        faults: Optional[faults_mod.FaultInjector] = None,
     ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
         self.name = name
         self.catalog = catalog if catalog is not None else builtin_catalog()
         self.pool = pool if pool is not None else SessionPool()
-        self.jobs = JobQueue(workers=workers, mode=mode)
+        self.jobs = JobQueue(workers=workers, mode=mode,
+                             max_pending=max_pending)
+        self.max_inflight = max_inflight
+        self.grace = grace
+        self.faults = faults if faults is not None else faults_mod.from_env()
         self._system_sessions: dict[str, SystemSession] = {}
         self._system_catalogs: dict[str, SystemScenarioCatalog] = {}
         self._engine_lock = threading.Lock()
@@ -101,8 +149,18 @@ class AnalysisDaemon:
         self._counter_lock = threading.Lock()
         self.requests_served = 0
         self.errors = 0
+        self.rejected_overload = 0
+        self.rejected_draining = 0
+        self.timeouts = 0
         self.op_counts: dict[str, int] = {}
         self._shutdown = threading.Event()
+        # In-flight work-request accounting: the token registry is what a
+        # drain cancels, the counter is what admission control bounds.
+        self._active_lock = threading.Lock()
+        self._active_tokens: dict[int, CancelToken] = {}
+        self._active_seq = 0
+        self._inflight = 0
+        self._draining = False
         self._ops = {
             "ping": self._op_ping,
             "health": self._op_health,
@@ -178,10 +236,35 @@ class AnalysisDaemon:
         """Block until a shutdown request arrives (or the timeout passes)."""
         return self._shutdown.wait(timeout)
 
-    def close(self) -> None:
-        """Stop the worker pool (idempotent)."""
+    def close(self, grace: Optional[float] = None) -> None:
+        """Drain and stop the daemon (idempotent).
+
+        New work requests are rejected with a typed ``draining`` error
+        immediately; in-flight requests and queued jobs get up to
+        ``grace`` seconds (default: the constructor's) to finish; the
+        remainder is cooperatively cancelled, so every outstanding request
+        resolves with a typed error response -- never a hang.
+        """
+        if grace is None:
+            grace = self.grace
         self._shutdown.set()
-        self.jobs.shutdown(wait=True)
+        with self._active_lock:
+            self._draining = True
+        deadline = time.monotonic() + max(0.0, grace)
+        while time.monotonic() < deadline:
+            with self._active_lock:
+                inflight = self._inflight
+            if inflight == 0 and self.jobs.pending == 0:
+                break
+            time.sleep(0.005)
+        with self._active_lock:
+            tokens = list(self._active_tokens.values())
+        for token in tokens:
+            token.cancel(reason="draining")
+        # The queue's own drain re-waits briefly: its running jobs now hold
+        # fired tokens and unwind at their next fixed-point iteration.
+        self.jobs.shutdown(
+            wait=True, grace=max(0.5, deadline - time.monotonic()))
 
     # ------------------------------------------------------------------ #
     # Request handling
@@ -189,8 +272,10 @@ class AnalysisDaemon:
     def handle(self, request: Mapping) -> dict:
         """Serve one protocol request dict; always returns a response dict.
 
-        Never raises: every error is reported as ``{"ok": false, ...}`` so
-        one malformed request cannot take down a connection.
+        Never raises: every error is reported as ``{"ok": false, "code":
+        ...}`` (see the taxonomy in :mod:`repro.server.protocol`) so one
+        malformed -- or timed-out, or drain-cancelled -- request cannot
+        take down a connection.
         """
         request_id = request.get("id")
         op = request.get("op")
@@ -201,15 +286,98 @@ class AnalysisDaemon:
         if handler is None:
             return self._error(
                 f"unknown op {op!r}; supported: "
-                f"{', '.join(sorted(self._ops))}", request_id)
+                f"{', '.join(sorted(self._ops))}", request_id, code="invalid")
         try:
-            return self._reply(handler(request), request_id)
-        except (UnknownTargetError, protocol.ProtocolError, KeyError,
-                ValueError, TypeError, AttributeError) as error:
+            cancel = self._cancel_for(request)
+        except protocol.ProtocolError as error:
+            return self._error(str(error), request_id, code="protocol")
+        control = op in _CONTROL_OPS
+        token_key = None
+        if not control:
+            with self._active_lock:
+                if self._draining:
+                    with self._counter_lock:
+                        self.rejected_draining += 1
+                    return self._error(
+                        f"daemon {self.name} is draining", request_id,
+                        code="draining")
+                if self.max_inflight is not None \
+                        and self._inflight >= self.max_inflight:
+                    with self._counter_lock:
+                        self.rejected_overload += 1
+                    return self._error(
+                        f"daemon at max in-flight requests "
+                        f"({self.max_inflight})", request_id,
+                        code="overloaded",
+                        retry_after_ms=50 * (1 + self.jobs.pending))
+                self._inflight += 1
+                # Every work request gets a token -- deadline-less when the
+                # request has none -- so a drain can always cancel it.
+                if cancel is None:
+                    cancel = CancelToken()
+                self._active_seq += 1
+                token_key = self._active_seq
+                self._active_tokens[token_key] = cancel
+            rule = self.faults.check("handle.stall")
+            if rule is not None:
+                time.sleep(rule.arg / 1000.0)
+        try:
+            return self._reply(handler(request, cancel), request_id)
+        except DeadlineExceeded:
+            with self._counter_lock:
+                self.timeouts += 1
+            return self._error(
+                f"deadline of {request.get('deadline_ms')} ms exceeded",
+                request_id, code="timeout")
+        except Cancelled as error:
+            code = "draining" if error.reason == "draining" else "timeout"
+            return self._error(str(error), request_id, code=code)
+        except _FutureCancelled:
+            return self._error(
+                "request cancelled by daemon drain", request_id,
+                code="draining")
+        except QueueFullError as error:
+            with self._counter_lock:
+                self.rejected_overload += 1
+            return self._error(str(error), request_id, code="overloaded",
+                               retry_after_ms=error.retry_after_ms)
+        except UnknownTargetError as error:
+            return self._error(str(error), request_id, code="unknown_target")
+        except protocol.ProtocolError as error:
+            return self._error(str(error), request_id, code="protocol")
+        except (KeyError, ValueError, TypeError, AttributeError) as error:
             # AttributeError covers type-malformed but valid-JSON params
             # (e.g. a string where a list of objects belongs): the contract
             # is an error *response*, never a dead connection.
-            return self._error(str(error) or repr(error), request_id)
+            return self._error(str(error) or repr(error), request_id,
+                               code="invalid")
+        except RuntimeError as error:
+            # e.g. a submit that raced the queue's final shutdown.
+            code = "draining" if self.shutdown_requested else "internal"
+            return self._error(str(error) or repr(error), request_id,
+                               code=code)
+        finally:
+            if not control:
+                with self._active_lock:
+                    self._inflight -= 1
+                    if token_key is not None:
+                        self._active_tokens.pop(token_key, None)
+
+    @staticmethod
+    def _cancel_for(request: Mapping) -> Optional[CancelToken]:
+        """The request's deadline token (``None`` without ``deadline_ms``)."""
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        if isinstance(deadline_ms, bool) or \
+                not isinstance(deadline_ms, (int, float)):
+            raise protocol.ProtocolError(
+                f"deadline_ms must be a positive number, "
+                f"got {deadline_ms!r}")
+        if deadline_ms <= 0:
+            raise protocol.ProtocolError(
+                f"deadline_ms must be positive, got {deadline_ms!r}")
+        return CancelToken.after_ms(float(deadline_ms))
 
     def submit(self, request: Mapping):
         """Queue a request on the worker pool; returns a Future response."""
@@ -222,23 +390,31 @@ class AnalysisDaemon:
             response["id"] = request_id
         return response
 
-    def _error(self, message: str, request_id) -> dict:
+    def _error(self, message: str, request_id, code: str = "internal",
+               retry_after_ms: Optional[int] = None) -> dict:
         with self._counter_lock:
             self.errors += 1
-        response = {"ok": False, "error": message}
-        if request_id is not None:
-            response["id"] = request_id
-        return response
+        return protocol.error_response(
+            message, code=code, request_id=request_id,
+            retry_after_ms=retry_after_ms)
 
     # ------------------------------------------------------------------ #
     # Endpoints
     # ------------------------------------------------------------------ #
-    def _op_ping(self, request: Mapping) -> dict:
+    def _op_ping(self, request: Mapping, cancel=None) -> dict:
         return {"pong": True, "name": self.name}
 
-    def _op_health(self, request: Mapping) -> dict:
+    def _op_health(self, request: Mapping, cancel=None) -> dict:
+        if self._draining:
+            status = "draining"
+        elif self.jobs.healthy:
+            status = "ok"
+        else:
+            status = "degraded"
+        with self._active_lock:
+            inflight = self._inflight
         return {
-            "status": "ok",
+            "status": status,
             "name": self.name,
             "protocol": protocol.PROTOCOL_VERSION,
             "uptime_seconds": round(time.monotonic() - self._started, 3),
@@ -246,30 +422,38 @@ class AnalysisDaemon:
             "targets": self.pool.targets(),
             "systems": self.pool.systems(),
             "scenarios": self.catalog.names(),
+            "inflight": inflight,
+            "max_inflight": self.max_inflight,
             "queue": {"mode": self.jobs.mode, "workers": self.jobs.workers,
-                      "pending": self.jobs.pending},
+                      "alive_workers": self.jobs.alive_workers,
+                      "pending": self.jobs.pending,
+                      "max_pending": self.jobs.max_pending,
+                      "rejected": self.jobs.rejected,
+                      "stragglers": list(self.jobs.stragglers)},
         }
 
-    def _op_stats(self, request: Mapping) -> dict:
+    def _op_stats(self, request: Mapping, cancel=None) -> dict:
         stats = self.pool.stats()
         return {
             "requests_served": self.requests_served,
             "errors": self.errors,
+            "timeouts": self.timeouts,
+            "rejected_overload": self.rejected_overload,
+            "rejected_draining": self.rejected_draining,
             "ops": dict(sorted(self.op_counts.items())),
             "sessions": [protocol.session_stats_to_json(s) for s in stats],
             "evicted_sessions": self.pool.evicted_sessions,
-            "queue": {"mode": self.jobs.mode, "workers": self.jobs.workers,
-                      "submitted": self.jobs.submitted,
-                      "completed": self.jobs.completed},
+            "queue": self.jobs.stats(),
+            "faults": self.faults.describe(),
             "table": format_session_stats(
                 stats, title=f"{self.name}: session statistics"),
         }
 
-    def _op_targets(self, request: Mapping) -> dict:
+    def _op_targets(self, request: Mapping, cancel=None) -> dict:
         return {"targets": self.pool.targets(),
                 "systems": self.pool.systems()}
 
-    def _op_scenarios(self, request: Mapping) -> dict:
+    def _op_scenarios(self, request: Mapping, cancel=None) -> dict:
         return {
             "scenarios": [
                 {"name": scenario.name,
@@ -282,7 +466,7 @@ class AnalysisDaemon:
                 for system in self.pool.systems()},
         }
 
-    def _op_query(self, request: Mapping) -> dict:
+    def _op_query(self, request: Mapping, cancel=None) -> dict:
         session = self.pool.get(str(request["target"]))
         deltas = protocol.deltas_from_json(request.get("deltas", ()))
         message_names = request.get("message_names")
@@ -293,12 +477,14 @@ class AnalysisDaemon:
             message_names=message_names,
             label=request.get("label"),
             with_report=bool(request.get("with_report", True)),
+            cancel=cancel,
         )
         return protocol.query_result_to_json(result)
 
-    def _op_scenario(self, request: Mapping) -> dict:
+    def _op_scenario(self, request: Mapping, cancel=None) -> dict:
         session = self.pool.get(str(request["target"]))
-        run = self.catalog.run(str(request["scenario"]), session)
+        run = self.catalog.run(str(request["scenario"]), session,
+                               cancel=cancel)
         return {
             "scenario": run.scenario,
             "session": run.session,
@@ -307,33 +493,81 @@ class AnalysisDaemon:
             "table": run.to_table(),
         }
 
-    def _op_batch(self, request: Mapping) -> dict:
+    def _op_batch(self, request: Mapping, cancel=None) -> dict:
         """Independent labelled delta queries, fanned out over the workers.
 
         Results come back in request order regardless of completion order
         (each step resolves its own future), so a batch aggregates exactly
         like a serial loop -- the :mod:`repro.parallel` guarantee carried
         to the wire.
+
+        Failures resolve *per step*: a timed-out, drain-cancelled or
+        rejected step yields an ``{"error": ..., "code": ...}`` entry in
+        its slot while every other step's result stays bit-identical to a
+        serial run.  The batch as a whole still answers ``ok``.
         """
         target = str(request["target"])
         session = self.pool.get(target)
         steps = request.get("queries", ())
-        futures = []
+        faults = self.faults
+
+        def run_step(deltas, label, with_report):
+            rule = faults.check("worker.stall")
+            if rule is not None:
+                time.sleep(rule.arg / 1000.0)
+            if cancel is not None:
+                cancel.check()
+            return session.query(deltas, label=label,
+                                 with_report=with_report, cancel=cancel)
+
+        # A step whose submit is rejected resolves to an error *entry*, not
+        # a whole-batch failure: earlier steps may already be running, so
+        # "overloaded => the request never ran" only holds per step here.
+        slots: list = []
         for step in steps:
             deltas = protocol.deltas_from_json(step.get("deltas", ()))
             label = step.get("label")
             with_report = bool(step.get("with_report", True))
-            futures.append(self.jobs.submit(
-                lambda d=deltas, lb=label, wr=with_report: session.query(
-                    d, label=lb, with_report=wr),
-                label=f"batch:{target}"))
-        return {
-            "target": target,
-            "results": [protocol.query_result_to_json(f.result())
-                        for f in futures],
-        }
+            try:
+                slots.append(self.jobs.submit(
+                    lambda d=deltas, lb=label, wr=with_report:
+                        run_step(d, lb, wr),
+                    label=f"batch:{target}", cancel=cancel))
+            except QueueFullError as error:
+                with self._counter_lock:
+                    self.rejected_overload += 1
+                slots.append({"error": str(error), "code": "overloaded",
+                              "retry_after_ms": error.retry_after_ms})
+        results = []
+        for future in slots:
+            if isinstance(future, dict):
+                results.append(future)
+                continue
+            try:
+                results.append(protocol.query_result_to_json(future.result()))
+            except DeadlineExceeded:
+                with self._counter_lock:
+                    self.timeouts += 1
+                results.append({"error": "deadline exceeded",
+                                "code": "timeout"})
+            except Cancelled as error:
+                code = ("draining" if error.reason == "draining"
+                        else "timeout")
+                results.append({"error": str(error), "code": code})
+            except _FutureCancelled:
+                results.append({"error": "step cancelled by daemon drain",
+                                "code": "draining"})
+            except QueueFullError as error:
+                with self._counter_lock:
+                    self.rejected_overload += 1
+                results.append({"error": str(error), "code": "overloaded",
+                                "retry_after_ms": error.retry_after_ms})
+            except Exception as error:  # noqa: BLE001 - typed per-step slot
+                results.append({"error": str(error) or repr(error),
+                                "code": "internal"})
+        return {"target": target, "results": results}
 
-    def _op_register(self, request: Mapping) -> dict:
+    def _op_register(self, request: Mapping, cancel=None) -> dict:
         """Server-side workload registration over the wire.
 
         ``{"name": ..., "system": {...}}`` registers a system (response
@@ -371,12 +605,12 @@ class AnalysisDaemon:
                            for bus, alias in override.items()})
         return shards
 
-    def _op_analyze_system(self, request: Mapping) -> dict:
+    def _op_analyze_system(self, request: Mapping, cancel=None) -> dict:
         name = str(request["system"])
         # Validate the client's shard map first: a typo'd bus name should
         # cost an error response, not a discarded fixed-point computation.
         shards = self._shard_names(name, request.get("shards"))
-        outcome = self._system_session(name).query(())
+        outcome = self._system_session(name).query((), cancel=cancel)
         result = outcome.result
         return {
             "system": name,
@@ -393,13 +627,14 @@ class AnalysisDaemon:
                             for bus, report in result.bus_reports.items()},
         }
 
-    def _op_system_query(self, request: Mapping) -> dict:
+    def _op_system_query(self, request: Mapping, cancel=None) -> dict:
         """Typed topology deltas against a registered system."""
         name = str(request["system"])
         session = self._system_session(name)
         deltas = protocol.system_deltas_from_json(request.get("deltas", ()))
         shards = self._shard_names(name, request.get("shards"))
-        outcome = session.query(deltas, label=request.get("label"))
+        outcome = session.query(deltas, label=request.get("label"),
+                                cancel=cancel)
         response = protocol.system_query_result_to_json(outcome)
         response["system"] = name
         response["shards"] = shards
@@ -414,12 +649,12 @@ class AnalysisDaemon:
                     paths, outcome.system, outcome.result)]
         return response
 
-    def _op_system_scenario(self, request: Mapping) -> dict:
+    def _op_system_scenario(self, request: Mapping, cancel=None) -> dict:
         """A named topology scenario from the per-system catalog."""
         name = str(request["system"])
         session = self._system_session(name)
         catalog = self._system_catalog(name)
-        run = catalog.run(str(request["scenario"]), session)
+        run = catalog.run(str(request["scenario"]), session, cancel=cancel)
         return {
             "system": name,
             "scenario": run.scenario,
@@ -429,7 +664,7 @@ class AnalysisDaemon:
             "table": run.to_table(),
         }
 
-    def _op_path_latency(self, request: Mapping) -> dict:
+    def _op_path_latency(self, request: Mapping, cancel=None) -> dict:
         """End-to-end path latencies under an optional delta sequence."""
         name = str(request["system"])
         session = self._system_session(name)
@@ -437,7 +672,8 @@ class AnalysisDaemon:
         if not paths:
             raise protocol.ProtocolError("path_latency needs paths")
         deltas = protocol.system_deltas_from_json(request.get("deltas", ()))
-        outcome = session.query(deltas, label=request.get("label"))
+        outcome = session.query(deltas, label=request.get("label"),
+                                cancel=cancel)
         latencies = path_latency_all(paths, outcome.system, outcome.result)
         return {
             "system": name,
@@ -449,7 +685,7 @@ class AnalysisDaemon:
                 title=f"{name}: end-to-end path latency"),
         }
 
-    def _op_shutdown(self, request: Mapping) -> dict:
+    def _op_shutdown(self, request: Mapping, cancel=None) -> dict:
         self._shutdown.set()
         return {"stopping": True}
 

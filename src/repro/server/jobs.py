@@ -13,39 +13,111 @@ the same submit/result path, so behaviour is identical and deterministic.
 ``process`` is treated as ``thread`` here: jobs close over the daemon's
 session pool, which is in-process state by design (the kernel caches it
 shards are exactly what must be shared, not copied).
+
+Fault tolerance
+---------------
+The queue is the daemon's backpressure and drain point:
+
+* ``max_pending`` bounds accepted-but-unfinished jobs; beyond it
+  :meth:`JobQueue.submit` raises :class:`QueueFullError` (the daemon maps
+  it to a typed ``overloaded`` response with a ``retry_after_ms`` hint)
+  instead of letting a client flood grow the queue without bound.
+* Jobs carry an optional :class:`~repro.cancel.CancelToken`;
+  :meth:`JobQueue.shutdown` drains in-flight and queued work for a grace
+  window, then cancels the tokens of whatever is still running and
+  force-resolves every outstanding future with a typed
+  :class:`~repro.cancel.Cancelled` -- a client waiting on a future always
+  gets an answer, never a hang.
+* Worker threads that survive the drain (a thunk ignoring its cancel
+  token) are reported as *stragglers* via :meth:`JobQueue.stats` and
+  :meth:`JobQueue.describe` instead of being silently ignored; the
+  daemon's ``health`` endpoint flags the pool as degraded.
+
+Submission and shutdown are serialised on one lock (a submit either lands
+before the shutdown sentinels or raises -- it can never enqueue a job
+behind them, which previously left its future forever unresolved).
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from concurrent.futures import Future
+import time
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Mapping, Optional
 
+from repro.cancel import Cancelled, CancelToken
 from repro.parallel import available_workers, resolve_mode
 
 #: Default cap on worker threads: analysis is pure Python, so a handful of
 #: workers cover overlap between clients without oversubscribing the GIL.
 DEFAULT_MAX_WORKERS = 8
 
+#: Default grace window (seconds) a shutdown waits for in-flight and queued
+#: jobs before cancelling the remainder.
+DEFAULT_GRACE = 10.0
+
+#: How long shutdown waits for workers to exit *after* cancelling leftover
+#: jobs; threads still alive afterwards are reported as stragglers.
+_STRAGGLER_JOIN = 2.0
+
+
+class QueueFullError(RuntimeError):
+    """The queue's ``max_pending`` bound rejected a submission.
+
+    ``retry_after_ms`` is a backoff hint for the client (scaled to the
+    queue depth); the daemon forwards it in its ``overloaded`` response.
+    """
+
+    def __init__(self, limit: int, retry_after_ms: int) -> None:
+        super().__init__(
+            f"job queue full ({limit} jobs pending); "
+            f"retry in {retry_after_ms} ms")
+        self.limit = limit
+        self.retry_after_ms = retry_after_ms
+
 
 @dataclass
 class Job:
-    """One queued unit of work: a thunk plus the future resolving it."""
+    """One queued unit of work: a thunk plus the future resolving it.
+
+    ``cancel`` is the job's cooperative cancellation token (shared with the
+    thunk's fixed-point loops); shutdown fires it to revoke running work.
+    """
 
     run: Callable[[], object]
     future: Future = field(default_factory=Future)
     label: str = ""
+    cancel: Optional[CancelToken] = None
 
     def execute(self) -> None:
-        """Run the thunk and resolve the future (exceptions travel too)."""
-        if not self.future.set_running_or_notify_cancel():
+        """Run the thunk and resolve the future (exceptions travel too).
+
+        Tolerates a future that shutdown force-resolved concurrently: the
+        late outcome is dropped rather than crashing the worker.
+        """
+        try:
+            if not self.future.set_running_or_notify_cancel():
+                return
+        except InvalidStateError:
             return
         try:
-            self.future.set_result(self.run())
+            result = self.run()
         except BaseException as error:  # noqa: BLE001 - delivered to caller
-            self.future.set_exception(error)
+            self._resolve(error=error)
+        else:
+            self._resolve(result=result)
+
+    def _resolve(self, result: object = None,
+                 error: BaseException | None = None) -> None:
+        try:
+            if error is not None:
+                self.future.set_exception(error)
+            else:
+                self.future.set_result(result)
+        except InvalidStateError:
+            pass  # force-resolved by a shutdown that gave up on us
 
 
 class JobQueue:
@@ -54,21 +126,32 @@ class JobQueue:
     ``mode="serial"`` (or an effective serial resolution of ``"auto"`` via
     ``REPRO_PARALLEL`` / core count) executes jobs inline on ``submit`` --
     same API, no threads, deterministic order.
+
+    ``max_pending`` bounds accepted-but-unfinished jobs (``None`` =
+    unbounded); excess submissions raise :class:`QueueFullError`.
     """
 
     def __init__(self, workers: Optional[int] = None,
-                 mode: str = "auto") -> None:
+                 mode: str = "auto",
+                 max_pending: Optional[int] = None) -> None:
         resolved = resolve_mode(mode, n_items=2)
         if resolved == "process":
             resolved = "thread"
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
         self.mode = resolved
         self.workers = 0
+        self.max_pending = max_pending
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
         self._threads: list[threading.Thread] = []
         self._closed = False
         self._lock = threading.Lock()
+        self._outstanding: dict[int, Job] = {}
+        self._stragglers: tuple[str, ...] = ()
         self.submitted = 0
         self.completed = 0
+        self.rejected = 0
+        self.cancelled = 0
         if resolved == "thread":
             self.workers = workers or min(available_workers(),
                                           DEFAULT_MAX_WORKERS)
@@ -82,20 +165,37 @@ class JobQueue:
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
-    def submit(self, run: Callable[[], object],
-               label: str = "") -> "Future":
-        """Queue a thunk; returns the future of its result."""
+    def submit(self, run: Callable[[], object], label: str = "",
+               cancel: Optional[CancelToken] = None) -> "Future":
+        """Queue a thunk; returns the future of its result.
+
+        Raises :class:`RuntimeError` after shutdown and
+        :class:`QueueFullError` beyond ``max_pending``.  The enqueue happens
+        under the submission lock, so a job accepted here is guaranteed to
+        run (or be drain-resolved) -- it can never slip behind shutdown
+        sentinels.
+        """
         with self._lock:
             if self._closed:
                 raise RuntimeError("job queue is shut down")
+            pending = self.submitted - self.completed
+            if self.max_pending is not None and pending >= self.max_pending:
+                self.rejected += 1
+                raise QueueFullError(
+                    self.max_pending, retry_after_ms=50 * max(1, pending))
             self.submitted += 1
-        job = Job(run=run, label=label)
-        if not self._threads:
+            job = Job(run=run, label=label, cancel=cancel)
+            if self._threads:
+                self._outstanding[id(job)] = job
+                self._queue.put(job)
+                return job.future
+        # Serial mode: execute inline, outside the lock (the thunk may be a
+        # long analysis and must not serialise health checks).
+        try:
             job.execute()
+        finally:
             with self._lock:
                 self.completed += 1
-            return job.future
-        self._queue.put(job)
         return job.future
 
     def _drain(self) -> None:
@@ -108,23 +208,73 @@ class JobQueue:
                 job.execute()
             finally:
                 with self._lock:
-                    self.completed += 1
+                    # A drain may have already claimed (and counted) this
+                    # job; completed is incremented exactly once per job.
+                    if self._outstanding.pop(id(job), None) is not None:
+                        self.completed += 1
                 self._queue.task_done()
 
     # ------------------------------------------------------------------ #
     # Lifecycle / introspection
     # ------------------------------------------------------------------ #
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting jobs; optionally wait for queued work to finish."""
+    def shutdown(self, wait: bool = True,
+                 grace: Optional[float] = None) -> None:
+        """Stop accepting jobs and drain the pool.
+
+        With ``wait`` the call blocks while in-flight and queued jobs
+        finish, for at most ``grace`` seconds (default
+        :data:`DEFAULT_GRACE`); whatever is still outstanding afterwards is
+        cancelled -- queued futures are revoked, running jobs get their
+        :class:`~repro.cancel.CancelToken` fired with reason ``"draining"``,
+        and any future still unresolved after a final join is
+        force-resolved with a typed :class:`~repro.cancel.Cancelled`.  No
+        future ever stays pending.  Workers that survive all of that are
+        recorded as stragglers (see :meth:`stats`).
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for _ in self._threads:
-            self._queue.put(None)
-        if wait:
-            for thread in self._threads:
-                thread.join(timeout=10.0)
+            for _ in self._threads:
+                self._queue.put(None)
+        if not self._threads:
+            return
+        if not wait:
+            return
+        if grace is None:
+            grace = DEFAULT_GRACE
+        deadline = time.monotonic() + max(0.0, grace)
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._outstanding:
+                    break
+            time.sleep(0.005)
+        with self._lock:
+            leftovers = list(self._outstanding.values())
+        for job in leftovers:
+            # Queued jobs are revoked outright; running ones are asked to
+            # stop at their next fixed-point iteration.
+            job.future.cancel()
+            if job.cancel is not None:
+                job.cancel.cancel(reason="draining")
+        join_deadline = time.monotonic() + (
+            _STRAGGLER_JOIN if leftovers else max(1.0, grace))
+        for thread in self._threads:
+            remaining = join_deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            thread.join(timeout=remaining)
+        stuck = tuple(t.name for t in self._threads if t.is_alive())
+        with self._lock:
+            self._stragglers = stuck
+            for job in self._outstanding.values():
+                if not job.future.done():
+                    job._resolve(error=Cancelled(
+                        f"job {job.label or '<unnamed>'} cancelled by "
+                        "daemon drain", reason="draining"))
+            self.cancelled += len(self._outstanding)
+            self.completed += len(self._outstanding)
+            self._outstanding.clear()
 
     @property
     def pending(self) -> int:
@@ -132,7 +282,48 @@ class JobQueue:
         with self._lock:
             return self.submitted - self.completed
 
+    @property
+    def stragglers(self) -> tuple[str, ...]:
+        """Worker threads that failed to exit during shutdown."""
+        with self._lock:
+            return self._stragglers
+
+    @property
+    def alive_workers(self) -> int:
+        """Worker threads currently alive (== ``workers`` when healthy)."""
+        return sum(1 for t in self._threads if t.is_alive())
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the pool has its full complement and no stragglers."""
+        if self._stragglers:
+            return False
+        if not self._threads:
+            return True
+        return self._closed or self.alive_workers == self.workers
+
+    def stats(self) -> Mapping[str, object]:
+        """Counter snapshot surfaced through the daemon's ``stats`` op."""
+        with self._lock:
+            return {
+                "mode": self.mode,
+                "workers": self.workers,
+                "alive_workers": sum(
+                    1 for t in self._threads if t.is_alive()),
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "pending": self.submitted - self.completed,
+                "rejected": self.rejected,
+                "cancelled": self.cancelled,
+                "max_pending": self.max_pending,
+                "stragglers": list(self._stragglers),
+            }
+
     def describe(self) -> str:
-        return (f"job queue: mode={self.mode}, workers={self.workers}, "
+        base = (f"job queue: mode={self.mode}, workers={self.workers}, "
                 f"{self.submitted} submitted, {self.completed} completed, "
-                f"{self.pending} pending")
+                f"{self.pending} pending, {self.rejected} rejected")
+        stragglers = self.stragglers
+        if stragglers:
+            base += f", STRAGGLERS={','.join(stragglers)}"
+        return base

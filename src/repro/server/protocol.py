@@ -13,9 +13,50 @@ read from the daemon bit-matches the kernel's local result.  The tests rely
 on this.
 
 Requests are ``{"op": <name>, ...params}``; responses are
-``{"ok": true, "result": ...}`` or ``{"ok": false, "error": <message>}``.
-An optional ``"id"`` field is echoed verbatim so pipelining clients can
-match responses to requests.
+``{"ok": true, "result": ...}`` or ``{"ok": false, "error": <message>,
+"code": <error code>}``.  An optional ``"id"`` field is echoed verbatim so
+pipelining clients can match responses to requests -- and clients *verify*
+the echo: a response whose ``id`` does not match the outstanding request is
+a protocol violation (a desynchronised connection), never silently
+accepted.  Every request additionally accepts an optional ``deadline_ms``
+(float, milliseconds): the daemon arms a
+:class:`~repro.cancel.CancelToken` with it and aborts the request's
+fixed-point loops when it expires.
+
+Error taxonomy
+--------------
+Failed responses carry a machine-readable ``code`` so clients can decide
+to retry, back off, or give up without parsing prose:
+
+``timeout``
+    The request's ``deadline_ms`` expired mid-analysis (the typed outcome
+    of a divergent or oversized fixed point).  Safe to retry with a larger
+    deadline; the partial work left no state behind.
+``overloaded``
+    Admission control rejected the request -- the job queue or the
+    daemon's in-flight bound is full.  The response carries
+    ``retry_after_ms``, a backoff hint scaled to the queue depth.  Always
+    safe to retry: the request was never executed.
+``draining``
+    The daemon is shutting down (or drained this request mid-flight
+    after its grace window).  Not retryable on the same connection;
+    clients should fail over.
+``unknown_target``
+    The named target/system is not registered (a typo, or a registration
+    raced a query).
+``protocol``
+    Malformed protocol object (unknown tags, missing payloads, shard maps
+    naming unknown buses).
+``invalid``
+    Structurally valid protocol but semantically bad parameters (unknown
+    message names, negative periods, type-malformed values).
+``internal``
+    Unexpected server-side failure; the connection stays usable.
+
+Retry guidance: ``overloaded`` is retryable for *any* op (nothing ran);
+``timeout``/``internal`` are retryable for read-only queries, which are
+idempotent by construction (registration is the only mutating op, and even
+it is idempotent for identical payloads).
 
 Typed values (deltas, event models, error models, CAN messages) are tagged
 objects, e.g. ``{"delta": "jitter", "message_name": "M12", "jitter": 0.4}``.
@@ -84,12 +125,38 @@ from repro.whatif.system_deltas import (
 #: incompatible wire change.  Version 2 added the system-level layer:
 #: ``register``, ``system_query``, ``system_scenario`` and ``path_latency``
 #: requests, with full topology (system model), system-delta and
-#: end-to-end-path codecs.
-PROTOCOL_VERSION = 2
+#: end-to-end-path codecs.  Version 3 added the fault-tolerance layer:
+#: ``deadline_ms`` on every request, typed error ``code`` fields (see the
+#: module docstring's taxonomy), ``retry_after_ms`` backoff hints on
+#: ``overloaded`` rejections, and queue/drain observability in
+#: ``health``/``stats``.
+PROTOCOL_VERSION = 3
+
+#: The machine-readable error codes of the taxonomy documented above.
+ERROR_CODES = ("timeout", "overloaded", "draining", "unknown_target",
+               "protocol", "invalid", "internal")
 
 
 class ProtocolError(ValueError):
     """A malformed or unsupported protocol object."""
+
+
+def error_response(message: str, code: str = "internal",
+                   request_id=None,
+                   retry_after_ms: Optional[int] = None) -> dict:
+    """Build a failed response dict carrying the typed error ``code``.
+
+    ``retry_after_ms`` (for ``overloaded`` rejections) tells clients how
+    long to back off before retrying.
+    """
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    response: dict = {"ok": False, "error": message, "code": code}
+    if retry_after_ms is not None:
+        response["retry_after_ms"] = int(retry_after_ms)
+    if request_id is not None:
+        response["id"] = request_id
+    return response
 
 
 # --------------------------------------------------------------------------- #

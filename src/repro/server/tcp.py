@@ -24,33 +24,64 @@ from __future__ import annotations
 
 import socketserver
 import threading
+import time
 from typing import Optional
 
 from repro.server.daemon import AnalysisDaemon
-from repro.server.protocol import ProtocolError, decode_line, encode_line
+from repro.server.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_response,
+)
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7677
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
-    """One client connection: drain request lines until EOF or shutdown."""
+    """One client connection: drain request lines until EOF or shutdown.
+
+    Two fault-injection sites live here (see :mod:`repro.server.faults`):
+    ``tcp.drop`` closes the connection uncleanly instead of writing the
+    response (the client sees EOF mid-request and must reconnect+retry),
+    ``tcp.slow`` delays the response write (client read timeouts).
+    """
 
     def handle(self) -> None:
         server: "DaemonServer" = self.server  # type: ignore[assignment]
         daemon = server.daemon
         for line in self.rfile:
+            if server.stopped:
+                # The server was stopped (or hard-restarted) while this
+                # connection idled: die like the listener did, so clients
+                # reconnect to whatever now owns the port instead of
+                # talking to a zombie daemon.
+                return
             if not line.strip():
                 continue
             try:
                 request = decode_line(line)
             except ProtocolError as error:
                 self.wfile.write(encode_line(
-                    {"ok": False, "error": str(error)}))
+                    error_response(str(error), code="protocol")))
+                self.wfile.flush()
                 continue
             response = daemon.handle(request)
-            self.wfile.write(encode_line(response))
-            self.wfile.flush()
+            if daemon.faults.check("tcp.drop") is not None:
+                # Unclean close *after* the work ran: exactly the window
+                # where a retried idempotent request must come back
+                # bit-identical, not double-applied.
+                self.connection.close()
+                return
+            rule = daemon.faults.check("tcp.slow")
+            if rule is not None:
+                time.sleep(rule.arg / 1000.0)
+            try:
+                self.wfile.write(encode_line(response))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return  # client went away; nothing left to tell it
             if daemon.shutdown_requested:
                 server.stop_async()
                 return
@@ -72,6 +103,11 @@ class DaemonServer(socketserver.ThreadingTCPServer):
         self._stopped = False
 
     @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` has begun (connections should close)."""
+        return self._stopped
+
+    @property
     def address(self) -> tuple[str, int]:
         """The actually bound (host, port) -- resolves ``port=0``."""
         host, port = self.server_address[:2]
@@ -86,7 +122,8 @@ class DaemonServer(socketserver.ThreadingTCPServer):
         self._thread.start()
         return self
 
-    def stop(self, close_daemon: bool = True) -> None:
+    def stop(self, close_daemon: bool = True,
+             grace: Optional[float] = None) -> None:
         """Stop serving, join the serve thread, optionally close the daemon.
 
         Safe against concurrent calls (the shutdown op stops the server from
@@ -94,6 +131,11 @@ class DaemonServer(socketserver.ThreadingTCPServer):
         lock makes the second caller wait until the listening socket is
         actually closed, so no caller returns while the port still accepts
         connections.
+
+        Stopping only closes the *listening* socket; established
+        connections keep their handler threads, so in-flight requests
+        finish (or get typed drain errors) through
+        :meth:`AnalysisDaemon.close` -- ``grace`` overrides its window.
         """
         with self._stop_lock:
             if not self._stopped:
@@ -104,7 +146,7 @@ class DaemonServer(socketserver.ThreadingTCPServer):
         if thread is not None:
             thread.join(timeout=10.0)
         if close_daemon:
-            self.daemon.close()
+            self.daemon.close(grace=grace)
 
     def stop_async(self) -> None:
         """Stop from inside a handler thread (shutdown op)."""

@@ -100,15 +100,21 @@ class WhatIfScenario:
     queries: tuple[ScenarioQuery, ...]
     description: str = ""
 
-    def run(self, session: AnalysisSession) -> ScenarioRunResult:
-        """Execute every query against ``session`` in definition order."""
+    def run(self, session: AnalysisSession,
+            cancel=None) -> ScenarioRunResult:
+        """Execute every query against ``session`` in definition order.
+
+        ``cancel`` (a :class:`repro.cancel.CancelToken`) bounds the whole
+        run: it is threaded into every step's fixed-point loops.
+        """
         previous: QueryResult | None = None
         out: list[QueryResult] = []
         for query in self.queries:
             result = session.query(
                 query.deltas,
                 warm_from=previous if query.chain else None,
-                label=query.label)
+                label=query.label,
+                cancel=cancel)
             out.append(result)
             previous = result
         return ScenarioRunResult(scenario=self.name, session=session.name,
@@ -155,9 +161,10 @@ class ScenarioCatalog:
     def __len__(self) -> int:
         return len(self._scenarios)
 
-    def run(self, name: str, session: AnalysisSession) -> ScenarioRunResult:
+    def run(self, name: str, session: AnalysisSession,
+            cancel=None) -> ScenarioRunResult:
         """Execute a registered scenario against a session."""
-        return self.get(name).run(session)
+        return self.get(name).run(session, cancel=cancel)
 
     def describe(self) -> str:
         """Multi-line inventory of the catalog."""

@@ -58,6 +58,7 @@ from repro.analysis.schedulability import (
 from repro.can.bus import CanBus
 from repro.can.controller import ControllerModel
 from repro.can.kmatrix import KMatrix
+from repro.cancel import CancelToken
 from repro.errors.models import (
     BurstErrorModel,
     CompositeErrorModel,
@@ -545,6 +546,7 @@ class AnalysisSession:
         deadline_policy: str | None = None,
         label: str | None = None,
         with_report: bool = True,
+        cancel: "CancelToken | None" = None,
     ) -> QueryResult:
         """Run one what-if query.
 
@@ -570,6 +572,12 @@ class AnalysisSession:
         with_report:
             Skip the schedulability report when ``False`` (pure sweeps that
             only consume response times save the verdict construction).
+        cancel:
+            Optional :class:`repro.cancel.CancelToken` checked between
+            fixed-point iterations; a fired token raises
+            :class:`repro.cancel.Cancelled` before any cache state is
+            updated, so a cancelled query leaves the session exactly as it
+            was (already-cached answers keep being served).
         """
         config, key = self._resolve(tuple(deltas))
         needed = None if message_names is None else [
@@ -615,7 +623,7 @@ class AnalysisSession:
         stats, results = self._execute(
             config, analysis, profile, plan, basis, needed,
             existing=entry.results if entry is not None else None,
-            adopt_changed=adopt_changed, fast_ok=fast_ok)
+            adopt_changed=adopt_changed, fast_ok=fast_ok, cancel=cancel)
 
         with self._lock:
             entry = self._cache.get(key)
@@ -933,6 +941,7 @@ class AnalysisSession:
                  existing: Mapping[str, MessageResponseTime] | None,
                  adopt_changed: set[str] | None = None,
                  fast_ok: bool = False,
+                 cancel: "CancelToken | None" = None,
                  ) -> tuple[QueryStats, dict[str, MessageResponseTime]]:
         """Run the plan; every fall-back lands on an exact cold start."""
         reused = warm = cold = 0
@@ -1009,7 +1018,7 @@ class AnalysisSession:
                 solve.append((message, None))
                 cold += 1
         if solve:
-            solved = analysis.response_times_batch(solve)
+            solved = analysis.response_times_batch(solve, cancel=cancel)
             # Keep cached divergent values canonical (cold-start): re-run
             # warm-seeded messages that diverged, again as one batch.
             retry = [message for message, _ in solve
@@ -1017,7 +1026,7 @@ class AnalysisSession:
                      and not solved[message.name].bounded]
             if retry:
                 solved.update(analysis.response_times_batch(
-                    [(message, None) for message in retry]))
+                    [(message, None) for message in retry], cancel=cancel))
             for message, _ in solve:
                 results[message.name] = solved[message.name]
         total = reused + warm + cold

@@ -112,16 +112,23 @@ class SystemScenario:
     description: str = ""
     paths: tuple[EndToEndPath, ...] = ()
 
-    def run(self, session: SystemSession) -> SystemScenarioRunResult:
-        """Execute every query against ``session`` in definition order."""
+    def run(self, session: SystemSession,
+            cancel=None) -> SystemScenarioRunResult:
+        """Execute every query against ``session`` in definition order.
+
+        ``cancel`` (a :class:`repro.cancel.CancelToken`) bounds the whole
+        run: it is threaded into every step's engine run.
+        """
         outcomes: list[SystemQueryResult] = []
         latencies: list[tuple[PathLatency, ...]] = []
         for query in self.queries:
-            outcome = session.query(query.deltas, label=query.label)
+            outcome = session.query(query.deltas, label=query.label,
+                                    cancel=cancel)
             outcomes.append(outcome)
             if self.paths:
                 latencies.append(session.path_latency(
-                    self.paths, query.deltas, label=query.label))
+                    self.paths, query.deltas, label=query.label,
+                    cancel=cancel))
         return SystemScenarioRunResult(
             scenario=self.name, session=session.name,
             queries=tuple(outcomes),
@@ -169,10 +176,10 @@ class SystemScenarioCatalog:
     def __len__(self) -> int:
         return len(self._scenarios)
 
-    def run(self, name: str,
-            session: SystemSession) -> SystemScenarioRunResult:
+    def run(self, name: str, session: SystemSession,
+            cancel=None) -> SystemScenarioRunResult:
         """Execute a registered scenario against a session."""
-        return self.get(name).run(session)
+        return self.get(name).run(session, cancel=cancel)
 
     def describe(self) -> str:
         """Multi-line inventory of the catalog."""

@@ -42,6 +42,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional, Sequence
 
+from repro.cancel import CancelToken
 from repro.core.engine import CompositionalAnalysis
 from repro.core.paths import EndToEndPath, PathLatency, path_latency_all
 from repro.core.results import SystemAnalysisResult
@@ -244,13 +245,17 @@ class SystemSession:
         deltas: "SystemDelta | Sequence[SystemDelta]" = (),
         *,
         label: str | None = None,
+        cancel: "CancelToken | None" = None,
     ) -> SystemQueryResult:
         """Run one system-level what-if query.
 
         ``deltas`` (a single delta or a sequence, applied left to right)
         describe the hypothetical topology; the returned fixed point is
         bit-identical to ``CompositionalAnalysis(edited, incremental=False)
-        .run()`` on the equivalently edited model.
+        .run()`` on the equivalently edited model.  ``cancel`` (see
+        :mod:`repro.cancel`) bounds the engine run; a fired token raises
+        before the result cache is touched, so cached answers keep being
+        served after a cancelled query.
         """
         deltas = self._normalize(deltas)
         with self._lock:
@@ -270,7 +275,7 @@ class SystemSession:
         # computation is harmless -- both produce the same value).
         engine = CompositionalAnalysis(
             system, max_iterations=self.max_iterations, sessions=sessions)
-        result = engine.run()
+        result = engine.run(cancel=cancel)
         stats = SystemQueryStats(
             invalidated=tuple(sorted(invalidated)),
             segments=len(system.buses))
@@ -296,6 +301,7 @@ class SystemSession:
         deltas: "SystemDelta | Sequence[SystemDelta]" = (),
         *,
         label: str | None = None,
+        cancel: "CancelToken | None" = None,
     ) -> tuple[PathLatency, ...]:
         """End-to-end latencies of the given paths under a delta sequence.
 
@@ -305,7 +311,7 @@ class SystemSession:
         """
         if isinstance(paths, EndToEndPath):
             paths = (paths,)
-        outcome = self.query(deltas, label=label)
+        outcome = self.query(deltas, label=label, cancel=cancel)
         return path_latency_all(tuple(paths), outcome.system, outcome.result)
 
     def invalidated_by(
