@@ -29,7 +29,12 @@ cache could use:
 * ``service_fraction_sweep_100q`` -- a 100-point global assumed-jitter
   sweep through the same session machinery (informational);
 * ``service_cold_session`` -- one cold session construction + base
-  analysis, bounding the session overhead on a cache-less query.
+  analysis, bounding the session overhead on a cache-less query;
+* ``obs_overhead_parity`` -- the 100-query sweep through an
+  *instrumented* session (live :class:`~repro.obs.MetricsRegistry` plus
+  one :class:`~repro.obs.Trace` per query) vs the uninstrumented
+  session; gated at >= 0.95x under ``--check``, i.e. observability must
+  stay within ~5% of free.
 
 A ``server`` section measures the analysis daemon and the engine-on-sessions
 refactor (the PR 4 subsystem); the "seed" columns are again the strongest
@@ -112,6 +117,7 @@ from repro.workloads.powertrain import (  # noqa: E402
     powertrain_kmatrix,
 )
 from repro.core.engine import CompositionalAnalysis  # noqa: E402
+from repro.obs import MetricsRegistry, Trace  # noqa: E402
 from repro.server import AnalysisDaemon, InProcessClient  # noqa: E402
 from repro.service import (  # noqa: E402
     AnalysisSession,
@@ -147,6 +153,9 @@ ENGINE_MIN_SPEEDUP = 2.0
 WHATIF_BUSES = 5
 WHATIF_MESSAGES_PER_BUS = 30
 WHATIF_MIN_SPEEDUP = 2.0
+# Instrumented vs uninstrumented parity: metrics + tracing may cost at
+# most ~5% on the session what-if sweep (speedup floor below 1.0).
+OBS_MIN_SPEEDUP = 0.95
 
 
 def _timed(fn, repeat: int):
@@ -366,6 +375,36 @@ def run_scenarios(repeat: int, skip_seed: bool,
     record("service_cold_session", plain_cold, session_cold,
            check_equal=assert_identical, n_messages=len(kmatrix),
            baseline="plain kernel analyze_all")
+
+    # 5b. Observability overhead parity: the same 100-query jitter sweep
+    # through an *instrumented* session (a live MetricsRegistry plus one
+    # Trace with session spans per query -- what every daemon request
+    # pays) vs the uninstrumented session of (5).  The "speedup" is the
+    # uninstrumented/instrumented ratio, gated at >= 0.95x: metrics and
+    # tracing must stay within ~5% of free, or the PR 6/7 serving gains
+    # are being paid back in bookkeeping.
+    def uninstrumented_whatif():
+        return session_whatif()
+
+    def instrumented_whatif():
+        registry = MetricsRegistry()
+        session = AnalysisSession(kmatrix, bus, assumed_jitter_fraction=0.15,
+                                  controllers=controllers, metrics=registry)
+        results, previous = [], None
+        for jitter in jitters:
+            trace = Trace(op="query", target="case")
+            previous = session.query(
+                (JitterDelta(message_name=victim.name, jitter=jitter),),
+                warm_from=previous, with_report=False, trace=trace)
+            trace.finish()
+            results.append(previous.results)
+        return results
+
+    record("obs_overhead_parity", uninstrumented_whatif, instrumented_whatif,
+           check_equal=assert_identical, n_messages=len(kmatrix),
+           queries=SERVICE_QUERIES, victim=victim.name,
+           baseline="uninstrumented session sweep",
+           min_speedup=OBS_MIN_SPEEDUP)
 
     # 6. Daemon throughput: the 100-query jitter sweep again, but through
     # the full serving stack (JSON protocol both ways, job accounting,

@@ -14,8 +14,13 @@ What a deployment of the daemon looks like, end to end:
 4. request the compositional fixed point of the multibus system twice --
    the second run is served from the warm per-segment session caches
    (watch the ``hits`` column);
-5. print the daemon's session-statistics table and shut it down from the
-   client side.
+5. run a traced query (``trace=True``) and print the six-stage span
+   tree the daemon returns inline, then pull the slowest retained trace
+   back out of the daemon's trace ring via the ``traces`` op;
+6. print the daemon's metrics snapshot (the ``metrics`` op -- cache
+   hit/miss traffic, warm/cold plan splits, solver iteration
+   histograms) and its session-statistics table, then shut it down from
+   the client side.
 
 Run with:  python examples/analysis_daemon.py
 """
@@ -33,6 +38,7 @@ from repro import (
     TcpClient,
     start_server,
 )
+from repro.reporting import format_trace
 from repro.workloads.multibus import multibus_system
 from repro.workloads.powertrain import (
     PowertrainConfig,
@@ -124,6 +130,28 @@ def main() -> None:
                   f"converged={outcome['converged']} "
                   f"after {outcome['iterations']} iterations, "
                   f"deadlines met: {outcome['all_deadlines_met']}")
+
+        # A traced query: the response carries the span tree inline --
+        # decode, admission, queue_wait, session_plan, solve, encode --
+        # and the daemon retains the slowest traces in a ring for later
+        # inspection (the `traces` op, `--trace-ring` sizes it).
+        traced = client.query(
+            "powertrain", (JitterDelta(fraction=0.3),),
+            label="traced", trace=True)
+        print()
+        print(format_trace(traced["trace"], title="inline trace"))
+
+        slowest = client.traces(limit=1)["traces"]
+        if slowest:
+            print()
+            print(format_trace(slowest[0], title="slowest retained trace"))
+
+        # The metrics snapshot: one registry wired through the daemon,
+        # session pool, sessions and job queue.  `format="prometheus"`
+        # would add the text exposition format for a scrape endpoint.
+        metrics = client.metrics()
+        print()
+        print(metrics["table"])
 
         stats = client.stats()
         print()

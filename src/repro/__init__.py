@@ -43,7 +43,10 @@ The subpackages group the functionality:
 * :mod:`repro.diagnostics` -- flashing and diagnostics traffic models;
 * :mod:`repro.flexray` -- static-segment FlexRay/TimeTable analysis;
 * :mod:`repro.workloads` -- the case-study network and synthetic workloads;
-* :mod:`repro.reporting` -- helpers that print paper-shaped tables.
+* :mod:`repro.reporting` -- helpers that print paper-shaped tables;
+* :mod:`repro.obs` -- observability: the dependency-free metrics registry
+  (counters, gauges, histograms) and request tracing (span trees,
+  slowest-trace retention, slow-query log) wired through the serving tier.
 """
 
 from repro.analysis import (
@@ -63,6 +66,7 @@ from repro.events import (
     PeriodicWithBurst,
     PeriodicWithJitter,
 )
+from repro.obs import MetricsRegistry, Trace, TraceRing
 from repro.optimize import optimize_priorities, paper_scenarios
 from repro.parallel import parallel_map
 from repro.sensitivity import jitter_sensitivity_all, max_tolerable_jitter_fraction
@@ -112,7 +116,7 @@ from repro.whatif import (
 from repro.core import EndToEndPath, PathLatency, path_latency
 from repro.workloads import powertrain_kmatrix, powertrain_system
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -165,6 +169,9 @@ __all__ = [
     "CancelToken",
     "Cancelled",
     "DeadlineExceeded",
+    "MetricsRegistry",
+    "Trace",
+    "TraceRing",
     "start_server",
     "AddGatewayRouteDelta",
     "BusSpeedDelta",

@@ -222,6 +222,13 @@ class CanBusAnalysis:
         # of the naive formulation always evaluates to this global value).
         self._horizon = _MAX_BUSY_PERIOD_FACTOR * max(
             (m.period for m in kmatrix), default=1.0)
+        # Profiling accumulators (monotonic plain ints, mirroring
+        # BatchSolver's): total fixed-point iterations across both
+        # backends and the largest lockstep active set.  Always-on; the
+        # service layer reads deltas and publishes them to its metrics
+        # registry once per solve.
+        self.profile_iterations = 0
+        self.profile_max_active = 0
         # Per-message interference tables, built lazily so single-message
         # queries do not pay the full O(n^2) table construction.
         self._kernels: dict[str, _MessageKernel] = {}
@@ -493,7 +500,7 @@ class CanBusAnalysis:
         t = own_c + blocking
         if seed is not None and seed > t:
             t = seed
-        for _ in range(_MAX_ITERATIONS):
+        for iteration in range(_MAX_ITERATIONS):
             if cancel is not None:
                 cancel.check()
             own_instances = self._own_eta_plus(kernel, t)
@@ -504,10 +511,13 @@ class CanBusAnalysis:
                      + self._interference_of(kernel, t)
                      + self._error_overhead_of(kernel, t))
             if new_t > horizon:
+                self.profile_iterations += iteration + 1
                 return new_t, False
             if new_t == t:
+                self.profile_iterations += iteration + 1
                 return new_t, True
             t = new_t
+        self.profile_iterations += _MAX_ITERATIONS
         return t, False
 
     def _queuing_delay(self, kernel: _MessageKernel, instance: int,
@@ -521,17 +531,20 @@ class CanBusAnalysis:
         w = base
         if seed is not None and seed > w:
             w = seed
-        for _ in range(_MAX_ITERATIONS):
+        for iteration in range(_MAX_ITERATIONS):
             if cancel is not None:
                 cancel.check()
             new_w = (base
                      + self._interference_of(kernel, w)
                      + self._error_overhead_of(kernel, w + own_c))
             if new_w > horizon:
+                self.profile_iterations += iteration + 1
                 return new_w, False
             if new_w == w:
+                self.profile_iterations += iteration + 1
                 return new_w, True
             w = new_w
+        self.profile_iterations += _MAX_ITERATIONS
         return w, False
 
     # ------------------------------------------------------------------ #
@@ -673,6 +686,9 @@ class CanBusAnalysis:
                         delay_seeds[q] if q < len(delay_seeds) else None)
             delays_w, delays_ok = solver.queuing_delays(
                 item_kernel, item_instance, item_seeds)
+            self.profile_iterations += solver.iterations
+            if solver.max_active > self.profile_max_active:
+                self.profile_max_active = solver.max_active
             busy_list = busy.tolist()
             w_list = delays_w.tolist()
             ok_list = delays_ok.tolist()

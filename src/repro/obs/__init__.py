@@ -1,0 +1,40 @@
+"""Observability substrate: metrics registry, request tracing, slow log.
+
+Dependency-free (stdlib only) so every layer -- including the analysis
+kernels -- may import from here without cycles.  See ``metrics.py`` for
+the instrument model and ``tracing.py`` for span/retention semantics.
+"""
+
+from repro.obs.metrics import (
+    ITERATION_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    DEFAULT_TRACE_RING,
+    SlowQueryLog,
+    Span,
+    Trace,
+    TraceRing,
+    new_trace_id,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TRACE_RING",
+    "Gauge",
+    "Histogram",
+    "ITERATION_BUCKETS",
+    "LATENCY_BUCKETS_MS",
+    "MetricsRegistry",
+    "SIZE_BUCKETS",
+    "SlowQueryLog",
+    "Span",
+    "Trace",
+    "TraceRing",
+    "new_trace_id",
+]

@@ -8,9 +8,11 @@ EXPERIMENTS.md all look the same.
 
 from repro.reporting.tables import (
     format_loss_curves,
+    format_metrics_table,
     format_sensitivity_table,
     format_session_stats,
     format_table,
+    format_trace,
     format_whatif_table,
     series_to_rows,
 )
@@ -19,7 +21,9 @@ __all__ = [
     "format_table",
     "series_to_rows",
     "format_loss_curves",
+    "format_metrics_table",
     "format_sensitivity_table",
     "format_session_stats",
+    "format_trace",
     "format_whatif_table",
 ]

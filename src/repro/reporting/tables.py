@@ -109,6 +109,69 @@ def format_path_latency_table(latencies: Iterable[object],
     return format_table(headers, rows, title=title)
 
 
+def format_metrics_table(snapshot: Mapping[str, Mapping[str, object]],
+                         title: str | None = None) -> str:
+    """Render a :meth:`repro.obs.metrics.MetricsRegistry.snapshot`.
+
+    Counters and gauges share one name/value table; histograms get a
+    second table with their count, sum and mean (the full per-bucket
+    breakdown stays in the structured snapshot / Prometheus rendering,
+    where tooling can consume it).
+    """
+    scalar_rows: list[list[object]] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        scalar_rows.append([name, "counter", value])
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        scalar_rows.append([name, "gauge", value])
+    parts: list[str] = []
+    if scalar_rows:
+        parts.append(format_table(["metric", "kind", "value"],
+                                  scalar_rows, title=title))
+        title = None
+    histogram_rows: list[list[object]] = []
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        count = data["count"]
+        total = data["sum"]
+        mean = total / count if count else 0.0
+        histogram_rows.append([name, count, float(total), mean])
+    if histogram_rows:
+        parts.append(format_table(["histogram", "count", "sum", "mean"],
+                                  histogram_rows, title=title))
+    if not parts:
+        return title or "(no metrics recorded)"
+    return "\n\n".join(parts)
+
+
+def format_trace(trace: Mapping[str, object],
+                 title: str | None = None) -> str:
+    """Render one trace (``Trace.to_json`` output) as an indented tree.
+
+    The root line carries the trace id, op and total duration; each span
+    line shows its start offset and duration, children indented under
+    their parent.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"trace {trace.get('trace_id')}  op={trace.get('op')}"
+        f"  target={trace.get('target')}"
+        f"  total={float(trace.get('duration_ms', 0.0)):.3f} ms")
+
+    def _walk(span: Mapping[str, object], depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{span.get('name')}"
+            f"  +{float(span.get('start_ms', 0.0)):.3f} ms"
+            f"  {float(span.get('duration_ms', 0.0)):.3f} ms")
+        for child in span.get("children", ()):  # type: ignore[union-attr]
+            _walk(child, depth + 1)
+
+    for span in trace.get("spans", ()):  # type: ignore[union-attr]
+        _walk(span, 1)
+    return "\n".join(lines)
+
+
 def format_session_stats(stats: Iterable[object],
                          title: str | None = "Session statistics") -> str:
     """Per-session cache statistics table (the daemon's stats endpoint).

@@ -13,7 +13,7 @@ PR 3 session/catalog layer:
   :mod:`repro.parallel`;
 * :mod:`repro.server.daemon` -- :class:`AnalysisDaemon`, the
   transport-independent request handler (query / scenario / batch /
-  analyze_system / stats / health endpoints);
+  analyze_system / stats / health / metrics / traces endpoints);
 * :mod:`repro.server.tcp` -- the threading TCP front end;
 * :mod:`repro.server.client` -- :class:`InProcessClient` and
   :class:`TcpClient`, one API over both transports, with shared

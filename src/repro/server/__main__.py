@@ -18,8 +18,10 @@ Example session (from another terminal)::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
+from repro.obs.tracing import DEFAULT_TRACE_RING
 from repro.server.daemon import AnalysisDaemon
 from repro.server.jobs import DEFAULT_GRACE
 from repro.server.tcp import DEFAULT_HOST, DEFAULT_PORT, DaemonServer
@@ -38,10 +40,14 @@ def build_daemon(messages: int = 80, buses: int = 4,
                  workers: int | None = None,
                  max_inflight: int | None = None,
                  max_pending: int | None = None,
-                 grace: float = DEFAULT_GRACE) -> AnalysisDaemon:
+                 grace: float = DEFAULT_GRACE,
+                 slow_query_ms: float | None = None,
+                 trace_ring: int = DEFAULT_TRACE_RING) -> AnalysisDaemon:
     """Daemon preloaded with the standard serving targets."""
     daemon = AnalysisDaemon(workers=workers, max_inflight=max_inflight,
-                            max_pending=max_pending, grace=grace)
+                            max_pending=max_pending, grace=grace,
+                            slow_query_ms=slow_query_ms,
+                            trace_ring=trace_ring)
     config = PowertrainConfig(n_messages=messages)
     daemon.add_config("powertrain", BusConfiguration(
         kmatrix=powertrain_kmatrix(config),
@@ -80,14 +86,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--grace", type=float, default=DEFAULT_GRACE,
                         help="seconds a shutdown drains in-flight work "
                              f"before cancelling it (default {DEFAULT_GRACE})")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        help="log requests slower than this many ms to the "
+                             "'repro.slowlog' logger (default: off)")
+    parser.add_argument("--trace-ring", type=int,
+                        default=DEFAULT_TRACE_RING,
+                        help="how many slowest traces the 'traces' op "
+                             f"retains (default {DEFAULT_TRACE_RING})")
     args = parser.parse_args(argv)
+
+    if args.slow_query_ms is not None:
+        # Make sure the slow-query records reach stderr even when the
+        # operator has not configured logging themselves.
+        logging.basicConfig(level=logging.WARNING)
 
     daemon = build_daemon(messages=args.messages, buses=args.buses,
                           messages_per_bus=args.messages_per_bus,
                           workers=args.workers,
                           max_inflight=args.max_inflight,
                           max_pending=args.max_pending,
-                          grace=args.grace)
+                          grace=args.grace,
+                          slow_query_ms=args.slow_query_ms,
+                          trace_ring=args.trace_ring)
     server = DaemonServer(daemon, host=args.host, port=args.port)
     host, port = server.address
     print(f"{daemon.name} serving on {host}:{port} "

@@ -159,6 +159,10 @@ class BaseClient:
 
         Transparently retries per the module docstring's rules; every
         attempt uses a fresh request ``id`` and verifies the echo.
+
+        Any op accepts ``trace=True`` (and an optional ``trace_id``);
+        the daemon's inline span tree and echoed trace id are folded
+        into the returned payload under ``"trace"`` / ``"trace_id"``.
         """
         attempt = 0
         while True:
@@ -181,7 +185,16 @@ class BaseClient:
                     f"response id {echoed!r} does not match request id "
                     f"{request['id']!r}; connection desynchronised")
             if response.get("ok"):
-                return response["result"]
+                result = response["result"]
+                if isinstance(result, dict):
+                    # Trace data rides at the envelope level on the wire;
+                    # surface it with the payload so callers keep a single
+                    # return value.
+                    if "trace" in response:
+                        result.setdefault("trace", response["trace"])
+                    if "trace_id" in response:
+                        result.setdefault("trace_id", response["trace_id"])
+                return result
             code = str(response.get("code", "internal"))
             retry_after_ms = response.get("retry_after_ms")
             if code == "overloaded" and op not in _NO_RETRY_OPS \
@@ -213,17 +226,40 @@ class BaseClient:
     def scenarios(self) -> dict:
         return self.request("scenarios")
 
+    # -- observability --------------------------------------------------- #
+    def metrics(self, format: Optional[str] = None) -> dict:
+        """Structured metrics snapshot (plus a rendered summary table).
+
+        ``format="prometheus"`` (alias ``"text"``) additionally returns
+        the Prometheus text exposition format under the ``"text"`` key.
+        """
+        params: dict = {}
+        if format is not None:
+            params["format"] = format
+        return self.request("metrics", **params)
+
+    def traces(self, limit: Optional[int] = None) -> dict:
+        """The slowest retained traces (span trees), slowest first."""
+        params: dict = {}
+        if limit is not None:
+            params["limit"] = limit
+        return self.request("traces", **params)
+
     # -- analysis ------------------------------------------------------- #
     def query(self, target: str, deltas: Sequence[Delta] = (),
               message_names: Optional[Sequence[str]] = None,
               label: Optional[str] = None,
               with_report: bool = True,
-              deadline_ms: Optional[float] = None) -> dict:
+              deadline_ms: Optional[float] = None,
+              trace: bool = False,
+              trace_id: Optional[str] = None) -> dict:
         """One what-if query; ``deltas`` are typed Delta objects.
 
         ``deadline_ms`` bounds the daemon-side analysis: past it the
         request fails with a typed ``timeout`` error instead of running
-        to the iteration cap.
+        to the iteration cap.  ``trace=True`` asks the daemon for the
+        request's span tree, returned under ``"trace"`` in the payload;
+        a client-supplied ``trace_id`` is propagated and echoed back.
         """
         params: dict = {"target": target,
                         "deltas": deltas_to_json(deltas),
@@ -234,6 +270,10 @@ class BaseClient:
             params["label"] = label
         if deadline_ms is not None:
             params["deadline_ms"] = deadline_ms
+        if trace:
+            params["trace"] = True
+        if trace_id is not None:
+            params["trace_id"] = trace_id
         return self.request("query", **params)
 
     def run_scenario(self, target: str, scenario: str,
@@ -296,12 +336,15 @@ class BaseClient:
                      paths: Sequence = (),
                      shards: Optional[Mapping[str, str]] = None,
                      label: Optional[str] = None,
-                     deadline_ms: Optional[float] = None) -> dict:
+                     deadline_ms: Optional[float] = None,
+                     trace: bool = False,
+                     trace_id: Optional[str] = None) -> dict:
         """One topology what-if query; ``deltas`` are typed SystemDeltas.
 
         ``paths`` (typed :class:`~repro.core.paths.EndToEndPath` objects)
         are evaluated against the edited topology's fixed point in the
         same request; ``shards`` re-keys the per-bus report sections.
+        ``trace``/``trace_id`` behave as in :meth:`query`.
         """
         params: dict = {"system": system,
                         "deltas": system_deltas_to_json(deltas)}
@@ -313,6 +356,10 @@ class BaseClient:
             params["label"] = label
         if deadline_ms is not None:
             params["deadline_ms"] = deadline_ms
+        if trace:
+            params["trace"] = True
+        if trace_id is not None:
+            params["trace_id"] = trace_id
         return self.request("system_query", **params)
 
     def system_scenario(self, system: str, scenario: str,
@@ -357,9 +404,25 @@ class InProcessClient(BaseClient):
 
     def _roundtrip(self, request: dict) -> dict:
         # Encode/decode both directions: what the daemon sees is exactly
-        # the object a TCP peer would deliver, typos and all.
-        wire_request = decode_line(encode_line(request))
-        return decode_line(encode_line(self.daemon.handle(wire_request)))
+        # the object a TCP peer would deliver, typos and all.  The stage
+        # timing mirrors the TCP transport so traces look the same over
+        # either: decode time flows into the trace up front, encode time
+        # is folded in afterwards via ``take_trace``.
+        wire = encode_line(request)
+        decode_start = time.perf_counter()
+        wire_request = decode_line(wire)
+        decode_ms = (time.perf_counter() - decode_start) * 1000.0
+        response = self.daemon.handle(wire_request, decode_ms=decode_ms)
+        encode_start = time.perf_counter()
+        data = encode_line(response)
+        encode_ms = (time.perf_counter() - encode_start) * 1000.0
+        trace = self.daemon.take_trace()
+        if trace is not None:
+            trace.extend("encode", encode_ms)
+            if "trace" in response:
+                response["trace"] = trace.to_json()
+                data = encode_line(response)
+        return decode_line(data)
 
 
 class TcpClient(BaseClient):

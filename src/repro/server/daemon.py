@@ -47,6 +47,14 @@ requests (see :mod:`repro.server.protocol`):
     End-to-end latencies of a path portfolio under an optional delta
     sequence, rendered with
     :func:`repro.reporting.tables.format_path_latency_table`.
+``metrics`` / ``traces``
+    Observability: a structured snapshot of the daemon's
+    :class:`~repro.obs.MetricsRegistry` (optionally rendered in the
+    Prometheus text exposition format) and the slowest retained request
+    traces (see :mod:`repro.obs.tracing`).  Every request is traced --
+    stages ``decode -> admission -> queue_wait -> session_plan -> solve
+    -> encode`` -- and the span tree is returned inline when a request
+    sets ``trace: true``.
 ``shutdown``
     Graceful stop (the TCP front end watches :attr:`shutdown_requested`).
 
@@ -85,7 +93,15 @@ from typing import Mapping, Optional
 from repro.cancel import Cancelled, CancelToken, DeadlineExceeded
 from repro.core.paths import path_latency_all
 from repro.core.system import SystemModel
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    DEFAULT_TRACE_RING,
+    SlowQueryLog,
+    Trace,
+    TraceRing,
+)
 from repro.reporting.tables import (
+    format_metrics_table,
     format_path_latency_table,
     format_session_stats,
 )
@@ -106,7 +122,8 @@ from repro.whatif.session import SystemSession
 #: keep being served while the daemon is overloaded or draining, so
 #: monitoring (and the shutdown request itself) always gets through.
 _CONTROL_OPS = frozenset(
-    {"ping", "health", "stats", "targets", "scenarios", "shutdown"})
+    {"ping", "health", "stats", "targets", "scenarios", "metrics",
+     "traces", "shutdown"})
 
 
 class AnalysisDaemon:
@@ -118,6 +135,12 @@ class AnalysisDaemon:
     :meth:`close` in seconds.  ``faults`` injects deterministic failures
     for tests (default: whatever ``REPRO_FAULTS`` specifies; see
     :mod:`repro.server.faults`).
+
+    ``metrics`` is the daemon's :class:`~repro.obs.MetricsRegistry`
+    (default: a fresh one, shared with the pool, job queue and every
+    session); ``trace_ring`` bounds how many slowest traces the
+    ``traces`` op retains; ``slow_query_ms`` enables the structured
+    slow-query log at that threshold in milliseconds (default: off).
     """
 
     def __init__(
@@ -131,14 +154,29 @@ class AnalysisDaemon:
         max_pending: Optional[int] = None,
         grace: float = DEFAULT_GRACE,
         faults: Optional[faults_mod.FaultInjector] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        slow_query_ms: Optional[float] = None,
+        trace_ring: int = DEFAULT_TRACE_RING,
     ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
         self.name = name
         self.catalog = catalog if catalog is not None else builtin_catalog()
-        self.pool = pool if pool is not None else SessionPool()
+        # One registry for the whole serving stack.  An injected pool that
+        # already carries a registry wins (its sessions are bound to it);
+        # otherwise the daemon's registry is pushed down so sessions the
+        # pool creates from now on publish into it.
+        if metrics is None and pool is not None and pool.metrics is not None:
+            metrics = pool.metrics
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.pool = pool if pool is not None else \
+            SessionPool(metrics=self.metrics)
+        if self.pool.metrics is None:
+            self.pool.metrics = self.metrics
         self.jobs = JobQueue(workers=workers, mode=mode,
-                             max_pending=max_pending)
+                             max_pending=max_pending, metrics=self.metrics)
+        self.traces = TraceRing(trace_ring)
+        self.slowlog = SlowQueryLog(slow_query_ms)
         self.max_inflight = max_inflight
         self.grace = grace
         self.faults = faults if faults is not None else faults_mod.from_env()
@@ -161,6 +199,19 @@ class AnalysisDaemon:
         self._active_seq = 0
         self._inflight = 0
         self._draining = False
+        # Per-thread stash of the request being handled (so op handlers
+        # can attach session spans) and of the last finished trace (so
+        # the transport can fold in encode time; see take_trace).
+        self._trace_local = threading.local()
+        self._m_inflight = self.metrics.gauge("daemon_inflight")
+        self._m_admission = {
+            "accepted": self.metrics.counter(
+                "daemon_admission_total", decision="accepted"),
+            "rejected_overload": self.metrics.counter(
+                "daemon_admission_total", decision="rejected_overload"),
+            "rejected_draining": self.metrics.counter(
+                "daemon_admission_total", decision="rejected_draining"),
+        }
         self._ops = {
             "ping": self._op_ping,
             "health": self._op_health,
@@ -175,6 +226,8 @@ class AnalysisDaemon:
             "system_query": self._op_system_query,
             "system_scenario": self._op_system_scenario,
             "path_latency": self._op_path_latency,
+            "metrics": self._op_metrics,
+            "traces": self._op_traces,
             "shutdown": self._op_shutdown,
         }
 
@@ -213,7 +266,8 @@ class AnalysisDaemon:
             session = self._system_sessions.get(name)
             if session is None or session.base_system is not system:
                 session = SystemSession(
-                    system, sessions=sessions, name=f"{self.name}:{name}")
+                    system, sessions=sessions, name=f"{self.name}:{name}",
+                    metrics=self.metrics)
                 self._system_sessions[name] = session
             return session
 
@@ -269,13 +323,25 @@ class AnalysisDaemon:
     # ------------------------------------------------------------------ #
     # Request handling
     # ------------------------------------------------------------------ #
-    def handle(self, request: Mapping) -> dict:
+    def handle(self, request: Mapping, *,
+               decode_ms: Optional[float] = None,
+               queued_since: Optional[float] = None) -> dict:
         """Serve one protocol request dict; always returns a response dict.
 
         Never raises: every error is reported as ``{"ok": false, "code":
         ...}`` (see the taxonomy in :mod:`repro.server.protocol`) so one
         malformed -- or timed-out, or drain-cancelled -- request cannot
         take down a connection.
+
+        Every request is traced (stages ``decode`` -> ``admission`` ->
+        ``queue_wait`` -> ``session_plan`` -> ``solve``; the transport
+        folds in ``encode`` via :meth:`take_trace`); the slowest traces
+        are retained for the ``traces`` op, and the span tree is returned
+        inline when the request sets ``trace: true``.  ``decode_ms`` is
+        the transport's line-decode time; ``queued_since`` is the
+        ``time.perf_counter()`` at which the request was enqueued (see
+        :meth:`submit`), turning the ``queue_wait`` span into the real
+        wait instead of zero.
         """
         request_id = request.get("id")
         op = request.get("op")
@@ -283,6 +349,29 @@ class AnalysisDaemon:
         with self._counter_lock:
             self.requests_served += 1
             self.op_counts[op or "?"] = self.op_counts.get(op or "?", 0) + 1
+        # Label cardinality stays bounded: unknown (client-invented) op
+        # strings all map to "?" in metrics and traces.
+        op_name = str(op) if handler is not None else "?"
+        self.metrics.counter("daemon_requests_total", op=op_name).inc()
+        requested_id = request.get("trace_id")
+        target = request.get("target") or request.get("system")
+        trace = Trace(
+            op=op_name,
+            target=str(target) if target is not None else None,
+            trace_id=str(requested_id) if requested_id is not None else None,
+            inline=bool(request.get("trace")))
+        if decode_ms is not None:
+            trace.backdate(float(decode_ms))
+            trace.record("decode", float(decode_ms))
+        response = self._dispatch(
+            request, request_id, op, handler, trace, queued_since)
+        return self._finalize_trace(
+            trace, response,
+            echo=trace.inline or requested_id is not None)
+
+    def _dispatch(self, request: Mapping, request_id, op, handler,
+                  trace: Trace, queued_since: Optional[float]) -> dict:
+        """Admission control plus op dispatch for one (traced) request."""
         if handler is None:
             return self._error(
                 f"unknown op {op!r}; supported: "
@@ -293,34 +382,53 @@ class AnalysisDaemon:
             return self._error(str(error), request_id, code="protocol")
         control = op in _CONTROL_OPS
         token_key = None
+        rejection = None
+        admission = trace.begin("admission")
         if not control:
             with self._active_lock:
                 if self._draining:
                     with self._counter_lock:
                         self.rejected_draining += 1
-                    return self._error(
+                    self._m_admission["rejected_draining"].inc()
+                    rejection = self._error(
                         f"daemon {self.name} is draining", request_id,
                         code="draining")
-                if self.max_inflight is not None \
+                elif self.max_inflight is not None \
                         and self._inflight >= self.max_inflight:
                     with self._counter_lock:
                         self.rejected_overload += 1
-                    return self._error(
+                    self._m_admission["rejected_overload"].inc()
+                    rejection = self._error(
                         f"daemon at max in-flight requests "
                         f"({self.max_inflight})", request_id,
                         code="overloaded",
                         retry_after_ms=50 * (1 + self.jobs.pending))
-                self._inflight += 1
-                # Every work request gets a token -- deadline-less when the
-                # request has none -- so a drain can always cancel it.
-                if cancel is None:
-                    cancel = CancelToken()
-                self._active_seq += 1
-                token_key = self._active_seq
-                self._active_tokens[token_key] = cancel
-            rule = self.faults.check("handle.stall")
-            if rule is not None:
-                time.sleep(rule.arg / 1000.0)
+                else:
+                    self._inflight += 1
+                    self._m_inflight.set(self._inflight)
+                    self._m_admission["accepted"].inc()
+                    # Every work request gets a token -- deadline-less when
+                    # the request has none -- so a drain can always cancel
+                    # it.
+                    if cancel is None:
+                        cancel = CancelToken()
+                    self._active_seq += 1
+                    token_key = self._active_seq
+                    self._active_tokens[token_key] = cancel
+            if rejection is None:
+                rule = self.faults.check("handle.stall")
+                if rule is not None:
+                    time.sleep(rule.arg / 1000.0)
+        trace.end(admission)
+        if rejection is not None:
+            return rejection
+        if queued_since is not None:
+            trace.record(
+                "queue_wait",
+                (time.perf_counter() - queued_since) * 1000.0)
+        else:
+            trace.record("queue_wait", 0.0)
+        self._trace_local.current = trace
         try:
             return self._reply(handler(request, cancel), request_id)
         except DeadlineExceeded:
@@ -357,9 +465,11 @@ class AnalysisDaemon:
             return self._error(str(error) or repr(error), request_id,
                                code=code)
         finally:
+            self._trace_local.current = None
             if not control:
                 with self._active_lock:
                     self._inflight -= 1
+                    self._m_inflight.set(self._inflight)
                     if token_key is not None:
                         self._active_tokens.pop(token_key, None)
 
@@ -381,8 +491,44 @@ class AnalysisDaemon:
 
     def submit(self, request: Mapping):
         """Queue a request on the worker pool; returns a Future response."""
-        return self.jobs.submit(lambda: self.handle(request),
-                                label=str(request.get("op")))
+        enqueued = time.perf_counter()
+        return self.jobs.submit(
+            lambda: self.handle(request, queued_since=enqueued),
+            label=str(request.get("op")))
+
+    def _finalize_trace(self, trace: Trace, response: dict,
+                        echo: bool) -> dict:
+        """Close a request's trace: metrics, retention, slow log, echo."""
+        duration = trace.finish()
+        self.metrics.histogram("daemon_op_ms", op=trace.op).observe(duration)
+        self.traces.add(trace)
+        if self.slowlog.threshold_ms is not None:
+            result = response.get("result")
+            fingerprint = result.get("fingerprint") \
+                if isinstance(result, dict) else None
+            self.slowlog.maybe_log(trace, fingerprint=fingerprint)
+        if echo:
+            response["trace_id"] = trace.trace_id
+        if trace.inline:
+            response["trace"] = trace.to_json()
+        self._trace_local.finished = trace
+        return response
+
+    def take_trace(self) -> Optional[Trace]:
+        """Pop the trace of the request this thread just handled.
+
+        Transport hook: the TCP server (and the in-process client) call
+        it after :meth:`handle` to fold their line-encode time into the
+        trace's ``encode`` span -- the trace object is already retained
+        by reference, so the amendment shows up in ``traces`` output too.
+        """
+        trace = getattr(self._trace_local, "finished", None)
+        self._trace_local.finished = None
+        return trace
+
+    def _current_trace(self) -> Optional[Trace]:
+        """The trace of the request being handled on this thread."""
+        return getattr(self._trace_local, "current", None)
 
     def _reply(self, result: dict, request_id) -> dict:
         response = {"ok": True, "result": result}
@@ -394,6 +540,7 @@ class AnalysisDaemon:
                retry_after_ms: Optional[int] = None) -> dict:
         with self._counter_lock:
             self.errors += 1
+        self.metrics.counter("daemon_errors_total", code=code).inc()
         return protocol.error_response(
             message, code=code, request_id=request_id,
             retry_after_ms=retry_after_ms)
@@ -405,16 +552,32 @@ class AnalysisDaemon:
         return {"pong": True, "name": self.name}
 
     def _op_health(self, request: Mapping, cancel=None) -> dict:
+        causes: list[str] = []
+        stragglers = self.jobs.stragglers
+        alive = self.jobs.alive_workers
         if self._draining:
             status = "draining"
+            causes.append("daemon is draining")
         elif self.jobs.healthy:
             status = "ok"
         else:
             status = "degraded"
+        if stragglers:
+            causes.append(
+                f"{len(stragglers)} straggler worker(s): "
+                + ", ".join(stragglers))
+        if self.jobs.workers and alive < self.jobs.workers:
+            causes.append(
+                f"only {alive}/{self.jobs.workers} workers alive")
         with self._active_lock:
             inflight = self._inflight
+        with self._counter_lock:
+            rejected_overload = self.rejected_overload
+            rejected_draining = self.rejected_draining
+            timeouts = self.timeouts
         return {
             "status": status,
+            "causes": causes,
             "name": self.name,
             "protocol": protocol.PROTOCOL_VERSION,
             "uptime_seconds": round(time.monotonic() - self._started, 3),
@@ -424,12 +587,23 @@ class AnalysisDaemon:
             "scenarios": self.catalog.names(),
             "inflight": inflight,
             "max_inflight": self.max_inflight,
+            # Metrics-derived signals: the observable inputs behind the
+            # status flag, so "degraded" always has a visible cause.
+            "signals": {
+                "queue_depth": self.jobs.pending,
+                "inflight": inflight,
+                "max_inflight": self.max_inflight,
+                "straggler_count": len(stragglers),
+                "rejected_overload": rejected_overload,
+                "rejected_draining": rejected_draining,
+                "timeouts": timeouts,
+            },
             "queue": {"mode": self.jobs.mode, "workers": self.jobs.workers,
-                      "alive_workers": self.jobs.alive_workers,
+                      "alive_workers": alive,
                       "pending": self.jobs.pending,
                       "max_pending": self.jobs.max_pending,
                       "rejected": self.jobs.rejected,
-                      "stragglers": list(self.jobs.stragglers)},
+                      "stragglers": list(stragglers)},
         }
 
     def _op_stats(self, request: Mapping, cancel=None) -> dict:
@@ -478,6 +652,7 @@ class AnalysisDaemon:
             label=request.get("label"),
             with_report=bool(request.get("with_report", True)),
             cancel=cancel,
+            trace=self._current_trace(),
         )
         return protocol.query_result_to_json(result)
 
@@ -610,7 +785,8 @@ class AnalysisDaemon:
         # Validate the client's shard map first: a typo'd bus name should
         # cost an error response, not a discarded fixed-point computation.
         shards = self._shard_names(name, request.get("shards"))
-        outcome = self._system_session(name).query((), cancel=cancel)
+        outcome = self._system_session(name).query(
+            (), cancel=cancel, trace=self._current_trace())
         result = outcome.result
         return {
             "system": name,
@@ -634,7 +810,7 @@ class AnalysisDaemon:
         deltas = protocol.system_deltas_from_json(request.get("deltas", ()))
         shards = self._shard_names(name, request.get("shards"))
         outcome = session.query(deltas, label=request.get("label"),
-                                cancel=cancel)
+                                cancel=cancel, trace=self._current_trace())
         response = protocol.system_query_result_to_json(outcome)
         response["system"] = name
         response["shards"] = shards
@@ -673,7 +849,7 @@ class AnalysisDaemon:
             raise protocol.ProtocolError("path_latency needs paths")
         deltas = protocol.system_deltas_from_json(request.get("deltas", ()))
         outcome = session.query(deltas, label=request.get("label"),
-                                cancel=cancel)
+                                cancel=cancel, trace=self._current_trace())
         latencies = path_latency_all(paths, outcome.system, outcome.result)
         return {
             "system": name,
@@ -683,6 +859,44 @@ class AnalysisDaemon:
             "table": format_path_latency_table(
                 latencies,
                 title=f"{name}: end-to-end path latency"),
+        }
+
+    def _op_metrics(self, request: Mapping, cancel=None) -> dict:
+        """Structured snapshot of the daemon's metrics registry.
+
+        ``{"format": "prometheus"}`` (or ``"text"``) additionally
+        renders the text exposition format under ``"text"``.
+        """
+        snapshot = self.metrics.snapshot()
+        result = {
+            "metrics": snapshot,
+            "table": format_metrics_table(
+                snapshot, title=f"{self.name}: metrics"),
+        }
+        fmt = request.get("format")
+        if fmt in ("text", "prometheus"):
+            result["text"] = self.metrics.render_prometheus()
+        elif fmt is not None:
+            raise protocol.ProtocolError(
+                f"unknown metrics format {fmt!r}; "
+                f"supported: 'text'/'prometheus'")
+        return result
+
+    def _op_traces(self, request: Mapping, cancel=None) -> dict:
+        """The retained slowest traces, slowest first."""
+        limit = request.get("limit")
+        if limit is not None:
+            if isinstance(limit, bool) or not isinstance(limit, int) \
+                    or limit < 1:
+                raise protocol.ProtocolError(
+                    f"limit must be a positive integer, got {limit!r}")
+        return {
+            "traces": self.traces.snapshot(limit),
+            "retained": len(self.traces),
+            "capacity": self.traces.capacity,
+            "seen": self.traces.seen,
+            "slow_query_ms": self.slowlog.threshold_ms,
+            "slow_queries_logged": self.slowlog.emitted,
         }
 
     def _op_shutdown(self, request: Mapping, cancel=None) -> dict:

@@ -90,6 +90,9 @@ class Job:
     future: Future = field(default_factory=Future)
     label: str = ""
     cancel: Optional[CancelToken] = None
+    #: ``time.perf_counter()`` at enqueue; workers derive queue wait
+    #: (start - enqueue) from it for the ``jobs_wait_ms`` histogram.
+    enqueued: float = 0.0
 
     def execute(self) -> None:
         """Run the thunk and resolve the future (exceptions travel too).
@@ -133,7 +136,8 @@ class JobQueue:
 
     def __init__(self, workers: Optional[int] = None,
                  mode: str = "auto",
-                 max_pending: Optional[int] = None) -> None:
+                 max_pending: Optional[int] = None,
+                 metrics=None) -> None:
         resolved = resolve_mode(mode, n_items=2)
         if resolved == "process":
             resolved = "thread"
@@ -152,6 +156,15 @@ class JobQueue:
         self.completed = 0
         self.rejected = 0
         self.cancelled = 0
+        # Optional repro.obs.MetricsRegistry; instruments bound once so
+        # submit/drain publication is plain inc/set/observe calls.
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_depth = metrics.gauge("jobs_depth")
+            self._m_wait = metrics.histogram("jobs_wait_ms")
+            self._m_submitted = metrics.counter("jobs_submitted_total")
+            self._m_rejected = metrics.counter("jobs_rejected_total")
+            self._m_cancelled = metrics.counter("jobs_cancelled_total")
         if resolved == "thread":
             self.workers = workers or min(available_workers(),
                                           DEFAULT_MAX_WORKERS)
@@ -181,21 +194,31 @@ class JobQueue:
             pending = self.submitted - self.completed
             if self.max_pending is not None and pending >= self.max_pending:
                 self.rejected += 1
+                if self.metrics is not None:
+                    self._m_rejected.inc()
                 raise QueueFullError(
                     self.max_pending, retry_after_ms=50 * max(1, pending))
             self.submitted += 1
-            job = Job(run=run, label=label, cancel=cancel)
+            job = Job(run=run, label=label, cancel=cancel,
+                      enqueued=time.perf_counter())
+            if self.metrics is not None:
+                self._m_submitted.inc()
+                self._m_depth.set(self.submitted - self.completed)
             if self._threads:
                 self._outstanding[id(job)] = job
                 self._queue.put(job)
                 return job.future
         # Serial mode: execute inline, outside the lock (the thunk may be a
         # long analysis and must not serialise health checks).
+        if self.metrics is not None:
+            self._m_wait.observe(0.0)
         try:
             job.execute()
         finally:
             with self._lock:
                 self.completed += 1
+                if self.metrics is not None:
+                    self._m_depth.set(self.submitted - self.completed)
         return job.future
 
     def _drain(self) -> None:
@@ -204,6 +227,9 @@ class JobQueue:
             if job is None:
                 self._queue.task_done()
                 return
+            if self.metrics is not None:
+                self._m_wait.observe(
+                    (time.perf_counter() - job.enqueued) * 1000.0)
             try:
                 job.execute()
             finally:
@@ -212,6 +238,8 @@ class JobQueue:
                     # job; completed is incremented exactly once per job.
                     if self._outstanding.pop(id(job), None) is not None:
                         self.completed += 1
+                    if self.metrics is not None:
+                        self._m_depth.set(self.submitted - self.completed)
                 self._queue.task_done()
 
     # ------------------------------------------------------------------ #
@@ -274,6 +302,9 @@ class JobQueue:
                         "daemon drain", reason="draining"))
             self.cancelled += len(self._outstanding)
             self.completed += len(self._outstanding)
+            if self.metrics is not None and self._outstanding:
+                self._m_cancelled.inc(len(self._outstanding))
+                self._m_depth.set(self.submitted - self.completed)
             self._outstanding.clear()
 
     @property

@@ -53,7 +53,7 @@ class SessionPool:
     """Fingerprint-keyed, LRU-bounded pool of analysis sessions."""
 
     def __init__(self, max_sessions: int = 64,
-                 max_cached_configs: int = 64) -> None:
+                 max_cached_configs: int = 64, metrics=None) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be at least 1")
         self._max_sessions = max_sessions
@@ -66,6 +66,11 @@ class SessionPool:
         self._systems: dict[str, SystemModel] = {}
         self._system_shards: dict[str, list[str]] = {}
         self.evicted_sessions = 0
+        # Optional repro.obs.MetricsRegistry, handed to every session the
+        # pool creates.  The daemon sets this on its default pool (or
+        # adopts an injected pool's registry) so one `metrics` request
+        # covers the whole serving stack.
+        self.metrics = metrics
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -122,7 +127,7 @@ class SessionPool:
         if session is None:
             session = AnalysisSession.from_config(
                 config, max_cached_configs=self._max_cached_configs,
-                name=name)
+                name=name, metrics=self.metrics)
             self._sessions[key] = session
         self._sessions.move_to_end(key)
         previous = self._targets.get(name)
@@ -137,6 +142,8 @@ class SessionPool:
             if previous not in set(self._targets.values()):
                 self._pinned.discard(previous)
         self._evict_locked()
+        if self.metrics is not None:
+            self.metrics.gauge("pool_sessions").set(len(self._sessions))
         return session
 
     def _evict_locked(self) -> None:
@@ -145,6 +152,8 @@ class SessionPool:
                 if key not in self._pinned:
                     del self._sessions[key]
                     self.evicted_sessions += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("pool_evictions_total").inc()
                     # Aliases of an evicted session are dropped too: a
                     # later lookup re-registers from the configuration
                     # rather than silently answering from a missing shard.

@@ -129,8 +129,13 @@ from repro.whatif.system_deltas import (
 #: ``deadline_ms`` on every request, typed error ``code`` fields (see the
 #: module docstring's taxonomy), ``retry_after_ms`` backoff hints on
 #: ``overloaded`` rejections, and queue/drain observability in
-#: ``health``/``stats``.
-PROTOCOL_VERSION = 3
+#: ``health``/``stats``.  Version 4 added the observability layer: every
+#: request accepts ``trace: true`` (inline span tree in the response)
+#: and an optional client-supplied ``trace_id`` (echoed back), plus the
+#: ``metrics`` (structured registry snapshot, optional Prometheus text
+#: exposition) and ``traces`` (slowest retained traces) control ops and
+#: metrics-derived ``signals``/``causes`` in ``health``.
+PROTOCOL_VERSION = 4
 
 #: The machine-readable error codes of the taxonomy documented above.
 ERROR_CODES = ("timeout", "overloaded", "draining", "unknown_target",

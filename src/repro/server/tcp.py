@@ -60,6 +60,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 return
             if not line.strip():
                 continue
+            decode_start = time.perf_counter()
             try:
                 request = decode_line(line)
             except ProtocolError as error:
@@ -67,7 +68,8 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                     error_response(str(error), code="protocol")))
                 self.wfile.flush()
                 continue
-            response = daemon.handle(request)
+            decode_ms = (time.perf_counter() - decode_start) * 1000.0
+            response = daemon.handle(request, decode_ms=decode_ms)
             if daemon.faults.check("tcp.drop") is not None:
                 # Unclean close *after* the work ran: exactly the window
                 # where a retried idempotent request must come back
@@ -77,8 +79,21 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             rule = daemon.faults.check("tcp.slow")
             if rule is not None:
                 time.sleep(rule.arg / 1000.0)
+            encode_start = time.perf_counter()
+            data = encode_line(response)
+            encode_ms = (time.perf_counter() - encode_start) * 1000.0
+            trace = daemon.take_trace()
+            if trace is not None:
+                # Fold line-encode time into the trace (it is retained by
+                # reference, so the ``traces`` op sees it too); a traced
+                # response re-renders its inline span tree so the client
+                # receives the complete stage breakdown.
+                trace.extend("encode", encode_ms)
+                if "trace" in response:
+                    response["trace"] = trace.to_json()
+                    data = encode_line(response)
             try:
-                self.wfile.write(encode_line(response))
+                self.wfile.write(data)
                 self.wfile.flush()
             except (BrokenPipeError, ConnectionResetError):
                 return  # client went away; nothing left to tell it

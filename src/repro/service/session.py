@@ -58,6 +58,7 @@ from repro.analysis.schedulability import (
 from repro.can.bus import CanBus
 from repro.can.controller import ControllerModel
 from repro.can.kmatrix import KMatrix
+from repro.obs.metrics import ITERATION_BUCKETS, SIZE_BUCKETS
 from repro.cancel import CancelToken
 from repro.errors.models import (
     BurstErrorModel,
@@ -438,6 +439,7 @@ class AnalysisSession:
         max_cached_configs: int = 128,
         name: str | None = None,
         backend: str | None = None,
+        metrics=None,
     ) -> None:
         if max_cached_configs < 2:
             raise ValueError("max_cached_configs must be at least 2")
@@ -470,6 +472,27 @@ class AnalysisSession:
         self.plan_reused = 0
         self.plan_warm = 0
         self.plan_cold = 0
+        # Optional repro.obs.MetricsRegistry.  Instruments are bound once
+        # here so the per-query publication below is plain `inc` calls --
+        # the disabled path pays exactly one `is not None` compare.
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_queries = metrics.counter("session_queries_total")
+            self._m_hits = metrics.counter("session_cache_hits_total")
+            self._m_misses = metrics.counter("session_cache_misses_total")
+            self._m_plan = {
+                "reuse": metrics.counter(
+                    "session_plan_messages_total", action="reuse"),
+                "warm": metrics.counter(
+                    "session_plan_messages_total", action="warm"),
+                "cold": metrics.counter(
+                    "session_plan_messages_total", action="cold"),
+            }
+            self._m_evictions = metrics.counter("session_evictions_total")
+            self._m_iterations = metrics.histogram(
+                "solver_iterations", buckets=ITERATION_BUCKETS)
+            self._m_batch = metrics.histogram(
+                "solver_batch_size", buckets=SIZE_BUCKETS)
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -547,6 +570,7 @@ class AnalysisSession:
         label: str | None = None,
         with_report: bool = True,
         cancel: "CancelToken | None" = None,
+        trace=None,
     ) -> QueryResult:
         """Run one what-if query.
 
@@ -578,7 +602,12 @@ class AnalysisSession:
             :class:`repro.cancel.Cancelled` before any cache state is
             updated, so a cancelled query leaves the session exactly as it
             was (already-cached answers keep being served).
+        trace:
+            Optional :class:`repro.obs.Trace`; when present the session
+            records ``session_plan`` (delta resolution, cache lookup,
+            plan choice) and ``solve`` (fixed-point execution) spans.
         """
+        plan_span = None if trace is None else trace.begin("session_plan")
         config, key = self._resolve(tuple(deltas))
         needed = None if message_names is None else [
             str(n) for n in message_names]
@@ -610,6 +639,12 @@ class AnalysisSession:
             if hit_stats is None:
                 bases = self._basis_candidates(warm_from, key)
         if hit_stats is not None:
+            if trace is not None:
+                trace.end(plan_span)
+                trace.record("solve", 0.0)
+            if self.metrics is not None:
+                self._m_queries.inc()
+                self._m_hits.inc()
             return self._finish(entry, config, tuple(deltas), needed, policy,
                                 label, hit_stats, with_report=with_report)
 
@@ -620,10 +655,25 @@ class AnalysisSession:
 
         plan, basis, adopt_changed, fast_ok = self._choose_plan(
             profile, analysis, config, bases, needed)
+        if trace is not None:
+            trace.end(plan_span)
+            solve_span = trace.begin("solve")
+        iterations_before = analysis.profile_iterations
         stats, results = self._execute(
             config, analysis, profile, plan, basis, needed,
             existing=entry.results if entry is not None else None,
             adopt_changed=adopt_changed, fast_ok=fast_ok, cancel=cancel)
+        if trace is not None:
+            trace.end(solve_span)
+        if self.metrics is not None:
+            self._m_queries.inc()
+            self._m_misses.inc()
+            self._m_plan["reuse"].inc(stats.reused)
+            self._m_plan["warm"].inc(stats.warm_started)
+            self._m_plan["cold"].inc(stats.cold)
+            self._m_iterations.observe(
+                analysis.profile_iterations - iterations_before)
+            self._m_batch.observe(stats.warm_started + stats.cold)
 
         with self._lock:
             entry = self._cache.get(key)
@@ -720,6 +770,8 @@ class AnalysisSession:
                         and key != protect:
                     del self._cache[key]
                     self.evictions += 1
+                    if self.metrics is not None:
+                        self._m_evictions.inc()
                     break
             else:
                 break

@@ -188,6 +188,7 @@ class SystemSession:
         max_iterations: int = 50,
         name: str | None = None,
         sessions: Mapping[str, AnalysisSession] | None = None,
+        metrics=None,
     ) -> None:
         problems = system.validate()
         if problems:
@@ -215,6 +216,15 @@ class SystemSession:
         self.queries = 0
         self.cache_hits = 0
         self.base_invalidations = 0
+        # Optional repro.obs.MetricsRegistry, shared with every segment
+        # session this system session creates (see _sessions_for_locked).
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_queries = metrics.counter("system_queries_total")
+            self._m_hits = metrics.counter("system_cache_hits_total")
+            self._m_misses = metrics.counter("system_cache_misses_total")
+            self._m_invalidations = metrics.counter(
+                "system_base_invalidations_total")
         unknown = set(sessions or {}) - set(system.buses)
         if unknown:
             raise ValueError(f"sessions for unknown buses: {sorted(unknown)}")
@@ -246,6 +256,7 @@ class SystemSession:
         *,
         label: str | None = None,
         cancel: "CancelToken | None" = None,
+        trace=None,
     ) -> SystemQueryResult:
         """Run one system-level what-if query.
 
@@ -255,9 +266,12 @@ class SystemSession:
         .run()`` on the equivalently edited model.  ``cancel`` (see
         :mod:`repro.cancel`) bounds the engine run; a fired token raises
         before the result cache is touched, so cached answers keep being
-        served after a cancelled query.
+        served after a cancelled query.  ``trace`` (a
+        :class:`repro.obs.Trace`) records ``session_plan``/``solve``
+        spans around resolution and the engine run.
         """
         deltas = self._normalize(deltas)
+        plan_span = None if trace is None else trace.begin("session_plan")
         with self._lock:
             self._refresh_base_locked()
             system, key, invalidated = self._resolve_locked(deltas)
@@ -266,6 +280,12 @@ class SystemSession:
             if cached is not None:
                 self._results.move_to_end(key)
                 self.cache_hits += 1
+                if trace is not None:
+                    trace.end(plan_span)
+                    trace.record("solve", 0.0)
+                if self.metrics is not None:
+                    self._m_queries.inc()
+                    self._m_hits.inc()
                 return replace(
                     cached, label=label, deltas=deltas,
                     stats=replace(cached.stats, cache_hit=True))
@@ -275,7 +295,15 @@ class SystemSession:
         # computation is harmless -- both produce the same value).
         engine = CompositionalAnalysis(
             system, max_iterations=self.max_iterations, sessions=sessions)
+        if trace is not None:
+            trace.end(plan_span)
+            solve_span = trace.begin("solve")
         result = engine.run(cancel=cancel)
+        if trace is not None:
+            trace.end(solve_span)
+        if self.metrics is not None:
+            self._m_queries.inc()
+            self._m_misses.inc()
         stats = SystemQueryStats(
             invalidated=tuple(sorted(invalidated)),
             segments=len(system.buses))
@@ -397,6 +425,8 @@ class SystemSession:
         self._delta_memo.clear()
         self._pin_base_locked()
         self.base_invalidations += 1
+        if self.metrics is not None:
+            self._m_invalidations.inc()
 
     def _resolve_locked(self, deltas: tuple[SystemDelta, ...],
                         ) -> tuple[SystemModel, SystemKey, frozenset[str]]:
@@ -438,7 +468,8 @@ class SystemSession:
             session = self._sessions.get(key)
             if session is None:
                 session = AnalysisSession.from_config(
-                    config, name=f"{self.name}:{segment.name}")
+                    config, name=f"{self.name}:{segment.name}",
+                    metrics=self.metrics)
                 self._sessions[key] = session
             self._sessions.move_to_end(key)
             sessions[segment.name] = session

@@ -547,8 +547,8 @@ class TestResponseIds:
 
     def test_mismatched_id_raises_protocol_error(self, config):
         class MisroutingDaemon(AnalysisDaemon):
-            def handle(self, request):
-                response = super().handle(request)
+            def handle(self, request, **kwargs):
+                response = super().handle(request, **kwargs)
                 response["id"] = -1
                 return response
 
