@@ -54,6 +54,13 @@ non-cached kernel baselines:
   engine).  Bit-identical by assertion and gated at >= 2x under
   ``--check``; the single-cold-run ratio is recorded as
   ``cold_run_speedup`` for reference.
+* ``daemon_restart_warm`` -- the persistent result store (PR 9): a fresh
+  daemon booted onto a store directory that a previous daemon generation
+  already populated answers a system analysis plus two topology what-if
+  queries from disk (decode + validate) instead of re-running the
+  compositional fixed point, vs an identical fresh daemon without a
+  store.  Responses are asserted bit-identical (modulo the cache-hit
+  stats block) and gated at >= 3x under ``--check``;
 * ``system_whatif`` -- the system-level what-if layer (PR 5): a sweep of
   typed topology deltas (bus-speed degradation, gateway config edits,
   per-segment jitter edits, a gateway failover, a message re-map) plus
@@ -89,7 +96,9 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import sys
+import tempfile
 import time
 from dataclasses import replace
 from datetime import datetime, timezone
@@ -139,6 +148,7 @@ from repro.workloads.multibus import (  # noqa: E402
     multibus_paths,
     multibus_system,
 )
+from repro.store import ResultStore  # noqa: E402
 from repro.workloads.scaling import scaling_benchmark_case  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_timing.json"
@@ -153,6 +163,9 @@ ENGINE_MIN_SPEEDUP = 2.0
 WHATIF_BUSES = 5
 WHATIF_MESSAGES_PER_BUS = 30
 WHATIF_MIN_SPEEDUP = 2.0
+RESTART_BUSES = 5
+RESTART_MESSAGES_PER_BUS = 30
+RESTART_MIN_SPEEDUP = 3.0
 # Instrumented vs uninstrumented parity: metrics + tracing may cost at
 # most ~5% on the session what-if sweep (speedup floor below 1.0).
 OBS_MIN_SPEEDUP = 0.95
@@ -559,6 +572,51 @@ def run_scenarios(repeat: int, skip_seed: bool,
            paths=len(whatif_paths),
            baseline="from-scratch engine run per delta (incremental=False)",
            min_speedup=WHATIF_MIN_SPEEDUP)
+
+    # 9. Warm restart through the persistent result store: a rebooted
+    # daemon pointed at a store directory a previous generation already
+    # populated answers the same system requests from disk (decode +
+    # validate), skipping the compositional fixed point entirely.  The
+    # seed side is the identical daemon without a store -- exactly what a
+    # restart costs today without persistence.  The warm-up daemon that
+    # publishes the entries runs outside the timed region.
+    restart_system = multibus_system(
+        n_buses=RESTART_BUSES, messages_per_bus=RESTART_MESSAGES_PER_BUS,
+        seed=11)
+    restart_rate = restart_system.buses["CAN-1"].bus.bit_rate_bps
+    restart_queries = [
+        (BusSpeedDelta("CAN-1", restart_rate * 0.8),),
+        (SegmentConfigDelta("CAN-0", (JitterDelta(fraction=0.25),)),),
+    ]
+
+    def restart_requests(store):
+        daemon = AnalysisDaemon(name="restart-bench", store=store)
+        daemon.add_system("fleet", restart_system)
+        client = InProcessClient(daemon)
+        outcomes = [client.analyze_system("fleet")]
+        for deltas in restart_queries:
+            response = client.system_query("fleet", deltas)
+            # The stats block legitimately differs (the warm daemon
+            # reports a cache hit); everything numeric must be identical.
+            response.pop("stats", None)
+            outcomes.append(response)
+        daemon.close()
+        return outcomes
+
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        restart_requests(ResultStore(store_dir))  # untimed warm-up publish
+        record("daemon_restart_warm",
+               lambda: restart_requests(None),
+               lambda: restart_requests(ResultStore(store_dir)),
+               check_equal=assert_identical,
+               n_buses=RESTART_BUSES,
+               messages_per_bus=RESTART_MESSAGES_PER_BUS,
+               requests=1 + len(restart_queries),
+               baseline="cold daemon re-solving after restart",
+               min_speedup=RESTART_MIN_SPEEDUP)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
 
     return scenarios
 

@@ -20,12 +20,21 @@ What a deployment of the daemon looks like, end to end:
 6. print the daemon's metrics snapshot (the ``metrics`` op -- cache
    hit/miss traffic, warm/cold plan splits, solver iteration
    histograms) and its session-statistics table, then shut it down from
-   the client side.
+   the client side;
+7. demonstrate persistence: boot a daemon onto a ``ResultStore``
+   directory, register a *named* workload (the daemon expands
+   ``("multibus_chain", {...})`` server-side), analyze it, then
+   hard-kill the daemon through a :class:`ServerHarness` and restart
+   it on the same port -- the reborn daemon answers the same system
+   analysis from the store (watch ``store_lookups_total{result=hit}``)
+   bit-identically, without re-running the fixed point.
 
 Run with:  python examples/analysis_daemon.py
 """
 
 from __future__ import annotations
+
+import tempfile
 
 from repro import (
     AnalysisDaemon,
@@ -33,12 +42,14 @@ from repro import (
     ErrorModelDelta,
     JitterDelta,
     PriorityDelta,
+    ResultStore,
     RetryPolicy,
     SporadicErrorModel,
     TcpClient,
     start_server,
 )
 from repro.reporting import format_trace
+from repro.server.harness import ServerHarness
 from repro.workloads.multibus import multibus_system
 from repro.workloads.powertrain import (
     PowertrainConfig,
@@ -163,6 +174,54 @@ def main() -> None:
         client.shutdown_daemon()
     server.stop()
     print("\ndaemon stopped.")
+
+    warm_restart_demo()
+
+
+def warm_restart_demo() -> None:
+    """Kill a store-backed daemon mid-flight and warm-boot its successor."""
+    print("\n--- persistence: warm restart from the result store ---")
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store_dir:
+
+        def factory() -> AnalysisDaemon:
+            # Each generation opens its own handle on the shared store
+            # directory -- exactly what `--store-dir` does for the CLI.
+            daemon = AnalysisDaemon(name="persistent-daemon",
+                                    store=ResultStore(store_dir))
+            return daemon
+
+        with ServerHarness(factory) as harness:
+            host, port = harness.address
+            with TcpClient(host, port) as client:
+                # A *named* workload: the client ships generator name +
+                # parameters; the daemon expands it server-side and
+                # dedupes by fingerprint, so every client registering
+                # these parameters shares one session and store entries.
+                registered = client.register_workload(
+                    "fleet", "multibus_chain",
+                    {"n_buses": 4, "messages_per_bus": 10, "seed": 3})
+                print("registered workload 'fleet' -> shards: "
+                      + ", ".join(registered["shards"]))
+                first = client.analyze_system("fleet")
+                print(f"generation 1 solved the fixed point: "
+                      f"{first['iterations']} iterations, "
+                      f"{len(first['messages'])} messages")
+
+            harness.restart()  # hard kill, no drain -- then reboot
+            print("daemon killed and restarted on the same port")
+
+            with TcpClient(host, port) as client:
+                client.register_workload(
+                    "fleet", "multibus_chain",
+                    {"n_buses": 4, "messages_per_bus": 10, "seed": 3})
+                second = client.analyze_system("fleet")
+                stats = client.store_stats()["stats"]
+                print(f"generation 2 answered from the store: "
+                      f"bit-identical={second['messages'] == first['messages']}"
+                      f", store hits {stats['hits']}, "
+                      f"{stats['entries']} entries on disk")
+                client.shutdown_daemon()
+    print("persistent daemon stopped.")
 
 
 if __name__ == "__main__":

@@ -114,9 +114,15 @@ from repro.whatif import (
     builtin_system_catalog,
 )
 from repro.core import EndToEndPath, PathLatency, path_latency
-from repro.workloads import powertrain_kmatrix, powertrain_system
+from repro.store import ResultStore
+from repro.workloads import (
+    WorkloadRegistry,
+    builtin_registry,
+    powertrain_kmatrix,
+    powertrain_system,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -189,4 +195,7 @@ __all__ = [
     "apply_system_deltas",
     "builtin_system_catalog",
     "path_latency",
+    "ResultStore",
+    "WorkloadRegistry",
+    "builtin_registry",
 ]

@@ -26,6 +26,7 @@ from repro.server.daemon import AnalysisDaemon
 from repro.server.jobs import DEFAULT_GRACE
 from repro.server.tcp import DEFAULT_HOST, DEFAULT_PORT, DaemonServer
 from repro.service.deltas import BusConfiguration
+from repro.store import ResultStore
 from repro.workloads.multibus import multibus_system
 from repro.workloads.powertrain import (
     PowertrainConfig,
@@ -42,12 +43,17 @@ def build_daemon(messages: int = 80, buses: int = 4,
                  max_pending: int | None = None,
                  grace: float = DEFAULT_GRACE,
                  slow_query_ms: float | None = None,
-                 trace_ring: int = DEFAULT_TRACE_RING) -> AnalysisDaemon:
+                 trace_ring: int = DEFAULT_TRACE_RING,
+                 store_dir: str | None = None,
+                 store_max_bytes: int | None = None) -> AnalysisDaemon:
     """Daemon preloaded with the standard serving targets."""
+    store = None
+    if store_dir is not None:
+        store = ResultStore(store_dir, max_bytes=store_max_bytes)
     daemon = AnalysisDaemon(workers=workers, max_inflight=max_inflight,
                             max_pending=max_pending, grace=grace,
                             slow_query_ms=slow_query_ms,
-                            trace_ring=trace_ring)
+                            trace_ring=trace_ring, store=store)
     config = PowertrainConfig(n_messages=messages)
     daemon.add_config("powertrain", BusConfiguration(
         kmatrix=powertrain_kmatrix(config),
@@ -93,7 +99,15 @@ def main(argv: list[str] | None = None) -> int:
                         default=DEFAULT_TRACE_RING,
                         help="how many slowest traces the 'traces' op "
                              f"retains (default {DEFAULT_TRACE_RING})")
+    parser.add_argument("--store-dir", default=None,
+                        help="directory of the persistent result store; "
+                             "restarts warm-start from it (default: off)")
+    parser.add_argument("--store-max-bytes", type=int, default=None,
+                        help="size bound of the store; oldest-read entries "
+                             "are evicted beyond it (default: unbounded)")
     args = parser.parse_args(argv)
+    if args.store_max_bytes is not None and args.store_dir is None:
+        parser.error("--store-max-bytes requires --store-dir")
 
     if args.slow_query_ms is not None:
         # Make sure the slow-query records reach stderr even when the
@@ -107,8 +121,12 @@ def main(argv: list[str] | None = None) -> int:
                           max_pending=args.max_pending,
                           grace=args.grace,
                           slow_query_ms=args.slow_query_ms,
-                          trace_ring=args.trace_ring)
+                          trace_ring=args.trace_ring,
+                          store_dir=args.store_dir,
+                          store_max_bytes=args.store_max_bytes)
     server = DaemonServer(daemon, host=args.host, port=args.port)
+    if daemon.store is not None:
+        print(daemon.store.describe())
     host, port = server.address
     print(f"{daemon.name} serving on {host}:{port} "
           f"(targets: {', '.join(daemon.pool.targets())}; "

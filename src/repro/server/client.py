@@ -331,6 +331,37 @@ class BaseClient:
         return self.request("register", name=name,
                             system=system_to_json(system))
 
+    def register_workload(self, name: str, generator: str,
+                          params: Optional[Mapping] = None) -> dict:
+        """Register a *named workload*: the daemon expands it server-side.
+
+        Ships ``(generator, params)`` -- kilobytes -- instead of a full
+        topology; identical parameters from different clients dedupe by
+        fingerprint into the same sessions and store entries.  The
+        response matches :meth:`register_system` (shard map) or
+        :meth:`register_config` (single target), depending on what the
+        generator builds.
+        """
+        workload: dict = {"generator": generator}
+        if params is not None:
+            workload["params"] = dict(params)
+        return self.request("register", name=name, workload=workload)
+
+    def store_stats(self) -> dict:
+        """Persistent-store counters and occupancy (control op)."""
+        return self.request("store", action="stats")
+
+    def store_compact(self, max_bytes: Optional[int] = None) -> dict:
+        """Evict oldest-read store entries down to ``max_bytes``."""
+        params: dict = {"action": "compact"}
+        if max_bytes is not None:
+            params["max_bytes"] = max_bytes
+        return self.request("store", **params)
+
+    def store_clear(self) -> dict:
+        """Remove every persistent-store entry."""
+        return self.request("store", action="clear")
+
     def system_query(self, system: str,
                      deltas: Sequence[SystemDelta] = (),
                      paths: Sequence = (),

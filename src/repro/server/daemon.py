@@ -116,6 +116,7 @@ from repro.whatif.catalog import (
     builtin_system_catalog,
 )
 from repro.whatif.session import SystemSession
+from repro.workloads.registry import builtin_registry
 
 
 #: Ops that answer from in-memory state: they bypass admission control and
@@ -123,7 +124,7 @@ from repro.whatif.session import SystemSession
 #: monitoring (and the shutdown request itself) always gets through.
 _CONTROL_OPS = frozenset(
     {"ping", "health", "stats", "targets", "scenarios", "metrics",
-     "traces", "shutdown"})
+     "traces", "store", "shutdown"})
 
 
 class AnalysisDaemon:
@@ -157,6 +158,8 @@ class AnalysisDaemon:
         metrics: Optional[MetricsRegistry] = None,
         slow_query_ms: Optional[float] = None,
         trace_ring: int = DEFAULT_TRACE_RING,
+        store=None,
+        workloads=None,
     ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
@@ -169,10 +172,23 @@ class AnalysisDaemon:
         if metrics is None and pool is not None and pool.metrics is not None:
             metrics = pool.metrics
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Persistent result store: same adoption rule as the registry --
+        # an injected pool that already carries a store wins; otherwise the
+        # daemon's store is pushed down so sessions the pool creates from
+        # now on consult and publish it.
+        if store is None and pool is not None and pool.store is not None:
+            store = pool.store
+        self.store = store
+        if store is not None and store.metrics is None:
+            store.bind_metrics(self.metrics)
         self.pool = pool if pool is not None else \
-            SessionPool(metrics=self.metrics)
+            SessionPool(metrics=self.metrics, store=store)
         if self.pool.metrics is None:
             self.pool.metrics = self.metrics
+        if self.pool.store is None:
+            self.pool.store = store
+        self.workloads = workloads if workloads is not None \
+            else builtin_registry()
         self.jobs = JobQueue(workers=workers, mode=mode,
                              max_pending=max_pending, metrics=self.metrics)
         self.traces = TraceRing(trace_ring)
@@ -228,6 +244,7 @@ class AnalysisDaemon:
             "path_latency": self._op_path_latency,
             "metrics": self._op_metrics,
             "traces": self._op_traces,
+            "store": self._op_store,
             "shutdown": self._op_shutdown,
         }
 
@@ -267,7 +284,7 @@ class AnalysisDaemon:
             if session is None or session.base_system is not system:
                 session = SystemSession(
                     system, sessions=sessions, name=f"{self.name}:{name}",
-                    metrics=self.metrics)
+                    metrics=self.metrics, store=self.store)
                 self._system_sessions[name] = session
             return session
 
@@ -747,7 +764,12 @@ class AnalysisDaemon:
 
         ``{"name": ..., "system": {...}}`` registers a system (response
         carries the shard-name map); ``{"name": ..., "config": {...}}``
-        registers a single-bus target.
+        registers a single-bus target; ``{"name": ..., "workload":
+        {"generator": ..., "params": {...}}}`` expands a *named workload*
+        server-side -- the client ships kilobytes of parameters, the
+        daemon builds the topology, and identical parameters from
+        different clients dedupe by fingerprint into the same pool
+        sessions and store entries.
         """
         name = str(request["name"])
         if "system" in request:
@@ -759,8 +781,28 @@ class AnalysisDaemon:
             config = protocol.config_from_json(request["config"])
             self.add_config(name, config)
             return {"target": name}
+        if "workload" in request:
+            spec = request["workload"]
+            if not isinstance(spec, Mapping) or "generator" not in spec:
+                raise protocol.ProtocolError(
+                    "workload payload needs a 'generator' name")
+            generator = str(spec["generator"])
+            params = spec.get("params") or {}
+            if not isinstance(params, Mapping):
+                raise protocol.ProtocolError(
+                    "workload 'params' must be an object")
+            # UnknownWorkloadError / bad parameters are ValueErrors: the
+            # dispatcher maps them to a typed ``invalid`` error response.
+            workload = self.workloads.expand(generator, params)
+            if isinstance(workload, BusConfiguration):
+                self.add_config(name, workload)
+                return {"target": name, "generator": generator}
+            shards = self.add_system(name, workload)
+            return {"system": name, "generator": generator,
+                    "shards": shards,
+                    "scenarios": self._system_catalog(name).names()}
         raise protocol.ProtocolError(
-            "register needs a 'system' or 'config' payload")
+            "register needs a 'system', 'config' or 'workload' payload")
 
     def _shard_names(self, name: str,
                      override: "Mapping | None") -> dict[str, str]:
@@ -898,6 +940,36 @@ class AnalysisDaemon:
             "slow_query_ms": self.slowlog.threshold_ms,
             "slow_queries_logged": self.slowlog.emitted,
         }
+
+    def _op_store(self, request: Mapping, cancel=None) -> dict:
+        """Persistent-store maintenance: stats (default), compact, clear.
+
+        A daemon without a configured store answers ``enabled: false``
+        instead of erroring, so fleet-wide monitoring can blindly poll.
+        """
+        action = str(request.get("action", "stats"))
+        if action not in ("stats", "compact", "clear"):
+            raise protocol.ProtocolError(
+                f"unknown store action {action!r}; "
+                f"supported: 'stats'/'compact'/'clear'")
+        if self.store is None:
+            return {"enabled": False, "action": action}
+        if action == "compact":
+            max_bytes = request.get("max_bytes")
+            if max_bytes is not None and (
+                    isinstance(max_bytes, bool)
+                    or not isinstance(max_bytes, int) or max_bytes < 0):
+                raise protocol.ProtocolError(
+                    f"max_bytes must be a non-negative integer, "
+                    f"got {max_bytes!r}")
+            stats = self.store.compact(max_bytes)
+            return {"enabled": True, "action": action, "stats": stats}
+        if action == "clear":
+            removed = self.store.clear()
+            return {"enabled": True, "action": action, "removed": removed,
+                    "stats": self.store.stats()}
+        return {"enabled": True, "action": action,
+                "stats": self.store.stats()}
 
     def _op_shutdown(self, request: Mapping, cancel=None) -> dict:
         self._shutdown.set()

@@ -21,6 +21,14 @@ time execution passes through.  The sites wired in this PR:
     Before writing a TCP response: sleep for the argument (ms).  Exercises
     client read timeouts and the reply-id verification that keeps a timed-
     out read from desynchronising later replies.
+``store.torn_write``
+    In :meth:`~repro.store.ResultStore.put`: write a truncated entry
+    directly to the final path (no atomic rename), simulating a crash
+    mid-write.  The next lookup must count ``corrupt`` and cold-solve.
+``store.stale_schema``
+    In :meth:`~repro.store.ResultStore.put`: stamp the entry with a bumped
+    schema version, simulating a file owned by a newer daemon generation.
+    Lookups must count ``stale`` and cold-solve without deleting it.
 
 Spec syntax
 -----------
@@ -55,7 +63,8 @@ ENV_VAR = "REPRO_FAULTS"
 
 #: Sites the serving stack currently wires; unknown sites in a spec raise
 #: immediately (a typo'd site would otherwise silently never fire).
-KNOWN_SITES = ("worker.stall", "handle.stall", "tcp.drop", "tcp.slow")
+KNOWN_SITES = ("worker.stall", "handle.stall", "tcp.drop", "tcp.slow",
+               "store.torn_write", "store.stale_schema")
 
 
 class FaultSpecError(ValueError):

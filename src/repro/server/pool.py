@@ -53,7 +53,8 @@ class SessionPool:
     """Fingerprint-keyed, LRU-bounded pool of analysis sessions."""
 
     def __init__(self, max_sessions: int = 64,
-                 max_cached_configs: int = 64, metrics=None) -> None:
+                 max_cached_configs: int = 64, metrics=None,
+                 store=None) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be at least 1")
         self._max_sessions = max_sessions
@@ -71,6 +72,9 @@ class SessionPool:
         # adopts an injected pool's registry) so one `metrics` request
         # covers the whole serving stack.
         self.metrics = metrics
+        # Optional repro.store.ResultStore, handed to every session the
+        # pool creates so per-bus fixed points persist across restarts.
+        self.store = store
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -127,7 +131,7 @@ class SessionPool:
         if session is None:
             session = AnalysisSession.from_config(
                 config, max_cached_configs=self._max_cached_configs,
-                name=name, metrics=self.metrics)
+                name=name, metrics=self.metrics, store=self.store)
             self._sessions[key] = session
         self._sessions.move_to_end(key)
         previous = self._targets.get(name)

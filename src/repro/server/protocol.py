@@ -134,8 +134,15 @@ from repro.whatif.system_deltas import (
 #: and an optional client-supplied ``trace_id`` (echoed back), plus the
 #: ``metrics`` (structured registry snapshot, optional Prometheus text
 #: exposition) and ``traces`` (slowest retained traces) control ops and
-#: metrics-derived ``signals``/``causes`` in ``health``.
-PROTOCOL_VERSION = 4
+#: metrics-derived ``signals``/``causes`` in ``health``.  Version 5 added
+#: the persistence layer: the ``store`` control op (``action``:
+#: ``stats``/``compact``/``clear``) over the daemon's disk-backed result
+#: store, and a third ``register`` payload -- ``workload``: ``{"generator":
+#: <name>, "params": {...}}`` -- that the daemon expands server-side via
+#: the named workload registry (identical parameters dedupe by fingerprint
+#: into the same sessions and store entries, so clients ship kilobytes of
+#: parameters instead of full topologies).
+PROTOCOL_VERSION = 5
 
 #: The machine-readable error codes of the taxonomy documented above.
 ERROR_CODES = ("timeout", "overloaded", "draining", "unknown_target",

@@ -41,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import math
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
@@ -70,6 +71,7 @@ from repro.errors.models import (
 from repro.events.model import EventModel, _ceil_div
 from repro.events.model import _EPSILON as _SNAP_EPS
 from repro.service.deltas import BusConfiguration, Delta, apply_deltas
+from repro.store.codec import bus_payload_from_json, bus_payload_to_json
 
 _BASE_ETA_PLUS = EventModel.eta_plus
 
@@ -440,6 +442,7 @@ class AnalysisSession:
         name: str | None = None,
         backend: str | None = None,
         metrics=None,
+        store=None,
     ) -> None:
         if max_cached_configs < 2:
             raise ValueError("max_cached_configs must be at least 2")
@@ -472,6 +475,14 @@ class AnalysisSession:
         self.plan_reused = 0
         self.plan_warm = 0
         self.plan_cold = 0
+        # Optional repro.store.ResultStore.  Consulted when the in-memory
+        # cache cannot serve a query; converged full fixed points are
+        # published back so a restarted daemon warm-starts from disk.
+        # Every cached value is the canonical cold-start value (module
+        # docstring invariant), so store round-trips stay bit-identical.
+        self.store = store
+        self.store_hits = 0
+        self._published: set[str] = set()
         # Optional repro.obs.MetricsRegistry.  Instruments are bound once
         # here so the per-query publication below is plain `inc` calls --
         # the disabled path pays exactly one `is not None` compare.
@@ -653,6 +664,39 @@ class AnalysisSession:
         profile = entry.profile if entry is not None \
             else _Profile(config, analysis)
 
+        # Persistent-store lookup: the in-memory cache cannot serve this
+        # query, but a prior process may have persisted the converged fixed
+        # point for exactly this fingerprint.
+        if self.store is not None:
+            stored = self._store_lookup(key, profile, trace)
+            if stored is not None:
+                with self._lock:
+                    entry = self._cache.get(key)
+                    if entry is None:
+                        entry = _CacheEntry(key, config, analysis, profile)
+                        self._cache[key] = entry
+                        self._evict_locked(protect=key)
+                    for msg_name, value in stored.items():
+                        entry.results.setdefault(msg_name, value)
+                    self._cache.move_to_end(key)
+                    self._last_key = key
+                    self.cache_hits += 1
+                    self.store_hits += 1
+                wanted = set(needed) if needed is not None \
+                    else set(profile.names)
+                hit_stats = QueryStats(
+                    total=len(wanted), reused=len(wanted),
+                    warm_started=0, cold=0, cache_hit=True, basis=entry.key)
+                if trace is not None:
+                    trace.end(plan_span)
+                    trace.record("solve", 0.0)
+                if self.metrics is not None:
+                    self._m_queries.inc()
+                    self._m_hits.inc()
+                return self._finish(
+                    entry, config, tuple(deltas), needed, policy, label,
+                    hit_stats, with_report=with_report)
+
         plan, basis, adopt_changed, fast_ok = self._choose_plan(
             profile, analysis, config, bases, needed)
         if trace is not None:
@@ -687,6 +731,13 @@ class AnalysisSession:
             self.plan_reused += stats.reused
             self.plan_warm += stats.warm_started
             self.plan_cold += stats.cold
+            publish = None
+            if self.store is not None \
+                    and len(entry.results) == len(profile.names) \
+                    and key.digest not in self._published:
+                publish = dict(entry.results)
+        if publish is not None:
+            self._store_publish(key, publish)
         stats = QueryStats(
             total=stats.total, reused=stats.reused,
             warm_started=stats.warm_started, cold=stats.cold,
@@ -756,6 +807,45 @@ class AnalysisSession:
         return QueryResult(
             label=label, deltas=deltas,
             results=results, report=report, stats=stats, key=entry.key)
+
+    def _store_lookup(self, key: "_Key", profile: _Profile,
+                      trace=None) -> dict[str, MessageResponseTime] | None:
+        """Fetch this fingerprint's persisted fixed points, or ``None``.
+
+        A payload only counts when it decodes cleanly *and* covers exactly
+        the configuration's message set; anything else is treated as a miss
+        (the store already counted the corruption) and the query cold-solves.
+        """
+        started = time.perf_counter()
+        try:
+            payload = self.store.get("bus", key.digest)
+            if payload is None:
+                return None
+            try:
+                results = bus_payload_from_json(payload)
+            except Exception:
+                return None
+            if set(results) != set(profile.names):
+                return None
+            return results
+        finally:
+            if trace is not None:
+                trace.record(
+                    "store_lookup", (time.perf_counter() - started) * 1000.0)
+
+    def _store_publish(self, key: "_Key",
+                       results: dict[str, MessageResponseTime]) -> None:
+        """Persist a complete converged fixed-point set (best-effort)."""
+        digest = key.digest
+        if self.store.contains("bus", digest):
+            self._published.add(digest)
+            return
+        try:
+            payload = bus_payload_to_json(results)
+        except Exception:
+            return
+        if self.store.put("bus", digest, payload):
+            self._published.add(digest)
 
     def _evict_locked(self, protect: "_Key | None" = None) -> None:
         """Drop LRU entries beyond the bound.

@@ -1,0 +1,40 @@
+"""Disk-backed persistent result store (PR 9).
+
+The serving stack's caches -- session fixed points, system-session results,
+pool shards -- all die with the process.  This package persists converged
+results on disk, keyed by the same deterministic fingerprints the in-memory
+caches already use, so a daemon restart warm-starts from the prior fleet's
+converged state and identical configurations registered by different clients
+dedupe globally.
+
+Design points (see ``store.py`` for details):
+
+- dependency-free: one JSON file per entry under ``<root>/entries/``,
+  written atomically (tmp file + ``os.replace``);
+- versioned on-disk schema: every entry carries ``schema``/``kind``/``key``
+  envelope fields, and anything that fails to decode -- torn write, stale
+  schema, foreign file -- is a *miss*, never an exception;
+- bit-exact floats: the codec round-trips every float (including the
+  non-finite worst cases of unbounded results) exactly, so a store-served
+  answer is bit-identical to a cold solve;
+- LRU / size-bounded: reads touch the entry mtime, and ``max_bytes``
+  evicts oldest-read entries first.
+"""
+
+from repro.store.codec import (
+    SCHEMA_VERSION,
+    bus_payload_from_json,
+    bus_payload_to_json,
+    system_result_from_json,
+    system_result_to_json,
+)
+from repro.store.store import ResultStore
+
+__all__ = [
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "bus_payload_to_json",
+    "bus_payload_from_json",
+    "system_result_to_json",
+    "system_result_from_json",
+]

@@ -1,0 +1,250 @@
+"""Bit-exact JSON codecs for persisted analysis results.
+
+The wire protocol (``repro.server.protocol``) already round-trips finite
+floats bit-exactly: ``json.dumps`` emits ``repr(float)`` which Python's
+parser maps back to the identical IEEE-754 double.  The store codec keeps
+that property and extends it to the *non-finite* values the protocol is
+allowed to lose: an unbounded response time carries ``worst_case == inf``,
+and ``result_to_json`` nulls it because NaN/Infinity are not valid JSON.
+Persisted entries must instead reproduce the original dataclasses exactly
+-- a store-served answer has to be bit-identical to a cold solve -- so
+non-finite floats are encoded as the strings ``"inf"``/``"-inf"``/``"nan"``
+and everything is serialised with ``allow_nan=False`` to guarantee the
+files stay strict JSON.
+
+Two payload kinds exist, matching the two cache layers they warm:
+
+- ``bus``: the converged per-message fixed points of one
+  ``AnalysisSession`` configuration (``{name: MessageResponseTime}``),
+  keyed by the session fingerprint digest;
+- ``system``: a full ``SystemAnalysisResult``, keyed by the
+  ``SystemModel.fingerprint()`` digest.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.analysis.response_time import MessageResponseTime
+from repro.analysis.schedulability import MessageVerdict, SchedulabilityReport
+from repro.core.results import SystemAnalysisResult
+from repro.ecu.analysis import TaskResponseTime
+from repro.events.model import EventModel
+
+# Bumped whenever the entry envelope or any payload codec changes shape.
+# A reader that finds a different version treats the entry as a miss
+# (``stale`` counter), never as an error: old daemons can share a store
+# directory with new ones and simply re-solve.
+SCHEMA_VERSION = 1
+
+
+class StoreCodecError(ValueError):
+    """A persisted payload does not decode to the expected shape."""
+
+
+def float_to_json(value: float) -> float | str:
+    """Encode one float, mapping non-finite values to JSON-safe strings."""
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return "nan"
+    return "inf" if value > 0 else "-inf"
+
+
+def float_from_json(value: object) -> float:
+    """Decode :func:`float_to_json` output back to the identical double."""
+    if isinstance(value, str):
+        if value == "inf":
+            return math.inf
+        if value == "-inf":
+            return -math.inf
+        if value == "nan":
+            return math.nan
+        raise StoreCodecError(f"bad float token {value!r}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    raise StoreCodecError(f"bad float value {value!r}")
+
+
+def message_result_to_json(result: MessageResponseTime) -> dict:
+    """Encode one per-message fixed point, losslessly (unlike the wire form)."""
+    return {
+        "name": result.name,
+        "can_id": result.can_id,
+        "transmission_time": float_to_json(result.transmission_time),
+        "blocking": float_to_json(result.blocking),
+        "jitter": float_to_json(result.jitter),
+        "worst_case": float_to_json(result.worst_case),
+        "best_case": float_to_json(result.best_case),
+        "busy_period": float_to_json(result.busy_period),
+        "instances_analyzed": result.instances_analyzed,
+        "bounded": result.bounded,
+        "queuing_delays": [float_to_json(q) for q in result.queuing_delays],
+    }
+
+
+def message_result_from_json(data: Mapping) -> MessageResponseTime:
+    """Decode :func:`message_result_to_json` output."""
+    try:
+        return MessageResponseTime(
+            name=str(data["name"]),
+            can_id=int(data["can_id"]),
+            transmission_time=float_from_json(data["transmission_time"]),
+            blocking=float_from_json(data["blocking"]),
+            jitter=float_from_json(data["jitter"]),
+            worst_case=float_from_json(data["worst_case"]),
+            best_case=float_from_json(data["best_case"]),
+            busy_period=float_from_json(data["busy_period"]),
+            instances_analyzed=int(data["instances_analyzed"]),
+            bounded=bool(data["bounded"]),
+            queuing_delays=tuple(float_from_json(q) for q in data["queuing_delays"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise StoreCodecError(f"bad message result: {exc}") from exc
+
+
+def task_result_to_json(result: TaskResponseTime) -> dict:
+    """Encode one per-task fixed point."""
+    return {
+        "name": result.name,
+        "worst_case": float_to_json(result.worst_case),
+        "best_case": float_to_json(result.best_case),
+        "blocking": float_to_json(result.blocking),
+        "busy_period": float_to_json(result.busy_period),
+        "instances_analyzed": result.instances_analyzed,
+        "bounded": result.bounded,
+    }
+
+
+def task_result_from_json(data: Mapping) -> TaskResponseTime:
+    """Decode :func:`task_result_to_json` output."""
+    try:
+        return TaskResponseTime(
+            name=str(data["name"]),
+            worst_case=float_from_json(data["worst_case"]),
+            best_case=float_from_json(data["best_case"]),
+            blocking=float_from_json(data["blocking"]),
+            busy_period=float_from_json(data["busy_period"]),
+            instances_analyzed=int(data["instances_analyzed"]),
+            bounded=bool(data["bounded"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise StoreCodecError(f"bad task result: {exc}") from exc
+
+
+def verdict_to_json(verdict: MessageVerdict) -> dict:
+    """Encode one schedulability verdict."""
+    return {
+        "name": verdict.name,
+        "can_id": verdict.can_id,
+        "worst_case_response": float_to_json(verdict.worst_case_response),
+        "deadline": float_to_json(verdict.deadline),
+        "slack": float_to_json(verdict.slack),
+        "meets_deadline": verdict.meets_deadline,
+        "can_be_lost": verdict.can_be_lost,
+    }
+
+
+def verdict_from_json(data: Mapping) -> MessageVerdict:
+    """Decode :func:`verdict_to_json` output."""
+    try:
+        return MessageVerdict(
+            name=str(data["name"]),
+            can_id=int(data["can_id"]),
+            worst_case_response=float_from_json(data["worst_case_response"]),
+            deadline=float_from_json(data["deadline"]),
+            slack=float_from_json(data["slack"]),
+            meets_deadline=bool(data["meets_deadline"]),
+            can_be_lost=bool(data["can_be_lost"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise StoreCodecError(f"bad verdict: {exc}") from exc
+
+
+def report_to_json(report: SchedulabilityReport) -> dict:
+    """Encode one per-bus schedulability report."""
+    return {
+        "verdicts": [verdict_to_json(v) for v in report.verdicts],
+        "deadline_policy": report.deadline_policy,
+        "utilization": float_to_json(report.utilization),
+    }
+
+
+def report_from_json(data: Mapping) -> SchedulabilityReport:
+    """Decode :func:`report_to_json` output."""
+    try:
+        return SchedulabilityReport(
+            verdicts=tuple(verdict_from_json(v) for v in data["verdicts"]),
+            deadline_policy=str(data["deadline_policy"]),
+            utilization=float_from_json(data["utilization"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise StoreCodecError(f"bad report: {exc}") from exc
+
+
+def bus_payload_to_json(results: Mapping[str, MessageResponseTime]) -> dict:
+    """Encode an ``AnalysisSession``'s converged fixed points."""
+    return {"results": {name: message_result_to_json(r) for name, r in results.items()}}
+
+
+def bus_payload_from_json(data: Mapping) -> dict[str, MessageResponseTime]:
+    """Decode :func:`bus_payload_to_json` output to ``{name: result}``."""
+    try:
+        raw = data["results"]
+        return {str(name): message_result_from_json(entry) for name, entry in raw.items()}
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise StoreCodecError(f"bad bus payload: {exc}") from exc
+
+
+def _model_map_to_json(models: Mapping[str, EventModel]) -> dict:
+    # Imported lazily: protocol pulls in the whole model zoo and sits above
+    # the session modules that import this codec at module scope.
+    from repro.server.protocol import event_model_to_json
+
+    return {name: event_model_to_json(model) for name, model in models.items()}
+
+
+def _model_map_from_json(data: Mapping) -> dict[str, EventModel]:
+    from repro.server.protocol import event_model_from_json
+
+    return {str(name): event_model_from_json(entry) for name, entry in data.items()}
+
+
+def system_result_to_json(result: SystemAnalysisResult) -> dict:
+    """Encode a full :class:`SystemAnalysisResult`, losslessly."""
+    return {
+        "converged": result.converged,
+        "iterations": result.iterations,
+        "message_results": {
+            name: message_result_to_json(r) for name, r in result.message_results.items()
+        },
+        "task_results": {name: task_result_to_json(r) for name, r in result.task_results.items()},
+        "bus_reports": {name: report_to_json(r) for name, r in result.bus_reports.items()},
+        "send_models": _model_map_to_json(result.send_models),
+        "arrival_models": _model_map_to_json(result.arrival_models),
+    }
+
+
+def system_result_from_json(data: Mapping) -> SystemAnalysisResult:
+    """Decode :func:`system_result_to_json` output."""
+    try:
+        return SystemAnalysisResult(
+            converged=bool(data["converged"]),
+            iterations=int(data["iterations"]),
+            message_results={
+                str(name): message_result_from_json(entry)
+                for name, entry in data["message_results"].items()
+            },
+            task_results={
+                str(name): task_result_from_json(entry)
+                for name, entry in data["task_results"].items()
+            },
+            bus_reports={
+                str(name): report_from_json(entry) for name, entry in data["bus_reports"].items()
+            },
+            send_models=_model_map_from_json(data["send_models"]),
+            arrival_models=_model_map_from_json(data["arrival_models"]),
+        )
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise StoreCodecError(f"bad system payload: {exc}") from exc

@@ -1,0 +1,355 @@
+"""Crash-safe, size-bounded, disk-backed result store.
+
+Layout
+------
+One JSON file per entry::
+
+    <root>/
+      entries/
+        bus-<digest>.json        # AnalysisSession fixed points
+        system-<digest>.json     # SystemAnalysisResult
+
+Every file is an envelope ``{"schema": N, "kind": ..., "key": ...,
+"payload": ...}`` written to a unique temp name in the same directory and
+published with ``os.replace`` -- readers only ever see a complete old entry
+or a complete new one, never a torn write, and two daemons sharing one
+store directory race benignly (last rename wins; both sides wrote the same
+canonical fixed point).
+
+Corruption tolerance
+--------------------
+``get`` never raises.  Unparseable bytes (a torn write that *bypassed* the
+rename, disk rot) are counted as ``corrupt``, quarantined by unlinking, and
+reported as a miss; an envelope with the wrong ``schema`` version is counted
+as ``stale`` and reported as a miss *without* deleting it (a newer daemon
+may own it).  Either way the caller falls back to a cold solve.
+
+Eviction
+--------
+Reads touch the entry's mtime, so mtime order is LRU order.  When
+``max_bytes`` is set, every publish trims oldest-read entries until the
+store fits; ``compact()`` applies the same policy on demand.
+
+Fault injection sites (``REPRO_FAULTS``)
+----------------------------------------
+``store.torn_write``
+    A publish writes only a truncated prefix of the entry bytes *directly
+    to the final path*, simulating a crash mid-write without the atomic
+    rename.  The next lookup must degrade to a counted miss.
+``store.stale_schema``
+    A publish stamps ``schema + 1`` on the envelope, simulating an entry
+    left behind by a newer daemon.  The next lookup must degrade to a
+    counted miss without destroying the entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.server import faults as faults_mod
+from repro.store.codec import SCHEMA_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.metrics import MetricsRegistry
+
+#: Entry kinds the serving stack persists.
+KINDS = ("bus", "system")
+
+
+class ResultStore:
+    """Fingerprint-keyed persistent cache of converged analysis results.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with parents) if missing.
+    max_bytes:
+        Optional size bound.  ``None`` disables eviction.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when given,
+        lookups/publishes/evictions/corruption are counted there as well
+        as in the local stats.
+    faults:
+        Optional :class:`~repro.server.faults.FaultInjector`.  Defaults to
+        the ``REPRO_FAULTS`` environment spec, matching the daemon.
+    fsync:
+        Fsync entry files before renaming them into place.  Off by
+        default: the atomic rename already guarantees consistency against
+        process crashes, and per-publish fsyncs dominate publish cost;
+        turn it on when surviving power loss matters.
+    """
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]",
+        max_bytes: Optional[int] = None,
+        *,
+        metrics: "Optional[MetricsRegistry]" = None,
+        faults: Optional[faults_mod.FaultInjector] = None,
+        fsync: bool = False,
+    ) -> None:
+        self.root = Path(root)
+        self.entries_dir = self.root / "entries"
+        self.entries_dir.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.fsync = fsync
+        self.faults = faults if faults is not None else faults_mod.from_env()
+        self._lock = threading.Lock()
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "corrupt": 0,
+            "stale": 0,
+            "publishes": 0,
+            "publish_errors": 0,
+            "evictions": 0,
+        }
+        self.metrics = None
+        self._m_lookups = {}
+        self._m_publishes = None
+        self._m_publish_errors = None
+        self._m_evictions = None
+        self._m_bytes = None
+        self._m_entries = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Publish counters/gauges into ``metrics`` from now on.
+
+        Split from the constructor because the daemon adopts a store that
+        the CLI built before the daemon's registry existed.
+        """
+        self.metrics = metrics
+        self._m_lookups = {
+            outcome: metrics.counter("store_lookups_total", result=outcome)
+            for outcome in ("hit", "miss", "corrupt", "stale")
+        }
+        self._m_publishes = metrics.counter("store_publishes_total")
+        self._m_publish_errors = metrics.counter("store_publish_errors_total")
+        self._m_evictions = metrics.counter("store_evictions_total")
+        self._m_bytes = metrics.gauge("store_bytes")
+        self._m_entries = metrics.gauge("store_entries")
+
+    # ------------------------------------------------------------------ #
+    # Keying
+    # ------------------------------------------------------------------ #
+    def _path(self, kind: str, digest: str) -> Path:
+        if kind not in KINDS:
+            raise ValueError(f"unknown store kind {kind!r}")
+        safe = "".join(c for c in digest if c.isalnum() or c in "-_")
+        if not safe or safe != digest:
+            raise ValueError(f"bad store digest {digest!r}")
+        return self.entries_dir / f"{kind}-{digest}.json"
+
+    def contains(self, kind: str, digest: str) -> bool:
+        """Cheap existence probe (no counters, no mtime touch)."""
+        return self._path(kind, digest).exists()
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(self, kind: str, digest: str) -> Optional[dict]:
+        """Return the decoded payload for ``(kind, digest)`` or ``None``.
+
+        Never raises on store content: torn, foreign, or stale entries are
+        counted and reported as misses so the caller cold-solves.
+        """
+        path = self._path(kind, digest)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self._count("misses", "miss")
+            return None
+        try:
+            record = json.loads(data)
+        except ValueError:
+            self._quarantine(path)
+            self._count("corrupt", "corrupt")
+            return None
+        if not isinstance(record, dict):
+            self._quarantine(path)
+            self._count("corrupt", "corrupt")
+            return None
+        if record.get("schema") != SCHEMA_VERSION:
+            # A different schema version is not damage: another daemon
+            # generation may legitimately own this entry.  Miss, keep it.
+            self._count("stale", "stale")
+            return None
+        payload = record.get("payload")
+        if record.get("kind") != kind or record.get("key") != digest or not isinstance(
+            payload, dict
+        ):
+            self._quarantine(path)
+            self._count("corrupt", "corrupt")
+            return None
+        try:  # LRU bookkeeping; best-effort (entry may be racing eviction)
+            os.utime(path)
+        except OSError:
+            pass
+        self._count("hits", "hit")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Publish
+    # ------------------------------------------------------------------ #
+    def put(self, kind: str, digest: str, payload: dict) -> bool:
+        """Atomically persist ``payload``; return True on success.
+
+        Never raises: encoding or filesystem failures are counted as
+        ``publish_errors`` and reported as False (the store is a cache --
+        losing a publish costs a future cold solve, nothing more).
+        """
+        path = self._path(kind, digest)
+        record = {"schema": SCHEMA_VERSION, "kind": kind, "key": digest, "payload": payload}
+        rule = self.faults.check("store.stale_schema") if self.faults else None
+        if rule is not None:
+            record["schema"] = SCHEMA_VERSION + 1
+        try:
+            data = json.dumps(record, separators=(",", ":"), allow_nan=False).encode("ascii")
+        except (TypeError, ValueError):
+            self._count_publish(error=True)
+            return False
+        rule = self.faults.check("store.torn_write") if self.faults else None
+        if rule is not None:
+            # Simulate a crash mid-write with no atomic rename: leave a
+            # truncated entry at the *final* path.
+            try:
+                with open(path, "wb") as handle:
+                    handle.write(data[: max(1, len(data) // 2)])
+            except OSError:
+                pass
+            self._count_publish(error=True)
+            return False
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            self._count_publish(error=True)
+            return False
+        self._count_publish(error=False)
+        if self.max_bytes is not None:
+            self._evict_to(self.max_bytes)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Snapshot of counters plus on-disk entry count / byte total."""
+        entries, total = self._scan()
+        with self._lock:
+            counters = dict(self._counters)
+        self._publish_gauges(len(entries), total)
+        return {
+            "root": str(self.root),
+            "schema": SCHEMA_VERSION,
+            "max_bytes": self.max_bytes,
+            "entries": len(entries),
+            "bytes": total,
+            **counters,
+        }
+
+    def compact(self, max_bytes: Optional[int] = None) -> dict:
+        """Evict oldest-read entries down to ``max_bytes`` (or the bound)."""
+        limit = self.max_bytes if max_bytes is None else max_bytes
+        if limit is not None:
+            self._evict_to(limit)
+        return self.stats()
+
+    def clear(self) -> int:
+        """Remove every entry; return how many were removed."""
+        removed = 0
+        for path, _size, _mtime in self._scan()[0]:
+            if self._quarantine(path):
+                removed += 1
+        self._publish_gauges(0, 0)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _scan(self) -> "tuple[list[tuple[Path, int, float]], int]":
+        entries: "list[tuple[Path, int, float]]" = []
+        total = 0
+        try:
+            names = os.listdir(self.entries_dir)
+        except OSError:
+            return [], 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue  # temp files and foreign droppings don't count
+            path = self.entries_dir / name
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced an eviction/clear from another process
+            entries.append((path, stat.st_size, stat.st_mtime))
+            total += stat.st_size
+        return entries, total
+
+    def _evict_to(self, limit: int) -> None:
+        with self._lock:
+            entries, total = self._scan()
+            if total <= limit:
+                self._publish_gauges(len(entries), total)
+                return
+            entries.sort(key=lambda item: item[2])  # oldest mtime first
+            evicted = 0
+            for path, size, _mtime in entries:
+                if total <= limit:
+                    break
+                if self._quarantine(path):
+                    total -= size
+                    evicted += 1
+            self._counters["evictions"] += evicted
+            if self._m_evictions is not None and evicted:
+                self._m_evictions.inc(evicted)
+            self._publish_gauges(len(entries) - evicted, total)
+
+    def _quarantine(self, path: Path) -> bool:
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    def _count(self, counter: str, outcome: str) -> None:
+        with self._lock:
+            self._counters[counter] += 1
+        instrument = self._m_lookups.get(outcome)
+        if instrument is not None:
+            instrument.inc()
+
+    def _count_publish(self, *, error: bool) -> None:
+        key = "publish_errors" if error else "publishes"
+        with self._lock:
+            self._counters[key] += 1
+        instrument = self._m_publish_errors if error else self._m_publishes
+        if instrument is not None:
+            instrument.inc()
+
+    def _publish_gauges(self, entries: int, total: int) -> None:
+        if self._m_bytes is not None:
+            self._m_bytes.set(total)
+        if self._m_entries is not None:
+            self._m_entries.set(entries)
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        stats = self.stats()
+        bound = "unbounded" if self.max_bytes is None else f"{self.max_bytes} B"
+        return f"ResultStore({self.root}, {stats['entries']} entries, {stats['bytes']} B, {bound})"

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional, Sequence
@@ -49,6 +50,7 @@ from repro.core.results import SystemAnalysisResult
 from repro.core.system import SystemModel
 from repro.service.deltas import BusConfiguration
 from repro.service.session import AnalysisSession, SessionStats
+from repro.store.codec import system_result_from_json, system_result_to_json
 from repro.whatif.system_deltas import (
     SystemDelta, downstream_closure, influence_edges,
 )
@@ -189,6 +191,7 @@ class SystemSession:
         name: str | None = None,
         sessions: Mapping[str, AnalysisSession] | None = None,
         metrics=None,
+        store=None,
     ) -> None:
         problems = system.validate()
         if problems:
@@ -216,6 +219,13 @@ class SystemSession:
         self.queries = 0
         self.cache_hits = 0
         self.base_invalidations = 0
+        # Optional repro.store.ResultStore: whole-system fixed points are
+        # looked up by topology fingerprint on a miss and published after
+        # every engine run, so a restarted daemon answers system queries
+        # without re-running the engine.
+        self.store = store
+        self.store_hits = 0
+        self._published: set[str] = set()
         # Optional repro.obs.MetricsRegistry, shared with every segment
         # session this system session creates (see _sessions_for_locked).
         self.metrics = metrics
@@ -290,26 +300,51 @@ class SystemSession:
                     cached, label=label, deltas=deltas,
                     stats=replace(cached.stats, cache_hit=True))
             sessions = self._sessions_for_locked(system)
-        # The engine run is pure and deterministic; it happens outside the
-        # lock so concurrent queries genuinely overlap (a duplicated
-        # computation is harmless -- both produce the same value).
-        engine = CompositionalAnalysis(
-            system, max_iterations=self.max_iterations, sessions=sessions)
-        if trace is not None:
-            trace.end(plan_span)
-            solve_span = trace.begin("solve")
-        result = engine.run(cancel=cancel)
-        if trace is not None:
-            trace.end(solve_span)
-        if self.metrics is not None:
-            self._m_queries.inc()
-            self._m_misses.inc()
-        stats = SystemQueryStats(
-            invalidated=tuple(sorted(invalidated)),
-            segments=len(system.buses))
-        outcome = SystemQueryResult(
-            label=label, deltas=deltas, result=result, stats=stats,
-            system=system, key=key)
+        # Persistent-store lookup: a prior process may have published the
+        # whole-system fixed point for exactly this topology fingerprint.
+        stored = None
+        if self.store is not None:
+            stored = self._store_lookup(key, system, trace)
+        if stored is not None:
+            with self._lock:
+                self.cache_hits += 1
+                self.store_hits += 1
+            if trace is not None:
+                trace.end(plan_span)
+                trace.record("solve", 0.0)
+            if self.metrics is not None:
+                self._m_queries.inc()
+                self._m_hits.inc()
+            stats = SystemQueryStats(
+                invalidated=tuple(sorted(invalidated)),
+                segments=len(system.buses), cache_hit=True)
+            outcome = SystemQueryResult(
+                label=label, deltas=deltas, result=stored, stats=stats,
+                system=system, key=key)
+        else:
+            # The engine run is pure and deterministic; it happens outside
+            # the lock so concurrent queries genuinely overlap (a
+            # duplicated computation is harmless -- both produce the same
+            # value).
+            engine = CompositionalAnalysis(
+                system, max_iterations=self.max_iterations, sessions=sessions)
+            if trace is not None:
+                trace.end(plan_span)
+                solve_span = trace.begin("solve")
+            result = engine.run(cancel=cancel)
+            if trace is not None:
+                trace.end(solve_span)
+            if self.metrics is not None:
+                self._m_queries.inc()
+                self._m_misses.inc()
+            if self.store is not None:
+                self._store_publish(key, result)
+            stats = SystemQueryStats(
+                invalidated=tuple(sorted(invalidated)),
+                segments=len(system.buses))
+            outcome = SystemQueryResult(
+                label=label, deltas=deltas, result=result, stats=stats,
+                system=system, key=key)
         with self._lock:
             if key not in self._results:
                 self._results[key] = outcome
@@ -384,6 +419,51 @@ class SystemSession:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _store_lookup(self, key: SystemKey, system: SystemModel,
+                      trace=None) -> "SystemAnalysisResult | None":
+        """Fetch this topology's persisted fixed point, or ``None``.
+
+        The payload only counts when it decodes cleanly and covers exactly
+        the topology's message set; anything else is a miss (the store
+        already counted the corruption) and the engine runs cold.
+        """
+        started = time.perf_counter()
+        try:
+            payload = self.store.get("system", key.digest)
+            if payload is None:
+                return None
+            try:
+                result = system_result_from_json(payload)
+            except Exception:
+                return None
+            expected = {m.name for segment in system.buses.values()
+                        for m in segment.kmatrix}
+            if set(result.message_results) != expected:
+                return None
+            return result
+        finally:
+            if trace is not None:
+                trace.record(
+                    "store_lookup", (time.perf_counter() - started) * 1000.0)
+
+    def _store_publish(self, key: SystemKey,
+                       result: SystemAnalysisResult) -> None:
+        """Persist a whole-system fixed point (best-effort)."""
+        digest = key.digest
+        if digest in self._published:
+            return
+        if self.store.contains("system", digest):
+            self._published.add(digest)
+            return
+        try:
+            payload = system_result_to_json(result)
+        except Exception:
+            # An event model the wire codec cannot express, or similar:
+            # the store is a cache, so just skip persisting this result.
+            return
+        if self.store.put("system", digest, payload):
+            self._published.add(digest)
+
     @staticmethod
     def _normalize(deltas) -> tuple[SystemDelta, ...]:
         if isinstance(deltas, SystemDelta):

@@ -14,9 +14,19 @@ from repro.workloads.powertrain import (
     powertrain_kmatrix,
     powertrain_system,
 )
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    WorkloadDef,
+    WorkloadRegistry,
+    builtin_registry,
+)
 from repro.workloads.scaling import scaled_kmatrix, synthetic_kmatrix
 
 __all__ = [
+    "UnknownWorkloadError",
+    "WorkloadDef",
+    "WorkloadRegistry",
+    "builtin_registry",
     "figure1_network",
     "figure1_traffic_rates",
     "multibus_system",
