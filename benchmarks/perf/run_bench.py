@@ -34,7 +34,12 @@ cache could use:
   *instrumented* session (live :class:`~repro.obs.MetricsRegistry` plus
   one :class:`~repro.obs.Trace` per query) vs the uninstrumented
   session; gated at >= 0.95x under ``--check``, i.e. observability must
-  stay within ~5% of free.
+  stay within ~5% of free;
+* ``monitor_ingest_overhead`` -- a recorded simulation trace replayed in
+  chunks through a bare :class:`~repro.monitor.ConformanceMonitor` vs a
+  fully equipped one (registry counters, alert rules, violation trace
+  ring); gated at >= 0.95x under ``--check``, so live monitoring
+  observability also stays within ~5% of the conformance check itself.
 
 A ``server`` section measures the analysis daemon and the engine-on-sessions
 refactor (the PR 4 subsystem); the "seed" columns are again the strongest
@@ -126,7 +131,14 @@ from repro.workloads.powertrain import (  # noqa: E402
     powertrain_kmatrix,
 )
 from repro.core.engine import CompositionalAnalysis  # noqa: E402
-from repro.obs import MetricsRegistry, Trace  # noqa: E402
+from repro.monitor import (  # noqa: E402
+    AlertRule,
+    ConformanceMonitor,
+    chunked,
+    frames_from_trace,
+)
+from repro.obs import MetricsRegistry, Trace, TraceRing  # noqa: E402
+from repro.sim import CanBusSimulator, SimulationConfig  # noqa: E402
 from repro.server import AnalysisDaemon, InProcessClient  # noqa: E402
 from repro.service import (  # noqa: E402
     AnalysisSession,
@@ -417,6 +429,53 @@ def run_scenarios(repeat: int, skip_seed: bool,
            check_equal=assert_identical, n_messages=len(kmatrix),
            queries=SERVICE_QUERIES, victim=victim.name,
            baseline="uninstrumented session sweep",
+           min_speedup=OBS_MIN_SPEEDUP)
+
+    # 5c. Monitor ingest overhead: the same recorded trace replayed in
+    # chunks through a *bare* conformance monitor (conformance checks
+    # only) vs a fully equipped one (live MetricsRegistry counters,
+    # alert rules, violation trace ring) -- what every `monitor_ingest`
+    # request pays for the observability attached to it.  Gated at
+    # >= 0.95x like obs_overhead_parity: alerting, windowed history and
+    # counters must stay within ~5% of the bare conformance check.
+    monitor_trace = CanBusSimulator(
+        kmatrix, bus, controllers=controllers,
+        config=SimulationConfig(duration=1500.0, seed=11)).run()
+    monitor_frames = frames_from_trace(monitor_trace)
+
+    def replay_monitor(monitor):
+        for chunk in chunked(monitor_frames, 256):
+            monitor.ingest(chunk)
+        monitor.flush()
+        status = monitor.status()
+        return (status["frames"], status["violations"], status["refits"])
+
+    def bare_monitor_replay():
+        session = AnalysisSession(kmatrix, bus, assumed_jitter_fraction=0.15,
+                                  controllers=controllers)
+        return replay_monitor(ConformanceMonitor(session, target="bench"))
+
+    def equipped_monitor_replay():
+        # Registry on the monitor only: session instrumentation overhead
+        # is obs_overhead_parity's subject, not this scenario's.
+        registry = MetricsRegistry()
+        session = AnalysisSession(kmatrix, bus, assumed_jitter_fraction=0.15,
+                                  controllers=controllers)
+        rules = (
+            AlertRule.parse("any-violation", "violations > 0"),
+            AlertRule.parse(
+                "tight-slack",
+                "observed_slack_ms < 0.05*deadline for 2 windows"),
+        )
+        monitor = ConformanceMonitor(
+            session, target="bench", rules=rules, metrics=registry,
+            trace_ring=TraceRing(16))
+        return replay_monitor(monitor)
+
+    record("monitor_ingest_overhead", bare_monitor_replay,
+           equipped_monitor_replay, check_equal=assert_identical,
+           n_messages=len(kmatrix), frames=len(monitor_frames),
+           baseline="bare conformance monitor replay",
            min_speedup=OBS_MIN_SPEEDUP)
 
     # 6. Daemon throughput: the 100-query jitter sweep again, but through

@@ -39,6 +39,10 @@ The subpackages group the functionality:
 * :mod:`repro.parallel` -- deterministic parallel evaluation of independent
   analysis units (bus segments, GA candidates, sweep points);
 * :mod:`repro.sim` -- a discrete-event CAN simulator for cross-validation;
+* :mod:`repro.monitor` -- the live conformance monitor: observed frame
+  streams checked online against the analytic bounds (violation flagging,
+  event-model refitting, declarative alert rules, windowed metrics
+  history), served through the daemon's ``monitor_*`` ops;
 * :mod:`repro.supplychain` -- data sheets, requirements and contracts;
 * :mod:`repro.diagnostics` -- flashing and diagnostics traffic models;
 * :mod:`repro.flexray` -- static-segment FlexRay/TimeTable analysis;
@@ -61,12 +65,14 @@ from repro.can import CanBus, CanMessage, KMatrix
 from repro.cancel import Cancelled, CancelToken, DeadlineExceeded
 from repro.errors import BurstErrorModel, NoErrors, SporadicErrorModel
 from repro.events import (
+    EmpiricalEventTrace,
     EventModel,
     PeriodicEventModel,
     PeriodicWithBurst,
     PeriodicWithJitter,
+    fit_periodic_jitter,
 )
-from repro.obs import MetricsRegistry, Trace, TraceRing
+from repro.obs import MetricsHistory, MetricsRegistry, Trace, TraceRing
 from repro.optimize import optimize_priorities, paper_scenarios
 from repro.parallel import parallel_map
 from repro.sensitivity import jitter_sensitivity_all, max_tolerable_jitter_fraction
@@ -114,6 +120,31 @@ from repro.whatif import (
     builtin_system_catalog,
 )
 from repro.core import EndToEndPath, PathLatency, path_latency
+# After repro.core: the monitor pulls in the service layer, whose session
+# module and the compositional engine import each other -- the engine side
+# must initialize first (same reason repro.server precedes repro.service
+# above).
+from repro.monitor import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    ConformanceMonitor,
+    IngestReport,
+    MonitorConfig,
+    ObservedFrame,
+    ViolationRecord,
+    frames_from_trace,
+    inject_jitter_burst,
+)
+from repro.sim import (
+    CanBusSimulator,
+    NeverSentError,
+    SimulationConfig,
+    SimulationTrace,
+    Simulator,
+    TransmissionRecord,
+    UnknownMessageError,
+)
 from repro.store import ResultStore
 from repro.workloads import (
     WorkloadRegistry,
@@ -122,7 +153,7 @@ from repro.workloads import (
     powertrain_system,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -130,9 +161,11 @@ __all__ = [
     "CanMessage",
     "KMatrix",
     "EventModel",
+    "EmpiricalEventTrace",
     "PeriodicEventModel",
     "PeriodicWithJitter",
     "PeriodicWithBurst",
+    "fit_periodic_jitter",
     "NoErrors",
     "SporadicErrorModel",
     "BurstErrorModel",
@@ -175,10 +208,28 @@ __all__ = [
     "CancelToken",
     "Cancelled",
     "DeadlineExceeded",
+    "MetricsHistory",
     "MetricsRegistry",
     "Trace",
     "TraceRing",
     "start_server",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "ConformanceMonitor",
+    "IngestReport",
+    "MonitorConfig",
+    "ObservedFrame",
+    "ViolationRecord",
+    "frames_from_trace",
+    "inject_jitter_burst",
+    "CanBusSimulator",
+    "Simulator",
+    "SimulationConfig",
+    "SimulationTrace",
+    "TransmissionRecord",
+    "NeverSentError",
+    "UnknownMessageError",
     "AddGatewayRouteDelta",
     "BusSpeedDelta",
     "EcuTaskDelta",

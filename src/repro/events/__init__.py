@@ -44,7 +44,13 @@ from repro.events.model import (
     SporadicEventModel,
     event_model_from_parameters,
 )
-from repro.events.curves import ArrivalCurve, DistanceFunction
+from repro.events.curves import (
+    ArrivalCurve,
+    DistanceFunction,
+    EmpiricalEventTrace,
+    fit_periodic_jitter,
+    merge_traces,
+)
 from repro.events.operations import (
     add_jitter,
     combine_and,
@@ -57,7 +63,10 @@ from repro.events.operations import (
 __all__ = [
     "ArrivalCurve",
     "DistanceFunction",
+    "EmpiricalEventTrace",
     "EventModel",
+    "fit_periodic_jitter",
+    "merge_traces",
     "PeriodicEventModel",
     "PeriodicWithJitter",
     "PeriodicWithBurst",

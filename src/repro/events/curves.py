@@ -226,3 +226,44 @@ def merge_traces(traces: Iterable[EmpiricalEventTrace]) -> EmpiricalEventTrace:
     for trace in traces:
         merged.extend(trace.timestamps)
     return EmpiricalEventTrace(timestamps=merged)
+
+
+def fit_periodic_jitter(trace: EmpiricalEventTrace, period: float,
+                        max_n: int | None = 64,
+                        min_distance: float = 0.0):
+    """Fit the tightest conservative periodic-with-jitter model to a trace.
+
+    Given the (known) nominal period, returns the standard event model with
+    the smallest jitter ``J`` whose distance function lower-bounds the
+    observed one::
+
+        delta_minus(n) = max((n - 1) * period - J, 0)
+                       <= empirical_delta_minus(n)   for all examined n
+
+    i.e. ``J = max_n ((n - 1) * period - empirical_delta_minus(n))`` floored
+    at zero.  By the standard eta/delta duality this makes the analytic
+    ``eta_plus`` dominate the empirical arrival curve on every horizon the
+    trace covers, so feeding the fitted model to the analysis yields a bound
+    that is valid for the observed behaviour -- the *minimal* conservative
+    re-derivation the conformance monitor needs when a message's observed
+    arrivals escape its registered event model.
+
+    ``max_n`` caps the span scan (``None`` examines every span the trace
+    supports); the required jitter of a jittery-periodic source saturates at
+    small ``n``, so the default keeps fitting O(len * 64).  The result comes
+    from :func:`~repro.events.model.event_model_from_parameters`, so a fit
+    with zero observed jitter is a plain :class:`PeriodicEventModel`.
+    """
+    from repro.events.model import event_model_from_parameters
+
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    count = len(trace)
+    limit = count if max_n is None else min(max_n, count)
+    jitter = 0.0
+    for n in range(2, limit + 1):
+        required = (n - 1) * period - trace.empirical_delta_minus(n)
+        if required > jitter:
+            jitter = required
+    return event_model_from_parameters(period, jitter=jitter,
+                                       min_distance=min_distance)

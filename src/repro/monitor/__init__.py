@@ -1,0 +1,38 @@
+"""Online conformance monitoring: observed streams vs analytic bounds.
+
+The missing half of "simulation and test" vs analysis (paper Section 2):
+this package closes the loop by streaming *observed* frame completions --
+live from :mod:`repro.sim`, or replayed from recorded traces -- into the
+serving tier and continuously checking them against the *analytic* bounds
+the sessions serve.  See :mod:`repro.monitor.conformance` for the
+conformance semantics, :mod:`repro.monitor.rules` for the declarative alert
+layer, and :mod:`repro.monitor.stream` for the frame-stream input format.
+"""
+
+from repro.monitor.conformance import (
+    ConformanceMonitor,
+    IngestReport,
+    MonitorConfig,
+    ViolationRecord,
+)
+from repro.monitor.rules import Alert, AlertEngine, AlertRule
+from repro.monitor.stream import (
+    ObservedFrame,
+    chunked,
+    frames_from_trace,
+    inject_jitter_burst,
+)
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "ConformanceMonitor",
+    "IngestReport",
+    "MonitorConfig",
+    "ObservedFrame",
+    "ViolationRecord",
+    "chunked",
+    "frames_from_trace",
+    "inject_jitter_burst",
+]

@@ -1,0 +1,518 @@
+"""The online conformance monitor.
+
+A :class:`ConformanceMonitor` is bound to one registered bus target and its
+store-backed :class:`~repro.service.session.AnalysisSession`.  It ingests
+observed frame streams (live from the simulator, or replayed in chunks over
+the daemon's ``monitor_ingest`` op) and continuously checks three
+conformance properties per message:
+
+* **observed response vs analytic bound** -- every observed response time
+  must stay at or below the current analytic worst case; an excursion means
+  the analysis assumptions no longer describe the bus;
+* **observed response vs deadline** -- the operational property the paper
+  verifies analytically, checked against what actually happened;
+* **arrival envelope vs registered event model** -- the observed
+  ``empirical_eta_minus`` envelope must dominate the registered model's
+  lower curve.  When it escapes (equivalently, by the eta/delta duality:
+  the minimal conservative fitted jitter exceeds the registered jitter),
+  the monitor *re-derives* the bounds by issuing an
+  :class:`~repro.service.deltas.EventModelDelta` with the fitted model to
+  the session -- so a flagged bound is always the current analytic answer
+  for the observed behaviour, never a stale one, and bit-matches a
+  from-scratch ``analyze_all`` of the overridden configuration (the
+  session contract).
+
+Time is sliced into fixed windows (``MonitorConfig.window_ms``).  At each
+window close the monitor records per-message series into a
+:class:`~repro.obs.MetricsHistory` ring, runs the declarative
+:class:`~repro.monitor.rules.AlertEngine`, and re-checks arrival envelopes.
+Violations feed the registry counters, the trace ring (one span-tree record
+per violation, retained by overshoot severity) and the slow-query log.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.events.curves import EmpiricalEventTrace, fit_periodic_jitter
+from repro.events.model import EventModel
+from repro.monitor.rules import Alert, AlertEngine, AlertRule
+from repro.monitor.stream import ObservedFrame
+from repro.obs import MetricsHistory, Trace
+from repro.service.deltas import EventModelDelta
+from repro.sim.trace import UnknownMessageError
+
+#: Absolute slack (ms) granted before an observed response time counts as
+#: over a bound/deadline -- the same guard band the schedulability verdicts
+#: use, absorbing float fuzz without hiding real excursions.
+_VIOLATION_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tunables of one conformance monitor."""
+
+    window_ms: float = 100.0
+    history_windows: int = 128
+    max_arrivals: int = 4096
+    fit_max_n: int = 64
+    jitter_tolerance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        if self.history_windows < 1:
+            raise ValueError("history_windows must be >= 1")
+        if self.max_arrivals < 2:
+            raise ValueError("max_arrivals must be >= 2")
+        if self.fit_max_n < 2:
+            raise ValueError("fit_max_n must be >= 2")
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One flagged conformance violation."""
+
+    message: str
+    kind: str  # "observed-over-bound" | "observed-over-deadline"
+    window: int
+    observed: float
+    bound: float | None
+    deadline: float
+    queued_at: float
+
+    @property
+    def overshoot(self) -> float:
+        """How far past the violated limit the observation landed (ms)."""
+        if self.kind == "observed-over-bound" and self.bound is not None:
+            return self.observed - self.bound
+        return self.observed - self.deadline
+
+    def to_json(self) -> dict:
+        return {
+            "message": self.message,
+            "kind": self.kind,
+            "window": self.window,
+            "observed": self.observed,
+            "bound": self.bound,
+            "deadline": self.deadline,
+            "queued_at": self.queued_at,
+            "overshoot": self.overshoot,
+        }
+
+
+@dataclass
+class IngestReport:
+    """What one ``ingest`` call observed and concluded."""
+
+    frames: int = 0
+    windows_closed: int = 0
+    refits: int = 0
+    violations: list[ViolationRecord] = field(default_factory=list)
+    alerts: list[Alert] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "frames": self.frames,
+            "windows_closed": self.windows_closed,
+            "refits": self.refits,
+            "violations": [v.to_json() for v in self.violations],
+            "alerts": [a.to_json() for a in self.alerts],
+        }
+
+
+class _MessageState:
+    """Mutable monitoring state of one registered message."""
+
+    __slots__ = (
+        "name",
+        "period",
+        "registered_jitter",
+        "deadline",
+        "bound",
+        "bounded",
+        "arrivals",
+        "override",
+        "frames",
+        "completed",
+        "observed_max",
+        "violations",
+        "window_arrivals",
+        "window_completed",
+        "window_max",
+    )
+
+    def __init__(self, name: str, period: float, registered_jitter: float) -> None:
+        self.name = name
+        self.period = period
+        self.registered_jitter = registered_jitter
+        self.deadline = 0.0
+        self.bound: float | None = None
+        self.bounded = False
+        self.arrivals = EmpiricalEventTrace()
+        self.override: EventModel | None = None
+        self.frames = 0
+        self.completed = 0
+        self.observed_max = 0.0
+        self.violations = 0
+        self.window_arrivals = 0
+        self.window_completed = 0
+        self.window_max = 0.0
+
+    @property
+    def current_jitter(self) -> float:
+        """Jitter of the model currently backing this message's bound."""
+        if self.override is not None:
+            return self.override.jitter
+        return self.registered_jitter
+
+    def reset_window(self) -> None:
+        self.window_arrivals = 0
+        self.window_completed = 0
+        self.window_max = 0.0
+
+
+class ConformanceMonitor:
+    """Checks an observed frame stream against live analytic bounds."""
+
+    def __init__(
+        self,
+        session,
+        *,
+        target: str = "bus",
+        config: MonitorConfig | None = None,
+        rules: Sequence[AlertRule] = (),
+        metrics=None,
+        trace_ring=None,
+        slow_log=None,
+    ) -> None:
+        self.session = session
+        self.target = target
+        self.config = config or MonitorConfig()
+        self.history = MetricsHistory(self.config.history_windows)
+        self.engine = AlertEngine(rules)
+        self.trace_ring = trace_ring
+        self.slow_log = slow_log
+        self._lock = threading.Lock()
+        self._overrides: dict[str, EventModel] = {}
+        self._window = 0
+        self._frames = 0
+        self._refits = 0
+        self._violations_total = 0
+        self._window_violations = 0
+        base_config = session.base_config
+        self._states: dict[str, _MessageState] = {}
+        for message in base_config.kmatrix:
+            model = base_config.effective_event_model(message.name)
+            self._states[message.name] = _MessageState(message.name, message.period, model.jitter)
+        # Baseline bounds and policy-resolved deadlines from the session's
+        # own report; every refit refreshes both through the same path.
+        self._warm = session.query((), label="monitor-baseline")
+        self._apply_query_result(self._warm)
+        self.metrics = metrics
+        if metrics is not None:
+            self._frames_total = metrics.counter("monitor_frames_total", target=target)
+            self._windows_total = metrics.counter("monitor_windows_total", target=target)
+            self._refits_total = metrics.counter("monitor_refits_total", target=target)
+            self._violation_counters = {
+                name: metrics.counter("monitor_violations_total", message=name)
+                for name in self._states
+            }
+            self._alert_counters = {
+                rule.name: metrics.counter("monitor_alerts_total", rule=rule.name)
+                for rule in self.engine.rules
+            }
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(self, frames: Iterable[ObservedFrame], cancel=None) -> IngestReport:
+        """Feed a chunk of observed frames; returns what was concluded.
+
+        Frames are processed in completion order; windows strictly before
+        the newest completion are closed along the way (alert evaluation,
+        history recording, envelope re-checks).  Raises
+        :class:`~repro.sim.trace.UnknownMessageError` for frames naming a
+        message the registered system does not define.
+        """
+        ordered = sorted(frames, key=lambda f: (f.finished_at, f.queued_at, f.message))
+        report = IngestReport()
+        with self._lock:
+            for index, frame in enumerate(ordered):
+                if cancel is not None and index % 256 == 0:
+                    cancel.check()
+                state = self._states.get(frame.message)
+                if state is None:
+                    raise UnknownMessageError(frame.message, self._states)
+                self._advance_windows(frame.finished_at, report, cancel)
+                self._ingest_frame(state, frame, report, cancel)
+            # One batched increment per chunk: same total at every request
+            # boundary, without a lock round-trip per frame.
+            if self.metrics is not None and report.frames:
+                self._frames_total.inc(report.frames)
+        return report
+
+    def _ingest_frame(
+        self,
+        state: _MessageState,
+        frame: ObservedFrame,
+        report: IngestReport,
+        cancel,
+    ) -> None:
+        report.frames += 1
+        self._frames += 1
+        state.frames += 1
+        if frame.attempt == 1:
+            state.arrivals.add(frame.queued_at)
+            state.window_arrivals += 1
+        if not frame.success:
+            return
+        observed = frame.response_time
+        state.completed += 1
+        state.window_completed += 1
+        if observed > state.window_max:
+            state.window_max = observed
+        if observed > state.observed_max:
+            state.observed_max = observed
+        bound = state.bound if state.bounded else None
+        over_bound = bound is not None and observed > bound + _VIOLATION_TOLERANCE
+        over_deadline = observed > state.deadline + _VIOLATION_TOLERANCE
+        if over_bound or over_deadline:
+            # Re-derive before flagging, so the record carries the current
+            # analytic answer for the observed arrivals, never a stale one.
+            if self._refit_if_escaped((state,), cancel):
+                report.refits += 1
+            self._flag_violations(state, frame, observed, report)
+
+    def _flag_violations(
+        self,
+        state: _MessageState,
+        frame: ObservedFrame,
+        observed: float,
+        report: IngestReport,
+    ) -> None:
+        kinds = []
+        if (
+            state.bounded
+            and state.bound is not None
+            and observed > state.bound + _VIOLATION_TOLERANCE
+        ):
+            kinds.append("observed-over-bound")
+        if observed > state.deadline + _VIOLATION_TOLERANCE:
+            kinds.append("observed-over-deadline")
+        for kind in kinds:
+            violation = ViolationRecord(
+                message=state.name,
+                kind=kind,
+                window=self._window,
+                observed=observed,
+                bound=state.bound if state.bounded else None,
+                deadline=state.deadline,
+                queued_at=frame.queued_at,
+            )
+            state.violations += 1
+            self._violations_total += 1
+            self._window_violations += 1
+            report.violations.append(violation)
+            if self.metrics is not None:
+                self._violation_counters[state.name].inc()
+            self._record_violation_trace(violation)
+
+    def _record_violation_trace(self, violation: ViolationRecord) -> None:
+        if self.trace_ring is None and self.slow_log is None:
+            return
+        trace = Trace(
+            op="monitor_violation",
+            target=f"{self.target}/{violation.message}",
+        )
+        trace.record("observed_ms", violation.observed)
+        if violation.bound is not None:
+            trace.record("bound_ms", violation.bound)
+        trace.record("deadline_ms", violation.deadline)
+        trace.record(violation.kind, violation.overshoot)
+        # Retention in the ring is by duration; a violation's severity is
+        # its overshoot, so the worst excursions are the ones kept.
+        trace.duration_ms = violation.overshoot
+        if self.trace_ring is not None:
+            self.trace_ring.add(trace)
+        if self.slow_log is not None:
+            self.slow_log.maybe_log(trace, fingerprint=f"violation:{violation.message}")
+
+    # ------------------------------------------------------------------ #
+    # Windows, envelopes, re-derivation
+    # ------------------------------------------------------------------ #
+    def _advance_windows(self, now: float, report: IngestReport, cancel) -> None:
+        target_window = int(now // self.config.window_ms)
+        while self._window < target_window:
+            self._close_window(report, cancel)
+            self._window += 1
+
+    def _close_window(self, report: IngestReport, cancel) -> None:
+        window = self._window
+        report.windows_closed += 1
+        if self.metrics is not None:
+            self._windows_total.inc()
+        escaped = [state for state in self._states.values() if state.window_arrivals]
+        if self._refit_if_escaped(escaped, cancel):
+            report.refits += 1
+        sample: dict[str | None, dict[str, float]] = {}
+        scales: dict[str, dict[str, float]] = {}
+        # Tracked on the monitor, not the report: one window may span
+        # several ingest chunks.
+        window_violations = self._window_violations
+        self._window_violations = 0
+        for state in self._states.values():
+            name = state.name
+            values: dict[str, float] = {
+                "frames": float(state.window_completed),
+                "arrivals": float(state.window_arrivals),
+            }
+            self.history.record(window, "monitor_frames", state.window_completed, message=name)
+            self.history.record(window, "monitor_arrivals", state.window_arrivals, message=name)
+            if state.window_completed:
+                slack = state.deadline - state.window_max
+                values["observed_max_ms"] = state.window_max
+                values["observed_slack_ms"] = slack
+                self.history.record(window, "observed_max_ms", state.window_max, message=name)
+                self.history.record(window, "observed_slack_ms", slack, message=name)
+            sample[name] = values
+            scale: dict[str, float] = {"deadline": state.deadline}
+            if state.bounded and state.bound is not None:
+                scale["bound"] = state.bound
+            scales[name] = scale
+            state.reset_window()
+        self.history.record(window, "monitor_violations", window_violations)
+        global_values: dict[str, float] = {"violations": float(window_violations)}
+        if self.metrics is not None:
+            for rule in self.engine.rules:
+                if rule.metric not in global_values:
+                    value = self.metrics.value(rule.metric)
+                    if value is not None:
+                        global_values[rule.metric] = value
+        sample[None] = global_values
+        fired = self.engine.evaluate(window, sample, scales)
+        report.alerts.extend(fired)
+        if self.metrics is not None:
+            for alert in fired:
+                counter = self._alert_counters.get(alert.rule)
+                if counter is not None:
+                    counter.inc()
+
+    def _refit_if_escaped(self, states: Iterable[_MessageState], cancel) -> bool:
+        """Re-derive bounds when any state's arrival envelope escaped.
+
+        Escape test: fit the tightest conservative periodic-with-jitter
+        model to the observed arrivals; a fitted jitter above the current
+        model's is, by the eta/delta duality, exactly an
+        ``empirical_eta_minus`` curve dipping below the model's
+        ``eta_minus`` on some horizon.  All escaped messages are folded
+        into one :class:`EventModelDelta` so interference coupling is
+        re-solved once, and every message's bound/deadline refreshes from
+        the same query.
+        """
+        changed = False
+        for state in states:
+            if len(state.arrivals) < 2:
+                continue
+            fitted = fit_periodic_jitter(state.arrivals, state.period, max_n=self.config.fit_max_n)
+            if fitted.jitter > state.current_jitter + self.config.jitter_tolerance:
+                self._overrides[state.name] = fitted
+                state.override = fitted
+                changed = True
+        if not changed:
+            return False
+        delta = EventModelDelta.from_mapping(dict(self._overrides))
+        result = self.session.query(
+            (delta,),
+            warm_from=self._warm,
+            label="monitor-refit",
+            cancel=cancel,
+        )
+        self._warm = result
+        self._apply_query_result(result)
+        self._refits += 1
+        if self.metrics is not None:
+            self._refits_total.inc()
+        self._trim_arrivals()
+        return True
+
+    def _apply_query_result(self, result) -> None:
+        for verdict in result.report.verdicts:
+            state = self._states[verdict.name]
+            state.deadline = verdict.deadline
+            state.bound = verdict.worst_case_response
+            state.bounded = result.results[verdict.name].bounded
+
+    def _trim_arrivals(self) -> None:
+        limit = self.config.max_arrivals
+        for state in self._states.values():
+            if len(state.arrivals) > limit:
+                state.arrivals.timestamps = state.arrivals.timestamps[-limit:]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def flush(self, cancel=None) -> IngestReport:
+        """Close the window in progress (end-of-replay bookkeeping)."""
+        report = IngestReport()
+        with self._lock:
+            self._close_window(report, cancel)
+            self._window += 1
+        return report
+
+    @property
+    def overrides(self) -> dict[str, EventModel]:
+        """Current fitted event-model overrides (name -> model)."""
+        with self._lock:
+            return dict(self._overrides)
+
+    def status(self) -> dict:
+        """JSON-shaped snapshot of the monitor's state."""
+        with self._lock:
+            messages = {}
+            for name in sorted(self._states):
+                state = self._states[name]
+                entry = {
+                    "bound": state.bound if state.bounded else None,
+                    "deadline": state.deadline,
+                    "frames": state.frames,
+                    "completed": state.completed,
+                    "violations": state.violations,
+                    "registered_jitter": state.registered_jitter,
+                }
+                if state.completed:
+                    entry["observed_max"] = state.observed_max
+                if state.override is not None:
+                    entry["fitted_jitter"] = state.override.jitter
+                messages[name] = entry
+            return {
+                "target": self.target,
+                "window_ms": self.config.window_ms,
+                "window": self._window,
+                "frames": self._frames,
+                "violations": self._violations_total,
+                "refits": self._refits,
+                "overrides": sorted(self._overrides),
+                "active_alerts": [
+                    {"rule": rule, "subject": subject} for rule, subject in self.engine.active
+                ],
+                "messages": messages,
+            }
+
+    @property
+    def violations_total(self) -> int:
+        with self._lock:
+            return self._violations_total
+
+    def alerts(self, last: int | None = None) -> dict:
+        """Recent fired alerts plus the currently active set."""
+        with self._lock:
+            return {
+                "target": self.target,
+                "fired": [a.to_json() for a in self.engine.recent(last)],
+                "active": [
+                    {"rule": rule, "subject": subject} for rule, subject in self.engine.active
+                ],
+            }

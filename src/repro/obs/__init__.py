@@ -5,6 +5,12 @@ kernels -- may import from here without cycles.  See ``metrics.py`` for
 the instrument model and ``tracing.py`` for span/retention semantics.
 """
 
+from repro.obs.history import (
+    DEFAULT_HISTORY_WINDOWS,
+    MetricsHistory,
+    SeriesPoint,
+    SeriesRing,
+)
 from repro.obs.metrics import (
     ITERATION_BUCKETS,
     LATENCY_BUCKETS_MS,
@@ -25,13 +31,17 @@ from repro.obs.tracing import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_HISTORY_WINDOWS",
     "DEFAULT_TRACE_RING",
     "Gauge",
     "Histogram",
     "ITERATION_BUCKETS",
     "LATENCY_BUCKETS_MS",
+    "MetricsHistory",
     "MetricsRegistry",
     "SIZE_BUCKETS",
+    "SeriesPoint",
+    "SeriesRing",
     "SlowQueryLog",
     "Span",
     "Trace",

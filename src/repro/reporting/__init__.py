@@ -7,8 +7,10 @@ EXPERIMENTS.md all look the same.
 """
 
 from repro.reporting.tables import (
+    format_alerts,
     format_loss_curves,
     format_metrics_table,
+    format_monitor_status,
     format_sensitivity_table,
     format_session_stats,
     format_table,
@@ -20,8 +22,10 @@ from repro.reporting.tables import (
 __all__ = [
     "format_table",
     "series_to_rows",
+    "format_alerts",
     "format_loss_curves",
     "format_metrics_table",
+    "format_monitor_status",
     "format_sensitivity_table",
     "format_session_stats",
     "format_trace",

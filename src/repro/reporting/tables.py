@@ -172,6 +172,76 @@ def format_trace(trace: Mapping[str, object],
     return "\n".join(lines)
 
 
+def format_monitor_status(status: Mapping[str, object],
+                          title: str | None = None) -> str:
+    """Render a conformance monitor's ``status()`` snapshot.
+
+    One header line with the stream-level counters, then one row per
+    registered message: current analytic bound, policy deadline, observed
+    maximum (blank until the message completed at least once), frame and
+    violation counts, and the registered vs fitted jitter (the latter
+    blank while the observed arrival envelope still fits the registered
+    event model).
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    overrides = status.get("overrides") or []
+    lines.append(
+        f"monitor {status.get('target')}: window {status.get('window')} "
+        f"({float(status.get('window_ms', 0.0)):g} ms), "
+        f"{status.get('frames')} frames, "
+        f"{status.get('violations')} violation(s), "
+        f"{status.get('refits')} refit(s), "
+        f"{len(overrides)} override(s)")
+    for alert in status.get("active_alerts", ()):
+        lines.append(
+            f"  ALERT {alert.get('rule')}"
+            f" [{alert.get('subject') or 'global'}]")
+    rows: list[list[object]] = []
+    messages = status.get("messages", {})
+    for name in sorted(messages):
+        entry = messages[name]
+        bound = entry.get("bound")
+        observed = entry.get("observed_max")
+        fitted = entry.get("fitted_jitter")
+        rows.append([
+            name,
+            float(bound) if bound is not None else "unbounded",
+            float(entry.get("deadline", 0.0)),
+            float(observed) if observed is not None else "",
+            entry.get("frames", 0),
+            entry.get("violations", 0),
+            float(entry.get("registered_jitter", 0.0)),
+            float(fitted) if fitted is not None else "",
+        ])
+    table = format_table(
+        ["message", "bound ms", "deadline ms", "observed max",
+         "frames", "violations", "reg jitter", "fitted jitter"],
+        rows)
+    return "\n".join(lines) + "\n" + table
+
+
+def format_alerts(alerts: Mapping[str, object],
+                  title: str | None = None) -> str:
+    """Render a ``monitor_alerts`` payload: fired log plus active set."""
+    fired = alerts.get("fired", ())
+    rows = [[alert.get("rule"), alert.get("subject") or "global",
+             alert.get("window"), float(alert.get("value", 0.0)),
+             float(alert.get("threshold", 0.0)), alert.get("expr")]
+            for alert in fired]
+    table = format_table(
+        ["rule", "subject", "window", "value", "threshold", "expr"],
+        rows, title=title)
+    active = alerts.get("active", ())
+    if active:
+        names = ", ".join(
+            f"{entry.get('rule')}[{entry.get('subject') or 'global'}]"
+            for entry in active)
+        return f"{table}\nactive: {names}"
+    return f"{table}\nactive: none"
+
+
 def format_session_stats(stats: Iterable[object],
                          title: str | None = "Session statistics") -> str:
     """Per-session cache statistics table (the daemon's stats endpoint).

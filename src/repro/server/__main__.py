@@ -45,7 +45,9 @@ def build_daemon(messages: int = 80, buses: int = 4,
                  slow_query_ms: float | None = None,
                  trace_ring: int = DEFAULT_TRACE_RING,
                  store_dir: str | None = None,
-                 store_max_bytes: int | None = None) -> AnalysisDaemon:
+                 store_max_bytes: int | None = None,
+                 monitor_window_ms: float = 100.0,
+                 monitor_history: int = 128) -> AnalysisDaemon:
     """Daemon preloaded with the standard serving targets."""
     store = None
     if store_dir is not None:
@@ -53,7 +55,9 @@ def build_daemon(messages: int = 80, buses: int = 4,
     daemon = AnalysisDaemon(workers=workers, max_inflight=max_inflight,
                             max_pending=max_pending, grace=grace,
                             slow_query_ms=slow_query_ms,
-                            trace_ring=trace_ring, store=store)
+                            trace_ring=trace_ring, store=store,
+                            monitor_window_ms=monitor_window_ms,
+                            monitor_history=monitor_history)
     config = PowertrainConfig(n_messages=messages)
     daemon.add_config("powertrain", BusConfiguration(
         kmatrix=powertrain_kmatrix(config),
@@ -105,6 +109,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--store-max-bytes", type=int, default=None,
                         help="size bound of the store; oldest-read entries "
                              "are evicted beyond it (default: unbounded)")
+    parser.add_argument("--monitor-window-ms", type=float, default=100.0,
+                        help="default conformance-monitor window size a "
+                             "monitor_start without window_ms inherits "
+                             "(default 100)")
+    parser.add_argument("--monitor-history", type=int, default=128,
+                        help="default closed-window count each monitor's "
+                             "metrics history retains (default 128)")
     args = parser.parse_args(argv)
     if args.store_max_bytes is not None and args.store_dir is None:
         parser.error("--store-max-bytes requires --store-dir")
@@ -123,7 +134,9 @@ def main(argv: list[str] | None = None) -> int:
                           slow_query_ms=args.slow_query_ms,
                           trace_ring=args.trace_ring,
                           store_dir=args.store_dir,
-                          store_max_bytes=args.store_max_bytes)
+                          store_max_bytes=args.store_max_bytes,
+                          monitor_window_ms=args.monitor_window_ms,
+                          monitor_history=args.monitor_history)
     server = DaemonServer(daemon, host=args.host, port=args.port)
     if daemon.store is not None:
         print(daemon.store.describe())

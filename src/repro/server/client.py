@@ -27,8 +27,9 @@ jitter).  What may be retried follows the protocol's error taxonomy:
   hint floors the backoff delay;
 * transport failures are retried for idempotent ops.  Every query op is
   idempotent (analyses are pure; repeating one returns a bit-identical
-  result), so all of them retry.  ``register`` is retried only when the
-  failure happened *connecting* -- once bytes may have reached the
+  result), so all of them retry.  ``register``, ``monitor_start`` and
+  ``monitor_ingest`` mutate daemon state, so they are retried only when
+  the failure happened *connecting* -- once bytes may have reached the
   daemon, the client surfaces the error instead of re-sending;
 * ``timeout``, ``draining`` and the request-fault codes (``invalid``,
   ``protocol``, ``unknown_target``) are never retried: the outcome would
@@ -134,7 +135,11 @@ class RetryPolicy:
 #: No retry at all: fire-and-forget semantics would re-stop a daemon.
 _NO_RETRY_OPS = frozenset({"shutdown"})
 #: Retried only when the connection failed before any bytes were sent.
-_CONNECT_RETRY_ONLY_OPS = frozenset({"register"})
+#: ``register`` re-binds state; ``monitor_start`` resets a monitor's
+#: windows and alert streaks; ``monitor_ingest`` advances window state --
+#: none of them may be blindly re-sent once bytes reached the daemon.
+_CONNECT_RETRY_ONLY_OPS = frozenset(
+    {"register", "monitor_start", "monitor_ingest"})
 
 
 class BaseClient:
@@ -227,15 +232,24 @@ class BaseClient:
         return self.request("scenarios")
 
     # -- observability --------------------------------------------------- #
-    def metrics(self, format: Optional[str] = None) -> dict:
+    def metrics(self, format: Optional[str] = None,
+                history: bool = False,
+                history_last: Optional[int] = None) -> dict:
         """Structured metrics snapshot (plus a rendered summary table).
 
         ``format="prometheus"`` (alias ``"text"``) additionally returns
         the Prometheus text exposition format under the ``"text"`` key.
+        ``history=True`` folds in the windowed series rings of every
+        running conformance monitor under ``"history"``; ``history_last``
+        bounds how many windows come back per series.
         """
         params: dict = {}
         if format is not None:
             params["format"] = format
+        if history or history_last is not None:
+            params["history"] = True
+        if history_last is not None:
+            params["history_last"] = history_last
         return self.request("metrics", **params)
 
     def traces(self, limit: Optional[int] = None) -> dict:
@@ -413,6 +427,79 @@ class BaseClient:
         if deadline_ms is not None:
             params["deadline_ms"] = deadline_ms
         return self.request("path_latency", **params)
+
+    # -- conformance monitoring ----------------------------------------- #
+    def monitor_start(self, target: str,
+                      rules: Sequence = (),
+                      window_ms: Optional[float] = None,
+                      history_windows: Optional[int] = None,
+                      max_arrivals: Optional[int] = None,
+                      fit_max_n: Optional[int] = None,
+                      deadline_ms: Optional[float] = None) -> dict:
+        """Bind a conformance monitor to a registered target.
+
+        ``rules`` are typed :class:`~repro.monitor.AlertRule` objects (or
+        equivalent JSON mappings, including the one-line ``expr`` form).
+        Starting over an existing monitor replaces it -- fresh windows,
+        history and alert state.  Retried only on connect failure: once
+        bytes may have reached the daemon, a blind re-send could wipe a
+        monitor another request already started feeding.
+        """
+        params: dict = {"target": target}
+        if rules:
+            params["rules"] = [
+                rule.to_json() if hasattr(rule, "to_json") else dict(rule)
+                for rule in rules]
+        if window_ms is not None:
+            params["window_ms"] = window_ms
+        if history_windows is not None:
+            params["history_windows"] = history_windows
+        if max_arrivals is not None:
+            params["max_arrivals"] = max_arrivals
+        if fit_max_n is not None:
+            params["fit_max_n"] = fit_max_n
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        return self.request("monitor_start", **params)
+
+    def monitor_ingest(self, target: str, frames: Sequence,
+                       flush: bool = False,
+                       deadline_ms: Optional[float] = None) -> dict:
+        """Stream one chunk of observed frames into a running monitor.
+
+        ``frames`` are typed :class:`~repro.monitor.ObservedFrame`
+        objects (or equivalent compact arrays); ``flush=True`` closes the
+        window in progress after the chunk (end-of-replay bookkeeping).
+        Not idempotent -- ingesting advances window state -- so it is
+        retried only when the connection failed before any bytes went
+        out.
+        """
+        params: dict = {"target": target,
+                        "frames": [
+                            frame.to_json() if hasattr(frame, "to_json")
+                            else list(frame)
+                            for frame in frames]}
+        if flush:
+            params["flush"] = True
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        return self.request("monitor_ingest", **params)
+
+    def monitor_status(self, target: str) -> dict:
+        """Snapshot of one monitor: bounds, counters, overrides, alerts."""
+        return self.request("monitor_status", target=target)
+
+    def monitor_alerts(self, target: str,
+                       last: Optional[int] = None) -> dict:
+        """Recent fired alerts, the active set, and the installed rules."""
+        params: dict = {"target": target}
+        if last is not None:
+            params["last"] = last
+        return self.request("monitor_alerts", **params)
+
+    def monitor_stop(self, target: str) -> dict:
+        """Detach one monitor; final counters come back in the reply."""
+        return self.request("monitor_stop", target=target)
 
     def shutdown_daemon(self) -> dict:
         """Ask the daemon to stop serving (never retried)."""

@@ -54,7 +54,20 @@ requests (see :mod:`repro.server.protocol`):
     traces (see :mod:`repro.obs.tracing`).  Every request is traced --
     stages ``decode -> admission -> queue_wait -> session_plan -> solve
     -> encode`` -- and the span tree is returned inline when a request
-    sets ``trace: true``.
+    sets ``trace: true``.  ``metrics`` with ``history: true`` folds in
+    the windowed time-series rings of every running conformance monitor.
+``monitor_start`` / ``monitor_ingest`` / ``monitor_status`` /
+``monitor_alerts`` / ``monitor_stop``
+    The live conformance layer (:mod:`repro.monitor`): ``monitor_start``
+    binds a :class:`~repro.monitor.ConformanceMonitor` to a registered
+    target's session (optionally with declarative alert rules);
+    ``monitor_ingest`` streams chunks of observed frames into it,
+    flagging observed response times that exceed the *current* analytic
+    bound or deadline -- re-deriving bounds through the session when the
+    observed arrival envelope escapes the registered event model, so a
+    flagged bound is never stale; ``monitor_status`` / ``monitor_alerts``
+    answer from in-memory state (control ops: they keep working during
+    overload and drain); ``monitor_stop`` detaches the monitor.
 ``shutdown``
     Graceful stop (the TCP front end watches :attr:`shutdown_requested`).
 
@@ -93,6 +106,7 @@ from typing import Mapping, Optional
 from repro.cancel import Cancelled, CancelToken, DeadlineExceeded
 from repro.core.paths import path_latency_all
 from repro.core.system import SystemModel
+from repro.monitor.conformance import ConformanceMonitor, MonitorConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import (
     DEFAULT_TRACE_RING,
@@ -111,6 +125,7 @@ from repro.server.jobs import DEFAULT_GRACE, JobQueue, QueueFullError
 from repro.server.pool import SessionPool, UnknownTargetError
 from repro.service.catalog import ScenarioCatalog, builtin_catalog
 from repro.service.deltas import BusConfiguration
+from repro.sim.trace import UnknownMessageError
 from repro.whatif.catalog import (
     SystemScenarioCatalog,
     builtin_system_catalog,
@@ -124,7 +139,8 @@ from repro.workloads.registry import builtin_registry
 #: monitoring (and the shutdown request itself) always gets through.
 _CONTROL_OPS = frozenset(
     {"ping", "health", "stats", "targets", "scenarios", "metrics",
-     "traces", "store", "shutdown"})
+     "traces", "store", "monitor_status", "monitor_alerts",
+     "monitor_stop", "shutdown"})
 
 
 class AnalysisDaemon:
@@ -142,6 +158,11 @@ class AnalysisDaemon:
     session); ``trace_ring`` bounds how many slowest traces the
     ``traces`` op retains; ``slow_query_ms`` enables the structured
     slow-query log at that threshold in milliseconds (default: off).
+
+    ``monitor_window_ms`` / ``monitor_history`` are the defaults a
+    ``monitor_start`` without explicit parameters inherits: the
+    conformance window size and how many closed windows the per-monitor
+    metrics history retains.
     """
 
     def __init__(
@@ -160,6 +181,8 @@ class AnalysisDaemon:
         trace_ring: int = DEFAULT_TRACE_RING,
         store=None,
         workloads=None,
+        monitor_window_ms: float = 100.0,
+        monitor_history: int = 128,
     ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
@@ -196,6 +219,14 @@ class AnalysisDaemon:
         self.max_inflight = max_inflight
         self.grace = grace
         self.faults = faults if faults is not None else faults_mod.from_env()
+        if monitor_window_ms <= 0:
+            raise ValueError("monitor_window_ms must be positive")
+        if monitor_history < 1:
+            raise ValueError("monitor_history must be at least 1")
+        self.monitor_window_ms = float(monitor_window_ms)
+        self.monitor_history = int(monitor_history)
+        self._monitors: dict[str, ConformanceMonitor] = {}
+        self._monitor_lock = threading.Lock()
         self._system_sessions: dict[str, SystemSession] = {}
         self._system_catalogs: dict[str, SystemScenarioCatalog] = {}
         self._engine_lock = threading.Lock()
@@ -245,6 +276,11 @@ class AnalysisDaemon:
             "metrics": self._op_metrics,
             "traces": self._op_traces,
             "store": self._op_store,
+            "monitor_start": self._op_monitor_start,
+            "monitor_ingest": self._op_monitor_ingest,
+            "monitor_status": self._op_monitor_status,
+            "monitor_alerts": self._op_monitor_alerts,
+            "monitor_stop": self._op_monitor_stop,
             "shutdown": self._op_shutdown,
         }
 
@@ -468,6 +504,11 @@ class AnalysisDaemon:
                                retry_after_ms=error.retry_after_ms)
         except UnknownTargetError as error:
             return self._error(str(error), request_id, code="unknown_target")
+        except UnknownMessageError as error:
+            # A KeyError subclass: must outrank the generic "invalid"
+            # mapping below so a frame naming an unregistered message gets
+            # the same taxonomy slot as an unregistered target.
+            return self._error(str(error), request_id, code="unknown_target")
         except protocol.ProtocolError as error:
             return self._error(str(error), request_id, code="protocol")
         except (KeyError, ValueError, TypeError, AttributeError) as error:
@@ -586,6 +627,20 @@ class AnalysisDaemon:
         if self.jobs.workers and alive < self.jobs.workers:
             causes.append(
                 f"only {alive}/{self.jobs.workers} workers alive")
+        # Conformance alerts are health conditions: an active alert means
+        # observed behaviour is out of its declared envelope right now.
+        with self._monitor_lock:
+            monitors = sorted(self._monitors.items())
+        active_alerts = 0
+        for monitor_target, monitor in monitors:
+            active = monitor.engine.active
+            if active:
+                active_alerts += len(active)
+                causes.append(
+                    f"monitor {monitor_target}: {len(active)} active "
+                    f"alert(s)")
+        if status == "ok" and active_alerts:
+            status = "degraded"
         with self._active_lock:
             inflight = self._inflight
         with self._counter_lock:
@@ -602,6 +657,7 @@ class AnalysisDaemon:
             "targets": self.pool.targets(),
             "systems": self.pool.systems(),
             "scenarios": self.catalog.names(),
+            "monitors": [name for name, _ in monitors],
             "inflight": inflight,
             "max_inflight": self.max_inflight,
             # Metrics-derived signals: the observable inputs behind the
@@ -614,6 +670,7 @@ class AnalysisDaemon:
                 "rejected_overload": rejected_overload,
                 "rejected_draining": rejected_draining,
                 "timeouts": timeouts,
+                "monitor_active_alerts": active_alerts,
             },
             "queue": {"mode": self.jobs.mode, "workers": self.jobs.workers,
                       "alive_workers": alive,
@@ -907,7 +964,11 @@ class AnalysisDaemon:
         """Structured snapshot of the daemon's metrics registry.
 
         ``{"format": "prometheus"}`` (or ``"text"``) additionally
-        renders the text exposition format under ``"text"``.
+        renders the text exposition format under ``"text"``;
+        ``{"history": true}`` folds in every running conformance
+        monitor's windowed series rings (``history_last`` bounds how
+        many windows per series), answering "the last N windows" next
+        to the registry's "since boot".
         """
         snapshot = self.metrics.snapshot()
         result = {
@@ -922,6 +983,19 @@ class AnalysisDaemon:
             raise protocol.ProtocolError(
                 f"unknown metrics format {fmt!r}; "
                 f"supported: 'text'/'prometheus'")
+        if request.get("history"):
+            last = request.get("history_last")
+            if last is not None and (
+                    isinstance(last, bool) or not isinstance(last, int)
+                    or last < 1):
+                raise protocol.ProtocolError(
+                    f"history_last must be a positive integer, "
+                    f"got {last!r}")
+            with self._monitor_lock:
+                monitors = sorted(self._monitors.items())
+            result["history"] = {
+                name: monitor.history.snapshot(last)
+                for name, monitor in monitors}
         return result
 
     def _op_traces(self, request: Mapping, cancel=None) -> dict:
@@ -970,6 +1044,121 @@ class AnalysisDaemon:
                     "stats": self.store.stats()}
         return {"enabled": True, "action": action,
                 "stats": self.store.stats()}
+
+    # ------------------------------------------------------------------ #
+    # Conformance monitoring (protocol v6)
+    # ------------------------------------------------------------------ #
+    def _monitor_for(self, target: str) -> ConformanceMonitor:
+        """The running monitor of one target (typed error when absent)."""
+        with self._monitor_lock:
+            monitor = self._monitors.get(target)
+            if monitor is None:
+                raise UnknownTargetError(target, sorted(self._monitors))
+        return monitor
+
+    def _op_monitor_start(self, request: Mapping, cancel=None) -> dict:
+        """Bind (or re-bind) a conformance monitor to a registered target.
+
+        Starting over an existing monitor replaces it wholesale -- fresh
+        windows, history, fitted overrides and alert state -- so a replay
+        always begins from the registered event models, not from whatever
+        a previous stream fitted.
+        """
+        target = str(request["target"])
+        session = self.pool.get(target)
+        window_ms = request.get("window_ms", self.monitor_window_ms)
+        history = request.get("history_windows", self.monitor_history)
+        if isinstance(window_ms, bool) \
+                or not isinstance(window_ms, (int, float)):
+            raise protocol.ProtocolError(
+                f"window_ms must be a positive number, got {window_ms!r}")
+        if isinstance(history, bool) or not isinstance(history, int):
+            raise protocol.ProtocolError(
+                f"history_windows must be a positive integer, "
+                f"got {history!r}")
+        extras = {}
+        for key in ("max_arrivals", "fit_max_n"):
+            value = request.get(key)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise protocol.ProtocolError(
+                    f"{key} must be an integer, got {value!r}")
+            extras[key] = value
+        # Range validation happens in MonitorConfig (ValueError -> the
+        # typed ``invalid`` response).
+        config = MonitorConfig(
+            window_ms=float(window_ms), history_windows=history, **extras)
+        rules = protocol.alert_rules_from_json(request.get("rules", ()))
+        monitor = ConformanceMonitor(
+            session, target=target, config=config, rules=rules,
+            metrics=self.metrics, trace_ring=self.traces,
+            slow_log=self.slowlog)
+        with self._monitor_lock:
+            self._monitors[target] = monitor
+        return {
+            "target": target,
+            "window_ms": config.window_ms,
+            "history_windows": config.history_windows,
+            "messages": sorted(monitor.status()["messages"]),
+            "rules": [rule.describe() for rule in rules],
+        }
+
+    def _op_monitor_ingest(self, request: Mapping, cancel=None) -> dict:
+        """Stream one chunk of observed frames into a running monitor.
+
+        ``{"flush": true}`` additionally closes the window in progress
+        after the chunk -- end-of-replay bookkeeping, so trailing alert
+        evaluation is not left waiting for a frame that never comes.
+        """
+        target = str(request["target"])
+        monitor = self._monitor_for(target)
+        frames = protocol.frames_from_json(request.get("frames", ()))
+        report = monitor.ingest(frames, cancel=cancel)
+        if request.get("flush"):
+            tail = monitor.flush(cancel=cancel)
+            report.windows_closed += tail.windows_closed
+            report.refits += tail.refits
+            report.violations.extend(tail.violations)
+            report.alerts.extend(tail.alerts)
+        result = report.to_json()
+        result["target"] = target
+        result["violations_total"] = monitor.violations_total
+        return result
+
+    def _op_monitor_status(self, request: Mapping, cancel=None) -> dict:
+        """Snapshot of one monitor: bounds, counts, overrides, alerts."""
+        return self._monitor_for(str(request["target"])).status()
+
+    def _op_monitor_alerts(self, request: Mapping, cancel=None) -> dict:
+        """Recent fired alerts, the active set, and the installed rules."""
+        monitor = self._monitor_for(str(request["target"]))
+        last = request.get("last")
+        if last is not None and (
+                isinstance(last, bool) or not isinstance(last, int)
+                or last < 1):
+            raise protocol.ProtocolError(
+                f"last must be a positive integer, got {last!r}")
+        result = monitor.alerts(last)
+        result["rules"] = [rule.to_json()
+                           for rule in monitor.engine.rules]
+        return result
+
+    def _op_monitor_stop(self, request: Mapping, cancel=None) -> dict:
+        """Detach one monitor; its final counters come back in the reply."""
+        target = str(request["target"])
+        with self._monitor_lock:
+            monitor = self._monitors.pop(target, None)
+            if monitor is None:
+                raise UnknownTargetError(target, sorted(self._monitors))
+        status = monitor.status()
+        return {
+            "target": target,
+            "stopped": True,
+            "frames": status["frames"],
+            "violations": status["violations"],
+            "refits": status["refits"],
+        }
 
     def _op_shutdown(self, request: Mapping, cancel=None) -> dict:
         self._shutdown.set()

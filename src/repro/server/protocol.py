@@ -98,6 +98,8 @@ from repro.events.model import (
     PeriodicWithJitter,
     SporadicEventModel,
 )
+from repro.monitor.rules import AlertRule
+from repro.monitor.stream import ObservedFrame
 from repro.service.deltas import (
     AddMessageDelta,
     BusConfiguration,
@@ -141,8 +143,16 @@ from repro.whatif.system_deltas import (
 #: <name>, "params": {...}}`` -- that the daemon expands server-side via
 #: the named workload registry (identical parameters dedupe by fingerprint
 #: into the same sessions and store entries, so clients ship kilobytes of
-#: parameters instead of full topologies).
-PROTOCOL_VERSION = 5
+#: parameters instead of full topologies).  Version 6 added the conformance
+#: monitoring layer: the ``monitor_start`` / ``monitor_ingest`` /
+#: ``monitor_status`` / ``monitor_alerts`` / ``monitor_stop`` ops (observed
+#: frame streams replayed in chunks against a registered target's analytic
+#: bounds, with declarative alert rules), compact frame arrays
+#: (``[message, queued_at, finished_at, success, attempt]``), alert-rule
+#: objects (structured fields or one-line ``expr`` syntax), and a
+#: ``history`` parameter on ``metrics`` returning the last-N-window
+#: time-series of the monitor's windowed series.
+PROTOCOL_VERSION = 6
 
 #: The machine-readable error codes of the taxonomy documented above.
 ERROR_CODES = ("timeout", "overloaded", "draining", "unknown_target",
@@ -915,6 +925,54 @@ def system_query_result_to_json(outcome) -> dict:
             "cache_hit": outcome.stats.cache_hit,
         },
     }
+
+
+# --------------------------------------------------------------------------- #
+# Conformance monitoring (protocol v6)
+# --------------------------------------------------------------------------- #
+def frames_to_json(frames: Sequence[ObservedFrame]) -> list[list]:
+    """Compact array form of an observed frame stream.
+
+    One frame is ``[message, queued_at, finished_at, success, attempt]`` --
+    positional, because ``monitor_ingest`` ships thousands of them and the
+    field names would dominate the payload.
+    """
+    return [frame.to_json() for frame in frames]
+
+
+def frames_from_json(items: Sequence) -> list[ObservedFrame]:
+    """Inverse of :func:`frames_to_json`."""
+    frames = []
+    for item in items:
+        if not isinstance(item, Sequence) or len(item) != 5:
+            raise ProtocolError(
+                f"observed frame must be a 5-element array, got {item!r}")
+        try:
+            frames.append(ObservedFrame.from_json(item))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed observed frame: {exc}") from None
+    return frames
+
+
+def alert_rules_from_json(items: Sequence[Mapping]) -> tuple[AlertRule, ...]:
+    """Alert rules from request payloads (structured or ``expr`` syntax)."""
+    rules = []
+    for item in items:
+        if not isinstance(item, Mapping):
+            raise ProtocolError(f"alert rule must be an object, got {item!r}")
+        try:
+            rules.append(AlertRule.from_json(item))
+        except KeyError as missing:
+            raise ProtocolError(
+                f"alert rule object lacks {missing}") from None
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed alert rule: {exc}") from None
+    return tuple(rules)
+
+
+def alert_rules_to_json(rules: Sequence[AlertRule]) -> list[dict]:
+    """JSON array form of alert rules."""
+    return [rule.to_json() for rule in rules]
 
 
 # --------------------------------------------------------------------------- #

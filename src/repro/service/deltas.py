@@ -84,6 +84,20 @@ class BusConfiguration:
             backend=backend,
         )
 
+    def effective_event_model(self, name: str) -> EventModel:
+        """The activation model the analysis assumes for one message.
+
+        Resolved exactly as the kernel resolves it: an explicit
+        ``event_models`` override wins, otherwise the K-Matrix row's own
+        model under the configuration's assumed jitter fraction.  The
+        conformance monitor compares observed arrival envelopes against
+        this model to decide when a re-derivation is due.
+        """
+        override = (self.event_models or {}).get(name)
+        if override is not None:
+            return override
+        return self.kmatrix.get(name).event_model(self.assumed_jitter_fraction)
+
     def analysis_key(self) -> tuple:
         """Hashable fingerprint of every analysis-relevant input.
 

@@ -16,16 +16,29 @@ needed to
 from repro.sim.trace import (
     ErrorRecord,
     LossRecord,
+    NeverSentError,
     SimulationTrace,
     TransmissionRecord,
+    UnknownMessageError,
 )
-from repro.sim.simulator import CanBusSimulator, SimulationConfig
+from repro.sim.simulator import (
+    CanBusSimulator,
+    SimulationConfig,
+    simulate_powertrain,
+)
+
+#: Convenience alias: the simulator is the package's ``Simulator``.
+Simulator = CanBusSimulator
 
 __all__ = [
     "CanBusSimulator",
+    "Simulator",
     "SimulationConfig",
     "SimulationTrace",
     "TransmissionRecord",
     "ErrorRecord",
     "LossRecord",
+    "NeverSentError",
+    "UnknownMessageError",
+    "simulate_powertrain",
 ]

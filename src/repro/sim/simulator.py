@@ -95,8 +95,9 @@ class CanBusSimulator:
     def _transmission_time(self, message: CanMessage) -> float:
         """Transmission time of one attempt, optionally with random stuffing."""
         nominal = frame_bits_without_stuffing(message.dlc, message.frame_format)
-        worst = worst_case_frame_bits(message.dlc, message.frame_format,
-                                      bit_stuffing=self.bus.bit_stuffing)
+        worst = worst_case_frame_bits(
+            message.dlc, message.frame_format, bit_stuffing=self.bus.bit_stuffing
+        )
         if not self.config.random_stuffing or worst == nominal:
             bits = worst if self.bus.bit_stuffing else nominal
         else:
@@ -128,8 +129,7 @@ class CanBusSimulator:
             # Composite or custom models: approximate with their error count
             # over the duration, spread uniformly.
             count = model.errors_in(duration)
-            times = sorted(self._rng.uniform(0.0, duration)
-                           for _ in range(min(count, 10_000)))
+            times = sorted(self._rng.uniform(0.0, duration) for _ in range(min(count, 10_000)))
         return sorted(times)
 
     def _queue_times(self, message: CanMessage) -> list[float]:
@@ -150,7 +150,9 @@ class CanBusSimulator:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationTrace:
         """Execute the simulation and return the full trace."""
-        trace = SimulationTrace(duration=self.config.duration)
+        trace = SimulationTrace(
+            duration=self.config.duration, messages=tuple(m.name for m in self.kmatrix)
+        )
         # Future queuing events: (time, message) sorted ascending.
         releases: list[tuple[float, CanMessage]] = []
         for message in self.kmatrix:
@@ -164,8 +166,7 @@ class CanBusSimulator:
         error_index = 0
 
         # Pending frames per ECU (the controller decides what is offered).
-        pending: dict[str, list[_PendingFrame]] = {
-            name: [] for name in self.kmatrix.senders()}
+        pending: dict[str, list[_PendingFrame]] = {name: [] for name in self.kmatrix.senders()}
         now = 0.0
 
         def admit_releases(up_to: float) -> None:
@@ -177,14 +178,17 @@ class CanBusSimulator:
                 # message still pending is lost.
                 for index, frame in enumerate(queue):
                     if frame.message.name == message.name:
-                        trace.losses.append(LossRecord(
-                            message=message.name, sender=message.sender,
-                            queued_at=frame.queued_at,
-                            overwritten_at=queue_time))
+                        trace.losses.append(
+                            LossRecord(
+                                message=message.name,
+                                sender=message.sender,
+                                queued_at=frame.queued_at,
+                                overwritten_at=queue_time,
+                            )
+                        )
                         queue.pop(index)
                         break
-                queue.append(_PendingFrame(message=message,
-                                           queued_at=queue_time))
+                queue.append(_PendingFrame(message=message, queued_at=queue_time))
 
         def offered_frames() -> list[_PendingFrame]:
             """Frames currently taking part in arbitration."""
@@ -193,8 +197,7 @@ class CanBusSimulator:
                 if not queue:
                     continue
                 controller = self.controllers.get(sender)
-                ctype = (controller.controller_type
-                         if controller else CanControllerType.FULL)
+                ctype = controller.controller_type if controller else CanControllerType.FULL
                 if ctype == CanControllerType.QUEUED_FIFO:
                     offers.append(min(queue, key=lambda f: f.queued_at))
                 elif ctype == CanControllerType.BASIC:
@@ -226,25 +229,37 @@ class CanBusSimulator:
             # Does an error hit this transmission?
             while error_index < len(error_times) and error_times[error_index] < start:
                 error_index += 1
-            hit = (error_index < len(error_times)
-                   and error_times[error_index] < end)
+            hit = error_index < len(error_times) and error_times[error_index] < end
             if hit:
                 error_at = error_times[error_index]
                 error_index += 1
                 recovery_end = error_at + self.bus.error_recovery_time()
-                trace.transmissions.append(TransmissionRecord(
-                    message=winner.message.name, sender=winner.message.sender,
-                    queued_at=winner.queued_at, started_at=start,
-                    finished_at=recovery_end, success=False,
-                    attempt=winner.attempt))
+                trace.transmissions.append(
+                    TransmissionRecord(
+                        message=winner.message.name,
+                        sender=winner.message.sender,
+                        queued_at=winner.queued_at,
+                        started_at=start,
+                        finished_at=recovery_end,
+                        success=False,
+                        attempt=winner.attempt,
+                    )
+                )
                 winner.attempt += 1
                 now = recovery_end
                 continue
 
-            trace.transmissions.append(TransmissionRecord(
-                message=winner.message.name, sender=winner.message.sender,
-                queued_at=winner.queued_at, started_at=start, finished_at=end,
-                success=True, attempt=winner.attempt))
+            trace.transmissions.append(
+                TransmissionRecord(
+                    message=winner.message.name,
+                    sender=winner.message.sender,
+                    queued_at=winner.queued_at,
+                    started_at=start,
+                    finished_at=end,
+                    success=True,
+                    attempt=winner.attempt,
+                )
+            )
             pending[winner.message.sender].remove(winner)
             now = end
 
@@ -262,8 +277,10 @@ def simulate_powertrain(
 ) -> SimulationTrace:
     """Convenience wrapper used by examples and the Figure-2 benchmark."""
     simulator = CanBusSimulator(
-        kmatrix=kmatrix, bus=bus, controllers=controllers,
+        kmatrix=kmatrix,
+        bus=bus,
+        controllers=controllers,
         error_model=error_model,
-        config=SimulationConfig(duration=duration, seed=seed,
-                                jitter_fraction=jitter_fraction))
+        config=SimulationConfig(duration=duration, seed=seed, jitter_fraction=jitter_fraction),
+    )
     return simulator.run()

@@ -8,8 +8,44 @@ times, per-message statistics and Gantt-style rows for textual rendering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.events.curves import EmpiricalEventTrace
+
+
+class UnknownMessageError(KeyError):
+    """A statistic was requested for a message the trace never defined.
+
+    Mirrors the daemon's ``unknown_target`` taxonomy
+    (:class:`repro.server.pool.UnknownTargetError`): the name carries the
+    unknown message and the sorted known names, and the serving tier maps it
+    to the ``unknown_target`` protocol error code.
+    """
+
+    def __init__(self, name: str, known: Iterable[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = sorted(known)
+
+    def __str__(self) -> str:
+        known = ", ".join(self.known) or "none"
+        return f"unknown message {self.name!r}; trace records: {known}"
+
+
+class NeverSentError(LookupError):
+    """A statistic needs completed transmissions but the message has none.
+
+    Raised instead of silently answering ``0.0``: a zero observed maximum is
+    indistinguishable from "infinitely fast", which is exactly the wrong
+    default for conformance checking.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"message {self.name!r} has no completed transmissions in this trace"
 
 
 @dataclass(frozen=True)
@@ -61,10 +97,27 @@ class SimulationTrace:
     transmissions: list[TransmissionRecord] = field(default_factory=list)
     errors: list[ErrorRecord] = field(default_factory=list)
     losses: list[LossRecord] = field(default_factory=list)
+    #: Names of the messages the simulated K-Matrix defines.  Populated by
+    #: the simulator; hand-built traces may leave it empty, in which case the
+    #: names appearing in the records stand in.
+    messages: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------ #
     # Observed statistics
     # ------------------------------------------------------------------ #
+    def known_messages(self) -> set[str]:
+        """Message names this trace can answer statistics for."""
+        if self.messages:
+            return set(self.messages)
+        names = {t.message for t in self.transmissions}
+        names.update(loss.message for loss in self.losses)
+        return names
+
+    def _require_known(self, message: str) -> None:
+        known = self.known_messages()
+        if message not in known:
+            raise UnknownMessageError(message, known)
+
     def completed(self, message: str | None = None) -> list[TransmissionRecord]:
         """Successful transmissions (optionally of one message)."""
         records = [t for t in self.transmissions if t.success]
@@ -77,9 +130,17 @@ class SimulationTrace:
         return [t.response_time for t in self.completed(message)]
 
     def max_observed_response(self, message: str) -> float:
-        """Largest observed response time of one message (0.0 if never sent)."""
+        """Largest observed response time of one message.
+
+        Raises :class:`UnknownMessageError` for a message the trace does not
+        define and :class:`NeverSentError` for one that never completed a
+        transmission -- never a silent ``0.0``.
+        """
+        self._require_known(message)
         times = self.observed_response_times(message)
-        return max(times) if times else 0.0
+        if not times:
+            raise NeverSentError(message)
+        return max(times)
 
     def lost_instances(self, message: str | None = None) -> list[LossRecord]:
         """Buffer-overwrite losses (optionally of one message)."""
@@ -88,11 +149,19 @@ class SimulationTrace:
         return [loss for loss in self.losses if loss.message == message]
 
     def loss_ratio(self, message: str) -> float:
-        """Fraction of instances of one message that were lost."""
+        """Fraction of instances of one message that were lost.
+
+        Raises :class:`UnknownMessageError` for a message the trace does not
+        define and :class:`NeverSentError` when no instance was ever sent or
+        lost (the ratio is undefined, not zero).
+        """
+        self._require_known(message)
         sent = len(self.completed(message))
         lost = len(self.lost_instances(message))
         total = sent + lost
-        return lost / total if total else 0.0
+        if not total:
+            raise NeverSentError(message)
+        return lost / total
 
     def lossy_messages(self) -> list[str]:
         """Names of messages that lost at least one instance."""
@@ -110,17 +179,19 @@ class SimulationTrace:
 
     def arrival_trace(self, message: str) -> EmpiricalEventTrace:
         """Empirical event trace of one message's queuing instants."""
-        queued = [t.queued_at for t in self.transmissions if t.message == message
-                  and t.attempt == 1]
-        queued.extend(loss.queued_at for loss in self.losses
-                      if loss.message == message)
+        queued = [
+            t.queued_at for t in self.transmissions if t.message == message and t.attempt == 1
+        ]
+        queued.extend(loss.queued_at for loss in self.losses if loss.message == message)
         return EmpiricalEventTrace(timestamps=queued)
 
     # ------------------------------------------------------------------ #
     # Rendering
     # ------------------------------------------------------------------ #
-    def gantt_rows(self, window: tuple[float, float] | None = None,
-                   ) -> list[tuple[str, float, float, str]]:
+    def gantt_rows(
+        self,
+        window: tuple[float, float] | None = None,
+    ) -> list[tuple[str, float, float, str]]:
         """(message, start, end, status) rows for a textual Gantt chart."""
         rows = []
         for record in self.transmissions:
@@ -129,13 +200,11 @@ class SimulationTrace:
                 if record.finished_at < lo or record.started_at > hi:
                     continue
             status = "ok" if record.success else "error/retransmit"
-            rows.append((record.message, record.started_at, record.finished_at,
-                         status))
+            rows.append((record.message, record.started_at, record.finished_at, status))
         rows.sort(key=lambda row: row[1])
         return rows
 
-    def render_gantt(self, window: tuple[float, float],
-                     width: int = 72) -> str:
+    def render_gantt(self, window: tuple[float, float], width: int = 72) -> str:
         """ASCII rendering of the bus occupation in a time window.
 
         Each transmission becomes one line with a bar positioned

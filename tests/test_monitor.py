@@ -1,0 +1,454 @@
+"""Tests for the live conformance monitor (repro.monitor) and its ops.
+
+Covers the transport-free layers (metrics history, alert rules, frame
+streams, the monitor core) and the serving tier end to end: a recorded
+simulation trace replayed in chunks through a TCP daemon, with an injected
+jitter burst that pushes exactly one message past its analytic deadline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.response_time import CanBusAnalysis
+from repro.events.curves import EmpiricalEventTrace, fit_periodic_jitter
+from repro.monitor import (
+    AlertEngine,
+    AlertRule,
+    ConformanceMonitor,
+    MonitorConfig,
+    ObservedFrame,
+    chunked,
+    frames_from_trace,
+    inject_jitter_burst,
+)
+from repro.obs.history import MetricsHistory, SeriesRing
+from repro.obs.metrics import MetricsRegistry
+from repro.server import protocol
+from repro.server.client import DaemonError, InProcessClient, TcpClient
+from repro.server.daemon import AnalysisDaemon
+from repro.server.tcp import start_server
+from repro.service.deltas import BusConfiguration
+from repro.service.session import AnalysisSession
+from repro.sim.simulator import CanBusSimulator, SimulationConfig
+
+
+def _configuration(small_kmatrix, small_bus) -> BusConfiguration:
+    return BusConfiguration(kmatrix=small_kmatrix, bus=small_bus,
+                            assumed_jitter_fraction=0.0)
+
+
+def _recorded_frames(small_kmatrix, small_bus, duration=2000.0, seed=3):
+    simulator = CanBusSimulator(
+        small_kmatrix, small_bus,
+        config=SimulationConfig(duration=duration, seed=seed))
+    return frames_from_trace(simulator.run())
+
+
+# --------------------------------------------------------------------------- #
+# Metrics history
+# --------------------------------------------------------------------------- #
+class TestMetricsHistory:
+    def test_ring_evicts_oldest(self):
+        ring = SeriesRing(capacity=3)
+        for window in range(5):
+            ring.append(window, float(window))
+        assert [p.window for p in ring.last()] == [2, 3, 4]
+        assert [p.value for p in ring.last(2)] == [3.0, 4.0]
+
+    def test_history_series_and_snapshot_rendering(self):
+        history = MetricsHistory(capacity=4)
+        for window in range(6):
+            history.record(window, "observed_max_ms", 1.0 + window,
+                           message="Slow")
+            history.record(window, "monitor_violations", 0.0)
+        series = history.series("observed_max_ms", message="Slow")
+        assert [p.window for p in series] == [2, 3, 4, 5]
+        assert history.latest("observed_max_ms", message="Slow") == 6.0
+        assert history.window_values("monitor_violations", last=2) == \
+            [0.0, 0.0]
+        snapshot = history.snapshot(last=1)
+        assert snapshot['observed_max_ms{message="Slow"}'] == [[5, 6.0]]
+        assert "monitor_violations" in snapshot
+        assert sorted(snapshot) == history.names()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MetricsHistory(capacity=0)
+        with pytest.raises(ValueError):
+            SeriesRing(capacity=0)
+
+
+# --------------------------------------------------------------------------- #
+# Alert rules and engine
+# --------------------------------------------------------------------------- #
+class TestAlertRules:
+    def test_parse_full_expression(self):
+        rule = AlertRule.parse(
+            "tight", "observed_slack_ms < 0.1*deadline for 3 windows")
+        assert rule.metric == "observed_slack_ms"
+        assert rule.op == "<"
+        assert rule.threshold == 0.1
+        assert rule.scale == "deadline"
+        assert rule.for_windows == 3
+        assert rule.describe() == \
+            "observed_slack_ms < 0.1*deadline for 3 windows"
+
+    def test_parse_minimal_and_json_round_trip(self):
+        rule = AlertRule.parse("any", "violations > 0")
+        assert rule.scale is None and rule.for_windows == 1
+        assert AlertRule.from_json(rule.to_json()) == rule
+        via_expr = AlertRule.from_json(
+            {"name": "any", "expr": "violations > 0"})
+        assert via_expr == rule
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            AlertRule.parse("bad", "observed_slack_ms ~ 3")
+        with pytest.raises(ValueError):
+            AlertRule.parse("bad", "x < 1*frobnicate")
+        with pytest.raises(ValueError):
+            AlertRule(name="", metric="m", op="<", threshold=1.0)
+        with pytest.raises(ValueError):
+            AlertRule(name="r", metric="m", op="<", threshold=1.0,
+                      for_windows=0)
+
+    def test_streaks_are_edge_triggered_and_rearm(self):
+        engine = AlertEngine(
+            [AlertRule.parse("tight", "slack < 1.0 for 2 windows")])
+        fired = []
+        samples = [0.5, 0.5, 0.5, 5.0, 0.5, 0.5]
+        for window, value in enumerate(samples):
+            fired.extend(engine.evaluate(window, {"M": {"slack": value}}))
+        # First excursion fires once at its second window; the clearing in
+        # window 3 re-arms; the second excursion fires again at window 5.
+        assert [(a.window, a.subject) for a in fired] == [(1, "M"), (5, "M")]
+        assert engine.active == [("tight", "M")]
+
+    def test_scaled_threshold_uses_subject_quantities(self):
+        engine = AlertEngine(
+            [AlertRule.parse("tight", "slack < 0.1*deadline")])
+        scales = {"A": {"deadline": 100.0}, "B": {"deadline": 10.0}}
+        alerts = engine.evaluate(
+            0, {"A": {"slack": 5.0}, "B": {"slack": 5.0}}, scales)
+        # 5 < 10 fires for A (deadline 100); 5 < 1 does not fire for B.
+        assert [(a.subject, a.threshold) for a in alerts] == [("A", 10.0)]
+
+    def test_missing_metric_resets_streak(self):
+        engine = AlertEngine(
+            [AlertRule.parse("tight", "slack < 1.0 for 2 windows")])
+        assert engine.evaluate(0, {"M": {"slack": 0.5}}) == []
+        assert engine.evaluate(1, {"M": {}}) == []
+        assert engine.evaluate(2, {"M": {"slack": 0.5}}) == []
+
+
+# --------------------------------------------------------------------------- #
+# Frame streams
+# --------------------------------------------------------------------------- #
+class TestStreams:
+    def test_frames_from_trace_sorted_by_completion(
+            self, small_kmatrix, small_bus):
+        frames = _recorded_frames(small_kmatrix, small_bus, duration=300.0)
+        assert frames
+        assert all(a.finished_at <= b.finished_at
+                   for a, b in zip(frames, frames[1:]))
+
+    def test_chunked_sizes(self):
+        frames = [ObservedFrame("M", float(i), float(i) + 1.0)
+                  for i in range(10)]
+        chunks = list(chunked(frames, size=4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        with pytest.raises(ValueError):
+            list(chunked(frames, size=0))
+
+    def test_frame_json_round_trip(self):
+        frame = ObservedFrame("M", 1.5, 2.25, success=False, attempt=2)
+        assert ObservedFrame.from_json(frame.to_json()) == frame
+        assert frame.response_time == 0.75
+
+    def test_inject_jitter_burst_moves_queuing_earlier(self):
+        frames = [ObservedFrame("S", 100.0 * i, 100.0 * i + 1.0)
+                  for i in range(10)]
+        burst = inject_jitter_burst(frames, "S", start=300.0, count=3,
+                                    shift=30.0)
+        affected = [f for f in burst if f.queued_at != f.finished_at - 1.0]
+        assert len(affected) == 3
+        # Linear ramp: 10, 20, 30 ms earlier; completions untouched.
+        assert [round(f.response_time, 6) for f in affected] == \
+            [11.0, 21.0, 31.0]
+
+    def test_protocol_codecs_and_version(self):
+        assert protocol.PROTOCOL_VERSION == 6
+        frames = [ObservedFrame("M", 0.0, 1.0)]
+        decoded = protocol.frames_from_json(protocol.frames_to_json(frames))
+        assert decoded == frames
+        with pytest.raises(protocol.ProtocolError):
+            protocol.frames_from_json([[1, 2, 3]])
+        rules = protocol.alert_rules_from_json(
+            [{"name": "a", "expr": "violations > 0"}])
+        assert rules[0].metric == "violations"
+        with pytest.raises(protocol.ProtocolError):
+            protocol.alert_rules_from_json(["not an object"])
+        with pytest.raises(protocol.ProtocolError):
+            protocol.alert_rules_from_json([{"name": "a"}])
+
+
+# --------------------------------------------------------------------------- #
+# Monitor core (no transport)
+# --------------------------------------------------------------------------- #
+class TestConformanceMonitor:
+    def _monitor(self, small_kmatrix, small_bus, rules=()):
+        session = AnalysisSession(small_kmatrix, small_bus,
+                                  name="monitor-test")
+        return ConformanceMonitor(
+            session, target="bus", rules=rules,
+            config=MonitorConfig(window_ms=100.0))
+
+    def test_clean_replay_flags_nothing(self, small_kmatrix, small_bus):
+        monitor = self._monitor(small_kmatrix, small_bus)
+        frames = _recorded_frames(small_kmatrix, small_bus)
+        total = 0
+        for chunk in chunked(frames, 256):
+            total += len(monitor.ingest(chunk).violations)
+        total += len(monitor.flush().violations)
+        status = monitor.status()
+        assert total == 0
+        assert status["violations"] == 0
+        assert status["refits"] == 0
+        assert status["overrides"] == []
+        assert status["frames"] == len(frames)
+
+    def test_burst_flags_exactly_one_message_with_fresh_bound(
+            self, small_kmatrix, small_bus):
+        monitor = self._monitor(small_kmatrix, small_bus)
+        frames = inject_jitter_burst(
+            _recorded_frames(small_kmatrix, small_bus), "Slow",
+            start=500.0, count=5, shift=120.0)
+        violations = []
+        for chunk in chunked(frames, 256):
+            violations.extend(monitor.ingest(chunk).violations)
+        violations.extend(monitor.flush().violations)
+        assert violations
+        assert {v.message for v in violations} == {"Slow"}
+        status = monitor.status()
+        assert status["overrides"] == ["Slow"]
+        # The flagged record carries the re-derived (post-refit) bound: it
+        # bit-matches a from-scratch analysis with the final fitted model.
+        arrivals = EmpiricalEventTrace(
+            [f.queued_at for f in frames
+             if f.message == "Slow" and f.attempt == 1])
+        fitted = fit_periodic_jitter(arrivals, 100.0, max_n=64)
+        direct = CanBusAnalysis(
+            small_kmatrix, small_bus, assumed_jitter_fraction=0.0,
+            event_models={"Slow": fitted}).analyze_all()
+        assert status["messages"]["Slow"]["bound"] == \
+            direct["Slow"].worst_case
+        assert status["messages"]["Slow"]["fitted_jitter"] == fitted.jitter
+        # Deadline violations only: the refit made the bound cover the
+        # observed burst before the violation was recorded.
+        assert all(v.kind == "observed-over-deadline" for v in violations)
+        assert all(v.observed <= status["messages"]["Slow"]["bound"] + 1e-9
+                   for v in violations)
+
+    def test_violation_counters_and_alerts(self, small_kmatrix, small_bus):
+        registry = MetricsRegistry()
+        session = AnalysisSession(small_kmatrix, small_bus,
+                                  name="monitor-metrics")
+        monitor = ConformanceMonitor(
+            session, target="bus",
+            rules=(AlertRule.parse("any-violation", "violations > 0"),),
+            config=MonitorConfig(window_ms=100.0), metrics=registry)
+        frames = inject_jitter_burst(
+            _recorded_frames(small_kmatrix, small_bus), "Slow",
+            start=500.0, count=5, shift=120.0)
+        alerts = []
+        for chunk in chunked(frames, 256):
+            alerts.extend(monitor.ingest(chunk).alerts)
+        alerts.extend(monitor.flush().alerts)
+        assert [a.rule for a in alerts] == ["any-violation"]
+        assert registry.value("monitor_violations_total",
+                              message="Slow") == 1.0
+        assert registry.value("monitor_violations_total",
+                              message="FastA") == 0.0
+        assert registry.value("monitor_alerts_total",
+                              rule="any-violation") == 1.0
+        assert registry.value("monitor_refits_total", target="bus") >= 1.0
+        fired = monitor.alerts()["fired"]
+        assert fired and fired[-1]["rule"] == "any-violation"
+        # History carries the windowed series behind the alert.
+        assert monitor.history.latest("observed_max_ms", message="Slow") \
+            is not None
+
+    def test_unknown_message_raises_typed_error(self, small_kmatrix,
+                                                small_bus):
+        from repro.sim.trace import UnknownMessageError
+        monitor = self._monitor(small_kmatrix, small_bus)
+        with pytest.raises(UnknownMessageError):
+            monitor.ingest([ObservedFrame("Nope", 0.0, 1.0)])
+
+
+# --------------------------------------------------------------------------- #
+# Serving tier: acceptance end-to-end
+# --------------------------------------------------------------------------- #
+class TestMonitorOverTheWire:
+    def _daemon(self, small_kmatrix, small_bus):
+        daemon = AnalysisDaemon(name="monitor-e2e", mode="serial")
+        daemon.add_config("bus", _configuration(small_kmatrix, small_bus))
+        return daemon
+
+    def test_tcp_replay_conformance_end_to_end(self, small_kmatrix,
+                                               small_bus):
+        frames = _recorded_frames(small_kmatrix, small_bus)
+        burst = inject_jitter_burst(frames, "Slow", start=500.0, count=5,
+                                    shift=120.0)
+        daemon = self._daemon(small_kmatrix, small_bus)
+        server = start_server(daemon, port=0)
+        host, port = server.address
+        try:
+            with TcpClient(host, port) as client:
+                client.monitor_start(
+                    "bus", window_ms=100.0,
+                    rules=[AlertRule.parse("any-violation",
+                                           "violations > 0")])
+                # Clean replay first: nothing may be flagged.
+                clean_violations = []
+                for chunk in chunked(frames, 256):
+                    report = client.monitor_ingest("bus", chunk)
+                    clean_violations.extend(report["violations"])
+                report = client.monitor_ingest("bus", [], flush=True)
+                clean_violations.extend(report["violations"])
+                assert clean_violations == []
+                assert client.monitor_status("bus")["violations"] == 0
+
+                # Restart and replay the burst: exactly one message flagged.
+                client.monitor_start(
+                    "bus", window_ms=100.0,
+                    rules=[AlertRule.parse("any-violation",
+                                           "violations > 0")])
+                violations, alerts = [], []
+                for chunk in chunked(burst, 256):
+                    report = client.monitor_ingest("bus", chunk)
+                    violations.extend(report["violations"])
+                    alerts.extend(report["alerts"])
+                report = client.monitor_ingest("bus", [], flush=True)
+                violations.extend(report["violations"])
+                alerts.extend(report["alerts"])
+                assert {v["message"] for v in violations} == {"Slow"}
+
+                # Re-derived bound bit-matches a from-scratch analysis with
+                # the fitted empirical model -- through JSON and TCP.
+                status = client.monitor_status("bus")
+                arrivals = EmpiricalEventTrace(
+                    [f.queued_at for f in burst
+                     if f.message == "Slow" and f.attempt == 1])
+                fitted = fit_periodic_jitter(arrivals, 100.0, max_n=64)
+                direct = CanBusAnalysis(
+                    small_kmatrix, small_bus, assumed_jitter_fraction=0.0,
+                    event_models={"Slow": fitted}).analyze_all()
+                assert status["messages"]["Slow"]["bound"] == \
+                    direct["Slow"].worst_case
+                assert status["overrides"] == ["Slow"]
+
+                # The violation and the fired alert are visible through the
+                # observability ops.
+                counters = client.metrics(
+                    history=True, history_last=8)["metrics"]["counters"]
+                assert counters[
+                    'monitor_violations_total{message="Slow"}'] == 1.0
+                assert counters[
+                    'monitor_alerts_total{rule="any-violation"}'] == 1.0
+                assert [a["rule"] for a in alerts] == ["any-violation"]
+                fired = client.monitor_alerts("bus")["fired"]
+                assert [a["rule"] for a in fired] == ["any-violation"]
+                history = client.metrics(
+                    history=True, history_last=8)["history"]
+                assert 'observed_max_ms{message="Slow"}' in history["bus"]
+                stopped = client.monitor_stop("bus")
+                assert stopped["violations"] == len(violations)
+        finally:
+            server.stop()
+
+    def test_monitor_error_taxonomy_over_the_wire(self, small_kmatrix,
+                                                  small_bus):
+        daemon = self._daemon(small_kmatrix, small_bus)
+        client = InProcessClient(daemon)
+        with pytest.raises(DaemonError) as excinfo:
+            client.monitor_status("bus")
+        assert excinfo.value.code == "unknown_target"
+        with pytest.raises(DaemonError) as excinfo:
+            client.monitor_start("missing")
+        assert excinfo.value.code == "unknown_target"
+        client.monitor_start("bus")
+        with pytest.raises(DaemonError) as excinfo:
+            client.monitor_ingest("bus", [ObservedFrame("Nope", 0.0, 1.0)])
+        assert excinfo.value.code == "unknown_target"
+        with pytest.raises(DaemonError) as excinfo:
+            client.monitor_ingest("bus", [["bad", "frame"]])
+        assert excinfo.value.code == "protocol"
+        with pytest.raises(DaemonError) as excinfo:
+            client.monitor_start("bus", window_ms=-1.0)
+        assert excinfo.value.code == "invalid"
+        daemon.close()
+
+    def test_monitor_restart_resets_state(self, small_kmatrix, small_bus):
+        daemon = self._daemon(small_kmatrix, small_bus)
+        client = InProcessClient(daemon)
+        frames = inject_jitter_burst(
+            _recorded_frames(small_kmatrix, small_bus), "Slow",
+            start=500.0, count=5, shift=120.0)
+        client.monitor_start("bus", window_ms=100.0)
+        client.monitor_ingest("bus", frames, flush=True)
+        assert client.monitor_status("bus")["violations"] == 1
+        client.monitor_start("bus", window_ms=100.0)
+        status = client.monitor_status("bus")
+        assert status["violations"] == 0
+        assert status["frames"] == 0
+        assert status["overrides"] == []
+        daemon.close()
+
+    def test_health_reports_active_alerts(self, small_kmatrix, small_bus):
+        daemon = self._daemon(small_kmatrix, small_bus)
+        client = InProcessClient(daemon)
+        client.monitor_start(
+            "bus", window_ms=100.0,
+            rules=[AlertRule.parse("always", "frames >= 0")])
+        frames = _recorded_frames(small_kmatrix, small_bus, duration=300.0)
+        client.monitor_ingest("bus", frames, flush=True)
+        health = client.health()
+        assert health["monitors"] == ["bus"]
+        assert health["status"] == "degraded"
+        assert any("active alert" in cause for cause in health["causes"])
+        assert health["signals"]["monitor_active_alerts"] >= 1
+        client.monitor_stop("bus")
+        assert client.health()["status"] == "ok"
+        daemon.close()
+
+    def test_monitor_status_is_a_control_op_during_drain(self, small_kmatrix,
+                                                         small_bus):
+        daemon = self._daemon(small_kmatrix, small_bus)
+        client = InProcessClient(daemon)
+        client.monitor_start("bus")
+        daemon.close(grace=0.0)
+        # Status/alerts keep answering while draining; ingest is rejected.
+        assert client.monitor_status("bus")["target"] == "bus"
+        assert client.monitor_alerts("bus")["active"] == []
+        with pytest.raises(DaemonError) as excinfo:
+            client.monitor_ingest("bus", [])
+        assert excinfo.value.code == "draining"
+
+    def test_reporting_formatters_render(self, small_kmatrix, small_bus):
+        from repro.reporting import format_alerts, format_monitor_status
+        daemon = self._daemon(small_kmatrix, small_bus)
+        client = InProcessClient(daemon)
+        client.monitor_start(
+            "bus", rules=[AlertRule.parse("any", "violations > 0")])
+        frames = inject_jitter_burst(
+            _recorded_frames(small_kmatrix, small_bus), "Slow",
+            start=500.0, count=5, shift=120.0)
+        client.monitor_ingest("bus", frames, flush=True)
+        status_text = format_monitor_status(client.monitor_status("bus"),
+                                            title="monitor")
+        assert "Slow" in status_text and "violation" in status_text
+        alerts_text = format_alerts(client.monitor_alerts("bus"))
+        assert "any" in alerts_text
+        daemon.close()

@@ -41,6 +41,19 @@ class TestPublicApi:
             assert name in repro.__all__, f"{name} missing from __all__"
             assert hasattr(repro, name)
 
+    def test_monitor_and_sim_types_are_exported(self):
+        for name in ("ConformanceMonitor", "MonitorConfig", "AlertRule",
+                     "AlertEngine", "Alert", "ObservedFrame",
+                     "ViolationRecord", "IngestReport", "frames_from_trace",
+                     "inject_jitter_burst", "Simulator", "CanBusSimulator",
+                     "SimulationConfig", "SimulationTrace",
+                     "TransmissionRecord", "EmpiricalEventTrace",
+                     "fit_periodic_jitter", "MetricsHistory",
+                     "UnknownMessageError", "NeverSentError"):
+            assert name in repro.__all__, f"{name} missing from __all__"
+            assert hasattr(repro, name)
+        assert repro.Simulator is repro.CanBusSimulator
+
     def test_daemon_quickstart_via_public_api(self):
         kmatrix, bus, controllers = repro.powertrain_system()
         daemon = repro.AnalysisDaemon(name="api-smoke")
